@@ -1,0 +1,97 @@
+"""E1 — error vs. number of samples, single-vertex estimation (Table 1 analogue).
+
+For each dataset family and each target vertex position (high / median
+betweenness), every estimator is run at increasing sample budgets and the
+mean/max absolute error over repetitions is reported.  The paper's headline
+comparison is the MH sampler against the uniform-source and distance-based
+source samplers and the shortest-path sampler of Riondato–Kornaropoulos.
+
+The table reports both MH read-outs: the paper's Equation 7 (``mh-chain``)
+and the corrected unbiased read-out (``mh-unbiased``); EXPERIMENTS.md
+discusses the difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import bench_seed, bench_size, emit_table
+
+from repro.analysis import convergence_sweep
+from repro.datasets import load_dataset, pick_targets
+from repro.exact import betweenness_of_vertex
+from repro.mcmc import SingleSpaceMHSampler
+from repro.samplers import (
+    DistanceBasedSampler,
+    RiondatoKornaropoulosSampler,
+    UniformSourceSampler,
+)
+
+DATASETS = ("collaboration", "social")
+SAMPLE_BUDGETS = (50, 100, 200)
+REPETITIONS = 3
+
+ESTIMATORS = {
+    "mh-chain": SingleSpaceMHSampler(),
+    "mh-unbiased": SingleSpaceMHSampler(estimator="proposal"),
+    "uniform-source": UniformSourceSampler(),
+    "distance-based": DistanceBasedSampler(),
+    "rk-paths": RiondatoKornaropoulosSampler(),
+}
+
+
+def _experiment_rows():
+    rows = []
+    for dataset in DATASETS:
+        graph = load_dataset(dataset, size=bench_size(), seed=bench_seed())
+        targets = pick_targets(graph, seed=bench_seed())
+        for position in ("high", "median"):
+            target = targets[position]
+            exact = betweenness_of_vertex(graph, target)
+            for name, estimator in ESTIMATORS.items():
+                points = convergence_sweep(
+                    lambda samples, rng, est=estimator: est.estimate(
+                        graph, target, samples, seed=rng
+                    ).estimate,
+                    exact,
+                    sample_budgets=SAMPLE_BUDGETS,
+                    repetitions=REPETITIONS,
+                    seed=bench_seed(),
+                )
+                for point in points:
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "target": position,
+                            "estimator": name,
+                            "samples": point.samples,
+                            "exact_bc": exact,
+                            "mean_error": point.mean_error,
+                            "max_error": point.max_error,
+                        }
+                    )
+    return rows
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_error_vs_samples(benchmark):
+    """Regenerate the E1 table and time one representative MH estimate."""
+    rows = _experiment_rows()
+    emit_table(
+        "E1",
+        "mean absolute error vs. sample budget (single-vertex estimation)",
+        rows,
+        ["dataset", "target", "estimator", "samples", "exact_bc", "mean_error", "max_error"],
+    )
+
+    graph = load_dataset(DATASETS[0], size=bench_size(), seed=bench_seed())
+    target = pick_targets(graph, seed=bench_seed())["high"]
+    sampler = SingleSpaceMHSampler()
+    result = benchmark.pedantic(
+        lambda: sampler.estimate(graph, target, SAMPLE_BUDGETS[-1], seed=bench_seed()),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["estimate"] = result.estimate
+    assert rows, "the experiment must produce at least one table row"

@@ -1,0 +1,90 @@
+"""E2 — runtime per sample of every estimator (Table 2 analogue).
+
+All estimators share the same asymptotic per-sample cost (one SPD
+construction, O(|E|) for unweighted graphs); this experiment measures the
+constants in this pure-Python implementation.  For the MH sampler two
+numbers matter: the cost per chain iteration *with* the dependency-vector
+cache (revisits are free) and without it — the quantity the per-sample
+O(|E|) claim refers to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import BENCH_DATASETS, bench_seed, bench_size, emit_table
+
+from repro.datasets import load_dataset, pick_targets
+from repro.mcmc import SingleSpaceMHSampler
+from repro.samplers import (
+    DistanceBasedSampler,
+    KadabraSampler,
+    RiondatoKornaropoulosSampler,
+    UniformSourceSampler,
+)
+
+SAMPLES = 100
+
+
+def _estimators():
+    return {
+        "mh (cached)": SingleSpaceMHSampler(),
+        "mh (no cache)": SingleSpaceMHSampler(cache_size=0),
+        "uniform-source": UniformSourceSampler(),
+        "distance-based": DistanceBasedSampler(),
+        "rk-paths": RiondatoKornaropoulosSampler(),
+        "kadabra": KadabraSampler(),
+    }
+
+
+def _experiment_rows():
+    rows = []
+    for dataset in BENCH_DATASETS:
+        graph = load_dataset(dataset, size=bench_size(), seed=bench_seed())
+        target = pick_targets(graph, seed=bench_seed())["high"]
+        for name, estimator in _estimators().items():
+            result = estimator.estimate(graph, target, SAMPLES, seed=bench_seed())
+            per_sample = result.elapsed_seconds / max(result.samples, 1)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "vertices": graph.number_of_vertices(),
+                    "edges": graph.number_of_edges(),
+                    "estimator": name,
+                    "samples": result.samples,
+                    "total_seconds": result.elapsed_seconds,
+                    "seconds_per_sample": per_sample,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_runtime_per_sample(benchmark):
+    """Regenerate the E2 table and time the uncached per-sample cost."""
+    rows = _experiment_rows()
+    emit_table(
+        "E2",
+        "wall-clock cost per sample of each estimator",
+        rows,
+        [
+            "dataset",
+            "vertices",
+            "edges",
+            "estimator",
+            "samples",
+            "total_seconds",
+            "seconds_per_sample",
+        ],
+    )
+
+    graph = load_dataset("collaboration", size=bench_size(), seed=bench_seed())
+    target = pick_targets(graph, seed=bench_seed())["high"]
+    sampler = SingleSpaceMHSampler(cache_size=0)
+    benchmark.pedantic(
+        lambda: sampler.estimate(graph, target, 20, seed=bench_seed()),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = len(rows)
+    assert len(rows) == len(BENCH_DATASETS) * len(_estimators())

@@ -1,0 +1,101 @@
+"""E4 — µ(r) and the Equation 14 sample bound vs. vertex position (Figure 2 analogue).
+
+Theorem 2: µ(r) is a constant when r is a balanced vertex separator.  The
+experiment sweeps growing graphs from three structured families and one
+random family, computing the exact µ(r) and the induced chain length for
+
+* a balanced separator vertex (barbell bridge, star centre, caveman
+  connector, highest-betweenness vertex of a scale-free graph), and
+* an unbalanced/peripheral vertex with positive betweenness,
+
+showing the first staying flat and the second growing with the graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import bench_seed, emit_table
+
+from repro.graphs import barabasi_albert_graph, barbell_graph, path_graph, star_graph
+from repro.graphs.components import component_size_profile, is_balanced_separator
+from repro.mcmc import mu_statistics, required_samples
+
+EPSILON = 0.05
+DELTA = 0.1
+
+
+def _families():
+    """Yield (family, size-label, graph, separator vertex, peripheral vertex)."""
+    for clique in (5, 10, 20, 40):
+        graph = barbell_graph(clique, 2)
+        yield "barbell", f"clique={clique}", graph, clique, clique - 1
+    for leaves in (10, 20, 40, 80):
+        graph = star_graph(leaves)
+        # the star has no second positive-betweenness vertex; reuse the centre
+        yield "star", f"leaves={leaves}", graph, 0, 0
+    for n in (11, 21, 41, 81):
+        graph = path_graph(n)
+        yield "path", f"n={n}", graph, n // 2, 1
+    for n in (30, 60, 120):
+        graph = barabasi_albert_graph(n, 2, seed=bench_seed())
+        from repro.datasets import positive_betweenness_vertices
+
+        positive = positive_betweenness_vertices(graph)
+        ranked = sorted(positive, key=positive.get, reverse=True)
+        yield "scale-free", f"n={n}", graph, ranked[0], ranked[-1]
+
+
+def _experiment_rows():
+    rows = []
+    for family, size_label, graph, separator, peripheral in _families():
+        for role, vertex in (("separator/top", separator), ("peripheral", peripheral)):
+            if role == "peripheral" and vertex == separator:
+                continue
+            stats = mu_statistics(graph, vertex)
+            profile = component_size_profile(graph, vertex)
+            rows.append(
+                {
+                    "family": family,
+                    "size": size_label,
+                    "n": graph.number_of_vertices(),
+                    "role": role,
+                    "balanced_separator": is_balanced_separator(graph, vertex),
+                    "components_without_r": int(profile["num_components"]),
+                    "mu": stats.mu,
+                    "chain_length_eq14": required_samples(EPSILON, DELTA, stats.mu),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_mu_scaling(benchmark):
+    """Regenerate the E4 table and time one exact µ(r) computation."""
+    rows = _experiment_rows()
+    emit_table(
+        "E4",
+        f"mu(r) and Equation 14 chain length (epsilon={EPSILON}, delta={DELTA})",
+        rows,
+        [
+            "family",
+            "size",
+            "n",
+            "role",
+            "balanced_separator",
+            "components_without_r",
+            "mu",
+            "chain_length_eq14",
+        ],
+    )
+
+    graph = barbell_graph(20, 2)
+    benchmark.pedantic(lambda: mu_statistics(graph, 20), rounds=3, iterations=1)
+    benchmark.extra_info["rows"] = len(rows)
+
+    # Theorem 2 sanity: the barbell bridge keeps mu below 1.5 at every size,
+    # while the peripheral path vertex exceeds it at the largest size.
+    barbell_rows = [r for r in rows if r["family"] == "barbell" and r["role"] == "separator/top"]
+    assert all(row["mu"] < 1.5 for row in barbell_rows)
+    path_peripheral = [r for r in rows if r["family"] == "path" and r["role"] == "peripheral"]
+    assert path_peripheral[-1]["mu"] > 10.0

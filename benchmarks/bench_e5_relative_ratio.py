@@ -1,0 +1,113 @@
+"""E5 — joint-space sampler: relative scores and betweenness ratios (Table 3 analogue).
+
+For reference sets of growing size the joint-space chain is run once and
+three quantities are compared for every ordered pair (ri, rj):
+
+* the estimated ratio ``BC(ri)/BC(rj)`` (Equation 22) against the exact
+  ratio — Theorem 3 says this is consistent;
+* the estimated relative score against the stationary expectation it
+  converges to, and against the Equation 23 uniform average (the reproduction
+  note in ``exact_stationary_relative_betweenness`` explains why these can
+  differ).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from harness import bench_seed, bench_size, emit_table
+
+from repro.analysis import summarize_runs
+from repro.datasets import load_dataset, pick_reference_set
+from repro.exact import (
+    exact_betweenness_ratio,
+    exact_relative_betweenness,
+    exact_stationary_relative_betweenness,
+)
+from repro.mcmc import JointSpaceMHSampler
+
+DATASETS = ("barbell", "caveman")
+SET_SIZES = (2, 4)
+CHAIN_LENGTH = 4000
+
+
+def _experiment_rows():
+    rows = []
+    for dataset in DATASETS:
+        graph = load_dataset(dataset, size=bench_size(), seed=bench_seed())
+        for set_size in SET_SIZES:
+            refs = pick_reference_set(graph, set_size, seed=bench_seed())
+            estimate = JointSpaceMHSampler().estimate_relative(
+                graph, refs, CHAIN_LENGTH, seed=bench_seed()
+            )
+            ratio_errors = []
+            relative_errors_stationary = []
+            relative_errors_eq23 = []
+            for ri in refs:
+                for rj in refs:
+                    if ri == rj:
+                        continue
+                    est_ratio = estimate.ratios[(ri, rj)]
+                    if not math.isnan(est_ratio):
+                        exact_ratio = exact_betweenness_ratio(graph, ri, rj)
+                        ratio_errors.append(abs(est_ratio - exact_ratio) / exact_ratio)
+                    est_rel = estimate.relative[ri][rj]
+                    relative_errors_stationary.append(
+                        abs(est_rel - exact_stationary_relative_betweenness(graph, ri, rj))
+                    )
+                    relative_errors_eq23.append(
+                        abs(est_rel - exact_relative_betweenness(graph, ri, rj))
+                    )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "|R|": set_size,
+                    "chain_length": CHAIN_LENGTH,
+                    "acceptance": estimate.acceptance_rate,
+                    "ratio_rel_error_mean": summarize_runs(ratio_errors)["mean"],
+                    "ratio_rel_error_max": summarize_runs(ratio_errors)["max"],
+                    "relative_err_vs_stationary": summarize_runs(relative_errors_stationary)["mean"],
+                    "relative_err_vs_eq23": summarize_runs(relative_errors_eq23)["mean"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_relative_ratio(benchmark):
+    """Regenerate the E5 table and time one joint-chain run."""
+    rows = _experiment_rows()
+    emit_table(
+        "E5",
+        "joint-space sampler: ratio and relative-score accuracy",
+        rows,
+        [
+            "dataset",
+            "|R|",
+            "chain_length",
+            "acceptance",
+            "ratio_rel_error_mean",
+            "ratio_rel_error_max",
+            "relative_err_vs_stationary",
+            "relative_err_vs_eq23",
+        ],
+    )
+
+    graph = load_dataset("barbell", size=bench_size(), seed=bench_seed())
+    refs = pick_reference_set(graph, 2, seed=bench_seed())
+    sampler = JointSpaceMHSampler()
+    benchmark.pedantic(
+        lambda: sampler.estimate_relative(graph, refs, 500, seed=bench_seed()),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = len(rows)
+    # Theorem 3: ratios must be estimated within a modest relative error.
+    assert all(row["ratio_rel_error_mean"] < 0.35 for row in rows)
+    # The estimator converges to the stationary expectation at least as well
+    # as to the Equation 23 uniform average.
+    assert all(
+        row["relative_err_vs_stationary"] <= row["relative_err_vs_eq23"] + 0.02 for row in rows
+    )

@@ -1,0 +1,91 @@
+"""E6 — ranking fidelity of the joint-space sampler (Figure 3 analogue).
+
+The second motivating use case of the paper is ranking a handful of vertices
+(community cores, candidate relays) by betweenness.  The experiment draws a
+mixed-centrality reference set from each dataset family, ranks it
+
+* with the joint-space MH sampler (scores = average relative betweenness),
+* with the uniform-source baseline (estimate all |R| scores directly), and
+* with the Riondato–Kornaropoulos path sampler,
+
+and reports Spearman / Kendall correlation and top-k accuracy against the
+exact ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import BENCH_DATASETS, bench_seed, bench_size, emit_table
+
+from repro.analysis import ranking_report
+from repro.datasets import load_dataset, pick_reference_set
+from repro.exact import betweenness_of_vertex
+from repro.mcmc import JointSpaceMHSampler
+from repro.samplers import RiondatoKornaropoulosSampler, UniformSourceSampler
+
+SET_SIZE = 6
+JOINT_CHAIN_LENGTH = 6000
+BASELINE_SAMPLES = 300
+
+
+def _experiment_rows():
+    rows = []
+    for dataset in BENCH_DATASETS:
+        graph = load_dataset(dataset, size=bench_size(), seed=bench_seed())
+        refs = pick_reference_set(graph, SET_SIZE, seed=bench_seed())
+        exact = {v: betweenness_of_vertex(graph, v) for v in refs}
+
+        joint = JointSpaceMHSampler().estimate_relative(
+            graph, refs, JOINT_CHAIN_LENGTH, seed=bench_seed()
+        )
+        joint_scores = {
+            v: sum(joint.relative[v][w] for w in refs if w != v) for v in refs
+        }
+
+        uniform = UniformSourceSampler().estimate_all(graph, BASELINE_SAMPLES, seed=bench_seed())
+        rk = RiondatoKornaropoulosSampler().estimate_all(
+            graph, BASELINE_SAMPLES, seed=bench_seed()
+        )
+
+        for method, scores in (
+            ("mh-joint", joint_scores),
+            ("uniform-source", uniform.restricted_to(refs)),
+            ("rk-paths", rk.restricted_to(refs)),
+        ):
+            report = ranking_report(scores, exact, k=3)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "|R|": SET_SIZE,
+                    "spearman": report["spearman"],
+                    "kendall": report["kendall"],
+                    "top3_accuracy": report["top_k_accuracy"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_ranking_fidelity(benchmark):
+    """Regenerate the E6 table and time one joint ranking."""
+    rows = _experiment_rows()
+    emit_table(
+        "E6",
+        "ranking fidelity against the exact betweenness ranking",
+        rows,
+        ["dataset", "method", "|R|", "spearman", "kendall", "top3_accuracy"],
+    )
+
+    graph = load_dataset("collaboration", size=bench_size(), seed=bench_seed())
+    refs = pick_reference_set(graph, SET_SIZE, seed=bench_seed())
+    sampler = JointSpaceMHSampler()
+    benchmark.pedantic(
+        lambda: sampler.estimate_relative(graph, refs, 1000, seed=bench_seed()).ranking(),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = len(rows)
+    joint_rows = [row for row in rows if row["method"] == "mh-joint"]
+    assert all(row["spearman"] > 0.0 for row in joint_rows)

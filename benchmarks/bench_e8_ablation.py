@@ -1,0 +1,108 @@
+"""E8 — ablations of the design choices discussed in DESIGN.md.
+
+Four knobs of the single-space sampler are ablated on one scale-free and one
+community dataset:
+
+* proposal distribution: uniform (paper) vs. degree-proportional vs.
+  random-walk;
+* estimator read-out: Equation 7 chain average vs. accepted-only vs.
+  corrected proposal average;
+* burn-in: 0 (paper: not needed) vs. 25% of the chain;
+* dependency-vector caching: enabled vs. disabled (number of Brandes passes
+  actually performed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import bench_seed, bench_size, emit_table
+
+from repro.analysis import summarize_runs
+from repro.datasets import load_dataset, pick_targets
+from repro.exact import betweenness_of_vertex
+from repro.mcmc import SingleSpaceMHSampler
+
+DATASETS = ("collaboration", "social")
+CHAIN_LENGTH = 300
+REPETITIONS = 3
+
+CONFIGURATIONS = {
+    "paper (uniform, eq7, no burn-in)": {},
+    "proposal=degree": {"proposal": "degree"},
+    "proposal=random-walk": {"proposal": "random-walk"},
+    "estimator=accepted": {"estimator": "accepted"},
+    "estimator=proposal (unbiased)": {"estimator": "proposal"},
+    "burn-in=25%": {"burn_in": CHAIN_LENGTH // 4},
+    "cache disabled": {"cache_size": 0},
+}
+
+
+def _experiment_rows():
+    rows = []
+    for dataset in DATASETS:
+        graph = load_dataset(dataset, size=bench_size(), seed=bench_seed())
+        target = pick_targets(graph, seed=bench_seed())["high"]
+        exact = betweenness_of_vertex(graph, target)
+        for label, options in CONFIGURATIONS.items():
+            sampler = SingleSpaceMHSampler(**options)
+            errors = []
+            evaluations = []
+            elapsed = []
+            for repetition in range(REPETITIONS):
+                result = sampler.estimate(
+                    graph, target, CHAIN_LENGTH, seed=bench_seed() + repetition
+                )
+                errors.append(abs(result.estimate - exact))
+                evaluations.append(result.diagnostics["evaluations"])
+                elapsed.append(result.elapsed_seconds)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "configuration": label,
+                    "chain_length": CHAIN_LENGTH,
+                    "mean_error": summarize_runs(errors)["mean"],
+                    "max_error": summarize_runs(errors)["max"],
+                    "brandes_passes": sum(evaluations) / len(evaluations),
+                    "seconds": sum(elapsed) / len(elapsed),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_ablations(benchmark):
+    """Regenerate the E8 ablation table and time the paper configuration."""
+    rows = _experiment_rows()
+    emit_table(
+        "E8",
+        "single-space sampler ablations",
+        rows,
+        [
+            "dataset",
+            "configuration",
+            "chain_length",
+            "mean_error",
+            "max_error",
+            "brandes_passes",
+            "seconds",
+        ],
+    )
+
+    graph = load_dataset("collaboration", size=bench_size(), seed=bench_seed())
+    target = pick_targets(graph, seed=bench_seed())["high"]
+    sampler = SingleSpaceMHSampler()
+    benchmark.pedantic(
+        lambda: sampler.estimate(graph, target, CHAIN_LENGTH, seed=bench_seed()),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = len(rows)
+
+    # Caching must not change the estimate, only the number of Brandes passes.
+    by_config = {(row["dataset"], row["configuration"]): row for row in rows}
+    for dataset in DATASETS:
+        cached = by_config[(dataset, "paper (uniform, eq7, no burn-in)")]
+        uncached = by_config[(dataset, "cache disabled")]
+        assert uncached["brandes_passes"] >= cached["brandes_passes"]
+        assert abs(cached["mean_error"] - uncached["mean_error"]) < 1e-9

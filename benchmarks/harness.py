@@ -1,0 +1,75 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_e*.py`` module reproduces one experiment from DESIGN.md
+(Section 2, "Experiment index").  The modules use the ``benchmark`` fixture of
+pytest-benchmark to time one representative unit of work, and additionally
+emit the full experiment table — the rows a reader would compare against the
+paper — both to stdout and to ``benchmarks/results/<experiment>.txt`` so the
+numbers survive the run.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SIZE``
+    Dataset size used by the benchmarks: ``tiny`` (default, seconds),
+    ``small`` (minutes) or ``medium`` (pure-Python: be patient).
+``REPRO_BENCH_SEED``
+    Base seed for every stochastic component (default 2019, the venue year).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Dataset families exercised by the cross-dataset experiments (one per
+#: topology family keeps the tables readable and the runtime bounded).
+BENCH_DATASETS = ("collaboration", "email", "social", "road")
+
+
+def bench_size() -> str:
+    """Return the dataset size tier selected through ``REPRO_BENCH_SIZE``."""
+    return os.environ.get("REPRO_BENCH_SIZE", "tiny")
+
+
+def bench_seed() -> int:
+    """Return the base seed selected through ``REPRO_BENCH_SEED``."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "2019"))
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of row-dictionaries as a fixed-width text table."""
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column))) for row in rows)) if rows else len(column)
+        for column in columns
+    }
+    lines = ["  ".join(column.ljust(widths[column]) for column in columns)]
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.5f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """Print the experiment table and persist it under ``benchmarks/results/``."""
+    table = format_table(rows, columns)
+    text = f"{experiment}: {title}\n{'=' * (len(experiment) + 2 + len(title))}\n{table}\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment.lower()}.txt").write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Girvan–Newman community detection driven by the exact edge-betweenness substrate.
+
+The paper's introduction cites Girvan & Newman's algorithm — repeatedly remove
+the edge with the highest betweenness — as a motivating application.  This
+example runs that loop on a small two-community graph using the library's
+exact edge-betweenness implementation and reports the communities found.
+
+Run with:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.exact import edge_betweenness_centrality
+from repro.graphs import Graph, planted_partition_graph
+from repro.graphs.components import connected_components
+
+SEED = 3
+TARGET_COMMUNITIES = 2
+
+
+def girvan_newman(graph: Graph, target_communities: int) -> list:
+    """Remove highest-betweenness edges until the graph splits into the target count."""
+    work = graph.copy()
+    while True:
+        components = connected_components(work)
+        if len(components) >= target_communities or work.number_of_edges() == 0:
+            return components
+        scores = edge_betweenness_centrality(work, normalized=False)
+        u, v = max(scores, key=scores.get)
+        work.remove_edge(u, v)
+
+
+def main() -> None:
+    graph = planted_partition_graph(2, 12, 0.6, 0.04, seed=SEED)
+    print(f"graph: {graph.number_of_vertices()} vertices, {graph.number_of_edges()} edges")
+
+    communities = girvan_newman(graph, TARGET_COMMUNITIES)
+    print(f"\nGirvan-Newman found {len(communities)} communities")
+    for index, community in enumerate(communities):
+        print(f"  community {index}: {sorted(community)}")
+
+    # The planted ground truth is blocks of 12 consecutive labels.
+    truth = [set(range(0, 12)), set(range(12, 24))]
+    correct = 0
+    for community in communities:
+        best_overlap = max(len(community & block) for block in truth)
+        correct += best_overlap
+    print(f"\nvertices assigned to the majority planted block: "
+          f"{correct}/{graph.number_of_vertices()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Theorem 2 in practice: µ(r) and the sample-size bound across vertex positions.
+
+Theorem 2 of the paper says that µ(r) — the constant controlling the chain
+length needed for an (ε, δ)-guarantee (Equation 14) — stays bounded when r is
+a *balanced* vertex separator.  This example measures µ(r) exactly for three
+kinds of vertices while the graphs grow:
+
+* the bridge vertex of a barbell graph (balanced separator),
+* the middle vertex of a path (balanced separator),
+* a vertex next to the end of a path (a separator, but a very unbalanced
+  one: one side has Θ(n) vertices, the other side just one).
+
+The first two keep µ(r) — and therefore the required chain length —
+essentially constant; the third needs chains that grow linearly with the
+graph, exactly the dichotomy Theorem 2 describes.
+
+Run with:  python examples/separator_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs import barbell_graph, path_graph
+from repro.graphs.components import is_balanced_separator
+from repro.mcmc import mu_statistics, required_samples
+
+EPSILON = 0.05
+DELTA = 0.1
+
+
+def report_row(label: str, graph, vertex) -> None:
+    stats = mu_statistics(graph, vertex)
+    balanced = is_balanced_separator(graph, vertex)
+    chain_length = required_samples(EPSILON, DELTA, stats.mu)
+    print(
+        f"  {label:<34} n={graph.number_of_vertices():>4}  "
+        f"balanced={str(balanced):<5}  mu={stats.mu:>7.2f}  "
+        f"chain length={chain_length:>8}"
+    )
+
+
+def main() -> None:
+    print(f"target accuracy: epsilon = {EPSILON}, delta = {DELTA}")
+
+    print("\nbarbell bridge vertex (balanced separator):")
+    for clique_size in (5, 10, 20, 40):
+        graph = barbell_graph(clique_size, 2)
+        report_row(f"barbell, cliques of {clique_size}", graph, clique_size)
+
+    print("\npath middle vertex (balanced separator):")
+    for n in (11, 21, 41, 81):
+        graph = path_graph(n)
+        report_row(f"path of {n}", graph, n // 2)
+
+    print("\npath vertex next to the end (unbalanced separator):")
+    for n in (11, 21, 41, 81):
+        graph = path_graph(n)
+        report_row(f"path of {n}", graph, 1)
+
+    print(
+        "\nReading: for the balanced separators the chain length stays flat as the"
+        "\ngraph grows; for the unbalanced one it grows roughly quadratically in n"
+        "\n(mu grows linearly and enters Equation 14 squared) - the dichotomy of"
+        "\nTheorem 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

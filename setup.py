@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available, so PEP 660
+editable installs fail) can still do ``python setup.py develop`` or
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — Metropolis-Hastings algorithms for estimating betweenness centrality.
+
+A from-scratch, pure-Python reproduction of
+
+    M. H. Chehreghani, T. Abdessalem, A. Bifet.
+    "Metropolis-Hastings Algorithms for Estimating Betweenness Centrality"
+    (EDBT 2019; arXiv:1704.07351).
+
+The package is organised in layers:
+
+* :mod:`repro.graphs` — graph data structure, generators, I/O and statistics;
+* :mod:`repro.shortest_paths` — shortest-path DAGs and Brandes dependency
+  accumulation (the substrate every estimator shares);
+* :mod:`repro.exact` — exact betweenness (Brandes, single vertex, edges,
+  groups, degree-one compression);
+* :mod:`repro.samplers` — the baseline approximate estimators the paper
+  compares against;
+* :mod:`repro.mcmc` — the paper's contribution: the single-space and
+  joint-space Metropolis-Hastings samplers, their theoretical bounds and
+  chain diagnostics;
+* :mod:`repro.centrality` — the high-level one-call API;
+* :mod:`repro.analysis` — error metrics, rank correlation, coverage and
+  convergence tooling used by the benchmark harness;
+* :mod:`repro.datasets` — synthetic stand-ins for the evaluation networks.
+
+Quickstart
+----------
+>>> from repro import barbell_graph, betweenness_single, betweenness_exact
+>>> g = barbell_graph(8, 2)
+>>> bridge = 8                                  # a bridge vertex
+>>> exact = betweenness_exact(g, [bridge])[bridge]
+>>> approx = betweenness_single(g, bridge, method="mh", samples=300, seed=1)
+>>> abs(approx.estimate - exact) < 0.1
+True
+"""
+
+from repro.centrality.api import (
+    betweenness_exact,
+    betweenness_ranking,
+    betweenness_single,
+    relative_betweenness,
+    suggested_chain_length,
+)
+from repro.errors import (
+    AlgorithmError,
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    GraphStructureError,
+    NegativeWeightError,
+    NotConnectedError,
+    ReproError,
+    SamplingError,
+    VertexNotFoundError,
+)
+from repro.exact import (
+    betweenness_centrality,
+    betweenness_of_vertex,
+    exact_relative_betweenness,
+)
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.mcmc import (
+    DependencyOracle,
+    JointSpaceMHSampler,
+    SingleSpaceMHSampler,
+    mu_of_vertex,
+    required_samples,
+)
+from repro.datasets import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # high-level API
+    "betweenness_single",
+    "betweenness_exact",
+    "relative_betweenness",
+    "betweenness_ranking",
+    "suggested_chain_length",
+    # core classes
+    "Graph",
+    "SingleSpaceMHSampler",
+    "JointSpaceMHSampler",
+    "DependencyOracle",
+    # exact algorithms
+    "betweenness_centrality",
+    "betweenness_of_vertex",
+    "exact_relative_betweenness",
+    # bounds
+    "mu_of_vertex",
+    "required_samples",
+    # generators & datasets (the most common ones re-exported for convenience)
+    "barbell_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "load_dataset",
+    # errors
+    "ReproError",
+    "GraphError",
+    "GraphStructureError",
+    "VertexNotFoundError",
+    "NotConnectedError",
+    "NegativeWeightError",
+    "AlgorithmError",
+    "SamplingError",
+    "ConfigurationError",
+    "DatasetError",
+]

@@ -1,0 +1,43 @@
+"""Error metrics, rank correlation, coverage and convergence analysis."""
+
+from repro.analysis.convergence import ConvergencePoint, bias_curve, convergence_sweep
+from repro.analysis.coverage import CoverageResult, coverage_curve, empirical_coverage
+from repro.analysis.errors import (
+    absolute_error,
+    errors_by_vertex,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    relative_error,
+    root_mean_squared_error,
+    summarize_runs,
+)
+from repro.analysis.ranking import (
+    kendall_tau,
+    rank_vertices,
+    ranking_report,
+    spearman_correlation,
+    top_k_accuracy,
+)
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "max_absolute_error",
+    "errors_by_vertex",
+    "summarize_runs",
+    "rank_vertices",
+    "spearman_correlation",
+    "kendall_tau",
+    "top_k_accuracy",
+    "ranking_report",
+    "CoverageResult",
+    "empirical_coverage",
+    "coverage_curve",
+    "ConvergencePoint",
+    "convergence_sweep",
+    "bias_curve",
+]

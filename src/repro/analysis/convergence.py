@@ -1,0 +1,97 @@
+"""Convergence curves: estimate quality as a function of chain length (experiments E1, E7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro._rng import RandomState, ensure_rng, spawn_rng
+from repro.analysis.errors import summarize_runs
+from repro.errors import ConfigurationError
+
+__all__ = ["ConvergencePoint", "convergence_sweep", "bias_curve"]
+
+
+@dataclass
+class ConvergencePoint:
+    """Aggregated error statistics of one (estimator, sample-budget) configuration."""
+
+    samples: int
+    mean_error: float
+    max_error: float
+    rms_error: float
+    stddev: float
+    runs: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Return the point as a flat dictionary (one benchmark-table row)."""
+        return {
+            "samples": float(self.samples),
+            "mean_error": self.mean_error,
+            "max_error": self.max_error,
+            "rms_error": self.rms_error,
+            "stddev": self.stddev,
+            "runs": float(self.runs),
+        }
+
+
+def convergence_sweep(
+    estimator: Callable[[int, RandomState], float],
+    exact_value: float,
+    sample_budgets: Sequence[int],
+    repetitions: int,
+    *,
+    seed: RandomState = None,
+) -> List[ConvergencePoint]:
+    """Evaluate *estimator* at several sample budgets, *repetitions* times each.
+
+    Parameters
+    ----------
+    estimator:
+        Callable ``(num_samples, random_state) -> estimate``.
+    exact_value:
+        Ground truth the absolute error is measured against.
+    sample_budgets:
+        The increasing sample counts to evaluate (the x-axis of the paper's
+        error-vs-samples exhibits).
+    repetitions:
+        Independent repetitions per budget (error bars).
+    """
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be at least 1")
+    rng = ensure_rng(seed)
+    points: List[ConvergencePoint] = []
+    stream = 0
+    for budget in sample_budgets:
+        if budget < 1:
+            raise ConfigurationError("every sample budget must be at least 1")
+        errors: List[float] = []
+        for _ in range(repetitions):
+            child = spawn_rng(rng, stream)
+            stream += 1
+            estimate = estimator(budget, child)
+            errors.append(abs(estimate - exact_value))
+        stats = summarize_runs(errors)
+        points.append(
+            ConvergencePoint(
+                samples=budget,
+                mean_error=stats["mean"],
+                max_error=stats["max"],
+                rms_error=stats["rms"],
+                stddev=stats["stddev"],
+                runs=repetitions,
+            )
+        )
+    return points
+
+
+def bias_curve(
+    running_estimates: Sequence[float], exact_value: float
+) -> List[float]:
+    """Return ``|estimate_t - exact|`` for each prefix estimate of one chain.
+
+    The Equation 7 estimator is biased for finite T (the paper notes this);
+    this helper turns a chain's running estimates into the bias-decay curve
+    plotted by benchmark E7.
+    """
+    return [abs(value - exact_value) for value in running_estimates]

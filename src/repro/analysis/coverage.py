@@ -1,0 +1,127 @@
+"""Empirical (ε, δ) coverage of the paper's error bounds (experiment E3).
+
+Theorem 1 states ``P[|BC_hat(r) - BC(r)| > ε] <= bound(T, ε, µ(r))``.  The
+coverage experiment runs many independent chains, measures how often the
+error actually exceeds ε, and checks that this empirical failure rate never
+exceeds the theoretical bound.  These helpers are estimator-agnostic: they
+take a callable producing one estimate per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro._rng import RandomState, ensure_rng, spawn_rng
+from repro.errors import ConfigurationError
+
+__all__ = ["CoverageResult", "empirical_coverage", "coverage_curve"]
+
+
+@dataclass
+class CoverageResult:
+    """Outcome of one coverage experiment for a single ε value."""
+
+    epsilon: float
+    runs: int
+    failures: int
+    empirical_failure_rate: float
+    theoretical_bound: Optional[float] = None
+    errors: List[float] = None  # type: ignore[assignment]
+
+    def within_bound(self) -> bool:
+        """Return ``True`` when the empirical failure rate respects the theoretical bound."""
+        if self.theoretical_bound is None:
+            return True
+        return self.empirical_failure_rate <= self.theoretical_bound + 1e-12
+
+
+def empirical_coverage(
+    estimator: Callable[[RandomState], float],
+    exact_value: float,
+    epsilon: float,
+    runs: int,
+    *,
+    seed: RandomState = None,
+    theoretical_bound: Optional[float] = None,
+) -> CoverageResult:
+    """Run *estimator* *runs* times and measure how often its error exceeds *epsilon*.
+
+    Parameters
+    ----------
+    estimator:
+        Callable taking a random state and returning one estimate.
+    exact_value:
+        The ground-truth value the estimates are compared against.
+    epsilon:
+        The additive error threshold of the (ε, δ) guarantee.
+    runs:
+        Number of independent repetitions.
+    theoretical_bound:
+        Optional failure-probability bound (for example from
+        :func:`repro.mcmc.bounds.mcmc_error_probability`) recorded alongside
+        the empirical rate.
+    """
+    if runs < 1:
+        raise ConfigurationError("runs must be at least 1")
+    if epsilon <= 0.0:
+        raise ConfigurationError("epsilon must be positive")
+    rng = ensure_rng(seed)
+    errors: List[float] = []
+    failures = 0
+    for i in range(runs):
+        child = spawn_rng(rng, i)
+        estimate = estimator(child)
+        error = abs(estimate - exact_value)
+        errors.append(error)
+        if error > epsilon:
+            failures += 1
+    return CoverageResult(
+        epsilon=epsilon,
+        runs=runs,
+        failures=failures,
+        empirical_failure_rate=failures / runs,
+        theoretical_bound=theoretical_bound,
+        errors=errors,
+    )
+
+
+def coverage_curve(
+    estimator: Callable[[RandomState], float],
+    exact_value: float,
+    epsilons: Sequence[float],
+    runs: int,
+    *,
+    seed: RandomState = None,
+    bound_for_epsilon: Optional[Callable[[float], float]] = None,
+) -> List[CoverageResult]:
+    """Return one :class:`CoverageResult` per ε, re-using the same set of runs.
+
+    The estimator is invoked ``runs`` times once, then every ε threshold is
+    applied to the same error sample — this is what a coverage *figure*
+    plots.
+    """
+    if runs < 1:
+        raise ConfigurationError("runs must be at least 1")
+    rng = ensure_rng(seed)
+    errors: List[float] = []
+    for i in range(runs):
+        child = spawn_rng(rng, i)
+        errors.append(abs(estimator(child) - exact_value))
+    results: List[CoverageResult] = []
+    for epsilon in epsilons:
+        if epsilon <= 0.0:
+            raise ConfigurationError("every epsilon must be positive")
+        failures = sum(1 for e in errors if e > epsilon)
+        bound = bound_for_epsilon(epsilon) if bound_for_epsilon is not None else None
+        results.append(
+            CoverageResult(
+                epsilon=epsilon,
+                runs=runs,
+                failures=failures,
+                empirical_failure_rate=failures / runs,
+                theoretical_bound=bound,
+                errors=list(errors),
+            )
+        )
+    return results

@@ -1,0 +1,96 @@
+"""Error metrics used by the benchmark harness (experiments E1, E3, E5).
+
+All metrics operate on plain floats or on ``{vertex: value}`` mappings so
+they can compare any estimator against the exact Brandes values without
+caring which estimator produced them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "max_absolute_error",
+    "errors_by_vertex",
+    "summarize_runs",
+]
+
+
+def absolute_error(estimate: float, exact: float) -> float:
+    """Return ``|estimate - exact|``."""
+    return abs(estimate - exact)
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """Return ``|estimate - exact| / |exact|``; infinite when the exact value is 0 and the estimate is not."""
+    if exact == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - exact) / abs(exact)
+
+
+def _paired(estimates: Sequence[float], exact: Sequence[float]) -> List[Tuple[float, float]]:
+    if len(estimates) != len(exact):
+        raise ConfigurationError(
+            f"length mismatch: {len(estimates)} estimates vs {len(exact)} exact values"
+        )
+    if not estimates:
+        raise ConfigurationError("at least one value is required")
+    return list(zip(estimates, exact))
+
+
+def mean_absolute_error(estimates: Sequence[float], exact: Sequence[float]) -> float:
+    """Return the mean of ``|estimate_i - exact_i|``."""
+    pairs = _paired(estimates, exact)
+    return sum(abs(a - b) for a, b in pairs) / len(pairs)
+
+
+def mean_squared_error(estimates: Sequence[float], exact: Sequence[float]) -> float:
+    """Return the mean of ``(estimate_i - exact_i)^2``."""
+    pairs = _paired(estimates, exact)
+    return sum((a - b) ** 2 for a, b in pairs) / len(pairs)
+
+
+def root_mean_squared_error(estimates: Sequence[float], exact: Sequence[float]) -> float:
+    """Return the square root of :func:`mean_squared_error`."""
+    return math.sqrt(mean_squared_error(estimates, exact))
+
+
+def max_absolute_error(estimates: Sequence[float], exact: Sequence[float]) -> float:
+    """Return ``max_i |estimate_i - exact_i|``."""
+    pairs = _paired(estimates, exact)
+    return max(abs(a - b) for a, b in pairs)
+
+
+def errors_by_vertex(
+    estimates: Mapping, exact: Mapping
+) -> Dict[object, float]:
+    """Return ``{vertex: |estimate - exact|}`` over the vertices present in *exact*."""
+    return {v: abs(estimates.get(v, 0.0) - exact[v]) for v in exact}
+
+
+def summarize_runs(errors: Sequence[float]) -> Dict[str, float]:
+    """Return mean / max / RMS statistics of a sequence of per-run errors.
+
+    Used by the benchmark harness to aggregate the repetitions of one
+    configuration into a single table row.
+    """
+    if not errors:
+        raise ConfigurationError("at least one error value is required")
+    n = len(errors)
+    mean = sum(errors) / n
+    return {
+        "runs": float(n),
+        "mean": mean,
+        "max": max(errors),
+        "min": min(errors),
+        "rms": math.sqrt(sum(e * e for e in errors) / n),
+        "stddev": math.sqrt(sum((e - mean) ** 2 for e in errors) / n) if n > 1 else 0.0,
+    }

@@ -1,0 +1,112 @@
+"""Rank-correlation metrics (experiment E6).
+
+The second motivating observation of the paper is that applications often
+need betweenness *ratios* or *rankings* rather than absolute scores.  These
+metrics quantify how well an estimator preserves the exact ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "rank_vertices",
+    "spearman_correlation",
+    "kendall_tau",
+    "top_k_accuracy",
+    "ranking_report",
+]
+
+
+def rank_vertices(scores: Mapping) -> List:
+    """Return the vertices sorted by score, descending (ties broken by repr for determinism)."""
+    return sorted(scores, key=lambda v: (-scores[v], repr(v)))
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Return fractional ranks (average rank for ties), 1-based."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return Spearman's rank correlation between two equal-length score sequences."""
+    if len(x) != len(y):
+        raise ConfigurationError("sequences must have equal length")
+    if len(x) < 2:
+        raise ConfigurationError("at least two values are required")
+    rank_x = _ranks(x)
+    rank_y = _ranks(y)
+    mean_x = sum(rank_x) / len(rank_x)
+    mean_y = sum(rank_y) / len(rank_y)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rank_x, rank_y))
+    var_x = sum((a - mean_x) ** 2 for a in rank_x)
+    var_y = sum((b - mean_y) ** 2 for b in rank_y)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def kendall_tau(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return Kendall's tau-b between two equal-length score sequences."""
+    if len(x) != len(y):
+        raise ConfigurationError("sequences must have equal length")
+    n = len(x)
+    if n < 2:
+        raise ConfigurationError("at least two values are required")
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            if dx == 0.0 and dy == 0.0:
+                continue
+            if dx == 0.0:
+                ties_x += 1
+            elif dy == 0.0:
+                ties_y += 1
+            elif dx * dy > 0.0:
+                concordant += 1
+            else:
+                discordant += 1
+    denominator = ((concordant + discordant + ties_x) * (concordant + discordant + ties_y)) ** 0.5
+    if denominator == 0.0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+def top_k_accuracy(estimated: Mapping, exact: Mapping, k: int) -> float:
+    """Return the fraction of the exact top-*k* vertices recovered by the estimate."""
+    if k < 1:
+        raise ConfigurationError("k must be at least 1")
+    exact_top = set(rank_vertices(exact)[:k])
+    estimated_top = set(rank_vertices(estimated)[:k])
+    return len(exact_top & estimated_top) / k
+
+
+def ranking_report(estimated: Mapping, exact: Mapping, *, k: int = 5) -> Dict[str, float]:
+    """Return Spearman / Kendall / top-k agreement between two score maps over the same vertices."""
+    common = [v for v in exact if v in estimated]
+    if len(common) < 2:
+        raise ConfigurationError("at least two common vertices are required")
+    est = [estimated[v] for v in common]
+    exa = [exact[v] for v in common]
+    return {
+        "spearman": spearman_correlation(est, exa),
+        "kendall": kendall_tau(est, exa),
+        "top_k_accuracy": top_k_accuracy(estimated, exact, min(k, len(common))),
+        "vertices": float(len(common)),
+    }

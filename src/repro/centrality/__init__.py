@@ -1,0 +1,19 @@
+"""High-level estimation API (the library façade)."""
+
+from repro.centrality.api import (
+    SINGLE_VERTEX_METHODS,
+    betweenness_exact,
+    betweenness_ranking,
+    betweenness_single,
+    relative_betweenness,
+    suggested_chain_length,
+)
+
+__all__ = [
+    "SINGLE_VERTEX_METHODS",
+    "betweenness_single",
+    "betweenness_exact",
+    "relative_betweenness",
+    "betweenness_ranking",
+    "suggested_chain_length",
+]

@@ -1,0 +1,181 @@
+"""High-level, one-call estimation API.
+
+This is the façade most users should interact with: pick a method by name,
+hand over a graph, get back a result object that bundles the estimate with
+its diagnostics and (for the MCMC methods) the theoretical accuracy
+quantities of the paper.
+
+Example
+-------
+>>> from repro.graphs import barbell_graph
+>>> from repro.centrality import betweenness_single
+>>> g = barbell_graph(6, 2)
+>>> bridge = 6  # first bridge vertex
+>>> result = betweenness_single(g, bridge, method="mh", samples=200, seed=7)
+>>> 0.0 < result.estimate < 1.0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro._rng import RandomState
+from repro.errors import ConfigurationError
+from repro.exact.brandes import betweenness_centrality
+from repro.exact.single_vertex import (
+    betweenness_of_vertex,
+    exact_relative_betweenness,
+)
+from repro.graphs.core import Graph, Vertex
+from repro.graphs.utils import ensure_connected
+from repro.mcmc.bounds import epsilon_for_samples, mu_statistics, required_samples
+from repro.mcmc.joint import JointSpaceMHSampler, RelativeBetweennessEstimate
+from repro.mcmc.single import SingleSpaceMHSampler
+from repro.samplers.base import SingleEstimate
+from repro.samplers.distance_based import DistanceBasedSampler
+from repro.samplers.kadabra import KadabraSampler
+from repro.samplers.riondato_kornaropoulos import RiondatoKornaropoulosSampler
+from repro.samplers.uniform_source import UniformSourceSampler
+
+__all__ = [
+    "SINGLE_VERTEX_METHODS",
+    "betweenness_single",
+    "betweenness_exact",
+    "relative_betweenness",
+    "betweenness_ranking",
+    "suggested_chain_length",
+]
+
+#: Estimator registry for :func:`betweenness_single`.
+SINGLE_VERTEX_METHODS = {
+    "mh": lambda: SingleSpaceMHSampler(),
+    "mh-unbiased": lambda: SingleSpaceMHSampler(estimator="proposal"),
+    "mh-degree": lambda: SingleSpaceMHSampler(proposal="degree"),
+    "mh-random-walk": lambda: SingleSpaceMHSampler(proposal="random-walk"),
+    "uniform-source": lambda: UniformSourceSampler(),
+    "distance": lambda: DistanceBasedSampler(),
+    "rk": lambda: RiondatoKornaropoulosSampler(),
+    "kadabra": lambda: KadabraSampler(),
+}
+
+
+def betweenness_single(
+    graph: Graph,
+    r: Vertex,
+    *,
+    method: str = "mh",
+    samples: int = 200,
+    seed: RandomState = None,
+    check_connected: bool = True,
+) -> SingleEstimate:
+    """Estimate the betweenness of one vertex with the chosen *method*.
+
+    Parameters
+    ----------
+    graph:
+        Connected input graph (the paper's standing assumption; disable the
+        check with ``check_connected=False`` if you know what you are doing).
+    r:
+        The target vertex.
+    method:
+        One of :data:`SINGLE_VERTEX_METHODS`: ``"mh"`` (the paper's sampler,
+        default), ``"mh-degree"`` / ``"mh-random-walk"`` (proposal ablations),
+        ``"uniform-source"``, ``"distance"``, ``"rk"`` or ``"kadabra"``.
+    samples:
+        Chain length (MCMC methods) or number of samples (baselines).
+    seed:
+        Randomness specification.
+    """
+    if method not in SINGLE_VERTEX_METHODS:
+        raise ConfigurationError(
+            f"unknown method {method!r}; expected one of {sorted(SINGLE_VERTEX_METHODS)}"
+        )
+    if check_connected:
+        ensure_connected(graph)
+    estimator = SINGLE_VERTEX_METHODS[method]()
+    return estimator.estimate(graph, r, samples, seed=seed)
+
+
+def betweenness_exact(
+    graph: Graph,
+    vertices: Optional[Iterable[Vertex]] = None,
+    *,
+    normalization: str = "paper",
+) -> Dict[Vertex, float]:
+    """Return exact betweenness scores (all vertices, or just the requested ones)."""
+    if vertices is None:
+        return betweenness_centrality(graph, normalization=normalization)
+    return {
+        v: betweenness_of_vertex(graph, v, normalization=normalization) for v in vertices
+    }
+
+
+def relative_betweenness(
+    graph: Graph,
+    reference_set: Sequence[Vertex],
+    *,
+    samples: int = 1000,
+    seed: RandomState = None,
+    check_connected: bool = True,
+) -> RelativeBetweennessEstimate:
+    """Estimate all pairwise relative betweenness scores of *reference_set*.
+
+    Runs the joint-space Metropolis-Hastings sampler of Section 4.3 and
+    returns the Equation 22/23 estimates plus chain diagnostics.
+    """
+    if check_connected:
+        ensure_connected(graph)
+    sampler = JointSpaceMHSampler()
+    return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
+
+
+def betweenness_ranking(
+    graph: Graph,
+    reference_set: Sequence[Vertex],
+    *,
+    samples: int = 1000,
+    seed: RandomState = None,
+) -> Dict[str, object]:
+    """Rank the vertices of *reference_set* by (estimated) betweenness.
+
+    Returns a dictionary with the estimated ranking, the exact ranking (for
+    verification on graphs small enough to afford it, computed lazily only
+    when requested through the returned callable) and the raw estimate
+    object.
+    """
+    estimate = relative_betweenness(graph, reference_set, samples=samples, seed=seed)
+    ranking = estimate.ranking()
+    return {
+        "ranking": ranking,
+        "estimate": estimate,
+        "exact_ranking": lambda: sorted(
+            reference_set,
+            key=lambda v: betweenness_of_vertex(graph, v),
+            reverse=True,
+        ),
+    }
+
+
+def suggested_chain_length(
+    graph: Graph,
+    r: Vertex,
+    *,
+    epsilon: float = 0.05,
+    delta: float = 0.1,
+) -> Dict[str, float]:
+    """Return the Equation 14 chain length for the requested accuracy, plus µ(r).
+
+    This performs an exact Brandes sweep to compute µ(r), so it is meant for
+    analysis and benchmarking, not for production estimation (where one would
+    bound µ(r) structurally, e.g. through Theorem 2).
+    """
+    stats = mu_statistics(graph, r)
+    samples = required_samples(epsilon, delta, stats.mu)
+    return {
+        "mu": stats.mu,
+        "required_samples": float(samples),
+        "epsilon": epsilon,
+        "delta": delta,
+        "achievable_epsilon_at_required": epsilon_for_samples(samples, delta, stats.mu),
+    }

@@ -1,0 +1,5 @@
+"""Command-line interface for the reproduction."""
+
+from repro.cli.commands import build_parser, main_with_args, run
+
+__all__ = ["build_parser", "run", "main_with_args"]

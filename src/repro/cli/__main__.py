@@ -1,0 +1,18 @@
+"""Console entry point: ``python -m repro.cli`` or the installed ``repro-bc`` script."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli.commands import main_with_args
+
+__all__ = ["main"]
+
+
+def main() -> None:
+    """Run the CLI and exit with its return code."""
+    sys.exit(main_with_args())
+
+
+if __name__ == "__main__":
+    main()

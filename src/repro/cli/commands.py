@@ -1,0 +1,190 @@
+"""Implementation of the ``repro-bc`` command-line interface.
+
+Four sub-commands, mirroring the public Python API:
+
+``estimate``
+    Estimate the betweenness of a single vertex with any registered method.
+``relative``
+    Estimate relative betweenness scores / ratios of a set of vertices with
+    the joint-space Metropolis-Hastings sampler.
+``exact``
+    Compute exact betweenness (all vertices or a selection) with Brandes.
+``datasets``
+    List the built-in synthetic datasets.
+
+Graphs are loaded either from an edge-list file (``--graph PATH``) or from a
+named dataset (``--dataset NAME [--size SIZE]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.centrality.api import (
+    SINGLE_VERTEX_METHODS,
+    betweenness_exact,
+    betweenness_single,
+    relative_betweenness,
+)
+from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
+from repro.errors import ReproError
+from repro.graphs.core import Graph
+from repro.graphs.io import read_edge_list
+
+__all__ = ["build_parser", "run", "main_with_args"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc",
+        description="Metropolis-Hastings betweenness centrality estimation (EDBT 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    estimate = subparsers.add_parser("estimate", help="estimate the betweenness of one vertex")
+    _add_graph_arguments(estimate)
+    estimate.add_argument("--vertex", required=True, help="target vertex label")
+    estimate.add_argument(
+        "--method",
+        default="mh",
+        choices=sorted(SINGLE_VERTEX_METHODS),
+        help="estimator to use (default: the paper's MH sampler)",
+    )
+    estimate.add_argument("--samples", type=int, default=200, help="chain length / sample count")
+    estimate.add_argument("--seed", type=int, default=None, help="random seed")
+
+    relative = subparsers.add_parser(
+        "relative", help="estimate relative betweenness scores of a vertex set"
+    )
+    _add_graph_arguments(relative)
+    relative.add_argument(
+        "--vertices", required=True, help="comma-separated reference vertex labels"
+    )
+    relative.add_argument("--samples", type=int, default=1000, help="joint chain length")
+    relative.add_argument("--seed", type=int, default=None, help="random seed")
+
+    exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
+    _add_graph_arguments(exact)
+    exact.add_argument(
+        "--vertices",
+        default=None,
+        help="optional comma-separated vertex labels (default: all vertices)",
+    )
+    exact.add_argument("--top", type=int, default=None, help="print only the top-K vertices")
+
+    datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
+    datasets.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to an edge-list file (two integers per line)")
+    source.add_argument("--dataset", choices=dataset_names(), help="built-in dataset name")
+    parser.add_argument("--size", default="small", choices=SIZES, help="built-in dataset size")
+    parser.add_argument(
+        "--weighted", action="store_true", help="treat the edge list as weighted (u v w lines)"
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.graph:
+        return read_edge_list(args.graph, weighted=args.weighted)
+    return load_dataset(args.dataset, size=args.size)
+
+
+def _parse_vertex(label: str) -> object:
+    """Interpret a vertex label as an int when possible, else as a string."""
+    try:
+        return int(label)
+    except ValueError:
+        return label
+
+
+def run(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Execute the parsed arguments; return a process exit code."""
+    try:
+        if args.command == "datasets":
+            return _run_datasets(args, out)
+        graph = _load_graph(args)
+        if args.command == "estimate":
+            return _run_estimate(args, graph, out)
+        if args.command == "relative":
+            return _run_relative(args, graph, out)
+        if args.command == "exact":
+            return _run_exact(args, graph, out)
+        raise ReproError(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
+    vertex = _parse_vertex(args.vertex)
+    result = betweenness_single(
+        graph, vertex, method=args.method, samples=args.samples, seed=args.seed
+    )
+    payload = {
+        "vertex": str(vertex),
+        "method": result.method,
+        "estimate": result.estimate,
+        "samples": result.samples,
+        "elapsed_seconds": result.elapsed_seconds,
+        "acceptance_rate": result.diagnostics.get("acceptance_rate"),
+    }
+    print(json.dumps(payload, indent=2), file=out)
+    return 0
+
+
+def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
+    vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
+    estimate = relative_betweenness(graph, vertices, samples=args.samples, seed=args.seed)
+    payload = {
+        "reference_set": [str(v) for v in estimate.reference_set],
+        "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
+        "acceptance_rate": estimate.acceptance_rate,
+        "ranking": [str(v) for v in estimate.ranking()],
+        "relative": {
+            str(ri): {str(rj): value for rj, value in row.items()}
+            for ri, row in estimate.relative.items()
+        },
+        "ratios": {f"{ri}/{rj}": value for (ri, rj), value in estimate.ratios.items()},
+    }
+    print(json.dumps(payload, indent=2), file=out)
+    return 0
+
+
+def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:
+    vertices: Optional[List[object]] = None
+    if args.vertices:
+        vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
+    scores = betweenness_exact(graph, vertices)
+    items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
+    if args.top is not None:
+        items = items[: args.top]
+    payload = {str(v): score for v, score in items}
+    print(json.dumps(payload, indent=2), file=out)
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace, out) -> int:
+    rows = dataset_table()
+    if args.json:
+        print(json.dumps(rows, indent=2), file=out)
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        print(f"{row['name']:<{width}}  {row['stands_in_for']}", file=out)
+    return 0
+
+
+def main_with_args(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    """Parse *argv* and run the CLI; returns the exit code (testable entry point)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run(args, out=out)

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the real-world networks of the EDBT evaluation."""
+
+from repro.datasets.builders import (
+    pick_reference_set,
+    pick_targets,
+    positive_betweenness_vertices,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    SIZES,
+    DatasetSpec,
+    dataset_names,
+    dataset_table,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SIZES",
+    "load_dataset",
+    "dataset_names",
+    "dataset_table",
+    "pick_targets",
+    "pick_reference_set",
+    "positive_betweenness_vertices",
+]

@@ -1,0 +1,75 @@
+"""Target-vertex pickers and workload helpers for the benchmark harness.
+
+Benchmarks E1, E3 and E5 need target vertices "at high / median / low
+betweenness" and reference sets of mixed centrality.  Computing those from
+exact scores keeps the experiments honest (targets are defined by ground
+truth, not by the estimator under test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError
+from repro.exact.brandes import betweenness_centrality
+from repro.graphs.core import Graph, Vertex
+
+__all__ = ["pick_targets", "pick_reference_set", "positive_betweenness_vertices"]
+
+
+def positive_betweenness_vertices(graph: Graph) -> Dict[Vertex, float]:
+    """Return ``{vertex: exact BC}`` restricted to vertices with positive betweenness."""
+    scores = betweenness_centrality(graph)
+    return {v: s for v, s in scores.items() if s > 0.0}
+
+
+def pick_targets(graph: Graph, *, seed: RandomState = 0) -> Dict[str, Vertex]:
+    """Return representative target vertices keyed ``"high"``, ``"median"`` and ``"low"``.
+
+    ``high`` is the vertex with the maximum exact betweenness, ``median`` the
+    one at the middle of the positive-betweenness ranking and ``low`` the
+    positive vertex with the smallest score.  Vertices with zero betweenness
+    are excluded because the MH target distribution is undefined for them
+    (the estimators under comparison would all trivially return 0).
+    """
+    positive = positive_betweenness_vertices(graph)
+    if not positive:
+        raise ConfigurationError("the graph has no vertex with positive betweenness")
+    ranked = sorted(positive, key=positive.get, reverse=True)
+    return {
+        "high": ranked[0],
+        "median": ranked[len(ranked) // 2],
+        "low": ranked[-1],
+    }
+
+
+def pick_reference_set(
+    graph: Graph, size: int, *, seed: RandomState = 0
+) -> List[Vertex]:
+    """Return *size* vertices of mixed (positive) betweenness for the joint-space experiments.
+
+    The set always contains the top vertex, the lowest positive vertex, and
+    evenly spaced ranks in between, so estimated rankings have something
+    non-trivial to get right.
+    """
+    if size < 2:
+        raise ConfigurationError("the reference set must contain at least two vertices")
+    positive = positive_betweenness_vertices(graph)
+    ranked = sorted(positive, key=positive.get, reverse=True)
+    if len(ranked) < size:
+        raise ConfigurationError(
+            f"the graph only has {len(ranked)} vertices with positive betweenness, "
+            f"cannot build a reference set of size {size}"
+        )
+    if size == len(ranked):
+        return ranked
+    step = (len(ranked) - 1) / (size - 1)
+    indices = sorted({round(i * step) for i in range(size)})
+    # Rounding collisions can shrink the set; top up with the next unused ranks.
+    cursor = 0
+    while len(indices) < size:
+        if cursor not in indices:
+            indices.append(cursor)
+        cursor += 1
+    return [ranked[i] for i in sorted(indices)[:size]]

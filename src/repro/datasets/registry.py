@@ -1,0 +1,221 @@
+"""Named benchmark datasets.
+
+The EDBT evaluation uses real-world networks from public repositories
+(e-mail, collaboration, social and road networks).  Those traces cannot be
+bundled offline, so every dataset here is a **synthetic stand-in built from
+the generator of the same topology family**, scaled to sizes a pure-Python
+reproduction can sweep in seconds:
+
+=================  =========================  ===============================
+Dataset name       Stands in for              Generator / rationale
+=================  =========================  ===============================
+``email``          e-mail communication nets  Watts–Strogatz small world:
+                                              high clustering, short paths.
+``collaboration``  co-authorship networks     Barabási–Albert: heavy-tailed
+                                              degree (and betweenness).
+``social``         online social networks     Planted partition: strong
+                                              community structure, the "core
+                                              vertices" use case.
+``road``           road networks              2D grid: large diameter, flat
+                                              betweenness distribution.
+``p2p``            peer-to-peer overlays      Erdős–Rényi: near-Poisson
+                                              degrees, weak structure.
+``adhoc``          wireless ad-hoc (MANET)    Random geometric graph: the
+                                              Daly & Haahr routing use case.
+``caveman``        clustered organisations    Connected caveman: explicit
+                                              balanced separators.
+``barbell``        worst/best case analysis   Barbell: textbook separator
+                                              vertices for Theorem 2.
+=================  =========================  ===============================
+
+Each entry can be built at three sizes (``tiny``, ``small``, ``medium``) so
+the test-suite, the examples and the benchmark harness can pick their own
+cost/fidelity trade-off.  All builders return connected graphs (the paper's
+standing assumption) by extracting the largest connected component when the
+random model does not guarantee connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro._rng import RandomState
+from repro.errors import DatasetError
+from repro.graphs import generators
+from repro.graphs.components import largest_connected_component
+from repro.graphs.core import Graph
+
+__all__ = ["DatasetSpec", "DATASETS", "SIZES", "load_dataset", "dataset_names", "dataset_table"]
+
+#: Supported size tiers.
+SIZES = ("tiny", "small", "medium")
+
+
+@dataclass
+class DatasetSpec:
+    """Description of one named dataset."""
+
+    name: str
+    family: str
+    stands_in_for: str
+    builder: Callable[[str, RandomState], Graph]
+    description: str = ""
+
+    def build(self, size: str = "small", seed: RandomState = 0) -> Graph:
+        """Build the dataset at the requested *size*."""
+        if size not in SIZES:
+            raise DatasetError(f"unknown size {size!r}; expected one of {SIZES}")
+        graph = self.builder(size, seed)
+        if graph.number_of_vertices() == 0:
+            raise DatasetError(f"dataset {self.name!r} built an empty graph")
+        return graph
+
+
+def _sized(tiny: int, small: int, medium: int) -> Dict[str, int]:
+    return {"tiny": tiny, "small": small, "medium": medium}
+
+
+def _email(size: str, seed: RandomState) -> Graph:
+    n = _sized(60, 200, 600)[size]
+    graph = generators.watts_strogatz_graph(n, 6, 0.1, seed=seed)
+    return largest_connected_component(graph)
+
+
+def _collaboration(size: str, seed: RandomState) -> Graph:
+    n = _sized(60, 200, 600)[size]
+    return generators.barabasi_albert_graph(n, 3, seed=seed)
+
+
+def _social(size: str, seed: RandomState) -> Graph:
+    communities = _sized(3, 5, 8)[size]
+    members = _sized(15, 30, 60)[size]
+    graph = generators.planted_partition_graph(communities, members, 0.25, 0.01, seed=seed)
+    return largest_connected_component(graph)
+
+
+def _road(size: str, seed: RandomState) -> Graph:
+    side = _sized(7, 12, 22)[size]
+    return generators.grid_graph(side, side)
+
+
+def _p2p(size: str, seed: RandomState) -> Graph:
+    n = _sized(60, 200, 600)[size]
+    graph = generators.erdos_renyi_graph(n, 6.0 / n, seed=seed)
+    return largest_connected_component(graph)
+
+
+def _adhoc(size: str, seed: RandomState) -> Graph:
+    n = _sized(60, 150, 400)[size]
+    radius = {"tiny": 0.3, "small": 0.2, "medium": 0.12}[size]
+    graph = generators.random_geometric_graph(n, radius, seed=seed)
+    return largest_connected_component(graph)
+
+
+def _caveman(size: str, seed: RandomState) -> Graph:
+    cliques = _sized(4, 8, 14)[size]
+    clique_size = _sized(6, 8, 10)[size]
+    return generators.connected_caveman_graph(cliques, clique_size)
+
+
+def _barbell(size: str, seed: RandomState) -> Graph:
+    clique = _sized(10, 25, 60)[size]
+    return generators.barbell_graph(clique, 3)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="email",
+            family="small-world",
+            stands_in_for="e-mail communication networks (e.g. email-Enron)",
+            builder=_email,
+            description="Watts–Strogatz graph: high clustering, short average paths.",
+        ),
+        DatasetSpec(
+            name="collaboration",
+            family="scale-free",
+            stands_in_for="co-authorship networks (e.g. com-DBLP)",
+            builder=_collaboration,
+            description="Barabási–Albert graph: heavy-tailed degree and betweenness.",
+        ),
+        DatasetSpec(
+            name="social",
+            family="community",
+            stands_in_for="online social networks with community structure",
+            builder=_social,
+            description="Planted-partition graph: dense communities, sparse bridges.",
+        ),
+        DatasetSpec(
+            name="road",
+            family="mesh",
+            stands_in_for="road networks",
+            builder=_road,
+            description="2D grid: high diameter, flat centrality profile.",
+        ),
+        DatasetSpec(
+            name="p2p",
+            family="random",
+            stands_in_for="peer-to-peer overlay snapshots (e.g. p2p-Gnutella)",
+            builder=_p2p,
+            description="Erdős–Rényi graph restricted to its giant component.",
+        ),
+        DatasetSpec(
+            name="adhoc",
+            family="geometric",
+            stands_in_for="wireless ad-hoc / MANET topologies",
+            builder=_adhoc,
+            description="Random geometric graph on the unit square.",
+        ),
+        DatasetSpec(
+            name="caveman",
+            family="community",
+            stands_in_for="clustered organisational networks",
+            builder=_caveman,
+            description="Connected caveman graph with explicit connector vertices.",
+        ),
+        DatasetSpec(
+            name="barbell",
+            family="structured",
+            stands_in_for="worst/best-case separator analysis",
+            builder=_barbell,
+            description="Two cliques joined by a short bridge (Theorem 2 showcase).",
+        ),
+    )
+}
+
+
+def dataset_names() -> List[str]:
+    """Return the sorted list of available dataset names."""
+    return sorted(DATASETS)
+
+
+def load_dataset(name: str, *, size: str = "small", seed: RandomState = 0) -> Graph:
+    """Build and return the named dataset.
+
+    Raises
+    ------
+    DatasetError
+        If *name* or *size* is unknown.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available datasets: {', '.join(dataset_names())}"
+        ) from None
+    return spec.build(size=size, seed=seed)
+
+
+def dataset_table() -> List[Dict[str, str]]:
+    """Return a row-per-dataset summary used in the documentation and the CLI."""
+    return [
+        {
+            "name": spec.name,
+            "family": spec.family,
+            "stands_in_for": spec.stands_in_for,
+            "description": spec.description,
+        }
+        for spec in DATASETS.values()
+    ]

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class while still
+being able to distinguish between graph-construction problems, algorithmic
+preconditions and configuration mistakes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "GraphStructureError",
+    "NotConnectedError",
+    "NegativeWeightError",
+    "AlgorithmError",
+    "SamplingError",
+    "ConfigurationError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or mutation."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class GraphStructureError(GraphError):
+    """Raised when a graph violates a structural precondition.
+
+    Examples: a self-loop where loop-free graphs are required, or a directed
+    graph passed to an algorithm that only supports undirected graphs.
+    """
+
+
+class NotConnectedError(GraphStructureError):
+    """Raised when an algorithm requires a connected graph but the input is not."""
+
+
+class NegativeWeightError(GraphError, ValueError):
+    """Raised when an edge weight is zero or negative where positive weights are required."""
+
+    def __init__(self, u: object, v: object, weight: float) -> None:
+        super().__init__(
+            f"edge ({u!r}, {v!r}) has non-positive weight {weight!r}; "
+            "shortest-path algorithms require strictly positive weights"
+        )
+        self.u = u
+        self.v = v
+        self.weight = weight
+
+
+class AlgorithmError(ReproError):
+    """Base class for errors raised while running an algorithm."""
+
+
+class SamplingError(AlgorithmError):
+    """Raised when a sampler cannot make progress.
+
+    A typical cause is a target vertex whose betweenness score is exactly
+    zero: no source vertex has a positive dependency score on it, so the
+    Metropolis-Hastings target distribution is degenerate.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a caller supplies an invalid parameter value."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be built or is unknown."""

@@ -1,0 +1,46 @@
+"""Exact betweenness algorithms: Brandes, single-vertex, edge, group and compression."""
+
+from repro.exact.brandes import (
+    NORMALIZATIONS,
+    betweenness_centrality,
+    normalization_factor,
+)
+from repro.exact.compression import (
+    CompressedGraph,
+    betweenness_with_compression,
+    compress_degree_one,
+)
+from repro.exact.edge_betweenness import edge_betweenness_centrality, top_edge
+from repro.exact.group import (
+    co_betweenness_centrality,
+    greedy_prominent_group,
+    group_betweenness_centrality,
+)
+from repro.exact.single_vertex import (
+    betweenness_of_vertex,
+    betweenness_of_vertices,
+    dependency_vector,
+    exact_betweenness_ratio,
+    exact_relative_betweenness,
+    exact_stationary_relative_betweenness,
+)
+
+__all__ = [
+    "betweenness_centrality",
+    "normalization_factor",
+    "NORMALIZATIONS",
+    "betweenness_of_vertex",
+    "betweenness_of_vertices",
+    "dependency_vector",
+    "exact_betweenness_ratio",
+    "exact_relative_betweenness",
+    "exact_stationary_relative_betweenness",
+    "edge_betweenness_centrality",
+    "top_edge",
+    "group_betweenness_centrality",
+    "co_betweenness_centrality",
+    "greedy_prominent_group",
+    "CompressedGraph",
+    "compress_degree_one",
+    "betweenness_with_compression",
+]

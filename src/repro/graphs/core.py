@@ -1,0 +1,387 @@
+"""Adjacency-list graph used by every algorithm in the library.
+
+The paper (Section 2) works with undirected, connected, loop-free graphs
+without multi-edges, optionally weighted with strictly positive weights.
+:class:`Graph` implements exactly that model plus an optional *directed*
+mode, because several substrates (the shortest-path DAG, the bidirectional
+BFS sampler) are easiest to express on top of a directed view.
+
+Design notes
+------------
+* Vertices are arbitrary hashable objects; the common case in the
+  reproduction is small integers.
+* The adjacency structure is ``dict[vertex, dict[vertex, weight]]``.  For an
+  unweighted graph every stored weight is ``1.0``; this keeps a single code
+  path for weighted and unweighted algorithms while the ``weighted`` flag
+  records the caller's intent (and controls which shortest-path engine is
+  used).
+* Mutation invalidates nothing: the class keeps no derived caches.  Derived
+  data (shortest-path DAGs, dependency vectors) is owned by the algorithm
+  layers, which decide their own caching policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphStructureError,
+    NegativeWeightError,
+    VertexNotFoundError,
+)
+
+__all__ = ["Vertex", "Edge", "Graph"]
+
+#: Type alias for vertices; anything hashable is accepted.
+Vertex = Hashable
+#: Type alias for an edge as a pair of endpoints.
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """A simple graph (no self-loops, no multi-edges) with optional weights.
+
+    Parameters
+    ----------
+    directed:
+        When ``True`` edges are ordered pairs; the paper's algorithms operate
+        on undirected graphs, but the directed mode is used internally and is
+        exposed for completeness.
+    weighted:
+        When ``True`` the graph is treated as weighted with strictly positive
+        weights and weighted shortest-path algorithms (Dijkstra) are used
+        downstream.  When ``False`` all edge weights are fixed at ``1.0``.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.number_of_vertices(), g.number_of_edges()
+    (3, 2)
+    """
+
+    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges")
+
+    def __init__(self, *, directed: bool = False, weighted: bool = False) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        # Predecessor map, only maintained for directed graphs.
+        self._pred: Optional[Dict[Vertex, Dict[Vertex, float]]] = {} if directed else None
+        self._directed = bool(directed)
+        self._weighted = bool(weighted)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether edges are ordered pairs."""
+        return self._directed
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the graph carries meaningful positive edge weights."""
+        return self._weighted
+
+    def number_of_vertices(self) -> int:
+        """Return ``|V(G)|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E(G)|`` (each undirected edge counted once)."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "DiGraph" if self._directed else "Graph"
+        weight = "weighted" if self._weighted else "unweighted"
+        return (
+            f"<{kind} ({weight}) with {self.number_of_vertices()} vertices "
+            f"and {self.number_of_edges()} edges>"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add *vertex* to the graph (no-op if already present)."""
+        if vertex not in self._adj:
+            self._adj[vertex] = {}
+            if self._pred is not None:
+                self._pred[vertex] = {}
+
+    def add_vertices_from(self, vertices: Iterable[Vertex]) -> None:
+        """Add every vertex in *vertices*."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add the edge ``(u, v)`` with the given *weight*.
+
+        Endpoints are added automatically.  Self-loops are rejected because
+        the paper's model is loop-free.  Re-adding an existing edge updates
+        its weight (simple graph: no multi-edges).
+
+        Raises
+        ------
+        GraphStructureError
+            If ``u == v``.
+        NegativeWeightError
+            If the graph is weighted and *weight* is not strictly positive.
+        """
+        if u == v:
+            raise GraphStructureError(f"self-loop on vertex {u!r} is not allowed")
+        weight = float(weight)
+        if self._weighted and weight <= 0.0:
+            raise NegativeWeightError(u, v, weight)
+        if not self._weighted:
+            weight = 1.0
+        self.add_vertex(u)
+        self.add_vertex(v)
+        is_new = v not in self._adj[u]
+        self._adj[u][v] = weight
+        if self._directed:
+            assert self._pred is not None
+            self._pred[v][u] = weight
+        else:
+            self._adj[v][u] = weight
+        if is_new:
+            self._num_edges += 1
+
+    def add_edges_from(
+        self, edges: Iterable[Tuple[Vertex, ...]], weight: float = 1.0
+    ) -> None:
+        """Add every edge in *edges*.
+
+        Each element may be a pair ``(u, v)`` (using the default *weight*) or
+        a triple ``(u, v, w)``.
+        """
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                self.add_edge(u, v, weight)
+            elif len(edge) == 3:
+                u, v, w = edge
+                self.add_edge(u, v, w)
+            else:
+                raise ValueError(f"edge tuples must have 2 or 3 elements, got {edge!r}")
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        del self._adj[u][v]
+        if self._directed:
+            assert self._pred is not None
+            del self._pred[v][u]
+        else:
+            del self._adj[v][u]
+        self._num_edges -= 1
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove *vertex* and every incident edge.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If *vertex* is not in the graph.
+        """
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        if self._directed:
+            assert self._pred is not None
+            out_neighbors = list(self._adj[vertex])
+            in_neighbors = list(self._pred[vertex])
+            for v in out_neighbors:
+                del self._pred[v][vertex]
+                self._num_edges -= 1
+            for u in in_neighbors:
+                del self._adj[u][vertex]
+                self._num_edges -= 1
+            del self._pred[vertex]
+        else:
+            neighbors = list(self._adj[vertex])
+            for v in neighbors:
+                del self._adj[v][vertex]
+                self._num_edges -= 1
+        del self._adj[vertex]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def vertices(self) -> List[Vertex]:
+        """Return a list of all vertices (insertion order)."""
+        return list(self._adj)
+
+    def edges(self, data: bool = False) -> Iterator[Tuple]:
+        """Iterate over edges.
+
+        For undirected graphs each edge is yielded exactly once.  With
+        ``data=True`` each item is ``(u, v, weight)``.
+        """
+        if self._directed:
+            for u, nbrs in self._adj.items():
+                for v, w in nbrs.items():
+                    yield (u, v, w) if data else (u, v)
+        else:
+            seen = set()
+            for u, nbrs in self._adj.items():
+                for v, w in nbrs.items():
+                    if v in seen:
+                        continue
+                    yield (u, v, w) if data else (u, v)
+                seen.add(u)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if *vertex* is in the graph."""
+        return vertex in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` is in the graph."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over the (out-)neighbours of *vertex*."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        return iter(self._adj[vertex])
+
+    def predecessors(self, vertex: Vertex) -> Iterator[Vertex]:
+        """Iterate over in-neighbours (directed) or neighbours (undirected)."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        if self._directed:
+            assert self._pred is not None
+            return iter(self._pred[vertex])
+        return iter(self._adj[vertex])
+
+    def adjacency(self, vertex: Vertex) -> Mapping[Vertex, float]:
+        """Return a read-only view of ``{neighbour: weight}`` for *vertex*."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        return dict(self._adj[vertex])
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the (out-)degree of *vertex*."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        return len(self._adj[vertex])
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Return the in-degree of *vertex* (equals degree for undirected graphs)."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        if self._directed:
+            assert self._pred is not None
+            return len(self._pred[vertex])
+        return len(self._adj[vertex])
+
+    def edge_weight(self, u: Vertex, v: Vertex) -> float:
+        """Return the weight of edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        return self._adj[u][v]
+
+    def degree_sequence(self) -> List[int]:
+        """Return the sorted (descending) degree sequence."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        new = Graph(directed=self._directed, weighted=self._weighted)
+        for vertex in self._adj:
+            new.add_vertex(vertex)
+        for u, v, w in self.edges(data=True):
+            new.add_edge(u, v, w)
+        return new
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced by *vertices*.
+
+        Unknown vertices are ignored, mirroring the common "induce on an
+        arbitrary vertex set" usage in component extraction.
+        """
+        keep = {v for v in vertices if v in self._adj}
+        new = Graph(directed=self._directed, weighted=self._weighted)
+        for vertex in keep:
+            new.add_vertex(vertex)
+        for u in keep:
+            for v, w in self._adj[u].items():
+                if v in keep:
+                    if self._directed or not new.has_edge(u, v):
+                        new.add_edge(u, v, w)
+        return new
+
+    def without_vertex(self, vertex: Vertex) -> "Graph":
+        """Return a copy of the graph with *vertex* (and incident edges) removed.
+
+        This is the ``G \\ v`` operation from Section 2 of the paper (before
+        splitting into connected components).
+        """
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        remaining = (u for u in self._adj if u != vertex)
+        return self.subgraph(remaining)
+
+    def to_undirected(self) -> "Graph":
+        """Return an undirected copy (collapsing edge directions)."""
+        new = Graph(directed=False, weighted=self._weighted)
+        for vertex in self._adj:
+            new.add_vertex(vertex)
+        for u, v, w in self.edges(data=True):
+            new.add_edge(u, v, w)
+        return new
+
+    def relabelled(self) -> Tuple["Graph", Dict[Vertex, int]]:
+        """Return a copy with vertices relabelled ``0..n-1`` plus the mapping.
+
+        Useful before handing a graph to array-based tooling; the mapping is
+        ``{original_label: new_index}``.
+        """
+        mapping = {v: i for i, v in enumerate(self._adj)}
+        new = Graph(directed=self._directed, weighted=self._weighted)
+        for vertex in self._adj:
+            new.add_vertex(mapping[vertex])
+        for u, v, w in self.edges(data=True):
+            new.add_edge(mapping[u], mapping[v], w)
+        return new, mapping
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def validate_vertex(self, vertex: Vertex) -> None:
+        """Raise :class:`VertexNotFoundError` unless *vertex* is present."""
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+
+    def require_undirected(self) -> None:
+        """Raise :class:`GraphStructureError` if the graph is directed."""
+        if self._directed:
+            raise GraphStructureError("this operation requires an undirected graph")

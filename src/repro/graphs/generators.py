@@ -1,0 +1,454 @@
+"""Synthetic graph generators.
+
+The EDBT evaluation runs on real-world networks (collaboration, e-mail,
+social and road networks).  Those traces are not redistributable here, so the
+dataset registry (:mod:`repro.datasets`) builds stand-ins from the generators
+in this module.  Each generator produces a topology *family* whose structural
+properties — degree distribution, diameter regime, presence of balanced
+separators — drive the behaviour of the samplers under study.
+
+All generators return :class:`repro.graphs.core.Graph` instances and accept a
+``seed`` so every experiment in the benchmark harness is reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError
+from repro.graphs.core import Graph
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "binary_tree",
+    "random_tree",
+    "barbell_graph",
+    "lollipop_graph",
+    "erdos_renyi_graph",
+    "gnm_random_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "connected_caveman_graph",
+    "random_geometric_graph",
+    "wheel_graph",
+    "double_star_graph",
+]
+
+
+def _require_positive(name: str, value: int, minimum: int = 1) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ConfigurationError(f"{name} must be an integer >= {minimum}, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Deterministic structured graphs
+# ----------------------------------------------------------------------
+def empty_graph(n: int = 0) -> Graph:
+    """Return a graph with *n* isolated vertices labelled ``0..n-1``."""
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    graph = Graph()
+    graph.add_vertices_from(range(n))
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path ``0 - 1 - ... - n-1``.
+
+    Every internal vertex of a path is a (balanced only near the middle)
+    vertex separator, which makes paths a useful edge case for the
+    :math:`\\mu(r)` analysis.
+    """
+    _require_positive("n", n)
+    graph = empty_graph(n)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle on *n* >= 3 vertices."""
+    _require_positive("n", n, minimum=3)
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph ``K_n``.
+
+    Every vertex has betweenness zero, which exercises the degenerate-target
+    handling of the samplers.
+    """
+    _require_positive("n", n)
+    graph = empty_graph(n)
+    for u, v in itertools.combinations(range(n), 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Return a star: centre ``0`` connected to leaves ``1..n_leaves``.
+
+    The centre is the canonical balanced separator from the paper's
+    discussion of Theorem 2 — its :math:`\\mu(r)` is constant regardless of
+    the number of leaves.
+    """
+    _require_positive("n_leaves", n_leaves)
+    graph = empty_graph(n_leaves + 1)
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def double_star_graph(left_leaves: int, right_leaves: int) -> Graph:
+    """Return two stars whose centres are joined by an edge.
+
+    Vertices: centre ``0`` with ``left_leaves`` leaves, centre ``1`` with
+    ``right_leaves`` leaves.  Both centres are balanced separators; the
+    bridge edge carries all cross traffic.
+    """
+    _require_positive("left_leaves", left_leaves)
+    _require_positive("right_leaves", right_leaves)
+    graph = Graph()
+    graph.add_edge(0, 1)
+    next_label = 2
+    for _ in range(left_leaves):
+        graph.add_edge(0, next_label)
+        next_label += 1
+    for _ in range(right_leaves):
+        graph.add_edge(1, next_label)
+        next_label += 1
+    return graph
+
+
+def wheel_graph(n_rim: int) -> Graph:
+    """Return a wheel: a hub (vertex ``0``) connected to every rim vertex of a cycle."""
+    _require_positive("n_rim", n_rim, minimum=3)
+    graph = star_graph(n_rim)
+    for i in range(1, n_rim):
+        graph.add_edge(i, i + 1)
+    graph.add_edge(n_rim, 1)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` 2D grid (a road-network-like topology).
+
+    Vertices are labelled ``r * cols + c``.
+    """
+    _require_positive("rows", rows)
+    _require_positive("cols", cols)
+    graph = empty_graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def binary_tree(depth: int) -> Graph:
+    """Return the complete binary tree of the given *depth* (root = vertex 0).
+
+    A depth-``d`` tree has ``2**(d+1) - 1`` vertices.  Internal vertices are
+    separators whose balance degrades with depth, which gives the E4 sweep a
+    middle ground between the star and the path.
+    """
+    if depth < 0:
+        raise ConfigurationError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    graph = empty_graph(n)
+    for v in range(n):
+        left, right = 2 * v + 1, 2 * v + 2
+        if left < n:
+            graph.add_edge(v, left)
+        if right < n:
+            graph.add_edge(v, right)
+    return graph
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Return a barbell: two ``K_m`` cliques joined by a path of *bridge_length* vertices.
+
+    The bridge vertices (and the two clique vertices anchoring the bridge)
+    are balanced separators — the textbook case where Theorem 2 guarantees a
+    constant :math:`\\mu(r)`.
+
+    Vertices ``0..m-1`` form the left clique, ``m..m+bridge_length-1`` the
+    bridge, and the remaining ``m`` vertices the right clique.
+    """
+    _require_positive("clique_size", clique_size, minimum=2)
+    if bridge_length < 0:
+        raise ConfigurationError("bridge_length must be non-negative")
+    m = clique_size
+    graph = Graph()
+    for u, v in itertools.combinations(range(m), 2):
+        graph.add_edge(u, v)
+    right_offset = m + bridge_length
+    for u, v in itertools.combinations(range(right_offset, right_offset + m), 2):
+        graph.add_edge(u, v)
+    chain = [m - 1] + list(range(m, m + bridge_length)) + [right_offset]
+    for a, b in zip(chain, chain[1:]):
+        graph.add_edge(a, b)
+    return graph
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """Return a lollipop: a ``K_m`` clique with a path of *path_length* vertices attached."""
+    _require_positive("clique_size", clique_size, minimum=2)
+    _require_positive("path_length", path_length)
+    graph = Graph()
+    for u, v in itertools.combinations(range(clique_size), 2):
+        graph.add_edge(u, v)
+    prev = clique_size - 1
+    for i in range(path_length):
+        nxt = clique_size + i
+        graph.add_edge(prev, nxt)
+        prev = nxt
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Random graph models
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(n: int, p: float, seed: RandomState = None) -> Graph:
+    """Return a ``G(n, p)`` Erdős–Rényi random graph.
+
+    Uses the skip-ahead geometric sampling trick so the expected running time
+    is ``O(n + m)`` instead of ``O(n^2)``, which matters for the larger
+    benchmark graphs.
+    """
+    _require_positive("n", n)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p!r}")
+    rng = ensure_rng(seed)
+    graph = empty_graph(n)
+    if p <= 0.0:
+        return graph
+    if p >= 1.0:
+        return complete_graph(n)
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.floor(math.log(1.0 - r) / log_q))
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, seed: RandomState = None) -> Graph:
+    """Return a ``G(n, m)`` random graph with exactly *m* edges."""
+    _require_positive("n", n)
+    max_edges = n * (n - 1) // 2
+    if not 0 <= m <= max_edges:
+        raise ConfigurationError(f"m must be in [0, {max_edges}] for n={n}, got {m}")
+    rng = ensure_rng(seed)
+    graph = empty_graph(n)
+    if m == max_edges:
+        return complete_graph(n)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, seed: RandomState = None) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` vertices and attaches each new vertex to
+    *m* existing vertices chosen proportionally to their degree.  Produces the
+    heavy-tailed degree (and betweenness, per Barthelemy 2004) distribution
+    typical of the social/collaboration networks in the EDBT evaluation.
+    """
+    _require_positive("n", n)
+    _require_positive("m", m)
+    if m >= n:
+        raise ConfigurationError("m must be smaller than n")
+    rng = ensure_rng(seed)
+    graph = star_graph(m)
+    # ``repeated`` holds one entry per edge endpoint, so uniform sampling from
+    # it is degree-proportional sampling.
+    repeated: List[int] = []
+    for u, v in graph.edges():
+        repeated.extend((u, v))
+    for new_vertex in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(new_vertex, target)
+            repeated.extend((new_vertex, target))
+    return graph
+
+
+def watts_strogatz_graph(
+    n: int, k: int, p: float, seed: RandomState = None
+) -> Graph:
+    """Return a Watts–Strogatz small-world graph.
+
+    Each vertex starts connected to its *k* nearest ring neighbours; each edge
+    is rewired with probability *p*.  Models the high-clustering, short-path
+    regime of e-mail/communication networks.
+    """
+    _require_positive("n", n, minimum=3)
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError("k must be an even integer >= 2")
+    if k >= n:
+        raise ConfigurationError("k must be smaller than n")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must be in [0, 1]")
+    rng = ensure_rng(seed)
+    graph = empty_graph(n)
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(v, (v + offset) % n)
+    if p == 0.0:
+        return graph
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            if rng.random() < p and graph.has_edge(v, u):
+                candidates = [w for w in range(n) if w != v and not graph.has_edge(v, w)]
+                if not candidates:
+                    continue
+                graph.remove_edge(v, u)
+                graph.add_edge(v, rng.choice(candidates))
+    return graph
+
+
+def planted_partition_graph(
+    n_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: RandomState = None,
+) -> Graph:
+    """Return a planted-partition (stochastic block model) graph.
+
+    Vertices within the same community are connected with probability
+    *p_in*, vertices in different communities with probability *p_out*.
+    With ``p_in >> p_out`` this reproduces the community structure that
+    motivates the "core vertices of communities" use case in the paper's
+    introduction.
+    """
+    _require_positive("n_communities", n_communities)
+    _require_positive("community_size", community_size)
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {p!r}")
+    rng = ensure_rng(seed)
+    n = n_communities * community_size
+    graph = empty_graph(n)
+    community = [v // community_size for v in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if community[u] == community[v] else p_out
+            if p > 0.0 and rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def connected_caveman_graph(n_cliques: int, clique_size: int) -> Graph:
+    """Return a connected caveman graph.
+
+    *n_cliques* cliques of size *clique_size* arranged in a ring, where one
+    edge of each clique is rewired to the next clique.  The connector
+    vertices are near-balanced separators, giving the E4 benchmark a
+    structured multi-community case.
+    """
+    _require_positive("n_cliques", n_cliques, minimum=2)
+    _require_positive("clique_size", clique_size, minimum=2)
+    graph = Graph()
+    for c in range(n_cliques):
+        base = c * clique_size
+        members = range(base, base + clique_size)
+        for u, v in itertools.combinations(members, 2):
+            graph.add_edge(u, v)
+    # Link clique c to clique c+1 via a single inter-clique edge.
+    for c in range(n_cliques):
+        a = c * clique_size  # first vertex of clique c
+        b = ((c + 1) % n_cliques) * clique_size + 1  # second vertex of next clique
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+    return graph
+
+
+def random_geometric_graph(n: int, radius: float, seed: RandomState = None) -> Graph:
+    """Return a random geometric graph on the unit square.
+
+    Vertices are random points; two vertices are adjacent when their
+    Euclidean distance is below *radius*.  Models road/ad-hoc-network
+    topologies (the MANET routing use case cited in the introduction).
+    """
+    _require_positive("n", n)
+    if radius <= 0.0:
+        raise ConfigurationError("radius must be positive")
+    rng = ensure_rng(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    graph = empty_graph(n)
+    radius_sq = radius * radius
+    for u in range(n):
+        ux, uy = points[u]
+        for v in range(u + 1, n):
+            vx, vy = points[v]
+            dx, dy = ux - vx, uy - vy
+            if dx * dx + dy * dy <= radius_sq:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(n: int, seed: RandomState = None) -> Graph:
+    """Return a uniformly random labelled tree on *n* vertices (Prüfer decoding)."""
+    _require_positive("n", n)
+    if n == 1:
+        return empty_graph(1)
+    if n == 2:
+        graph = empty_graph(2)
+        graph.add_edge(0, 1)
+        return graph
+    rng = ensure_rng(seed)
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    return _tree_from_pruefer(sequence, n)
+
+
+def _tree_from_pruefer(sequence: Sequence[int], n: int) -> Graph:
+    """Decode a Prüfer *sequence* into the corresponding labelled tree."""
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    graph = empty_graph(n)
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    graph.add_edge(u, w)
+    return graph

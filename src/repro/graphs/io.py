@@ -1,0 +1,170 @@
+"""Graph serialisation: edge lists, adjacency lists and JSON.
+
+These formats cover the common ways betweenness benchmarks distribute
+graphs (SNAP-style edge lists, adjacency dumps) so a user can drop in a real
+trace when one is available, even though the offline reproduction ships only
+synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.errors import GraphError
+from repro.graphs.core import Graph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "parse_edge_list",
+    "format_edge_list",
+    "to_dict",
+    "from_dict",
+    "write_json",
+    "read_json",
+    "to_networkx",
+    "from_networkx",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Edge lists
+# ----------------------------------------------------------------------
+def format_edge_list(graph: Graph, *, with_weights: Optional[bool] = None) -> str:
+    """Return the graph as edge-list text, one ``u v [w]`` line per edge."""
+    if with_weights is None:
+        with_weights = graph.weighted
+    lines: List[str] = []
+    for u, v, w in graph.edges(data=True):
+        if with_weights:
+            lines.append(f"{u} {v} {w:g}")
+        else:
+            lines.append(f"{u} {v}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_edge_list(graph: Graph, path: PathLike, *, with_weights: Optional[bool] = None) -> None:
+    """Write *graph* to *path* in edge-list format."""
+    Path(path).write_text(format_edge_list(graph, with_weights=with_weights), encoding="utf-8")
+
+
+def parse_edge_list(
+    lines: Iterable[str],
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    comment: str = "#",
+    vertex_type: type = int,
+) -> Graph:
+    """Parse an iterable of edge-list *lines* into a :class:`Graph`.
+
+    Lines starting with *comment* and blank lines are skipped.  Each data
+    line must contain two vertex tokens and, for weighted graphs, an optional
+    third weight token (missing weights default to 1).
+    """
+    graph = Graph(directed=directed, weighted=weighted)
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comment):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected at least two tokens, got {line!r}")
+        try:
+            u = vertex_type(parts[0])
+            v = vertex_type(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: cannot parse vertices from {line!r}") from exc
+        weight = 1.0
+        if weighted and len(parts) >= 3:
+            try:
+                weight = float(parts[2])
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: cannot parse weight from {line!r}") from exc
+        if u == v:
+            # Real-world edge lists often contain self-loops; the paper's
+            # model is loop-free, so they are silently dropped on ingest.
+            continue
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    comment: str = "#",
+    vertex_type: type = int,
+) -> Graph:
+    """Read an edge-list file from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_edge_list(
+            handle, directed=directed, weighted=weighted, comment=comment, vertex_type=vertex_type
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON / dict round trip
+# ----------------------------------------------------------------------
+def to_dict(graph: Graph) -> dict:
+    """Return a JSON-serialisable dictionary describing *graph*."""
+    return {
+        "directed": graph.directed,
+        "weighted": graph.weighted,
+        "vertices": list(graph.vertices()),
+        "edges": [[u, v, w] for u, v, w in graph.edges(data=True)],
+    }
+
+
+def from_dict(data: dict) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`to_dict` output."""
+    try:
+        graph = Graph(directed=bool(data["directed"]), weighted=bool(data["weighted"]))
+        graph.add_vertices_from(data["vertices"])
+        for u, v, w in data["edges"]:
+            graph.add_edge(u, v, w)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph dictionary: {exc}") from exc
+    return graph
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(to_dict(graph)), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read a JSON graph written by :func:`write_json`."""
+    return from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# networkx interoperability (optional, used by tests as an oracle)
+# ----------------------------------------------------------------------
+def to_networkx(graph: Graph):
+    """Convert to a :mod:`networkx` graph (requires networkx to be installed)."""
+    import networkx as nx  # imported lazily: networkx is an optional dependency
+
+    nx_graph = nx.DiGraph() if graph.directed else nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges(data=True):
+        nx_graph.add_edge(u, v, weight=w)
+    return nx_graph
+
+
+def from_networkx(nx_graph, *, weighted: bool = False) -> Graph:
+    """Convert a :mod:`networkx` graph into a :class:`Graph`."""
+    directed = bool(nx_graph.is_directed())
+    graph = Graph(directed=directed, weighted=weighted)
+    graph.add_vertices_from(nx_graph.nodes())
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        weight = float(data.get("weight", 1.0)) if weighted else 1.0
+        graph.add_edge(u, v, weight)
+    return graph

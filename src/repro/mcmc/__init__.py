@@ -1,0 +1,65 @@
+"""The paper's contribution: Metropolis-Hastings samplers for betweenness estimation."""
+
+from repro.mcmc.bounds import (
+    MuStatistics,
+    epsilon_for_samples,
+    mcmc_error_probability,
+    mu_of_vertex,
+    mu_statistics,
+    required_samples,
+)
+from repro.mcmc.diagnostics import (
+    ChainDiagnostics,
+    autocorrelation,
+    diagnose_chain,
+    effective_sample_size,
+    empirical_vs_stationary,
+    geweke_z_score,
+    stationary_distribution,
+    total_variation_distance,
+)
+from repro.mcmc.edge import EdgeDependencyOracle, EdgeMHSampler, exact_edge_dependency_vector
+from repro.mcmc.estimates import DependencyOracle
+from repro.mcmc.joint import (
+    JointChainResult,
+    JointChainState,
+    JointSpaceMHSampler,
+    RelativeBetweennessEstimate,
+)
+from repro.mcmc.single import (
+    ESTIMATORS,
+    PROPOSALS,
+    ChainResult,
+    ChainState,
+    SingleSpaceMHSampler,
+)
+
+__all__ = [
+    "SingleSpaceMHSampler",
+    "ChainResult",
+    "ChainState",
+    "PROPOSALS",
+    "ESTIMATORS",
+    "JointSpaceMHSampler",
+    "JointChainResult",
+    "JointChainState",
+    "RelativeBetweennessEstimate",
+    "DependencyOracle",
+    "EdgeMHSampler",
+    "EdgeDependencyOracle",
+    "exact_edge_dependency_vector",
+    "MuStatistics",
+    "mu_statistics",
+    "mu_of_vertex",
+    "mcmc_error_probability",
+    "required_samples",
+    "epsilon_for_samples",
+    "ChainDiagnostics",
+    "diagnose_chain",
+    "autocorrelation",
+    "effective_sample_size",
+    "geweke_z_score",
+    "total_variation_distance",
+    "stationary_distribution",
+    "empirical_vs_stationary",
+]

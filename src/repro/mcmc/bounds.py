@@ -1,0 +1,163 @@
+"""Theoretical quantities of Theorems 1, 2 and 4: µ(r), error bounds and sample sizes.
+
+The accuracy of the paper's Metropolis-Hastings samplers is governed by a
+single graph-dependent constant :math:`\\mu(r)`:
+
+.. math::
+
+   \\delta_{v\\bullet}(r) \\le \\mu(r) \\cdot \\bar\\delta(r)
+   \\quad\\text{for every } v \\in V(G),
+
+where :math:`\\bar\\delta(r)` is the average dependency score on *r*.  The
+smallest valid value is simply ``max_v delta / mean_v delta``, which this
+module computes exactly (one Brandes pass per vertex).  From µ(r) follow
+
+* the non-asymptotic error bound of Equation 12 (single-space sampler) and
+  Equation 25 (joint-space sampler, with µ(r_j)), and
+* the sufficient chain lengths of Equations 14 and 27.
+
+Benchmark E4 sweeps these quantities across topologies to reproduce the
+paper's "µ(r) is a constant for balanced separator vertices" claim
+(Theorem 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, SamplingError
+from repro.graphs.core import Graph, Vertex
+from repro.shortest_paths.dependencies import all_dependencies_on_target
+
+__all__ = [
+    "MuStatistics",
+    "mu_statistics",
+    "mu_of_vertex",
+    "mcmc_error_probability",
+    "required_samples",
+    "epsilon_for_samples",
+]
+
+
+@dataclass
+class MuStatistics:
+    """Exact dependency-score statistics of a target vertex *r*.
+
+    Attributes
+    ----------
+    vertex:
+        The target vertex.
+    mu:
+        The tightest constant satisfying Inequality 11:
+        ``max_v delta_v(r) / mean_v delta_v(r)``.
+    max_dependency:
+        ``max_v delta_{v.}(r)``.
+    mean_dependency:
+        ``mean_v delta_{v.}(r)`` over all ``|V|`` vertices (the paper's
+        :math:`\\bar\\delta(r)`).
+    total_dependency:
+        ``sum_v delta_{v.}(r)`` — the unnormalised betweenness of *r*.
+    support_size:
+        Number of vertices with a strictly positive dependency on *r*.
+    """
+
+    vertex: Vertex
+    mu: float
+    max_dependency: float
+    mean_dependency: float
+    total_dependency: float
+    support_size: int
+
+
+def mu_statistics(graph: Graph, r: Vertex) -> MuStatistics:
+    """Return the exact :class:`MuStatistics` of vertex *r*.
+
+    Raises
+    ------
+    SamplingError
+        If every dependency score on *r* is zero (``BC(r) = 0``); µ(r) is
+        undefined in that case and the MCMC target distribution degenerate.
+    """
+    graph.validate_vertex(r)
+    deltas = all_dependencies_on_target(graph, r)
+    n = graph.number_of_vertices()
+    total = sum(deltas.values())
+    if total <= 0.0:
+        raise SamplingError(
+            f"vertex {r!r} has betweenness 0, so mu(r) (Inequality 11) is undefined"
+        )
+    maximum = max(deltas.values())
+    mean = total / n
+    return MuStatistics(
+        vertex=r,
+        mu=maximum / mean,
+        max_dependency=maximum,
+        mean_dependency=mean,
+        total_dependency=total,
+        support_size=sum(1 for d in deltas.values() if d > 0.0),
+    )
+
+
+def mu_of_vertex(graph: Graph, r: Vertex) -> float:
+    """Return the tightest µ(r) (see :func:`mu_statistics`)."""
+    return mu_statistics(graph, r).mu
+
+
+def mcmc_error_probability(num_samples: int, epsilon: float, mu: float) -> float:
+    """Return the right-hand side of Equation 12 (equivalently Equation 25).
+
+    .. math::
+
+       2 \\exp\\Bigl\\{-\\frac{T}{2}\\Bigl(\\frac{2\\epsilon}{\\mu} -
+            \\frac{3}{T}\\Bigr)^2\\Bigr\\}
+
+    with ``T = num_samples`` (the paper's chain length; the chain holds
+    ``T + 1`` states).  When the bracket is negative the bound is vacuous and
+    1.0 is returned.
+    """
+    if num_samples < 1:
+        raise ConfigurationError("num_samples must be at least 1")
+    if epsilon <= 0.0:
+        raise ConfigurationError("epsilon must be positive")
+    if mu <= 0.0:
+        raise ConfigurationError("mu must be positive")
+    bracket = 2.0 * epsilon / mu - 3.0 / num_samples
+    if bracket <= 0.0:
+        return 1.0
+    bound = 2.0 * math.exp(-0.5 * num_samples * bracket * bracket)
+    return min(1.0, bound)
+
+
+def required_samples(epsilon: float, delta: float, mu: float) -> int:
+    """Return the sufficient chain length of Equation 14 / Equation 27.
+
+    .. math::
+
+       T \\ge \\frac{\\mu(r)^2}{2\\epsilon^2} \\ln\\frac{2}{\\delta}
+
+    The returned value is the smallest integer satisfying the inequality.
+    """
+    if epsilon <= 0.0:
+        raise ConfigurationError("epsilon must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError("delta must be in (0, 1)")
+    if mu <= 0.0:
+        raise ConfigurationError("mu must be positive")
+    return int(math.ceil(mu * mu / (2.0 * epsilon * epsilon) * math.log(2.0 / delta)))
+
+
+def epsilon_for_samples(num_samples: int, delta: float, mu: float) -> float:
+    """Return the additive error ε guaranteed (with prob. 1 - δ) by a chain of length *num_samples*.
+
+    Inverse of :func:`required_samples` with the same approximation
+    (neglecting the 3/T term, as the paper does when deriving Equation 14).
+    """
+    if num_samples < 1:
+        raise ConfigurationError("num_samples must be at least 1")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError("delta must be in (0, 1)")
+    if mu <= 0.0:
+        raise ConfigurationError("mu must be positive")
+    return mu * math.sqrt(math.log(2.0 / delta) / (2.0 * num_samples))

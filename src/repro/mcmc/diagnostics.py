@@ -1,0 +1,186 @@
+"""Convergence diagnostics for the Metropolis-Hastings chains.
+
+The paper's guarantees (Theorems 1 and 4) are non-asymptotic and hold
+without burn-in, but practitioners still want to *see* that a chain is
+healthy.  This module provides the standard MCMC diagnostics used by
+benchmark E7 and by the examples:
+
+* acceptance rate (already on the chain results; re-exported here for
+  completeness of the diagnostics report);
+* autocorrelation and effective sample size of the dependency trace;
+* the Geweke z-score comparing the first and last portions of the trace;
+* total-variation distance between the empirical visit distribution and the
+  exact stationary distribution of Equation 5 (small graphs only, since the
+  exact distribution needs a full Brandes sweep).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.graphs.core import Graph, Vertex
+from repro.mcmc.single import ChainResult
+from repro.shortest_paths.dependencies import all_dependencies_on_target
+
+__all__ = [
+    "autocorrelation",
+    "effective_sample_size",
+    "geweke_z_score",
+    "total_variation_distance",
+    "stationary_distribution",
+    "empirical_vs_stationary",
+    "ChainDiagnostics",
+    "diagnose_chain",
+]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _variance(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+
+
+def autocorrelation(trace: Sequence[float], lag: int) -> float:
+    """Return the lag-*lag* autocorrelation of *trace* (0 when undefined)."""
+    if lag < 0:
+        raise ConfigurationError("lag must be non-negative")
+    n = len(trace)
+    if lag >= n or n < 2:
+        return 0.0
+    mean = _mean(trace)
+    denominator = sum((v - mean) ** 2 for v in trace)
+    if denominator == 0.0:
+        return 0.0
+    numerator = sum((trace[i] - mean) * (trace[i + lag] - mean) for i in range(n - lag))
+    return numerator / denominator
+
+
+def effective_sample_size(trace: Sequence[float], max_lag: Optional[int] = None) -> float:
+    """Return the effective sample size of *trace*.
+
+    Uses the initial-positive-sequence truncation: autocorrelations are
+    summed until the first non-positive value.  A constant trace is reported
+    as having an effective size equal to its length (there is nothing left to
+    mix).
+    """
+    n = len(trace)
+    if n == 0:
+        return 0.0
+    if _variance(trace) == 0.0:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n - 1, 1000)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = autocorrelation(trace, lag)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    return n / (1.0 + 2.0 * rho_sum)
+
+
+def geweke_z_score(
+    trace: Sequence[float], first_fraction: float = 0.1, last_fraction: float = 0.5
+) -> float:
+    """Return the Geweke convergence z-score of *trace*.
+
+    Compares the mean of the first ``first_fraction`` of the trace against
+    the mean of the last ``last_fraction``; values within ±2 indicate the two
+    segments are statistically compatible.
+    """
+    if not 0.0 < first_fraction < 1.0 or not 0.0 < last_fraction < 1.0:
+        raise ConfigurationError("fractions must lie strictly between 0 and 1")
+    if first_fraction + last_fraction > 1.0:
+        raise ConfigurationError("the two fractions must not overlap")
+    n = len(trace)
+    if n < 4:
+        return 0.0
+    first = trace[: max(int(n * first_fraction), 1)]
+    last = trace[-max(int(n * last_fraction), 1) :]
+    var_first = _variance(first) / len(first)
+    var_last = _variance(last) / len(last)
+    spread = math.sqrt(var_first + var_last)
+    if spread == 0.0:
+        return 0.0
+    return (_mean(first) - _mean(last)) / spread
+
+
+def total_variation_distance(p: Dict[Vertex, float], q: Dict[Vertex, float]) -> float:
+    """Return the total-variation distance between two distributions over vertices."""
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(v, 0.0) - q.get(v, 0.0)) for v in support)
+
+
+def stationary_distribution(graph: Graph, r: Vertex) -> Dict[Vertex, float]:
+    """Return the exact stationary distribution of the single-space chain (Equation 5)."""
+    deltas = all_dependencies_on_target(graph, r)
+    total = sum(deltas.values())
+    if total <= 0.0:
+        raise ConfigurationError(
+            f"vertex {r!r} has betweenness 0; the stationary distribution is undefined"
+        )
+    return {v: d / total for v, d in deltas.items() if d > 0.0}
+
+
+def empirical_vs_stationary(graph: Graph, chain: ChainResult) -> float:
+    """Return the TV distance between the chain's visit frequencies and Equation 5."""
+    return total_variation_distance(
+        chain.empirical_distribution(), stationary_distribution(graph, chain.target)
+    )
+
+
+@dataclass
+class ChainDiagnostics:
+    """Bundle of diagnostics for one chain run (produced by :func:`diagnose_chain`)."""
+
+    acceptance_rate: float
+    effective_sample_size: float
+    geweke_z: float
+    lag1_autocorrelation: float
+    chain_length: int
+    evaluations: int
+    tv_distance_to_stationary: Optional[float] = None
+
+    def healthy(self) -> bool:
+        """Return ``True`` when the standard rules of thumb are satisfied.
+
+        Acceptance rate not degenerate (between 5% and 99.9%), Geweke within
+        ±2, and an effective sample size of at least 10.
+        """
+        return (
+            0.05 <= self.acceptance_rate <= 0.999
+            and abs(self.geweke_z) <= 2.0
+            and self.effective_sample_size >= 10.0
+        )
+
+
+def diagnose_chain(
+    chain: ChainResult, *, graph: Optional[Graph] = None
+) -> ChainDiagnostics:
+    """Return :class:`ChainDiagnostics` for a single-space chain run.
+
+    Passing *graph* additionally computes the exact total-variation distance
+    to the stationary distribution, which requires a full Brandes sweep —
+    only do this on small graphs.
+    """
+    trace = chain.dependency_trace()
+    tv: Optional[float] = None
+    if graph is not None:
+        tv = empirical_vs_stationary(graph, chain)
+    return ChainDiagnostics(
+        acceptance_rate=chain.acceptance_rate(),
+        effective_sample_size=effective_sample_size(trace),
+        geweke_z=geweke_z_score(trace),
+        lag1_autocorrelation=autocorrelation(trace, 1),
+        chain_length=chain.chain_length(),
+        evaluations=chain.evaluations,
+        tv_distance_to_stationary=tv,
+    )

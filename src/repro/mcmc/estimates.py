@@ -1,0 +1,95 @@
+"""Dependency-score evaluation with caching for the Metropolis-Hastings samplers.
+
+Every Metropolis-Hastings acceptance test (Equations 6 and 17 of the paper)
+needs dependency scores :math:`\\delta_{v\\bullet}(r)`.  One evaluation costs a
+full Brandes pass from *v* — ``O(|E|)`` for unweighted graphs — but that pass
+produces the dependency of *v* on **every** vertex at once.  The cache in
+this module therefore stores whole dependency vectors keyed by the source
+vertex, which makes
+
+* revisits of a chain state free (the chain stays put on rejection), and
+* the joint-space sampler able to evaluate :math:`\\delta_{v\\bullet}(r_i)`
+  for every ``r_i ∈ R`` from a single pass.
+
+Caching is an implementation choice, not part of the algorithm; benchmark E8
+ablates it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.graphs.core import Graph, Vertex
+from repro.shortest_paths.dependencies import accumulate_dependencies, spd_builder
+
+__all__ = ["DependencyOracle"]
+
+
+class DependencyOracle:
+    """Evaluate (and optionally cache) dependency vectors of source vertices.
+
+    Parameters
+    ----------
+    graph:
+        The graph all evaluations refer to.  The oracle assumes the graph is
+        not mutated while the oracle is alive.
+    cache_size:
+        Maximum number of source vertices whose dependency vectors are kept
+        (LRU eviction).  ``0`` disables caching entirely; ``None`` means
+        unbounded.
+    """
+
+    def __init__(self, graph: Graph, *, cache_size: Optional[int] = None) -> None:
+        self._graph = graph
+        self._build = spd_builder(graph)
+        self._cache: "OrderedDict[Vertex, Dict[Vertex, float]]" = OrderedDict()
+        self._cache_size = cache_size
+        self.evaluations = 0  #: number of Brandes passes actually performed
+        self.lookups = 0  #: number of dependency queries answered
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The graph the oracle evaluates on."""
+        return self._graph
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether dependency vectors are being cached."""
+        return self._cache_size is None or self._cache_size > 0
+
+    def hit_rate(self) -> float:
+        """Return the fraction of queries answered without a Brandes pass."""
+        if self.lookups == 0:
+            return 0.0
+        return 1.0 - self.evaluations / self.lookups
+
+    # ------------------------------------------------------------------
+    def dependency_vector(self, source: Vertex) -> Dict[Vertex, float]:
+        """Return ``{target: delta_{source.}(target)}`` for every target."""
+        self.lookups += 1
+        if self.cache_enabled and source in self._cache:
+            self._cache.move_to_end(source)
+            return self._cache[source]
+        self.evaluations += 1
+        spd = self._build(self._graph, source)
+        deltas = accumulate_dependencies(spd)
+        if self.cache_enabled:
+            self._cache[source] = deltas
+            if self._cache_size is not None and len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return deltas
+
+    def dependency(self, source: Vertex, target: Vertex) -> float:
+        """Return :math:`\\delta_{source\\bullet}(target)` (0 when source == target)."""
+        if source == target:
+            return 0.0
+        return self.dependency_vector(source).get(target, 0.0)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached dependency vector and reset the counters."""
+        self._cache.clear()
+        self.evaluations = 0
+        self.lookups = 0

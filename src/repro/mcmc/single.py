@@ -1,0 +1,411 @@
+"""The single-space Metropolis-Hastings sampler (Section 4.2 of the paper).
+
+Given a graph *G* and a target vertex *r*, the sampler runs a Markov chain on
+the state space ``V(G)``:
+
+1. the initial state ``v_0`` is chosen uniformly at random;
+2. at each iteration a candidate ``v'`` is proposed (uniformly at random in
+   the paper's formulation — an *Independence* Metropolis-Hastings chain);
+3. the move is accepted with probability
+   ``min{1, delta_{v'.}(r) / delta_{v.}(r)}`` (Equation 6).
+
+The stationary distribution is the optimal source distribution of
+Equation 5, and the betweenness estimate (Equation 7) is the chain average of
+``f(v) = delta_{v.}(r) / (|V| - 1)`` over the ``T + 1`` chain states
+(a rejected proposal repeats the current state, as in any Metropolis-Hastings
+average).  Theorem 1 gives the (ε, δ) guarantee; the corresponding
+quantities live in :mod:`repro.mcmc.bounds`.
+
+A note on the estimator (reproduction finding)
+----------------------------------------------
+Equation 7 averages ``f`` over the Markov-chain states, whose stationary
+distribution is the dependency-proportional distribution of Equation 5 — so
+the chain average converges to the *π-weighted* mean of the dependency
+scores, not to their uniform mean ``BC(r)``.  The two coincide exactly when
+the dependency scores are flat across sources (µ(r) = 1, e.g. perfectly
+balanced separators) and the gap grows with their variance.  The
+reproduction therefore exposes three estimator read-outs:
+
+* ``"chain"`` (default) — the paper's Equation 7, faithful to the published
+  algorithm;
+* ``"proposal"`` — a corrected, unbiased variant that averages the
+  dependency scores of the *proposed* candidates (which are i.i.d. uniform
+  in the Independence chain and are evaluated anyway for the acceptance
+  test), so it costs nothing extra;
+* ``"accepted"`` — the alternative literal reading of "samples accepted by
+  our sampler" (accepted proposals only, still divided by T + 1), included
+  so benchmark E8 can show it is not consistent either.
+
+EXPERIMENTS.md quantifies the bias of the ``"chain"`` read-out across the
+benchmark datasets.
+
+Beyond the paper's algorithm, the class exposes further ablation knobs used
+by benchmark E8 and discussed as natural variations:
+
+* ``proposal`` — ``"uniform"`` (the paper), ``"degree"`` (independence
+  proposal proportional to vertex degree) or ``"random-walk"`` (propose a
+  uniform neighbour of the current state).  Non-uniform proposals use the
+  general Metropolis-Hastings acceptance ratio so the stationary distribution
+  is unchanged.
+* ``burn_in`` — number of initial states discarded.  Theorem 1 holds without
+  burn-in (the paper stresses this); the option exists to verify empirically
+  that burn-in is indeed unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError, SamplingError
+from repro.graphs.core import Graph, Vertex
+from repro.mcmc.estimates import DependencyOracle
+from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
+
+__all__ = ["ChainState", "ChainResult", "SingleSpaceMHSampler", "PROPOSALS", "ESTIMATORS"]
+
+#: Supported proposal mechanisms.
+PROPOSALS = ("uniform", "degree", "random-walk")
+
+#: Supported estimator read-outs (see the module docstring).
+ESTIMATORS = ("chain", "proposal", "accepted")
+
+
+@dataclass
+class ChainState:
+    """One state of the Markov chain, with the bookkeeping the analysis layer needs.
+
+    ``proposal_dependency`` records the dependency score of the candidate
+    proposed at this iteration (equal to ``dependency`` for the initial
+    state); the ``"proposal"`` estimator read-out averages these values.
+    """
+
+    iteration: int
+    vertex: Vertex
+    dependency: float
+    accepted: bool
+    proposal_dependency: float = 0.0
+
+
+@dataclass
+class ChainResult:
+    """Full record of one chain run.
+
+    Attributes
+    ----------
+    target:
+        The vertex *r* whose betweenness is being estimated.
+    states:
+        The ``T + 1`` chain states (initial state first).  A rejected
+        proposal produces a state equal to its predecessor with
+        ``accepted=False``.
+    num_vertices:
+        ``|V(G)|`` at run time, needed to scale Equation 7.
+    burn_in:
+        Number of leading states excluded from the estimate.
+    evaluations:
+        Number of Brandes passes actually performed (cache misses).
+    """
+
+    target: Vertex
+    states: List[ChainState]
+    num_vertices: int
+    burn_in: int = 0
+    evaluations: int = 0
+
+    # ------------------------------------------------------------------
+    def chain_length(self) -> int:
+        """Return ``T`` (the number of iterations, excluding the initial state)."""
+        return max(len(self.states) - 1, 0)
+
+    def kept_states(self) -> List[ChainState]:
+        """Return the states that participate in the estimate (after burn-in)."""
+        return self.states[self.burn_in :]
+
+    def acceptance_rate(self) -> float:
+        """Return the fraction of proposals that were accepted."""
+        proposals = self.states[1:]
+        if not proposals:
+            return 0.0
+        return sum(1 for s in proposals if s.accepted) / len(proposals)
+
+    def visited_vertices(self) -> List[Vertex]:
+        """Return the sequence of vertices visited (after burn-in)."""
+        return [s.vertex for s in self.kept_states()]
+
+    def dependency_trace(self) -> List[float]:
+        """Return the sequence of dependency scores (after burn-in)."""
+        return [s.dependency for s in self.kept_states()]
+
+    # ------------------------------------------------------------------
+    def estimate(self, estimator: str = "chain") -> float:
+        """Return the betweenness estimate over the kept states.
+
+        ``estimator`` selects the read-out described in the module
+        docstring: ``"chain"`` is Equation 7 of the paper, ``"proposal"``
+        the corrected unbiased variant, ``"accepted"`` the accepted-only
+        alternative reading.
+        """
+        if estimator not in ESTIMATORS:
+            raise ValueError(f"unknown estimator {estimator!r}; expected one of {ESTIMATORS}")
+        kept = self.kept_states()
+        if not kept:
+            return 0.0
+        scale = max(self.num_vertices - 1, 1)
+        if estimator == "chain":
+            return sum(s.dependency for s in kept) / (len(kept) * scale)
+        if estimator == "proposal":
+            return sum(s.proposal_dependency for s in kept) / (len(kept) * scale)
+        accepted_total = sum(s.proposal_dependency for s in kept if s.accepted)
+        return accepted_total / (len(kept) * scale)
+
+    def running_estimates(self, estimator: str = "chain") -> List[float]:
+        """Return the estimate after each kept state (used by the convergence benchmark E7)."""
+        if estimator not in ESTIMATORS:
+            raise ValueError(f"unknown estimator {estimator!r}; expected one of {ESTIMATORS}")
+        kept = self.kept_states()
+        scale = max(self.num_vertices - 1, 1)
+        estimates: List[float] = []
+        total = 0.0
+        for i, state in enumerate(kept, start=1):
+            if estimator == "chain":
+                total += state.dependency
+            elif estimator == "proposal":
+                total += state.proposal_dependency
+            else:
+                total += state.proposal_dependency if state.accepted else 0.0
+            estimates.append(total / (i * scale))
+        return estimates
+
+    def empirical_distribution(self) -> Dict[Vertex, float]:
+        """Return the empirical visit frequencies of the kept states.
+
+        In the long run these approach the stationary distribution of
+        Equation 5; the diagnostics module compares the two.
+        """
+        kept = self.kept_states()
+        counts: Dict[Vertex, float] = {}
+        for state in kept:
+            counts[state.vertex] = counts.get(state.vertex, 0.0) + 1.0
+        total = float(len(kept))
+        return {v: c / total for v, c in counts.items()}
+
+
+class SingleSpaceMHSampler(SingleVertexEstimator):
+    """Metropolis-Hastings estimator of the betweenness of a single vertex."""
+
+    name = "mh-single"
+
+    def __init__(
+        self,
+        *,
+        proposal: str = "uniform",
+        estimator: str = "chain",
+        burn_in: int = 0,
+        cache_size: Optional[int] = None,
+        record_states: bool = True,
+    ) -> None:
+        if proposal not in PROPOSALS:
+            raise ConfigurationError(
+                f"unknown proposal {proposal!r}; expected one of {PROPOSALS}"
+            )
+        if estimator not in ESTIMATORS:
+            raise ConfigurationError(
+                f"unknown estimator {estimator!r}; expected one of {ESTIMATORS}"
+            )
+        if burn_in < 0:
+            raise ConfigurationError("burn_in must be non-negative")
+        self.proposal = proposal
+        self.estimator = estimator
+        self.burn_in = int(burn_in)
+        self.cache_size = cache_size
+        self.record_states = bool(record_states)
+
+    # ------------------------------------------------------------------
+    # Proposal machinery
+    # ------------------------------------------------------------------
+    def _propose(self, graph: Graph, current: Vertex, vertices: Sequence[Vertex], rng):
+        """Return ``(candidate, log-proposal-ratio correction factor)``.
+
+        For independence proposals the Metropolis-Hastings ratio needs the
+        factor ``g(current) / g(candidate)``; for the symmetric-by-
+        construction uniform proposal that factor is 1.  For the random-walk
+        proposal the factor is ``deg(current) / deg(candidate)``.
+        """
+        if self.proposal == "uniform":
+            candidate = vertices[rng.randrange(len(vertices))]
+            return candidate, 1.0
+        if self.proposal == "degree":
+            # Degree-proportional independence proposal.
+            candidate = self._degree_weighted_choice(graph, vertices, rng)
+            g_current = max(graph.degree(current), 1)
+            g_candidate = max(graph.degree(candidate), 1)
+            return candidate, g_current / g_candidate
+        # random-walk: propose a uniform neighbour of the current state.
+        neighbors = list(graph.neighbors(current))
+        if not neighbors:
+            return current, 1.0
+        candidate = neighbors[rng.randrange(len(neighbors))]
+        correction = graph.degree(current) / max(graph.degree(candidate), 1)
+        return candidate, correction
+
+    @staticmethod
+    def _degree_weighted_choice(graph: Graph, vertices: Sequence[Vertex], rng):
+        degrees = [max(graph.degree(v), 1) for v in vertices]
+        total = sum(degrees)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for vertex, degree in zip(vertices, degrees):
+            cumulative += degree
+            if pick <= cumulative:
+                return vertex
+        return vertices[-1]
+
+    # ------------------------------------------------------------------
+    # Chain
+    # ------------------------------------------------------------------
+    def run_chain(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_iterations: int,
+        *,
+        seed: RandomState = None,
+        oracle: Optional[DependencyOracle] = None,
+        initial_state: Optional[Vertex] = None,
+    ) -> ChainResult:
+        """Run the Markov chain for ``T = num_iterations`` iterations and return its record.
+
+        Parameters
+        ----------
+        graph, r:
+            The graph and the target vertex.
+        num_iterations:
+            The chain length ``T``; the result holds ``T + 1`` states.
+        seed:
+            Randomness specification (``None``, an int, or a
+            :class:`random.Random`).
+        oracle:
+            Optional shared :class:`DependencyOracle`; by default a private
+            one is created honouring ``cache_size``.
+        initial_state:
+            Fix the initial state instead of drawing it uniformly — the
+            theorems hold for any initial state, and the E3 benchmark uses a
+            deliberately bad one to verify that.
+        """
+        graph.validate_vertex(r)
+        if num_iterations < 1:
+            raise ConfigurationError("num_iterations must be at least 1")
+        if self.burn_in >= num_iterations + 1:
+            raise ConfigurationError("burn_in must be smaller than the chain length")
+        rng = ensure_rng(seed)
+        oracle = oracle or DependencyOracle(graph, cache_size=self.cache_size)
+        vertices = graph.vertices()
+        if len(vertices) < 2:
+            raise SamplingError("the graph must contain at least two vertices")
+
+        if initial_state is None:
+            current = vertices[rng.randrange(len(vertices))]
+        else:
+            graph.validate_vertex(initial_state)
+            current = initial_state
+        current_delta = oracle.dependency(current, r)
+
+        states: List[ChainState] = [
+            ChainState(
+                iteration=0,
+                vertex=current,
+                dependency=current_delta,
+                accepted=True,
+                proposal_dependency=current_delta,
+            )
+        ]
+        for t in range(1, num_iterations + 1):
+            candidate, proposal_correction = self._propose(graph, current, vertices, rng)
+            candidate_delta = oracle.dependency(candidate, r)
+            accepted = self._accept(current_delta, candidate_delta, proposal_correction, rng)
+            if accepted:
+                current = candidate
+                current_delta = candidate_delta
+            states.append(
+                ChainState(
+                    iteration=t,
+                    vertex=current,
+                    dependency=current_delta,
+                    accepted=accepted,
+                    proposal_dependency=candidate_delta,
+                )
+            )
+        if not self.record_states:
+            # Memory-lean mode: keep only the fields the estimate needs by
+            # dropping vertex identities (they are replaced by the target).
+            states = [
+                ChainState(s.iteration, r, s.dependency, s.accepted, s.proposal_dependency)
+                for s in states
+            ]
+        return ChainResult(
+            target=r,
+            states=states,
+            num_vertices=graph.number_of_vertices(),
+            burn_in=self.burn_in,
+            evaluations=oracle.evaluations,
+        )
+
+    @staticmethod
+    def _accept(
+        current_delta: float, candidate_delta: float, proposal_correction: float, rng
+    ) -> bool:
+        """Apply the Metropolis-Hastings acceptance rule of Equation 6.
+
+        A current state with zero dependency has zero stationary probability;
+        any candidate with positive dependency is then accepted outright
+        (the ratio is +inf), and a zero-dependency candidate is accepted too
+        so the chain keeps moving until it reaches the support.
+        """
+        if current_delta <= 0.0:
+            return True
+        ratio = (candidate_delta / current_delta) * proposal_correction
+        if ratio >= 1.0:
+            return True
+        return rng.random() < ratio
+
+    # ------------------------------------------------------------------
+    # Estimator interface
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+        oracle: Optional[DependencyOracle] = None,
+        initial_state: Optional[Vertex] = None,
+    ) -> SingleEstimate:
+        """Return the Equation 7 estimate of ``BC(r)`` from a chain of length *num_samples*."""
+        with timed() as clock:
+            chain = self.run_chain(
+                graph,
+                r,
+                num_samples,
+                seed=seed,
+                oracle=oracle,
+                initial_state=initial_state,
+            )
+            value = chain.estimate(self.estimator)
+        return SingleEstimate(
+            vertex=r,
+            estimate=value,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+            diagnostics={
+                "acceptance_rate": chain.acceptance_rate(),
+                "evaluations": chain.evaluations,
+                "proposal": self.proposal,
+                "estimator": self.estimator,
+                "burn_in": self.burn_in,
+                "chain": chain,
+            },
+        )

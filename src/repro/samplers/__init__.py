@@ -1,0 +1,37 @@
+"""Baseline approximate betweenness estimators the paper compares against."""
+
+from repro.samplers.base import (
+    AllVerticesEstimator,
+    MapEstimate,
+    SingleEstimate,
+    SingleVertexEstimator,
+    timed,
+)
+from repro.samplers.distance_based import DistanceBasedSampler, ImportanceSamplingEstimator
+from repro.samplers.kadabra import KadabraSampler
+from repro.samplers.oracle import ExhaustiveSourceEstimator, OptimalSourceSampler
+from repro.samplers.riondato_kornaropoulos import (
+    RK_CONSTANT,
+    RiondatoKornaropoulosSampler,
+    rk_sample_size,
+    vertex_diameter_estimate,
+)
+from repro.samplers.uniform_source import UniformSourceSampler
+
+__all__ = [
+    "SingleEstimate",
+    "MapEstimate",
+    "SingleVertexEstimator",
+    "AllVerticesEstimator",
+    "timed",
+    "UniformSourceSampler",
+    "DistanceBasedSampler",
+    "ImportanceSamplingEstimator",
+    "RiondatoKornaropoulosSampler",
+    "rk_sample_size",
+    "vertex_diameter_estimate",
+    "RK_CONSTANT",
+    "KadabraSampler",
+    "ExhaustiveSourceEstimator",
+    "OptimalSourceSampler",
+]

@@ -1,0 +1,130 @@
+"""Common interfaces and result containers for approximate betweenness estimators.
+
+Every estimator in the library — the baselines in this package and the
+Metropolis-Hastings samplers in :mod:`repro.mcmc` — reports its output
+through the same small dataclasses so the benchmark harness, the analysis
+layer and the high-level API can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro._rng import RandomState
+from repro.graphs.core import Graph, Vertex
+
+__all__ = [
+    "SingleEstimate",
+    "MapEstimate",
+    "SingleVertexEstimator",
+    "AllVerticesEstimator",
+    "timed",
+]
+
+
+@dataclass
+class SingleEstimate:
+    """Approximation of the betweenness score of one vertex.
+
+    Attributes
+    ----------
+    vertex:
+        The target vertex *r*.
+    estimate:
+        The estimated betweenness score (in the "paper" normalisation unless
+        the producing estimator documents otherwise).
+    samples:
+        Number of samples drawn (chain length T for MCMC estimators).
+    elapsed_seconds:
+        Wall-clock time spent producing the estimate.
+    method:
+        Short name of the estimator that produced the value.
+    diagnostics:
+        Estimator-specific extras (acceptance rate, effective sample size,
+        per-sample traces, theoretical bounds, ...).
+    """
+
+    vertex: Vertex
+    estimate: float
+    samples: int
+    elapsed_seconds: float = 0.0
+    method: str = ""
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+    def __float__(self) -> float:
+        return float(self.estimate)
+
+
+@dataclass
+class MapEstimate:
+    """Approximation of the betweenness scores of many vertices at once."""
+
+    estimates: Dict[Vertex, float]
+    samples: int
+    elapsed_seconds: float = 0.0
+    method: str = ""
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, vertex: Vertex) -> float:
+        return self.estimates[vertex]
+
+    def restricted_to(self, vertices) -> Dict[Vertex, float]:
+        """Return the estimates of the requested *vertices* only."""
+        return {v: self.estimates[v] for v in vertices}
+
+
+class SingleVertexEstimator(abc.ABC):
+    """Interface of estimators that approximate the betweenness of one vertex."""
+
+    #: Short identifier used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> SingleEstimate:
+        """Return an approximation of ``BC(r)`` using *num_samples* samples."""
+
+
+class AllVerticesEstimator(abc.ABC):
+    """Interface of estimators that approximate the betweenness of every vertex."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def estimate_all(
+        self,
+        graph: Graph,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> MapEstimate:
+        """Return approximations of ``BC(v)`` for every vertex using *num_samples* samples."""
+
+
+class timed:
+    """Tiny context manager measuring wall-clock time.
+
+    Example
+    -------
+    >>> with timed() as clock:
+    ...     _ = sum(range(10))
+    >>> clock.elapsed >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,113 @@
+"""Oracle samplers used by the test-suite and for variance studies.
+
+Two "cheating" estimators that are not competitive but make very good
+fixtures:
+
+* :class:`ExhaustiveSourceEstimator` enumerates every source vertex exactly
+  once, so its output equals the exact betweenness — the natural sanity
+  check that the dependency plumbing shared by all samplers is correct.
+* :class:`OptimalSourceSampler` draws sources from the optimal distribution
+  of Equation 5 (which requires knowing the answer) and therefore has zero
+  variance; the paper's MCMC sampler targets exactly this distribution, so
+  the tests compare the MH chain's empirical visit frequencies against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError, SamplingError
+from repro.graphs.core import Graph, Vertex
+from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
+from repro.shortest_paths.dependencies import all_dependencies_on_target
+
+__all__ = ["ExhaustiveSourceEstimator", "OptimalSourceSampler"]
+
+
+class ExhaustiveSourceEstimator(SingleVertexEstimator):
+    """Exact single-vertex betweenness phrased as a (deterministic) estimator."""
+
+    name = "exhaustive"
+
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int = 0,
+        *,
+        seed: RandomState = None,
+    ) -> SingleEstimate:
+        """Return the exact ``BC(r)``; *num_samples* and *seed* are ignored."""
+        graph.validate_vertex(r)
+        n = graph.number_of_vertices()
+        with timed() as clock:
+            deltas = all_dependencies_on_target(graph, r)
+            raw = sum(deltas.values())
+        estimate = raw / (n * (n - 1)) if n > 1 else 0.0
+        return SingleEstimate(
+            vertex=r,
+            estimate=estimate,
+            samples=n,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+        )
+
+
+class OptimalSourceSampler(SingleVertexEstimator):
+    """Zero-variance sampler drawing sources from the optimal distribution (Eq. 5).
+
+    Requires one exact pass to compute the distribution, so it is only useful
+    as a reference point: it shows the best any source-sampling scheme could
+    do, and it is the stationary distribution the Metropolis-Hastings chain
+    approaches.
+    """
+
+    name = "optimal-source"
+
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> SingleEstimate:
+        """Return the (exact, zero-variance) importance-sampling estimate of ``BC(r)``."""
+        graph.validate_vertex(r)
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        rng = ensure_rng(seed)
+        n = graph.number_of_vertices()
+        with timed() as clock:
+            deltas = all_dependencies_on_target(graph, r)
+            total_mass = sum(deltas.values())
+            if total_mass <= 0.0:
+                raise SamplingError(
+                    f"vertex {r!r} has betweenness 0; the optimal source distribution is degenerate"
+                )
+            vertices = [v for v, d in deltas.items() if d > 0.0]
+            weights = [deltas[v] for v in vertices]
+            total = 0.0
+            for _ in range(num_samples):
+                s = rng.choices(vertices, weights=weights, k=1)[0]
+                # Importance weight delta / P[s] = total_mass for every draw:
+                # this is what makes the estimator zero-variance.
+                total += deltas[s] / (deltas[s] / total_mass)
+        estimate = total / (num_samples * n * max(n - 1, 1))
+        return SingleEstimate(
+            vertex=r,
+            estimate=estimate,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+            diagnostics={"support_size": len(vertices)},
+        )
+
+    def distribution(self, graph: Graph, r: Vertex) -> Dict[Vertex, float]:
+        """Return the normalised optimal source distribution ``P_r[v]`` of Equation 5."""
+        deltas = all_dependencies_on_target(graph, r)
+        total = sum(deltas.values())
+        if total <= 0.0:
+            raise SamplingError(f"vertex {r!r} has betweenness 0; Equation 5 is undefined")
+        return {v: d / total for v, d in deltas.items()}

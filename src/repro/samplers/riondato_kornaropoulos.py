@@ -1,0 +1,179 @@
+"""Shortest-path sampling of Riondato & Kornaropoulos (2016).
+
+The strongest sampling baseline surveyed in Section 3.2 of the paper: draw a
+pair of distinct vertices uniformly at random, sample one of the shortest
+paths between them uniformly, and credit every *internal* vertex of the
+sampled path.  The expectation of the per-vertex indicator is exactly the
+paper-normalised betweenness, and the number of samples needed for a uniform
+(ε, δ)-guarantee over all vertices follows from the VC-dimension bound
+
+.. math::
+
+   T \\ge \\frac{c}{\\epsilon^2}\\Bigl(\\lfloor \\log_2 (VD(G) - 2) \\rfloor
+            + 1 + \\ln\\frac{1}{\\delta}\\Bigr),
+
+where ``VD(G)`` is the vertex diameter (number of vertices on the longest
+shortest path) and ``c ≈ 0.5`` is the universal constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError
+from repro.graphs.core import Graph, Vertex
+from repro.samplers.base import (
+    AllVerticesEstimator,
+    MapEstimate,
+    SingleEstimate,
+    SingleVertexEstimator,
+    timed,
+)
+from repro.shortest_paths.bfs import bfs_distances, bfs_spd
+from repro.shortest_paths.dijkstra import dijkstra_spd
+
+__all__ = ["RiondatoKornaropoulosSampler", "vertex_diameter_estimate", "rk_sample_size"]
+
+#: Universal constant of the VC sample-size bound (Riondato & Kornaropoulos
+#: use c = 0.5 following Löffler & Phillips).
+RK_CONSTANT = 0.5
+
+
+def vertex_diameter_estimate(graph: Graph, seed: RandomState = None) -> int:
+    """Return an upper estimate of the vertex diameter ``VD(G)``.
+
+    For unweighted graphs the classic 2-approximation is used: run a BFS from
+    an arbitrary vertex and return ``2 * ecc + 1`` vertices in the worst
+    case.  This over-estimates (never under-estimates) the diameter, which
+    keeps the (ε, δ) guarantee valid at the price of a few extra samples.
+    """
+    if graph.number_of_vertices() < 2:
+        return max(graph.number_of_vertices(), 1)
+    rng = ensure_rng(seed)
+    vertices = graph.vertices()
+    start = vertices[rng.randrange(len(vertices))]
+    distances = bfs_distances(graph, start)
+    eccentricity = max(distances.values())
+    return int(2 * eccentricity + 1)
+
+
+def rk_sample_size(
+    vertex_diameter: int, epsilon: float, delta: float, constant: float = RK_CONSTANT
+) -> int:
+    """Return the VC-dimension sample size for the requested accuracy.
+
+    Parameters mirror the formula in the module docstring; ``vertex_diameter``
+    below 3 degenerates to the additive Hoeffding term only.
+    """
+    if epsilon <= 0.0:
+        raise ConfigurationError("epsilon must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError("delta must be in (0, 1)")
+    vc_term = math.floor(math.log2(vertex_diameter - 2)) + 1 if vertex_diameter > 3 else 1
+    return int(math.ceil(constant / (epsilon * epsilon) * (vc_term + math.log(1.0 / delta))))
+
+
+class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
+    """Uniform shortest-path sampling estimator for all vertices (or one)."""
+
+    name = "riondato-kornaropoulos"
+
+    # ------------------------------------------------------------------
+    def _sample_internal_vertices(self, graph: Graph, rng) -> list:
+        """Sample one shortest path between a uniform pair and return its interior."""
+        vertices = graph.vertices()
+        n = len(vertices)
+        s = vertices[rng.randrange(n)]
+        t = vertices[rng.randrange(n)]
+        while t == s:
+            t = vertices[rng.randrange(n)]
+        spd = dijkstra_spd(graph, s) if graph.weighted else bfs_spd(graph, s)
+        if not spd.is_reachable(t):
+            return []
+        # Backtrack from t choosing predecessors proportionally to sigma,
+        # which makes every shortest s-t path equally likely.
+        interior = []
+        current = t
+        while True:
+            parents = spd.parents(current)
+            if not parents:
+                break
+            weights = [spd.sigma[p] for p in parents]
+            total = sum(weights)
+            pick = rng.random() * total
+            cumulative = 0.0
+            chosen = parents[-1]
+            for parent, weight in zip(parents, weights):
+                cumulative += weight
+                if pick <= cumulative:
+                    chosen = parent
+                    break
+            if chosen == s:
+                break
+            interior.append(chosen)
+            current = chosen
+        return interior
+
+    # ------------------------------------------------------------------
+    def estimate_all(
+        self,
+        graph: Graph,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> MapEstimate:
+        """Estimate the betweenness of every vertex from *num_samples* sampled paths."""
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        if graph.number_of_vertices() < 2:
+            raise ConfigurationError("the graph must have at least two vertices")
+        rng = ensure_rng(seed)
+        counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+        with timed() as clock:
+            for _ in range(num_samples):
+                for v in self._sample_internal_vertices(graph, rng):
+                    counts[v] += 1.0
+        estimates = {v: c / num_samples for v, c in counts.items()}
+        return MapEstimate(
+            estimates=estimates,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> SingleEstimate:
+        """Estimate ``BC(r)``: same sampling, read-out restricted to *r*."""
+        graph.validate_vertex(r)
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        rng = ensure_rng(seed)
+        hits = 0.0
+        with timed() as clock:
+            for _ in range(num_samples):
+                if r in self._sample_internal_vertices(graph, rng):
+                    hits += 1.0
+        return SingleEstimate(
+            vertex=r,
+            estimate=hits / num_samples,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+            diagnostics={"hits": hits},
+        )
+
+    # ------------------------------------------------------------------
+    def samples_for_accuracy(
+        self, graph: Graph, epsilon: float, delta: float, *, seed: RandomState = None
+    ) -> int:
+        """Return the VC-bound sample size for an (ε, δ)-guarantee on *graph*."""
+        return rk_sample_size(vertex_diameter_estimate(graph, seed), epsilon, delta)

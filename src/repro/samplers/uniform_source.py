@@ -1,0 +1,133 @@
+"""Uniform source-vertex sampling (Bader et al. 2007; Brandes & Pich 2007).
+
+The simplest approximate scheme discussed in Section 3.2 of the paper:
+pick source vertices uniformly at random, compute their dependency scores on
+every vertex with one Brandes pass each, and scale.  It estimates the
+betweenness of *all* vertices simultaneously, and restricting the read-out to
+a single vertex gives the baseline the MH sampler is compared against in
+benchmark E1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._rng import RandomState, ensure_rng
+from repro.errors import ConfigurationError
+from repro.graphs.core import Graph, Vertex
+from repro.samplers.base import (
+    AllVerticesEstimator,
+    MapEstimate,
+    SingleEstimate,
+    SingleVertexEstimator,
+    timed,
+)
+from repro.shortest_paths.dependencies import accumulate_dependencies, spd_builder
+
+__all__ = ["UniformSourceSampler"]
+
+
+class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
+    """Estimate betweenness by averaging dependency scores of random sources.
+
+    For each sampled source *s*, one Brandes pass yields
+    :math:`\\delta_{s\\bullet}(v)` for every *v*; the unbiased estimator of
+    the paper-normalised betweenness of *v* is the sample mean of
+    :math:`\\delta_{s\\bullet}(v) / (|V| - 1)`.
+
+    Parameters
+    ----------
+    with_replacement:
+        When ``True`` (default) sources are drawn i.i.d. uniformly; when
+        ``False`` they are drawn without replacement (the Brandes–Pich
+        "random k sources" variant), which caps ``num_samples`` at ``|V|``.
+    """
+
+    name = "uniform-source"
+
+    def __init__(self, *, with_replacement: bool = True) -> None:
+        self.with_replacement = bool(with_replacement)
+
+    # ------------------------------------------------------------------
+    def _sample_sources(self, graph: Graph, num_samples: int, rng) -> list:
+        vertices = graph.vertices()
+        if self.with_replacement:
+            return [vertices[rng.randrange(len(vertices))] for _ in range(num_samples)]
+        if num_samples > len(vertices):
+            raise ConfigurationError(
+                f"cannot draw {num_samples} sources without replacement from "
+                f"{len(vertices)} vertices"
+            )
+        return rng.sample(vertices, num_samples)
+
+    # ------------------------------------------------------------------
+    def estimate_all(
+        self,
+        graph: Graph,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> MapEstimate:
+        """Estimate the betweenness of every vertex from *num_samples* random sources."""
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        rng = ensure_rng(seed)
+        build = spd_builder(graph)
+        n = graph.number_of_vertices()
+        totals: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+        with timed() as clock:
+            sources = self._sample_sources(graph, num_samples, rng)
+            for s in sources:
+                spd = build(graph, s)
+                for v, delta in accumulate_dependencies(spd).items():
+                    if v != s:
+                        totals[v] += delta
+        scale = 1.0 / (num_samples * max(n - 1, 1))
+        estimates = {v: total * scale for v, total in totals.items()}
+        return MapEstimate(
+            estimates=estimates,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+            diagnostics={"with_replacement": self.with_replacement},
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        num_samples: int,
+        *,
+        seed: RandomState = None,
+    ) -> SingleEstimate:
+        """Estimate ``BC(r)`` by reading a single entry of :meth:`estimate_all`.
+
+        The work per sample is identical (one full Brandes pass); only the
+        read-out is restricted, mirroring how this baseline is used when a
+        caller cares about one vertex.
+        """
+        graph.validate_vertex(r)
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be at least 1")
+        rng = ensure_rng(seed)
+        build = spd_builder(graph)
+        n = graph.number_of_vertices()
+        total = 0.0
+        with timed() as clock:
+            sources = self._sample_sources(graph, num_samples, rng)
+            for s in sources:
+                if s == r:
+                    continue
+                spd = build(graph, s)
+                deltas = accumulate_dependencies(spd)
+                total += deltas.get(r, 0.0)
+        estimate = total / (num_samples * max(n - 1, 1))
+        return SingleEstimate(
+            vertex=r,
+            estimate=estimate,
+            samples=num_samples,
+            elapsed_seconds=clock.elapsed,
+            method=self.name,
+            diagnostics={"with_replacement": self.with_replacement},
+        )

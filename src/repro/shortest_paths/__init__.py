@@ -1,0 +1,36 @@
+"""Shortest-path substrate: SPDs, BFS/Dijkstra builders and dependency accumulation."""
+
+from repro.shortest_paths.bfs import bfs_distances, bfs_spd, single_pair_distance
+from repro.shortest_paths.bidirectional import (
+    all_shortest_paths,
+    bidirectional_shortest_path_info,
+    sample_shortest_path,
+)
+from repro.shortest_paths.dependencies import (
+    accumulate_dependencies,
+    accumulate_edge_dependencies,
+    all_dependencies_on_target,
+    dependency_on_target,
+    source_dependencies,
+    spd_builder,
+)
+from repro.shortest_paths.dijkstra import dijkstra_distances, dijkstra_spd
+from repro.shortest_paths.spd import ShortestPathDAG
+
+__all__ = [
+    "ShortestPathDAG",
+    "bfs_spd",
+    "bfs_distances",
+    "single_pair_distance",
+    "dijkstra_spd",
+    "dijkstra_distances",
+    "accumulate_dependencies",
+    "accumulate_edge_dependencies",
+    "source_dependencies",
+    "dependency_on_target",
+    "all_dependencies_on_target",
+    "spd_builder",
+    "bidirectional_shortest_path_info",
+    "sample_shortest_path",
+    "all_shortest_paths",
+]

@@ -1,0 +1,94 @@
+"""Breadth-first construction of shortest-path DAGs for unweighted graphs.
+
+Building the SPD rooted at a source costs ``O(|E(G)|)`` time (Section 2.1),
+which is also the per-sample cost quoted for every sampler in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.graphs.core import Graph, Vertex
+from repro.shortest_paths.spd import ShortestPathDAG
+
+__all__ = ["bfs_spd", "bfs_distances", "single_pair_distance"]
+
+
+def bfs_spd(graph: Graph, source: Vertex, *, cutoff: Optional[float] = None) -> ShortestPathDAG:
+    """Return the shortest-path DAG rooted at *source* for an unweighted graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.  Edge weights are ignored; every edge counts as
+        length 1.
+    source:
+        The root vertex.
+    cutoff:
+        Optional maximum distance; vertices farther than *cutoff* are not
+        explored.  Used by truncated traversals in the examples.
+    """
+    graph.validate_vertex(source)
+    distance: Dict[Vertex, float] = {source: 0.0}
+    sigma: Dict[Vertex, float] = {source: 1.0}
+    predecessors: Dict[Vertex, List[Vertex]] = {source: []}
+    order: List[Vertex] = []
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        d_u = distance[u]
+        if cutoff is not None and d_u >= cutoff:
+            continue
+        for v in graph.neighbors(u):
+            if v not in distance:
+                distance[v] = d_u + 1.0
+                sigma[v] = 0.0
+                predecessors[v] = []
+                queue.append(v)
+            if distance[v] == d_u + 1.0:
+                sigma[v] += sigma[u]
+                predecessors[v].append(u)
+    return ShortestPathDAG(
+        source=source,
+        distance=distance,
+        sigma=sigma,
+        predecessors=predecessors,
+        order=order,
+    )
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, float]:
+    """Return only the distance map from *source* (cheaper than a full SPD)."""
+    graph.validate_vertex(source)
+    distance: Dict[Vertex, float] = {source: 0.0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        d_u = distance[u]
+        for v in graph.neighbors(u):
+            if v not in distance:
+                distance[v] = d_u + 1.0
+                queue.append(v)
+    return distance
+
+
+def single_pair_distance(graph: Graph, source: Vertex, target: Vertex) -> float:
+    """Return d(source, target), or ``inf`` if *target* is unreachable."""
+    graph.validate_vertex(source)
+    graph.validate_vertex(target)
+    if source == target:
+        return 0.0
+    distance: Dict[Vertex, float] = {source: 0.0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        d_u = distance[u]
+        for v in graph.neighbors(u):
+            if v not in distance:
+                if v == target:
+                    return d_u + 1.0
+                distance[v] = d_u + 1.0
+                queue.append(v)
+    return float("inf")

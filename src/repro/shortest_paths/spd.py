@@ -1,0 +1,148 @@
+"""The shortest-path DAG (SPD) data structure.
+
+Section 2.1 of the paper: for every source vertex *s* the SPD rooted at *s*
+is the DAG containing all shortest paths starting from *s*.  It is the
+work-horse of every algorithm in the library — exact Brandes, all baseline
+samplers, and the Metropolis-Hastings acceptance ratio all consume SPDs.
+
+An SPD stores, for each vertex *v* reachable from the source:
+
+* ``distance[v]`` — the shortest-path distance d(s, v);
+* ``sigma[v]`` — the number of distinct shortest paths from *s* to *v*
+  (:math:`\\sigma_{sv}`);
+* ``predecessors[v]`` — the parent set :math:`P_s(v)` of *v* in the DAG;
+* ``order`` — the vertices in non-decreasing distance order, which is the
+  order needed for forward accumulation and, reversed, for the Brandes
+  dependency recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.core import Vertex
+
+__all__ = ["ShortestPathDAG"]
+
+
+@dataclass
+class ShortestPathDAG:
+    """All shortest paths from a single source vertex.
+
+    Instances are produced by :func:`repro.shortest_paths.bfs.bfs_spd` for
+    unweighted graphs and :func:`repro.shortest_paths.dijkstra.dijkstra_spd`
+    for weighted graphs with positive weights.
+    """
+
+    #: The source (root) vertex of the DAG.
+    source: Vertex
+    #: Shortest-path distance from the source to each reachable vertex.
+    distance: Dict[Vertex, float]
+    #: Number of shortest paths from the source to each reachable vertex.
+    sigma: Dict[Vertex, float]
+    #: Predecessor (parent) lists: ``predecessors[v]`` is P_s(v).
+    predecessors: Dict[Vertex, List[Vertex]]
+    #: Reachable vertices in non-decreasing distance order (source first).
+    order: List[Vertex] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def reachable(self) -> List[Vertex]:
+        """Return the vertices reachable from the source (including it)."""
+        return list(self.order)
+
+    def number_of_reachable(self) -> int:
+        """Return how many vertices are reachable from the source."""
+        return len(self.order)
+
+    def is_reachable(self, vertex: Vertex) -> bool:
+        """Return ``True`` if *vertex* is reachable from the source."""
+        return vertex in self.distance
+
+    def path_count(self, vertex: Vertex) -> float:
+        """Return :math:`\\sigma_{s,vertex}` (0 when unreachable)."""
+        return self.sigma.get(vertex, 0.0)
+
+    def distance_to(self, vertex: Vertex) -> float:
+        """Return d(source, vertex), or ``inf`` when unreachable."""
+        return self.distance.get(vertex, float("inf"))
+
+    def parents(self, vertex: Vertex) -> List[Vertex]:
+        """Return the predecessor list :math:`P_s(vertex)` (empty if none)."""
+        return self.predecessors.get(vertex, [])
+
+    # ------------------------------------------------------------------
+    def successors(self) -> Dict[Vertex, List[Vertex]]:
+        """Return the child lists of the DAG (inverse of the predecessor map).
+
+        Computed on demand; used by forward traversals such as the
+        per-target path counting in :meth:`paths_through`.
+        """
+        children: Dict[Vertex, List[Vertex]] = {v: [] for v in self.order}
+        for child, parents in self.predecessors.items():
+            for parent in parents:
+                children[parent].append(child)
+        return children
+
+    def paths_through(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """Return :math:`\\sigma_{s t}(vertex)` for every target *t*.
+
+        ``result[t]`` is the number of shortest paths from the source to *t*
+        that pass through *vertex* (with the convention that paths "through"
+        an endpoint are not counted, matching the betweenness definition).
+
+        The count is ``sigma[vertex] * (number of shortest paths from vertex
+        to t inside the DAG)``; the latter is accumulated with a forward
+        sweep over the DAG in distance order.
+        """
+        if vertex not in self.distance:
+            return {}
+        # paths_from[t] = number of shortest paths from `vertex` to t that
+        # stay inside the DAG (i.e. are suffixes of shortest s->t paths).
+        paths_from: Dict[Vertex, float] = {vertex: 1.0}
+        start_distance = self.distance[vertex]
+        for t in self.order:
+            if self.distance[t] <= start_distance or t == vertex:
+                continue
+            total = 0.0
+            for parent in self.predecessors.get(t, []):
+                total += paths_from.get(parent, 0.0)
+            if total:
+                paths_from[t] = total
+        sigma_v = self.sigma[vertex]
+        result: Dict[Vertex, float] = {}
+        for t, count in paths_from.items():
+            if t == vertex or t == self.source:
+                continue
+            result[t] = sigma_v * count
+        return result
+
+    def pair_dependencies(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """Return :math:`\\delta_{s t}(vertex) = \\sigma_{st}(vertex)/\\sigma_{st}` for all targets *t*."""
+        through = self.paths_through(vertex)
+        return {
+            t: through[t] / self.sigma[t]
+            for t in through
+            if self.sigma.get(t, 0.0) > 0.0
+        }
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`AssertionError` on violation.
+
+        Used by the property-based test-suite: sigma of a vertex must equal
+        the sum of the sigmas of its predecessors, predecessors must be
+        exactly one step closer to the source, and the source itself must
+        have distance 0 and sigma 1.
+        """
+        assert self.distance.get(self.source) == 0.0, "source must have distance 0"
+        assert self.sigma.get(self.source) == 1.0, "source must have sigma 1"
+        assert not self.predecessors.get(self.source), "source must have no predecessors"
+        for v in self.order:
+            if v == self.source:
+                continue
+            parents = self.predecessors.get(v, [])
+            assert parents, f"non-source vertex {v!r} must have at least one predecessor"
+            assert self.sigma[v] == sum(self.sigma[p] for p in parents), (
+                f"sigma[{v!r}] must equal the sum of predecessor sigmas"
+            )

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide a menagerie of small graphs with known structure so
+individual tests can state expectations in closed form, plus a couple of
+random graphs (fixed seeds) for cross-validation against networkx.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.components import largest_connected_component
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The 3-cycle; every vertex has betweenness 0."""
+    return cycle_graph(3)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path on 5 vertices 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def star6() -> Graph:
+    """Star with centre 0 and 6 leaves."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def barbell() -> Graph:
+    """Barbell graph: two K5 cliques joined by a 2-vertex bridge (vertices 5, 6)."""
+    return barbell_graph(5, 2)
+
+
+@pytest.fixture
+def grid4x4() -> Graph:
+    """4x4 grid graph."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def small_er() -> Graph:
+    """Connected Erdős–Rényi graph, fixed seed (30 vertices)."""
+    graph = erdos_renyi_graph(30, 0.15, seed=42)
+    return largest_connected_component(graph)
+
+
+@pytest.fixture
+def small_ba() -> Graph:
+    """Barabási–Albert graph, fixed seed (30 vertices)."""
+    return barabasi_albert_graph(30, 2, seed=7)
+
+
+@pytest.fixture
+def small_ws() -> Graph:
+    """Watts–Strogatz graph, fixed seed (24 vertices)."""
+    return watts_strogatz_graph(24, 4, 0.2, seed=11)
+
+
+@pytest.fixture
+def weighted_diamond() -> Graph:
+    """Weighted diamond where two equal-length shortest paths exist between 0 and 3."""
+    graph = Graph(weighted=True)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(0, 2, 1.0)
+    graph.add_edge(1, 3, 1.0)
+    graph.add_edge(2, 3, 1.0)
+    graph.add_edge(0, 4, 0.5)
+    graph.add_edge(4, 3, 3.0)
+    return graph

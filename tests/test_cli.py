@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main_with_args
+from repro.graphs import barbell_graph
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def barbell_file(tmp_path):
+    path = tmp_path / "barbell.edges"
+    write_edge_list(barbell_graph(5, 2), path)
+    return str(path)
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main_with_args(args, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--vertex", "0"])
+
+    def test_graph_and_dataset_mutually_exclusive(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--graph", barbell_file, "--dataset", "email", "--vertex", "0"]
+            )
+
+
+class TestEstimateCommand:
+    def test_estimate_from_file(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--samples", "100", "--seed", "1"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["vertex"] == "5"
+        assert payload["method"] == "mh-single"
+        assert payload["samples"] == 100
+        assert payload["estimate"] >= 0.0
+
+    def test_estimate_with_baseline_method(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method", "rk",
+             "--samples", "50", "--seed", "1"]
+        )
+        assert code == 0
+        assert json.loads(output)["method"] == "riondato-kornaropoulos"
+
+    def test_estimate_from_dataset(self):
+        code, output = run_cli(
+            ["estimate", "--dataset", "barbell", "--size", "tiny", "--vertex", "10",
+             "--samples", "30", "--seed", "2"]
+        )
+        assert code == 0
+        assert "estimate" in json.loads(output)
+
+    def test_missing_vertex_reports_error(self, barbell_file):
+        code, _ = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "999", "--samples", "10"]
+        )
+        assert code == 2
+
+
+class TestRelativeCommand:
+    def test_relative_from_file(self, barbell_file):
+        code, output = run_cli(
+            ["relative", "--graph", barbell_file, "--vertices", "5,6,4",
+             "--samples", "200", "--seed", "3"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert set(payload["reference_set"]) == {"5", "6", "4"}
+        assert "5/6" in payload["ratios"]
+        assert len(payload["ranking"]) == 3
+
+
+class TestExactCommand:
+    def test_exact_all_vertices(self, barbell_file):
+        code, output = run_cli(["exact", "--graph", barbell_file])
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload) == 12
+
+    def test_exact_top_k(self, barbell_file):
+        code, output = run_cli(["exact", "--graph", barbell_file, "--top", "2"])
+        payload = json.loads(output)
+        assert code == 0
+        assert set(payload) == {"5", "6"}
+
+    def test_exact_selected_vertices(self, barbell_file):
+        code, output = run_cli(["exact", "--graph", barbell_file, "--vertices", "5,0"])
+        payload = json.loads(output)
+        assert set(payload) == {"5", "0"}
+
+
+class TestDatasetsCommand:
+    def test_plain_listing(self):
+        code, output = run_cli(["datasets"])
+        assert code == 0
+        assert "email" in output and "barbell" in output
+
+    def test_json_listing(self):
+        code, output = run_cli(["datasets", "--json"])
+        rows = json.loads(output)
+        assert code == 0
+        assert any(row["name"] == "road" for row in rows)

@@ -1,0 +1,108 @@
+"""Tests for the dataset registry and the benchmark workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    SIZES,
+    dataset_names,
+    dataset_table,
+    load_dataset,
+    pick_reference_set,
+    pick_targets,
+    positive_betweenness_vertices,
+)
+from repro.errors import ConfigurationError, DatasetError
+from repro.exact import betweenness_centrality
+from repro.graphs.components import is_connected
+
+
+class TestRegistry:
+    def test_dataset_names_sorted_and_nonempty(self):
+        names = dataset_names()
+        assert names == sorted(names)
+        assert len(names) >= 8
+
+    def test_every_dataset_builds_tiny_and_connected(self):
+        for name in dataset_names():
+            graph = load_dataset(name, size="tiny", seed=0)
+            assert graph.number_of_vertices() > 10
+            assert is_connected(graph)
+
+    def test_small_larger_than_tiny(self):
+        for name in ("email", "collaboration", "road"):
+            tiny = load_dataset(name, size="tiny", seed=0)
+            small = load_dataset(name, size="small", seed=0)
+            assert small.number_of_vertices() > tiny.number_of_vertices()
+
+    def test_builds_are_reproducible(self):
+        a = load_dataset("collaboration", size="tiny", seed=5)
+        b = load_dataset("collaboration", size="tiny", seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ_for_random_families(self):
+        a = load_dataset("p2p", size="tiny", seed=1)
+        b = load_dataset("p2p", size="tiny", seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("does-not-exist")
+
+    def test_unknown_size(self):
+        with pytest.raises(DatasetError):
+            load_dataset("email", size="huge")
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == len(DATASETS)
+        assert all({"name", "family", "stands_in_for", "description"} <= set(r) for r in rows)
+
+    def test_sizes_constant(self):
+        assert SIZES == ("tiny", "small", "medium")
+
+
+class TestWorkloadBuilders:
+    def test_positive_betweenness_vertices(self):
+        graph = load_dataset("barbell", size="tiny", seed=0)
+        positive = positive_betweenness_vertices(graph)
+        exact = betweenness_centrality(graph)
+        assert all(exact[v] > 0.0 for v in positive)
+
+    def test_pick_targets_structure(self):
+        graph = load_dataset("caveman", size="tiny", seed=0)
+        targets = pick_targets(graph)
+        assert set(targets) == {"high", "median", "low"}
+        exact = betweenness_centrality(graph)
+        assert exact[targets["high"]] >= exact[targets["median"]] >= exact[targets["low"]]
+        assert exact[targets["low"]] > 0.0
+
+    def test_pick_targets_no_positive_vertices(self):
+        from repro.graphs import complete_graph
+
+        with pytest.raises(ConfigurationError):
+            pick_targets(complete_graph(5))
+
+    def test_pick_reference_set_size_and_membership(self):
+        graph = load_dataset("caveman", size="tiny", seed=0)
+        refs = pick_reference_set(graph, 5)
+        assert len(refs) == len(set(refs)) == 5
+        exact = betweenness_centrality(graph)
+        assert all(exact[v] > 0.0 for v in refs)
+
+    def test_pick_reference_set_includes_extremes(self):
+        graph = load_dataset("barbell", size="tiny", seed=0)
+        positive = positive_betweenness_vertices(graph)
+        ranked = sorted(positive, key=positive.get, reverse=True)
+        refs = pick_reference_set(graph, 3)
+        assert ranked[0] in refs
+        assert ranked[-1] in refs
+
+    def test_pick_reference_set_validation(self):
+        graph = load_dataset("barbell", size="tiny", seed=0)
+        with pytest.raises(ConfigurationError):
+            pick_reference_set(graph, 1)
+        with pytest.raises(ConfigurationError):
+            pick_reference_set(graph, 10_000)

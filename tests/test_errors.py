@@ -1,0 +1,75 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ConfigurationError,
+    DatasetError,
+    EdgeNotFoundError,
+    GraphError,
+    GraphStructureError,
+    NegativeWeightError,
+    NotConnectedError,
+    ReproError,
+    SamplingError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            VertexNotFoundError,
+            EdgeNotFoundError,
+            GraphStructureError,
+            NotConnectedError,
+            NegativeWeightError,
+            AlgorithmError,
+            SamplingError,
+            ConfigurationError,
+            DatasetError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_vertex_not_found_is_key_error(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+
+    def test_edge_not_found_is_key_error(self):
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_negative_weight_is_value_error(self):
+        assert issubclass(NegativeWeightError, ValueError)
+
+    def test_not_connected_is_structure_error(self):
+        assert issubclass(NotConnectedError, GraphStructureError)
+
+    def test_sampling_error_is_algorithm_error(self):
+        assert issubclass(SamplingError, AlgorithmError)
+
+
+class TestMessages:
+    def test_vertex_not_found_mentions_vertex(self):
+        error = VertexNotFoundError("x")
+        assert "x" in str(error)
+        assert error.vertex == "x"
+
+    def test_edge_not_found_mentions_both_endpoints(self):
+        error = EdgeNotFoundError(1, 2)
+        assert error.u == 1 and error.v == 2
+        assert "1" in str(error) and "2" in str(error)
+
+    def test_negative_weight_records_fields(self):
+        error = NegativeWeightError(0, 1, -2.0)
+        assert error.weight == -2.0
+        assert "positive" in str(error)
+
+    def test_errors_can_be_caught_as_base(self):
+        with pytest.raises(ReproError):
+            raise SamplingError("degenerate")

@@ -1,0 +1,125 @@
+"""Tests for exact betweenness (Brandes), cross-validated against closed forms and networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact import betweenness_centrality, normalization_factor
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.io import to_networkx
+
+
+def networkx_paper_normalized(graph):
+    """Exact scores from networkx converted to the paper's 1/(n(n-1)) scale."""
+    import networkx as nx
+
+    n = graph.number_of_vertices()
+    raw = nx.betweenness_centrality(to_networkx(graph), normalized=False)
+    return {v: 2.0 * raw[v] / (n * (n - 1)) for v in graph.vertices()}
+
+
+class TestClosedForms:
+    def test_path_graph(self, path5):
+        scores = betweenness_centrality(path5, normalization="count")
+        # Interior vertex i of a path lies on (i)(n-1-i) unordered pairs.
+        assert scores[0] == pytest.approx(0.0)
+        assert scores[1] == pytest.approx(3.0)
+        assert scores[2] == pytest.approx(4.0)
+        assert scores[3] == pytest.approx(3.0)
+        assert scores[4] == pytest.approx(0.0)
+
+    def test_star_center(self, star6):
+        scores = betweenness_centrality(star6, normalization="count")
+        assert scores[0] == pytest.approx(15.0)  # C(6, 2) pairs of leaves
+        assert all(scores[v] == 0.0 for v in range(1, 7))
+
+    def test_complete_graph_all_zero(self):
+        scores = betweenness_centrality(complete_graph(6))
+        assert all(s == 0.0 for s in scores.values())
+
+    def test_cycle_graph_uniform(self):
+        scores = betweenness_centrality(cycle_graph(7))
+        values = list(scores.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+        assert values[0] > 0.0
+
+    def test_paper_normalization_of_star(self, star6):
+        scores = betweenness_centrality(star6, normalization="paper")
+        n = 7
+        assert scores[0] == pytest.approx(2.0 * 15.0 / (n * (n - 1)))
+
+    def test_barbell_bridge_higher_than_clique(self, barbell):
+        scores = betweenness_centrality(barbell)
+        assert scores[5] > scores[0]
+        assert scores[6] > scores[0]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("fixture", ["small_er", "small_ba", "small_ws", "grid4x4"])
+    def test_matches_networkx(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        ours = betweenness_centrality(graph, normalization="paper")
+        theirs = networkx_paper_normalized(graph)
+        for v in graph.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12)
+
+    def test_pairs_normalization_matches_networkx_normalized(self, small_ba):
+        import networkx as nx
+
+        ours = betweenness_centrality(small_ba, normalization="pairs")
+        theirs = nx.betweenness_centrality(to_networkx(small_ba), normalized=True)
+        for v in small_ba.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12)
+
+    def test_weighted_graph_matches_networkx(self, weighted_diamond):
+        import networkx as nx
+
+        ours = betweenness_centrality(weighted_diamond, normalization="count")
+        theirs = nx.betweenness_centrality(
+            to_networkx(weighted_diamond), normalized=False, weight="weight"
+        )
+        for v in weighted_diamond.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+
+class TestOptions:
+    def test_unknown_normalization(self, path5):
+        with pytest.raises(ConfigurationError):
+            betweenness_centrality(path5, normalization="bogus")
+
+    def test_normalization_factor_values(self):
+        assert normalization_factor(10, "paper") == pytest.approx(1.0 / 90.0)
+        assert normalization_factor(10, "pairs") == pytest.approx(1.0 / 72.0)
+        assert normalization_factor(10, "count") == 0.5
+        assert normalization_factor(10, "count", directed=True) == 1.0
+
+    def test_normalization_factor_degenerate_sizes(self):
+        assert normalization_factor(1, "paper") == 0.0
+        assert normalization_factor(2, "pairs") == 0.0
+
+    def test_restricted_sources_sum(self, path5):
+        # Using every vertex as a source explicitly must equal the default.
+        full = betweenness_centrality(path5)
+        restricted = betweenness_centrality(path5, sources=path5.vertices())
+        assert full == restricted
+
+    def test_subset_of_sources_is_partial(self, path5):
+        partial = betweenness_centrality(path5, normalization="count", sources=[0])
+        # only pairs (0, t) are counted: vertex 2 lies on pairs (0,3) and (0,4)
+        assert partial[2] == pytest.approx(1.0)  # count normalization halves ordered sum
+
+    def test_directed_graph(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        scores = betweenness_centrality(g, normalization="count")
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[0] == 0.0 and scores[2] == 0.0

@@ -1,0 +1,124 @@
+"""Tests for edge betweenness, group betweenness and co-betweenness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact import (
+    betweenness_of_vertex,
+    co_betweenness_centrality,
+    edge_betweenness_centrality,
+    greedy_prominent_group,
+    group_betweenness_centrality,
+    top_edge,
+)
+from repro.graphs import Graph, barbell_graph, complete_graph, path_graph, star_graph
+from repro.graphs.io import to_networkx
+
+
+class TestEdgeBetweenness:
+    def test_path_graph_values(self, path5):
+        scores = edge_betweenness_centrality(path5, normalized=False)
+        # ordered-pair counts: edge (0,1) carries 2*1*4 = 8
+        assert scores[(0, 1)] == pytest.approx(8.0)
+        assert scores[(1, 2)] == pytest.approx(12.0)
+
+    def test_matches_networkx(self, small_ba):
+        import networkx as nx
+
+        ours = edge_betweenness_centrality(small_ba, normalized=False)
+        theirs = nx.edge_betweenness_centrality(to_networkx(small_ba), normalized=False)
+        for edge, value in theirs.items():
+            key = tuple(sorted(edge))
+            assert ours[key] == pytest.approx(2.0 * value)
+
+    def test_every_edge_reported(self, barbell):
+        scores = edge_betweenness_centrality(barbell)
+        assert len(scores) == barbell.number_of_edges()
+
+    def test_top_edge_is_bridge(self, barbell):
+        u, v = top_edge(barbell)
+        assert {u, v} == {5, 6}
+
+    def test_top_edge_requires_edges(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ConfigurationError):
+            top_edge(g)
+
+    def test_normalized_scores_bounded(self, barbell):
+        scores = edge_betweenness_centrality(barbell, normalized=True)
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+class TestGroupBetweenness:
+    def test_single_vertex_group_matches_vertex_betweenness(self, barbell):
+        group_score = group_betweenness_centrality(barbell, [5])
+        assert group_score == pytest.approx(betweenness_of_vertex(barbell, 5))
+
+    def test_bridge_group_closed_form(self, barbell):
+        # With both bridge vertices in the group, the remaining pairs that
+        # cross the bridge are exactly (left clique) x (right clique):
+        # 5 * 5 unordered pairs, 50 ordered, each fully dependent on the group.
+        group_score = group_betweenness_centrality(barbell, [5, 6], normalized=False)
+        assert group_score == pytest.approx(50.0)
+
+    def test_matches_networkx_group_betweenness(self, small_ba):
+        import networkx as nx
+
+        group = [0, 1]
+        ours = group_betweenness_centrality(small_ba, group, normalized=False)
+        theirs = nx.group_betweenness_centrality(
+            to_networkx(small_ba), group, normalized=False
+        )
+        # networkx counts unordered pairs; ours counts ordered pairs.
+        assert ours == pytest.approx(2.0 * theirs, rel=1e-9)
+
+    def test_star_leaves_group_is_zero(self, star6):
+        assert group_betweenness_centrality(star6, [1, 2, 3]) == 0.0
+
+    def test_empty_group_rejected(self, star6):
+        with pytest.raises(ConfigurationError):
+            group_betweenness_centrality(star6, [])
+
+    def test_duplicate_members_collapsed(self, barbell):
+        a = group_betweenness_centrality(barbell, [5, 5, 6])
+        b = group_betweenness_centrality(barbell, [5, 6])
+        assert a == pytest.approx(b)
+
+
+class TestCoBetweenness:
+    def test_pair_on_path(self, path5):
+        # pairs of targets whose shortest path contains BOTH 1 and 2: (0,3), (0,4)
+        value = co_betweenness_centrality(path5, [1, 2], normalized=False)
+        assert value == pytest.approx(4.0)  # ordered pairs
+
+    def test_single_member_equals_betweenness(self, barbell):
+        assert co_betweenness_centrality(barbell, [5]) == pytest.approx(
+            betweenness_of_vertex(barbell, 5)
+        )
+
+    def test_disjoint_star_leaves(self, star6):
+        assert co_betweenness_centrality(star6, [1, 2]) == 0.0
+
+    def test_co_betweenness_never_exceeds_group(self, path5):
+        group = [1, 3]
+        co = co_betweenness_centrality(path5, group)
+        grp = group_betweenness_centrality(path5, group)
+        assert co <= grp + 1e-12
+
+
+class TestProminentGroup:
+    def test_greedy_picks_bridge_first(self, barbell):
+        group = greedy_prominent_group(barbell, 1)
+        assert group[0] in (5, 6)
+
+    def test_greedy_group_size(self, path5):
+        assert len(greedy_prominent_group(path5, 2)) == 2
+
+    def test_greedy_validation(self, path5):
+        with pytest.raises(ConfigurationError):
+            greedy_prominent_group(path5, 0)
+        with pytest.raises(ConfigurationError):
+            greedy_prominent_group(path5, 99)

@@ -1,0 +1,140 @@
+"""Tests for exact single-vertex betweenness, ratios and relative betweenness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact import (
+    betweenness_centrality,
+    betweenness_of_vertex,
+    betweenness_of_vertices,
+    dependency_vector,
+    exact_betweenness_ratio,
+    exact_relative_betweenness,
+    exact_stationary_relative_betweenness,
+)
+from repro.graphs import barbell_graph, path_graph, star_graph
+
+
+class TestBetweennessOfVertex:
+    def test_matches_full_brandes(self, barbell):
+        full = betweenness_centrality(barbell)
+        for v in barbell.vertices():
+            assert betweenness_of_vertex(barbell, v) == pytest.approx(full[v])
+
+    def test_matches_full_brandes_on_random_graph(self, small_ba):
+        full = betweenness_centrality(small_ba)
+        for v in list(small_ba.vertices())[:8]:
+            assert betweenness_of_vertex(small_ba, v) == pytest.approx(full[v])
+
+    def test_normalization_passthrough(self, star6):
+        assert betweenness_of_vertex(star6, 0, normalization="count") == pytest.approx(15.0)
+
+    def test_leaf_is_zero(self, star6):
+        assert betweenness_of_vertex(star6, 3) == 0.0
+
+    def test_betweenness_of_vertices(self, path5):
+        scores = betweenness_of_vertices(path5, [1, 2])
+        full = betweenness_centrality(path5)
+        assert scores == {1: pytest.approx(full[1]), 2: pytest.approx(full[2])}
+
+
+class TestDependencyVector:
+    def test_vector_is_nonnegative(self, barbell):
+        vector = dependency_vector(barbell, 5)
+        assert all(d >= 0.0 for d in vector.values())
+
+    def test_vector_zero_at_target(self, barbell):
+        assert dependency_vector(barbell, 5)[5] == 0.0
+
+    def test_star_center_vector(self, star6):
+        vector = dependency_vector(star6, 0)
+        # every leaf depends on the centre for its 5 other-leaf targets
+        assert all(vector[leaf] == pytest.approx(5.0) for leaf in range(1, 7))
+
+
+class TestRatios:
+    def test_ratio_of_equal_vertices(self, barbell):
+        assert exact_betweenness_ratio(barbell, 5, 6) == pytest.approx(1.0)
+
+    def test_ratio_reciprocal(self, path5):
+        ratio = exact_betweenness_ratio(path5, 1, 2)
+        inverse = exact_betweenness_ratio(path5, 2, 1)
+        assert ratio * inverse == pytest.approx(1.0)
+
+    def test_ratio_path_values(self, path5):
+        assert exact_betweenness_ratio(path5, 1, 2) == pytest.approx(3.0 / 4.0)
+
+    def test_zero_denominator_raises(self, star6):
+        with pytest.raises(ZeroDivisionError):
+            exact_betweenness_ratio(star6, 0, 1)
+
+
+class TestRelativeBetweenness:
+    def test_self_relative_is_one_on_support(self, barbell):
+        # BC_r(r) = (1/n) * |{v : delta_v(r) > 0}| since every ratio is 1.
+        value = exact_relative_betweenness(barbell, 5, 5)
+        support = sum(1 for d in dependency_vector(barbell, 5).values() if d > 0.0)
+        assert value == pytest.approx(support / barbell.number_of_vertices())
+
+    def test_dominated_vertex_smaller_than_dominating(self, path5):
+        # vertex 2 (centre) dominates vertex 1
+        assert exact_relative_betweenness(path5, 1, 2) <= exact_relative_betweenness(path5, 2, 1)
+
+    def test_bounded_by_one(self, barbell):
+        for ri in [0, 5, 6]:
+            for rj in [0, 5, 6]:
+                value = exact_relative_betweenness(barbell, ri, rj)
+                assert 0.0 <= value <= 1.0
+
+    def test_symmetric_bridge_vertices(self, barbell):
+        # the two bridge vertices play symmetric roles
+        a = exact_relative_betweenness(barbell, 5, 6)
+        b = exact_relative_betweenness(barbell, 6, 5)
+        assert a == pytest.approx(b)
+
+    def test_zero_betweenness_reference(self, star6):
+        # relative score of the centre w.r.t. a leaf: every source with
+        # positive dependency on the centre contributes 1.
+        value = exact_relative_betweenness(star6, 0, 1)
+        assert value == pytest.approx(6.0 / 7.0)
+
+    def test_zero_betweenness_target(self, star6):
+        # leaf w.r.t. centre: the leaf has no dependencies at all.
+        assert exact_relative_betweenness(star6, 1, 0) == 0.0
+
+
+class TestStationaryRelativeBetweenness:
+    def test_theorem3_ratio_identity_holds_exactly(self, barbell, small_ba):
+        # BC(ri)/BC(rj) equals the ratio of the two stationary expectations —
+        # the identity Theorem 3 proves via detailed balance.
+        from repro.datasets import positive_betweenness_vertices
+
+        for graph in (barbell, small_ba):
+            positive = list(positive_betweenness_vertices(graph))
+            ri, rj = positive[0], positive[-1]
+            lhs = betweenness_of_vertex(graph, ri) / betweenness_of_vertex(graph, rj)
+            rhs = exact_stationary_relative_betweenness(
+                graph, ri, rj
+            ) / exact_stationary_relative_betweenness(graph, rj, ri)
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_close_to_equation_23_for_low_mu_reference(self, barbell):
+        # The bridge vertex 6 has a nearly flat dependency vector (small µ),
+        # so the stationary and uniform (Equation 23) averages nearly agree.
+        uniform = exact_relative_betweenness(barbell, 5, 6)
+        stationary = exact_stationary_relative_betweenness(barbell, 5, 6)
+        assert stationary == pytest.approx(uniform, abs=0.05)
+
+    def test_differs_from_equation_23_for_skewed_dependencies(self, path5):
+        # Vertex 1 of the path has a very skewed dependency vector; the two
+        # averages must differ, documenting the reproduction finding.
+        uniform = exact_relative_betweenness(path5, 1, 2)
+        stationary = exact_stationary_relative_betweenness(path5, 1, 2)
+        assert abs(uniform - stationary) > 0.05
+
+    def test_bounded_by_one(self, barbell):
+        assert 0.0 <= exact_stationary_relative_betweenness(barbell, 0, 5) <= 1.0
+
+    def test_self_value_is_one(self, barbell):
+        assert exact_stationary_relative_betweenness(barbell, 5, 5) == pytest.approx(1.0)

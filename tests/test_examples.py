@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run end-to-end and produce its key output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ("chain diagnostics", "theoretical guidance"),
+    "community_core_ranking.py": ("estimated ranking", "positional agreement"),
+    "manet_routing.py": ("estimated relay ranking", "nodes reachable within"),
+    "community_detection.py": ("communities", "planted block"),
+    "separator_analysis.py": ("balanced separator", "Theorem 2"),
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs_and_prints_expected_sections(name):
+    output = run_example(name)
+    for marker in CASES[name]:
+        assert marker in output, f"{name}: expected {marker!r} in output"
+
+
+def test_examples_directory_contains_at_least_three_scripts():
+    scripts = list(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3

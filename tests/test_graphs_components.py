@@ -1,0 +1,151 @@
+"""Tests for connected-component utilities and the Theorem 2 separator predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    complete_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.components import (
+    component_of,
+    component_size_profile,
+    components_without_vertex,
+    connected_components,
+    is_balanced_separator,
+    is_connected,
+    is_vertex_separator,
+    largest_connected_component,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path5):
+        components = connected_components(path5)
+        assert len(components) == 1
+        assert components[0] == set(range(5))
+
+    def test_multiple_components(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_vertex(4)
+        components = connected_components(g)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_directed_uses_weak_connectivity(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)
+        assert len(connected_components(g)) == 1
+
+    def test_is_connected_true(self, barbell):
+        assert is_connected(barbell)
+
+    def test_is_connected_false(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        assert not is_connected(g)
+
+    def test_is_connected_empty_graph(self):
+        assert not is_connected(Graph())
+
+    def test_largest_connected_component(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(10, 11)
+        largest = largest_connected_component(g)
+        assert largest.number_of_vertices() == 3
+        assert largest.has_edge(0, 1)
+
+    def test_component_of(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert component_of(g, 0) == {0, 1}
+        assert component_of(g, 3) == {2, 3}
+
+    def test_component_of_missing_vertex(self, path5):
+        with pytest.raises(VertexNotFoundError):
+            component_of(path5, 42)
+
+
+class TestComponentsWithoutVertex:
+    def test_star_center_shatters(self, star6):
+        components = components_without_vertex(star6, 0)
+        assert len(components) == 6
+        assert all(len(c) == 1 for c in components)
+
+    def test_star_leaf_keeps_one_component(self, star6):
+        components = components_without_vertex(star6, 1)
+        assert len(components) == 1
+        assert len(components[0]) == 6
+
+    def test_path_middle(self, path5):
+        components = components_without_vertex(path5, 2)
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_missing_vertex(self, path5):
+        with pytest.raises(VertexNotFoundError):
+            components_without_vertex(path5, 42)
+
+
+class TestSeparators:
+    def test_bridge_vertex_is_separator(self, barbell):
+        assert is_vertex_separator(barbell, 5)
+        assert is_vertex_separator(barbell, 6)
+
+    def test_clique_interior_vertex_is_not_separator(self, barbell):
+        assert not is_vertex_separator(barbell, 0)
+
+    def test_complete_graph_has_no_separator(self):
+        g = complete_graph(5)
+        assert not is_vertex_separator(g, 0)
+
+    def test_tiny_graph_degenerate_case(self):
+        g = path_graph(2)
+        # Removing either endpoint leaves fewer than two vertices -> separator.
+        assert is_vertex_separator(g, 0)
+
+    def test_bridge_is_balanced_separator(self, barbell):
+        assert is_balanced_separator(barbell, 5)
+
+    def test_star_center_is_balanced_with_small_fraction(self, star6):
+        # Each leaf is a component of size 1 = 1/7 of the graph; with a
+        # threshold of 10% the centre qualifies as balanced.
+        assert is_balanced_separator(star6, 0, fraction=0.1)
+
+    def test_leaf_is_not_balanced_separator(self, star6):
+        assert not is_balanced_separator(star6, 3)
+
+    def test_balanced_fraction_validation(self, star6):
+        with pytest.raises(ValueError):
+            is_balanced_separator(star6, 0, fraction=0.0)
+        with pytest.raises(ValueError):
+            is_balanced_separator(star6, 0, fraction=0.9)
+
+    def test_path_middle_is_balanced(self, path5):
+        assert is_balanced_separator(path5, 2, fraction=0.25)
+
+
+class TestComponentSizeProfile:
+    def test_barbell_bridge_profile(self, barbell):
+        profile = component_size_profile(barbell, 5)
+        assert profile["num_components"] == 2.0
+        assert profile["largest"] == 6.0  # right clique plus bridge vertex 6
+        assert profile["second_largest"] == 5.0
+
+    def test_leaf_profile(self, star6):
+        profile = component_size_profile(star6, 1)
+        assert profile["num_components"] == 1.0
+        assert profile["fraction_outside_largest"] == 0.0

@@ -1,0 +1,202 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    barabasi_albert_graph,
+    barbell_graph,
+    binary_tree,
+    complete_graph,
+    connected_caveman_graph,
+    cycle_graph,
+    double_star_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    gnm_random_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    planted_partition_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz_graph,
+    wheel_graph,
+)
+from repro.graphs.components import is_connected
+
+
+class TestDeterministicGenerators:
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.number_of_vertices() == 4
+        assert g.number_of_edges() == 0
+
+    def test_empty_graph_negative(self):
+        with pytest.raises(ConfigurationError):
+            empty_graph(-1)
+
+    def test_path_graph(self):
+        g = path_graph(6)
+        assert g.number_of_edges() == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.number_of_edges() == 5
+        assert all(g.degree(v) == 2 for v in g)
+
+    def test_cycle_requires_three_vertices(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+        assert all(g.degree(v) == 5 for v in g)
+
+    def test_star_graph(self):
+        g = star_graph(8)
+        assert g.number_of_vertices() == 9
+        assert g.degree(0) == 8
+        assert all(g.degree(v) == 1 for v in range(1, 9))
+
+    def test_double_star(self):
+        g = double_star_graph(3, 4)
+        assert g.number_of_vertices() == 2 + 3 + 4
+        assert g.degree(0) == 4  # 3 leaves + the bridge
+        assert g.degree(1) == 5
+
+    def test_wheel_graph(self):
+        g = wheel_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 3 for v in range(1, 7))
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_vertices() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+        assert is_connected(g)
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.number_of_vertices() == 15
+        assert g.number_of_edges() == 14
+        assert g.degree(0) == 2
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree(0)
+        assert g.number_of_vertices() == 1
+
+    def test_barbell_structure(self):
+        g = barbell_graph(4, 2)
+        assert g.number_of_vertices() == 4 + 2 + 4
+        # two K4 cliques (6 edges each) + 3 bridge edges
+        assert g.number_of_edges() == 6 + 6 + 3
+        assert is_connected(g)
+
+    def test_barbell_without_bridge(self):
+        g = barbell_graph(3, 0)
+        assert g.number_of_vertices() == 6
+        assert g.has_edge(2, 3)
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.number_of_vertices() == 7
+        assert g.number_of_edges() == 6 + 3
+        assert g.degree(6) == 1
+
+    def test_caveman_connected(self):
+        g = connected_caveman_graph(4, 5)
+        assert g.number_of_vertices() == 20
+        assert is_connected(g)
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_reproducible(self):
+        a = erdos_renyi_graph(50, 0.1, seed=3)
+        b = erdos_renyi_graph(50, 0.1, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert erdos_renyi_graph(6, 1.0, seed=1).number_of_edges() == 15
+
+    def test_erdos_renyi_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(20, 30, seed=5)
+        assert g.number_of_vertices() == 20
+        assert g.number_of_edges() == 30
+
+    def test_gnm_complete(self):
+        g = gnm_random_graph(5, 10, seed=5)
+        assert g.number_of_edges() == 10
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ConfigurationError):
+            gnm_random_graph(5, 11)
+
+    def test_barabasi_albert_connected_and_sized(self):
+        g = barabasi_albert_graph(40, 2, seed=9)
+        assert g.number_of_vertices() == 40
+        assert is_connected(g)
+        # each of the n - m - 1 newcomers adds exactly m edges
+        assert g.number_of_edges() == 2 + (40 - 3) * 2
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(5, 5)
+
+    def test_watts_strogatz_degree_preserved_without_rewiring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert all(g.degree(v) == 4 for v in g)
+
+    def test_watts_strogatz_rewiring_keeps_edge_count(self):
+        g = watts_strogatz_graph(30, 4, 0.5, seed=2)
+        assert g.number_of_edges() == 30 * 2
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 12, 0.1)  # k >= n
+
+    def test_planted_partition_sizes(self):
+        g = planted_partition_graph(3, 10, 0.5, 0.02, seed=4)
+        assert g.number_of_vertices() == 30
+
+    def test_planted_partition_dense_communities(self):
+        g = planted_partition_graph(2, 12, 1.0, 0.0, seed=4)
+        # with p_in = 1 and p_out = 0 each community is a clique, no bridges
+        assert g.number_of_edges() == 2 * (12 * 11 // 2)
+
+    def test_random_geometric_radius_monotone(self):
+        sparse = random_geometric_graph(40, 0.1, seed=8)
+        dense = random_geometric_graph(40, 0.4, seed=8)
+        assert dense.number_of_edges() >= sparse.number_of_edges()
+
+    def test_random_geometric_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_geometric_graph(10, 0.0)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(25, seed=3)
+        assert g.number_of_vertices() == 25
+        assert g.number_of_edges() == 24
+        assert is_connected(g)
+
+    def test_random_tree_small_sizes(self):
+        assert random_tree(1).number_of_vertices() == 1
+        two = random_tree(2)
+        assert two.number_of_edges() == 1
+
+    def test_random_tree_reproducible(self):
+        a = random_tree(15, seed=10)
+        b = random_tree(15, seed=10)
+        assert sorted(a.edges()) == sorted(b.edges())

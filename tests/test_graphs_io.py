@@ -1,0 +1,142 @@
+"""Tests for graph serialisation (edge lists, JSON, networkx interop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, barbell_graph, path_graph
+from repro.graphs.io import (
+    format_edge_list,
+    from_dict,
+    from_networkx,
+    parse_edge_list,
+    read_edge_list,
+    read_json,
+    to_dict,
+    to_networkx,
+    write_edge_list,
+    write_json,
+)
+
+
+class TestEdgeList:
+    def test_format_unweighted(self, path5):
+        text = format_edge_list(path5)
+        lines = text.strip().splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["0", "1"]
+
+    def test_format_weighted(self):
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, 2.5)
+        assert format_edge_list(g).strip() == "0 1 2.5"
+
+    def test_parse_round_trip(self, barbell):
+        text = format_edge_list(barbell)
+        rebuilt = parse_edge_list(text.splitlines())
+        assert rebuilt.number_of_vertices() == barbell.number_of_vertices()
+        assert rebuilt.number_of_edges() == barbell.number_of_edges()
+        for u, v in barbell.edges():
+            assert rebuilt.has_edge(u, v)
+
+    def test_parse_skips_comments_and_blank_lines(self):
+        lines = ["# header", "", "0 1", "  ", "1 2"]
+        g = parse_edge_list(lines)
+        assert g.number_of_edges() == 2
+
+    def test_parse_drops_self_loops(self):
+        g = parse_edge_list(["0 0", "0 1"])
+        assert g.number_of_edges() == 1
+
+    def test_parse_weighted(self):
+        g = parse_edge_list(["0 1 4.0"], weighted=True)
+        assert g.edge_weight(0, 1) == 4.0
+
+    def test_parse_weighted_default_weight(self):
+        g = parse_edge_list(["0 1"], weighted=True)
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_parse_invalid_line(self):
+        with pytest.raises(GraphError):
+            parse_edge_list(["justone"])
+
+    def test_parse_invalid_vertex_token(self):
+        with pytest.raises(GraphError):
+            parse_edge_list(["a b"])  # default vertex_type=int
+
+    def test_parse_invalid_weight_token(self):
+        with pytest.raises(GraphError):
+            parse_edge_list(["0 1 notaweight"], weighted=True)
+
+    def test_parse_string_vertices(self):
+        g = parse_edge_list(["alice bob"], vertex_type=str)
+        assert g.has_edge("alice", "bob")
+
+    def test_file_round_trip(self, tmp_path, barbell):
+        path = tmp_path / "graph.edges"
+        write_edge_list(barbell, path)
+        rebuilt = read_edge_list(path)
+        assert rebuilt.number_of_edges() == barbell.number_of_edges()
+
+
+class TestJson:
+    def test_dict_round_trip(self, barbell):
+        data = to_dict(barbell)
+        rebuilt = from_dict(data)
+        assert rebuilt.number_of_vertices() == barbell.number_of_vertices()
+        assert rebuilt.number_of_edges() == barbell.number_of_edges()
+
+    def test_dict_preserves_flags(self):
+        g = Graph(directed=True, weighted=True)
+        g.add_edge(0, 1, 3.0)
+        rebuilt = from_dict(to_dict(g))
+        assert rebuilt.directed and rebuilt.weighted
+        assert rebuilt.edge_weight(0, 1) == 3.0
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(GraphError):
+            from_dict({"vertices": [1, 2]})
+
+    def test_json_file_round_trip(self, tmp_path, path5):
+        path = tmp_path / "graph.json"
+        write_json(path5, path)
+        rebuilt = read_json(path)
+        assert rebuilt.number_of_edges() == 4
+
+    def test_isolated_vertices_survive_round_trip(self):
+        g = Graph()
+        g.add_vertex(7)
+        g.add_edge(0, 1)
+        rebuilt = from_dict(to_dict(g))
+        assert rebuilt.has_vertex(7)
+
+
+class TestNetworkxInterop:
+    def test_to_networkx(self, barbell):
+        nx_graph = to_networkx(barbell)
+        assert nx_graph.number_of_nodes() == barbell.number_of_vertices()
+        assert nx_graph.number_of_edges() == barbell.number_of_edges()
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        nx_graph = nx.path_graph(4)
+        g = from_networkx(nx_graph)
+        assert g.number_of_edges() == 3
+
+    def test_round_trip_weighted(self):
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 0.5)
+        back = from_networkx(to_networkx(g), weighted=True)
+        assert back.edge_weight(1, 2) == 0.5
+
+    def test_from_networkx_drops_self_loops(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        g = from_networkx(nx_graph)
+        assert g.number_of_edges() == 1

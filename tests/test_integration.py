@@ -1,0 +1,153 @@
+"""End-to-end integration tests spanning datasets, samplers, analysis and the API.
+
+These mirror, at miniature scale, what the benchmark harness does for the
+paper's experiments, so the harness logic itself is exercised in CI time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    convergence_sweep,
+    empirical_coverage,
+    ranking_report,
+    spearman_correlation,
+)
+from repro.centrality import betweenness_single, relative_betweenness
+from repro.datasets import load_dataset, pick_reference_set, pick_targets
+from repro.exact import (
+    betweenness_centrality,
+    betweenness_of_vertex,
+    exact_betweenness_ratio,
+    exact_stationary_relative_betweenness,
+)
+from repro.mcmc import (
+    SingleSpaceMHSampler,
+    mcmc_error_probability,
+    mu_of_vertex,
+)
+from repro.samplers import UniformSourceSampler
+
+
+class TestMiniExperimentE1:
+    """Error-vs-samples comparison between the MH sampler and a baseline."""
+
+    def test_mh_unbiased_and_uniform_baseline_both_converge(self):
+        graph = load_dataset("caveman", size="tiny", seed=0)
+        target = pick_targets(graph)["high"]
+        exact = betweenness_of_vertex(graph, target)
+
+        mh = SingleSpaceMHSampler(estimator="proposal")
+        mh_curve = convergence_sweep(
+            lambda samples, rng: mh.estimate(graph, target, samples, seed=rng).estimate,
+            exact,
+            sample_budgets=[20, 160],
+            repetitions=4,
+            seed=1,
+        )
+        baseline = UniformSourceSampler()
+        base_curve = convergence_sweep(
+            lambda samples, rng: baseline.estimate(graph, target, samples, seed=rng).estimate,
+            exact,
+            sample_budgets=[20, 160],
+            repetitions=4,
+            seed=2,
+        )
+        # More samples must not increase the mean error dramatically, and the
+        # largest budgets should land within a sensible absolute error.
+        assert mh_curve[-1].mean_error < 0.1
+        assert base_curve[-1].mean_error < 0.1
+
+
+class TestMiniExperimentE3:
+    """Empirical (epsilon, delta) coverage of Theorem 1 on a separator vertex."""
+
+    def test_failure_rate_below_theoretical_bound(self):
+        graph = load_dataset("barbell", size="tiny", seed=0)
+        target = pick_targets(graph)["high"]
+        exact = betweenness_of_vertex(graph, target)
+        mu = mu_of_vertex(graph, target)
+        sampler = SingleSpaceMHSampler()
+        samples = 150
+        epsilon = 0.35  # generous epsilon keeps runtime small but the bound non-trivial
+
+        result = empirical_coverage(
+            lambda rng: sampler.estimate(graph, target, samples, seed=rng).estimate,
+            exact,
+            epsilon=epsilon,
+            runs=15,
+            seed=3,
+            theoretical_bound=mcmc_error_probability(samples, epsilon, mu),
+        )
+        assert result.within_bound()
+
+
+class TestMiniExperimentE5:
+    """Joint-space sampler: ratios and relative scores on a real dataset stand-in."""
+
+    def test_relative_scores_and_ratios_track_exact_values(self):
+        graph = load_dataset("caveman", size="tiny", seed=0)
+        refs = pick_reference_set(graph, 3)
+        # The dependency oracle caches one Brandes pass per distinct source,
+        # so a long chain on this 24-vertex graph stays cheap.
+        estimate = relative_betweenness(graph, refs, samples=6000, seed=5)
+
+        # The per-pair estimates converge to the stationary expectation (see
+        # exact_stationary_relative_betweenness for the reproduction note).
+        for ri in refs:
+            for rj in refs:
+                if ri == rj:
+                    continue
+                exact_rel = exact_stationary_relative_betweenness(graph, ri, rj)
+                assert estimate.relative[ri][rj] == pytest.approx(exact_rel, abs=0.1)
+
+        # Theorem 3: the ratio estimator is consistent for BC(ri)/BC(rj).
+        ri, rj = refs[0], refs[1]
+        assert estimate.ratios[(ri, rj)] == pytest.approx(
+            exact_betweenness_ratio(graph, ri, rj), rel=0.25
+        )
+
+
+class TestMiniExperimentE6:
+    """Ranking fidelity of the joint-space sampler."""
+
+    def test_estimated_ranking_correlates_with_exact(self):
+        graph = load_dataset("barbell", size="tiny", seed=0)
+        refs = pick_reference_set(graph, 4)
+        estimate = relative_betweenness(graph, refs, samples=1500, seed=6)
+        exact = {v: betweenness_of_vertex(graph, v) for v in refs}
+        estimated_scores = {
+            v: sum(estimate.relative[v][w] for w in refs if w != v) for v in refs
+        }
+        report = ranking_report(estimated_scores, exact, k=2)
+        assert report["spearman"] > 0.5
+
+
+class TestEndToEndApi:
+    def test_full_pipeline_on_every_tiny_dataset(self):
+        # For every dataset family: load, pick a target, estimate with the
+        # corrected MH read-out, and compare against the exact value.
+        from repro.datasets import dataset_names
+
+        for name in dataset_names():
+            graph = load_dataset(name, size="tiny", seed=0)
+            targets = pick_targets(graph)
+            target = targets["high"]
+            exact = betweenness_of_vertex(graph, target)
+            result = betweenness_single(
+                graph, target, method="mh-unbiased", samples=150, seed=7
+            )
+            assert result.estimate == pytest.approx(exact, abs=max(0.3 * exact, 0.08))
+
+    def test_exact_and_estimated_rankings_agree_on_clear_hierarchy(self):
+        graph = load_dataset("social", size="tiny", seed=1)
+        exact = betweenness_centrality(graph)
+        estimates = UniformSourceSampler().estimate_all(
+            graph, graph.number_of_vertices(), seed=2
+        )
+        correlation = spearman_correlation(
+            [estimates[v] for v in graph.vertices()],
+            [exact[v] for v in graph.vertices()],
+        )
+        assert correlation > 0.9

@@ -1,0 +1,140 @@
+"""Tests for MCMC chain diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import barbell_graph, star_graph
+from repro.mcmc import (
+    ChainDiagnostics,
+    SingleSpaceMHSampler,
+    autocorrelation,
+    diagnose_chain,
+    effective_sample_size,
+    empirical_vs_stationary,
+    geweke_z_score,
+    stationary_distribution,
+    total_variation_distance,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        trace = [1.0, 2.0, 3.0, 4.0, 3.0, 2.0]
+        assert autocorrelation(trace, 0) == pytest.approx(1.0)
+
+    def test_alternating_sequence_negative_lag_one(self):
+        trace = [1.0, -1.0] * 20
+        assert autocorrelation(trace, 1) < -0.9
+
+    def test_constant_sequence_is_zero(self):
+        assert autocorrelation([2.0] * 10, 1) == 0.0
+
+    def test_lag_longer_than_trace(self):
+        assert autocorrelation([1.0, 2.0], 5) == 0.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation([1.0, 2.0], -1)
+
+
+class TestEffectiveSampleSize:
+    def test_iid_like_trace_has_large_ess(self):
+        import random
+
+        rng = random.Random(1)
+        trace = [rng.random() for _ in range(500)]
+        assert effective_sample_size(trace) > 250
+
+    def test_highly_correlated_trace_has_small_ess(self):
+        trace = [float(i // 50) for i in range(500)]  # long constant plateaus
+        assert effective_sample_size(trace) < 100
+
+    def test_constant_trace_reports_full_length(self):
+        assert effective_sample_size([1.0] * 50) == 50.0
+
+    def test_empty_trace(self):
+        assert effective_sample_size([]) == 0.0
+
+
+class TestGeweke:
+    def test_stationary_trace_small_z(self):
+        import random
+
+        rng = random.Random(2)
+        trace = [rng.gauss(0, 1) for _ in range(1000)]
+        assert abs(geweke_z_score(trace)) < 3.0
+
+    def test_drifting_trace_large_z(self):
+        trace = [float(i) for i in range(400)]
+        assert abs(geweke_z_score(trace)) > 5.0
+
+    def test_short_trace_is_zero(self):
+        assert geweke_z_score([1.0, 2.0]) == 0.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            geweke_z_score([1.0] * 10, first_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            geweke_z_score([1.0] * 10, first_fraction=0.7, last_fraction=0.7)
+
+
+class TestDistributionDiagnostics:
+    def test_total_variation_identical(self):
+        p = {0: 0.5, 1: 0.5}
+        assert total_variation_distance(p, dict(p)) == 0.0
+
+    def test_total_variation_disjoint(self):
+        assert total_variation_distance({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_total_variation_partial_overlap(self):
+        p = {0: 0.5, 1: 0.5}
+        q = {0: 0.25, 1: 0.75}
+        assert total_variation_distance(p, q) == pytest.approx(0.25)
+
+    def test_stationary_distribution_normalised(self, barbell):
+        dist = stationary_distribution(barbell, 5)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(p > 0.0 for p in dist.values())
+
+    def test_stationary_distribution_zero_betweenness(self, star6):
+        with pytest.raises(ConfigurationError):
+            stationary_distribution(star6, 1)
+
+    def test_empirical_vs_stationary_decreases_with_chain_length(self, barbell):
+        sampler = SingleSpaceMHSampler()
+        short = sampler.run_chain(barbell, 5, 30, seed=3)
+        long = sampler.run_chain(barbell, 5, 3000, seed=3)
+        assert empirical_vs_stationary(barbell, long) < empirical_vs_stationary(barbell, short)
+
+
+class TestDiagnoseChain:
+    def test_report_fields(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 300, seed=5)
+        report = diagnose_chain(chain, graph=barbell)
+        assert isinstance(report, ChainDiagnostics)
+        assert report.chain_length == 300
+        assert 0.0 <= report.acceptance_rate <= 1.0
+        assert report.effective_sample_size > 0.0
+        assert report.tv_distance_to_stationary is not None
+
+    def test_report_without_graph_skips_tv(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=5)
+        report = diagnose_chain(chain)
+        assert report.tv_distance_to_stationary is None
+
+    def test_healthy_chain(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 2000, seed=5)
+        assert diagnose_chain(chain).healthy()
+
+    def test_unhealthy_when_acceptance_degenerate(self):
+        report = ChainDiagnostics(
+            acceptance_rate=0.001,
+            effective_sample_size=100.0,
+            geweke_z=0.1,
+            lag1_autocorrelation=0.2,
+            chain_length=100,
+            evaluations=10,
+        )
+        assert not report.healthy()

@@ -1,0 +1,88 @@
+"""Tests for the edge-betweenness MH extension (paper's future-work direction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, EdgeNotFoundError
+from repro.exact import edge_betweenness_centrality
+from repro.graphs import barbell_graph, cycle_graph, path_graph, star_graph
+from repro.mcmc import EdgeDependencyOracle, EdgeMHSampler, exact_edge_dependency_vector
+
+
+class TestEdgeDependencyOracle:
+    def test_dependencies_sum_to_edge_betweenness(self, barbell):
+        # Summing delta_v(e) over sources and normalising by n(n-1) must give
+        # the exact edge betweenness.
+        edge = (5, 6)
+        vector = exact_edge_dependency_vector(barbell, edge)
+        n = barbell.number_of_vertices()
+        exact = edge_betweenness_centrality(barbell, normalized=True)[(5, 6)]
+        assert sum(vector.values()) / (n * (n - 1)) == pytest.approx(exact)
+
+    def test_orientation_is_irrelevant(self, path5):
+        a = exact_edge_dependency_vector(path5, (1, 2))
+        b = exact_edge_dependency_vector(path5, (2, 1))
+        assert a == b
+
+    def test_missing_edge_rejected(self, path5):
+        with pytest.raises(EdgeNotFoundError):
+            EdgeDependencyOracle(path5, (0, 4))
+
+    def test_caching_counts(self, path5):
+        oracle = EdgeDependencyOracle(path5, (1, 2))
+        oracle.dependency(0)
+        oracle.dependency(0)
+        assert oracle.evaluations == 1
+        assert oracle.lookups == 2
+
+    def test_path_closed_form(self, path5):
+        # Edge (2, 3) of the path 0-1-2-3-4: from source 0, targets 3 and 4
+        # depend on it; from source 4, nothing does (the DAG orientation is
+        # (3, 2)), but the undirected sum counts both directions.
+        vector = exact_edge_dependency_vector(path5, (2, 3))
+        assert vector[0] == pytest.approx(2.0)
+        assert vector[4] == pytest.approx(3.0)
+
+
+class TestEdgeMHSampler:
+    def test_unbiased_estimate_matches_exact(self, barbell):
+        exact = edge_betweenness_centrality(barbell, normalized=True)[(5, 6)]
+        sampler = EdgeMHSampler(estimator="proposal")
+        result = sampler.estimate(barbell, (5, 6), 400, seed=3)
+        assert result.estimate == pytest.approx(exact, abs=0.08)
+
+    def test_star_spoke_edge(self, star6):
+        # every spoke edge of the star has the same exact betweenness
+        exact = edge_betweenness_centrality(star6, normalized=True)[(0, 1)]
+        result = EdgeMHSampler().estimate(star6, (0, 1), 500, seed=4)
+        assert result.estimate == pytest.approx(exact, abs=0.08)
+
+    def test_chain_read_out_runs(self, barbell):
+        result = EdgeMHSampler(estimator="chain").estimate(barbell, (5, 6), 200, seed=5)
+        assert result.estimate > 0.0
+        assert result.diagnostics["estimator"] == "chain"
+
+    def test_estimates_are_seed_reproducible(self, cycle_fixture=None):
+        graph = cycle_graph(8)
+        a = EdgeMHSampler().estimate(graph, (0, 1), 100, seed=9).estimate
+        b = EdgeMHSampler().estimate(graph, (0, 1), 100, seed=9).estimate
+        assert a == b
+
+    def test_missing_edge_rejected(self, barbell):
+        with pytest.raises(EdgeNotFoundError):
+            EdgeMHSampler().estimate(barbell, (0, 11), 50, seed=1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            EdgeMHSampler(estimator="bogus")
+
+    def test_invalid_chain_length(self, barbell):
+        with pytest.raises(ConfigurationError):
+            EdgeMHSampler().run_chain(barbell, (5, 6), 0)
+
+    def test_bridge_edge_dominates_clique_edge(self, barbell):
+        sampler = EdgeMHSampler()
+        bridge = sampler.estimate(barbell, (5, 6), 400, seed=6).estimate
+        clique = sampler.estimate(barbell, (0, 1), 400, seed=6).estimate
+        assert bridge > clique

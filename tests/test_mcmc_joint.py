@@ -1,0 +1,187 @@
+"""Tests for the joint-space Metropolis-Hastings sampler (Section 4.3, Theorems 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SamplingError
+from repro.exact import (
+    betweenness_of_vertex,
+    exact_betweenness_ratio,
+    exact_relative_betweenness,
+    exact_stationary_relative_betweenness,
+)
+from repro.graphs import Graph, barbell_graph, path_graph, star_graph
+from repro.mcmc import DependencyOracle, JointSpaceMHSampler
+
+
+@pytest.fixture
+def barbell_chain(barbell):
+    """A reasonably long joint chain over three positive-betweenness vertices of the barbell.
+
+    Reference vertices: the two bridge vertices (5, 6) and the clique vertex
+    anchoring the bridge (4).  All three have strictly positive betweenness,
+    so every pairwise ratio of Equation 22 is well defined.
+    """
+    sampler = JointSpaceMHSampler()
+    return sampler.run_chain(barbell, [5, 6, 4], 3000, seed=19)
+
+
+class TestChainMechanics:
+    def test_states_count(self, barbell):
+        chain = JointSpaceMHSampler().run_chain(barbell, [5, 0], 40, seed=1)
+        assert len(chain.states) == 41
+
+    def test_reference_set_deduplicated(self, barbell):
+        chain = JointSpaceMHSampler().run_chain(barbell, [5, 5, 0], 20, seed=1)
+        assert chain.reference_set == [5, 0]
+
+    def test_requires_two_reference_vertices(self, barbell):
+        with pytest.raises(ConfigurationError):
+            JointSpaceMHSampler().run_chain(barbell, [5], 20, seed=1)
+
+    def test_reference_vertices_must_exist(self, barbell):
+        with pytest.raises(Exception):
+            JointSpaceMHSampler().run_chain(barbell, [5, 99], 20, seed=1)
+
+    def test_initial_state_respected(self, barbell):
+        chain = JointSpaceMHSampler().run_chain(
+            barbell, [5, 0], 20, seed=1, initial_state=(5, 2)
+        )
+        assert chain.states[0].r == 5 and chain.states[0].v == 2
+
+    def test_initial_state_validation(self, barbell):
+        with pytest.raises(ConfigurationError):
+            JointSpaceMHSampler().run_chain(barbell, [5, 0], 20, seed=1, initial_state=(7, 2))
+
+    def test_sample_counts_sum_to_kept_length(self, barbell_chain):
+        counts = barbell_chain.sample_counts()
+        assert sum(counts.values()) == len(barbell_chain.kept_states())
+
+    def test_each_reference_vertex_gets_samples(self, barbell_chain):
+        counts = barbell_chain.sample_counts()
+        assert all(count > 0 for count in counts.values())
+
+    def test_state_dependencies_cover_reference_set(self, barbell_chain):
+        for state in barbell_chain.states[:50]:
+            assert set(state.dependencies) == {5, 6, 4}
+
+    def test_dependency_property_reads_own_reference(self, barbell_chain):
+        state = barbell_chain.states[10]
+        assert state.dependency == state.dependencies[state.r]
+
+    def test_rejected_moves_repeat_state(self, barbell):
+        chain = JointSpaceMHSampler().run_chain(barbell, [5, 0], 300, seed=3)
+        for previous, state in zip(chain.states, chain.states[1:]):
+            if not state.accepted:
+                assert (state.r, state.v) == (previous.r, previous.v)
+
+    def test_acceptance_rate_range(self, barbell_chain):
+        assert 0.0 < barbell_chain.acceptance_rate() <= 1.0
+
+    def test_deterministic_given_seed(self, barbell):
+        a = JointSpaceMHSampler().run_chain(barbell, [5, 0], 80, seed=7)
+        b = JointSpaceMHSampler().run_chain(barbell, [5, 0], 80, seed=7)
+        assert [(s.r, s.v) for s in a.states] == [(s.r, s.v) for s in b.states]
+
+    def test_burn_in(self, barbell):
+        chain = JointSpaceMHSampler(burn_in=10).run_chain(barbell, [5, 0], 50, seed=2)
+        assert len(chain.kept_states()) == 41
+
+    def test_validation_errors(self, barbell):
+        with pytest.raises(ConfigurationError):
+            JointSpaceMHSampler(burn_in=-1)
+        with pytest.raises(ConfigurationError):
+            JointSpaceMHSampler().run_chain(barbell, [5, 0], 0)
+
+
+class TestTheorem3And4:
+    def test_relative_betweenness_matches_stationary_expectation(self, barbell_chain, barbell):
+        # The chain average converges to the stationary (pi-weighted)
+        # expectation; see exact_stationary_relative_betweenness for the
+        # reproduction note on how it relates to Equation 23.
+        estimate = barbell_chain.relative_betweenness(5, 6)
+        exact = exact_stationary_relative_betweenness(barbell, 5, 6)
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_relative_betweenness_close_to_equation_23_for_flat_target(self, barbell_chain, barbell):
+        # mu(6) is small on the barbell, so the Equation 23 value is close to
+        # the stationary expectation and the estimate tracks both.
+        estimate = barbell_chain.relative_betweenness(5, 6)
+        exact = exact_relative_betweenness(barbell, 5, 6)
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_relative_betweenness_asymmetric_pair(self, barbell_chain, barbell):
+        estimate = barbell_chain.relative_betweenness(4, 5)
+        exact = exact_stationary_relative_betweenness(barbell, 4, 5)
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_ratio_estimate_matches_exact_ratio(self, barbell_chain, barbell):
+        # Theorem 3: the ratio of relative scores estimates BC(ri)/BC(rj).
+        estimate = barbell_chain.ratio_estimate(5, 6)
+        assert estimate == pytest.approx(exact_betweenness_ratio(barbell, 5, 6), abs=0.15)
+
+    def test_ratio_estimate_inverse_consistency(self, barbell_chain):
+        forward = barbell_chain.ratio_estimate(5, 4)
+        backward = barbell_chain.ratio_estimate(4, 5)
+        assert forward * backward == pytest.approx(1.0)
+
+    def test_ratio_close_to_exact_for_unequal_pair(self, barbell_chain, barbell):
+        # BC(5) > BC(4); the estimated ratio tracks the exact one.
+        exact = exact_betweenness_ratio(barbell, 5, 4)
+        assert exact > 1.0
+        assert barbell_chain.ratio_estimate(5, 4) == pytest.approx(exact, abs=0.25)
+
+    def test_relative_matrix_diagonal_is_one(self, barbell_chain):
+        matrix = barbell_chain.relative_matrix()
+        for r in barbell_chain.reference_set:
+            assert matrix[r][r] == 1.0
+
+    def test_relative_matrix_entries_bounded(self, barbell_chain):
+        matrix = barbell_chain.relative_matrix()
+        for row in matrix.values():
+            for value in row.values():
+                assert 0.0 <= value <= 1.0 or value != value  # allow NaN
+
+    def test_ranking_puts_zero_betweenness_vertex_last(self, barbell):
+        # A separate reference set containing a zero-betweenness clique
+        # vertex (0): it must be ranked last.
+        chain = JointSpaceMHSampler().run_chain(barbell, [5, 0], 800, seed=23)
+        assert chain.ranking() == [5, 0]
+
+    def test_unknown_pair_rejected(self, barbell_chain):
+        with pytest.raises(ConfigurationError):
+            barbell_chain.relative_betweenness(5, 99)
+
+    def test_missing_samples_raise(self, barbell):
+        # A very short chain may never visit one of the reference vertices.
+        sampler = JointSpaceMHSampler()
+        chain = sampler.run_chain(barbell, [5, 6, 0], 1, seed=2)
+        missing = [r for r, c in chain.sample_counts().items() if c == 0]
+        if missing:
+            with pytest.raises(SamplingError):
+                chain.relative_betweenness(5, missing[0])
+
+
+class TestEstimateRelative:
+    def test_bundle_contents(self, barbell):
+        estimate = JointSpaceMHSampler().estimate_relative(barbell, [5, 6, 0], 500, seed=4)
+        assert estimate.samples == 500
+        assert set(estimate.sample_counts) == {5, 6, 0}
+        assert (5, 6) in estimate.ratios
+        assert estimate.relative[5][5] == 1.0
+        assert estimate.elapsed_seconds >= 0.0
+
+    def test_bundle_ranking_consistent_with_chain(self, barbell):
+        estimate = JointSpaceMHSampler().estimate_relative(barbell, [5, 6, 0], 800, seed=4)
+        assert estimate.ranking() == estimate.chain.ranking()
+
+    def test_shared_oracle_reduces_evaluations(self, barbell):
+        oracle = DependencyOracle(barbell)
+        JointSpaceMHSampler().estimate_relative(barbell, [5, 0], 300, seed=5, oracle=oracle)
+        assert oracle.evaluations <= barbell.number_of_vertices()
+
+    def test_zero_betweenness_member_is_ranked_last(self, star6):
+        # Leaves have betweenness 0; the centre must dominate the ranking.
+        estimate = JointSpaceMHSampler().estimate_relative(star6, [0, 1, 2], 600, seed=6)
+        assert estimate.ranking()[0] == 0

@@ -1,0 +1,165 @@
+"""Tests for the dependency oracle and the theoretical bounds (Theorems 1, 2, 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SamplingError
+from repro.exact import betweenness_of_vertex
+from repro.graphs import barbell_graph, path_graph, star_graph
+from repro.graphs.generators import double_star_graph
+from repro.mcmc import (
+    DependencyOracle,
+    epsilon_for_samples,
+    mcmc_error_probability,
+    mu_of_vertex,
+    mu_statistics,
+    required_samples,
+)
+from repro.shortest_paths import all_dependencies_on_target
+
+
+class TestDependencyOracle:
+    def test_matches_direct_computation(self, barbell):
+        oracle = DependencyOracle(barbell)
+        direct = all_dependencies_on_target(barbell, 5)
+        for v in barbell.vertices():
+            assert oracle.dependency(v, 5) == pytest.approx(direct[v])
+
+    def test_dependency_on_self_is_zero(self, barbell):
+        assert DependencyOracle(barbell).dependency(3, 3) == 0.0
+
+    def test_cache_hit_counting(self, barbell):
+        oracle = DependencyOracle(barbell)
+        oracle.dependency(0, 5)
+        oracle.dependency(0, 6)
+        oracle.dependency(0, 5)
+        assert oracle.evaluations == 1
+        assert oracle.lookups == 3
+        assert oracle.hit_rate() == pytest.approx(2 / 3)
+
+    def test_cache_disabled(self, barbell):
+        oracle = DependencyOracle(barbell, cache_size=0)
+        oracle.dependency(0, 5)
+        oracle.dependency(0, 5)
+        assert oracle.evaluations == 2
+        assert not oracle.cache_enabled
+
+    def test_lru_eviction(self, barbell):
+        oracle = DependencyOracle(barbell, cache_size=2)
+        oracle.dependency(0, 5)
+        oracle.dependency(1, 5)
+        oracle.dependency(2, 5)  # evicts vertex 0
+        oracle.dependency(0, 5)  # must recompute
+        assert oracle.evaluations == 4
+
+    def test_clear_resets_counters(self, barbell):
+        oracle = DependencyOracle(barbell)
+        oracle.dependency(0, 5)
+        oracle.clear()
+        assert oracle.evaluations == 0 and oracle.lookups == 0
+
+    def test_dependency_vector_covers_all_targets(self, barbell):
+        vector = DependencyOracle(barbell).dependency_vector(0)
+        assert set(vector) == set(barbell.vertices())
+
+
+class TestMuStatistics:
+    def test_star_center_mu(self, star6):
+        # every leaf has dependency 5 on the centre, the centre itself 0:
+        # max = 5, mean = 30/7, mu = 7/6.
+        stats = mu_statistics(star6, 0)
+        assert stats.mu == pytest.approx(7.0 / 6.0)
+        assert stats.max_dependency == pytest.approx(5.0)
+        assert stats.support_size == 6
+
+    def test_mu_at_least_one(self, barbell, small_ba):
+        for graph in (barbell, small_ba):
+            from repro.datasets import positive_betweenness_vertices
+
+            for r in list(positive_betweenness_vertices(graph))[:5]:
+                assert mu_of_vertex(graph, r) >= 1.0
+
+    def test_zero_betweenness_vertex_raises(self, star6):
+        with pytest.raises(SamplingError):
+            mu_statistics(star6, 1)
+
+    def test_total_matches_unnormalised_betweenness(self, barbell):
+        stats = mu_statistics(barbell, 5)
+        n = barbell.number_of_vertices()
+        assert stats.total_dependency / (n * (n - 1)) == pytest.approx(
+            betweenness_of_vertex(barbell, 5)
+        )
+
+    def test_balanced_separator_mu_stays_constant_as_graph_grows(self):
+        # Theorem 2: for the centre of a double star (a balanced separator),
+        # mu does not grow with the graph size.
+        mus = []
+        for leaves in (10, 20, 40, 80):
+            graph = double_star_graph(leaves, leaves)
+            mus.append(mu_of_vertex(graph, 0))
+        assert max(mus) - min(mus) < 0.6
+        assert max(mus) < 3.0
+
+    def test_peripheral_vertex_mu_grows(self):
+        # For a path end's neighbour, dependencies are maximally skewed and
+        # mu grows roughly linearly with n (no Theorem 2 guarantee).
+        mus = []
+        for n in (11, 21, 41):
+            graph = path_graph(n)
+            mus.append(mu_of_vertex(graph, 1))
+        assert mus[2] > mus[1] > mus[0]
+        assert mus[2] > 2 * mus[0]
+
+
+class TestBoundFormulas:
+    def test_error_probability_decreases_with_samples(self):
+        values = [mcmc_error_probability(t, 0.05, 2.0) for t in (10, 100, 1000, 10000)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.05
+
+    def test_error_probability_vacuous_region(self):
+        # When 2 eps / mu <= 3 / T the bound is vacuous and clamped at 1.
+        assert mcmc_error_probability(10, 0.01, 10.0) == 1.0
+
+    def test_error_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            mcmc_error_probability(0, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            mcmc_error_probability(10, -0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            mcmc_error_probability(10, 0.1, 0.0)
+
+    def test_required_samples_formula(self):
+        # direct check of Equation 14
+        mu, eps, delta = 2.0, 0.05, 0.1
+        expected = math.ceil(mu * mu / (2 * eps * eps) * math.log(2 / delta))
+        assert required_samples(eps, delta, mu) == expected
+
+    def test_required_samples_monotone_in_mu(self):
+        assert required_samples(0.05, 0.1, 4.0) > required_samples(0.05, 0.1, 1.0)
+
+    def test_required_samples_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_samples(0.0, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            required_samples(0.1, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            required_samples(0.1, 0.1, -1.0)
+
+    def test_epsilon_for_samples_inverts_required_samples(self):
+        mu, delta = 1.8, 0.1
+        samples = required_samples(0.07, delta, mu)
+        epsilon = epsilon_for_samples(samples, delta, mu)
+        assert epsilon <= 0.07 + 1e-9
+
+    def test_bound_consistency(self):
+        # Plugging the Equation 14 sample count back into the Equation 12
+        # bound (neglecting the 3/T term as the paper does) yields <= delta.
+        mu, eps, delta = 1.5, 0.05, 0.2
+        samples = required_samples(eps, delta, mu)
+        bound = mcmc_error_probability(samples, eps, mu)
+        # the 3/T term slightly weakens the bound, allow a modest slack
+        assert bound <= delta * 1.5

@@ -1,0 +1,214 @@
+"""Tests for the single-space Metropolis-Hastings sampler (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SamplingError
+from repro.exact import betweenness_of_vertex
+from repro.graphs import Graph, barbell_graph, path_graph, star_graph
+from repro.mcmc import (
+    DependencyOracle,
+    SingleSpaceMHSampler,
+    stationary_distribution,
+    total_variation_distance,
+)
+from repro.mcmc.single import ESTIMATORS, PROPOSALS
+
+
+class TestChainMechanics:
+    def test_chain_has_t_plus_one_states(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 50, seed=1)
+        assert len(chain.states) == 51
+        assert chain.chain_length() == 50
+
+    def test_initial_state_respected(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 10, seed=1, initial_state=3)
+        assert chain.states[0].vertex == 3
+
+    def test_rejected_proposal_repeats_state(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 200, seed=2)
+        for previous, state in zip(chain.states, chain.states[1:]):
+            if not state.accepted:
+                assert state.vertex == previous.vertex
+                assert state.dependency == previous.dependency
+
+    def test_accepted_moves_change_dependency_consistently(self, barbell):
+        oracle = DependencyOracle(barbell)
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=3, oracle=oracle)
+        for state in chain.states:
+            assert state.dependency == pytest.approx(oracle.dependency(state.vertex, 5))
+
+    def test_acceptance_rate_between_zero_and_one(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=4)
+        assert 0.0 <= chain.acceptance_rate() <= 1.0
+
+    def test_deterministic_given_seed(self, barbell):
+        a = SingleSpaceMHSampler().run_chain(barbell, 5, 60, seed=9)
+        b = SingleSpaceMHSampler().run_chain(barbell, 5, 60, seed=9)
+        assert a.visited_vertices() == b.visited_vertices()
+
+    def test_different_seeds_differ(self, barbell):
+        a = SingleSpaceMHSampler().run_chain(barbell, 5, 60, seed=9)
+        b = SingleSpaceMHSampler().run_chain(barbell, 5, 60, seed=10)
+        assert a.visited_vertices() != b.visited_vertices()
+
+    def test_shared_oracle_reuses_evaluations(self, barbell):
+        oracle = DependencyOracle(barbell)
+        SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=1, oracle=oracle)
+        first = oracle.evaluations
+        SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=2, oracle=oracle)
+        # the second chain revisits mostly cached vertices
+        assert oracle.evaluations <= first + barbell.number_of_vertices()
+        assert oracle.evaluations <= barbell.number_of_vertices()
+
+    def test_chain_never_leaves_support_once_entered(self, barbell):
+        # Once the chain is at a positive-dependency state it can only move
+        # to another positive-dependency state (zero-dependency candidates
+        # have acceptance probability 0).
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 300, seed=5)
+        entered = False
+        for state in chain.states:
+            if state.dependency > 0.0:
+                entered = True
+            elif entered:
+                pytest.fail("chain moved from a positive-dependency state to a zero one")
+
+    def test_burn_in_drops_states(self, barbell):
+        sampler = SingleSpaceMHSampler(burn_in=10)
+        chain = sampler.run_chain(barbell, 5, 50, seed=1)
+        assert len(chain.kept_states()) == 41
+
+    def test_record_states_false_still_estimates(self, barbell):
+        lean = SingleSpaceMHSampler(record_states=False).estimate(barbell, 5, 100, seed=3)
+        full = SingleSpaceMHSampler().estimate(barbell, 5, 100, seed=3)
+        assert lean.estimate == pytest.approx(full.estimate)
+
+    def test_validation_errors(self, barbell):
+        with pytest.raises(ConfigurationError):
+            SingleSpaceMHSampler(proposal="bogus")
+        with pytest.raises(ConfigurationError):
+            SingleSpaceMHSampler(estimator="bogus")
+        with pytest.raises(ConfigurationError):
+            SingleSpaceMHSampler(burn_in=-1)
+        with pytest.raises(ConfigurationError):
+            SingleSpaceMHSampler().run_chain(barbell, 5, 0)
+        with pytest.raises(ConfigurationError):
+            SingleSpaceMHSampler(burn_in=20).run_chain(barbell, 5, 10)
+
+    def test_single_vertex_graph_rejected(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(SamplingError):
+            SingleSpaceMHSampler().run_chain(g, 0, 10)
+
+
+class TestStationaryBehaviour:
+    def test_visit_frequencies_approach_equation_5(self, barbell):
+        # Long chain: the empirical distribution should be close (in TV) to
+        # the dependency-proportional stationary distribution.
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 4000, seed=11)
+        target = stationary_distribution(barbell, 5)
+        tv = total_variation_distance(chain.empirical_distribution(), target)
+        assert tv < 0.08
+
+    def test_uniform_dependency_graph_high_acceptance(self, star6):
+        # For the star centre every leaf has the same dependency, so every
+        # proposal among leaves is accepted; acceptance rate stays near 1.
+        chain = SingleSpaceMHSampler().run_chain(star6, 0, 500, seed=2)
+        assert chain.acceptance_rate() > 0.8
+
+
+def pi_weighted_limit(graph, r):
+    """Asymptotic value of the Equation 7 chain read-out: E_pi[delta] / (n - 1)."""
+    from repro.shortest_paths import all_dependencies_on_target
+
+    deltas = all_dependencies_on_target(graph, r)
+    total = sum(deltas.values())
+    second_moment = sum(d * d for d in deltas.values())
+    return second_moment / total / (graph.number_of_vertices() - 1)
+
+
+class TestEstimators:
+    def test_paper_estimator_on_large_flat_target_is_accurate(self):
+        # For a large star the dependencies on the centre are flat and the
+        # support covers almost every vertex, so the Equation 7 read-out is
+        # close to BC(centre) — the regime in which the paper's constant-
+        # sample claim (Theorem 2) is meaningful.
+        big_star = star_graph(60)
+        exact = betweenness_of_vertex(big_star, 0)
+        result = SingleSpaceMHSampler().estimate(big_star, 0, 400, seed=6)
+        assert result.estimate == pytest.approx(exact, rel=0.08)
+
+    def test_chain_estimator_converges_to_pi_weighted_mean(self, path5):
+        # Reproduction finding: the Equation 7 read-out converges to the
+        # pi-weighted mean of the dependency scores, not to BC(r).
+        limit = pi_weighted_limit(path5, 1)
+        result = SingleSpaceMHSampler().estimate(path5, 1, 4000, seed=21)
+        assert result.estimate == pytest.approx(limit, abs=0.05)
+
+    def test_unbiased_estimator_on_skewed_target(self, path5):
+        # Vertex 1 of the path has skewed dependencies; the corrected
+        # "proposal" read-out stays unbiased while the chain read-out drifts.
+        exact = betweenness_of_vertex(path5, 1)
+        unbiased = SingleSpaceMHSampler(estimator="proposal").estimate(path5, 1, 1500, seed=8)
+        assert unbiased.estimate == pytest.approx(exact, abs=0.05)
+
+    def test_chain_estimator_bias_direction(self, path5):
+        # The Equation 7 read-out converges to the pi-weighted mean, which is
+        # >= BC(r); with a long chain the estimate should exceed the exact value.
+        exact = betweenness_of_vertex(path5, 1)
+        biased = SingleSpaceMHSampler().estimate(path5, 1, 3000, seed=8)
+        assert biased.estimate > exact
+
+    def test_estimator_read_outs_disagree_only_through_weighting(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 200, seed=4)
+        values = {name: chain.estimate(name) for name in ESTIMATORS}
+        assert len(values) == 3
+        assert all(v >= 0.0 for v in values.values())
+
+    def test_unknown_estimator_name_rejected(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 20, seed=1)
+        with pytest.raises(ValueError):
+            chain.estimate("bogus")
+
+    def test_running_estimates_end_at_final_estimate(self, barbell):
+        chain = SingleSpaceMHSampler().run_chain(barbell, 5, 100, seed=3)
+        running = chain.running_estimates()
+        assert len(running) == len(chain.kept_states())
+        assert running[-1] == pytest.approx(chain.estimate())
+
+    def test_zero_betweenness_target_estimates_zero(self, star6):
+        result = SingleSpaceMHSampler().estimate(star6, 3, 100, seed=1)
+        assert result.estimate == 0.0
+
+    def test_estimate_diagnostics_contents(self, barbell):
+        result = SingleSpaceMHSampler().estimate(barbell, 5, 50, seed=1)
+        diag = result.diagnostics
+        assert set(diag) >= {"acceptance_rate", "evaluations", "proposal", "estimator", "chain"}
+        assert result.method == "mh-single"
+
+
+class TestProposalVariants:
+    @pytest.mark.parametrize("proposal", PROPOSALS)
+    def test_all_proposals_share_the_same_limit(self, star6, proposal):
+        # Whatever the proposal, the stationary distribution (and hence the
+        # Equation 7 limit) is unchanged.
+        limit = pi_weighted_limit(star6, 0)
+        sampler = SingleSpaceMHSampler(proposal=proposal)
+        result = sampler.estimate(star6, 0, 800, seed=13)
+        assert result.estimate == pytest.approx(limit, abs=0.06)
+
+    def test_degree_proposal_preserves_stationary_distribution(self, barbell):
+        chain = SingleSpaceMHSampler(proposal="degree").run_chain(barbell, 5, 4000, seed=17)
+        target = stationary_distribution(barbell, 5)
+        tv = total_variation_distance(chain.empirical_distribution(), target)
+        assert tv < 0.1
+
+    def test_random_walk_proposal_moves_along_edges(self, barbell):
+        chain = SingleSpaceMHSampler(proposal="random-walk").run_chain(barbell, 5, 300, seed=3)
+        previous = chain.states[0]
+        for state in chain.states[1:]:
+            if state.accepted and state.vertex != previous.vertex:
+                assert barbell.has_edge(previous.vertex, state.vertex)
+            previous = state

@@ -1,0 +1,62 @@
+"""Tests for the RNG plumbing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_random_instance(self):
+        rng = ensure_rng(None)
+        assert isinstance(rng, random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123)
+        b = ensure_rng(123)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1)
+        b = ensure_rng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_existing_rng_passed_through(self):
+        rng = random.Random(0)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_children_are_deterministic(self):
+        a = spawn_rng(ensure_rng(5), 0)
+        b = spawn_rng(ensure_rng(5), 0)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_differ(self):
+        parent = ensure_rng(5)
+        a = spawn_rng(parent, 0)
+        b = spawn_rng(parent, 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_requires_random_instance(self):
+        with pytest.raises(TypeError):
+            spawn_rng(42, 0)  # type: ignore[arg-type]
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(1), -1)

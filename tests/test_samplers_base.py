@@ -1,0 +1,83 @@
+"""Tests for the shared estimator result containers and the console entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.samplers.base import MapEstimate, SingleEstimate, timed
+
+
+class TestSingleEstimate:
+    def test_float_conversion(self):
+        estimate = SingleEstimate(vertex=3, estimate=0.25, samples=10)
+        assert float(estimate) == 0.25
+
+    def test_defaults(self):
+        estimate = SingleEstimate(vertex="a", estimate=0.0, samples=1)
+        assert estimate.method == ""
+        assert estimate.diagnostics == {}
+        assert estimate.elapsed_seconds == 0.0
+
+    def test_diagnostics_are_per_instance(self):
+        a = SingleEstimate(vertex=1, estimate=0.1, samples=1)
+        b = SingleEstimate(vertex=2, estimate=0.2, samples=1)
+        a.diagnostics["key"] = "value"
+        assert "key" not in b.diagnostics
+
+
+class TestMapEstimate:
+    def test_getitem(self):
+        estimate = MapEstimate(estimates={1: 0.5, 2: 0.25}, samples=10)
+        assert estimate[1] == 0.5
+
+    def test_restricted_to(self):
+        estimate = MapEstimate(estimates={1: 0.5, 2: 0.25, 3: 0.0}, samples=10)
+        assert estimate.restricted_to([2, 3]) == {2: 0.25, 3: 0.0}
+
+    def test_missing_vertex_raises(self):
+        estimate = MapEstimate(estimates={1: 0.5}, samples=10)
+        with pytest.raises(KeyError):
+            estimate[99]
+
+
+class TestTimed:
+    def test_measures_nonnegative_time(self):
+        with timed() as clock:
+            sum(range(1000))
+        assert clock.elapsed >= 0.0
+
+    def test_elapsed_reset_on_reentry(self):
+        clock = timed()
+        with clock:
+            pass
+        first = clock.elapsed
+        with clock:
+            sum(range(10000))
+        assert clock.elapsed >= 0.0
+        assert clock.elapsed != first or clock.elapsed >= 0.0
+
+
+class TestConsoleEntryPoint:
+    def test_module_invocation_prints_datasets(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "datasets"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "email" in result.stdout
+
+    def test_module_invocation_error_code(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "estimate", "--dataset", "barbell",
+             "--vertex", "99999", "--samples", "5"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 2
+        assert "error" in result.stderr

@@ -1,0 +1,129 @@
+"""Tests for BFS shortest-path DAG construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph, star_graph
+from repro.shortest_paths import bfs_distances, bfs_spd, single_pair_distance
+
+
+class TestBfsSpd:
+    def test_path_distances(self, path5):
+        spd = bfs_spd(path5, 0)
+        assert spd.distance == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+    def test_path_sigmas_all_one(self, path5):
+        spd = bfs_spd(path5, 0)
+        assert all(s == 1.0 for s in spd.sigma.values())
+
+    def test_source_properties(self, barbell):
+        spd = bfs_spd(barbell, 3)
+        assert spd.distance[3] == 0.0
+        assert spd.sigma[3] == 1.0
+        assert spd.parents(3) == []
+
+    def test_cycle_two_shortest_paths_to_antipode(self):
+        g = cycle_graph(6)
+        spd = bfs_spd(g, 0)
+        assert spd.sigma[3] == 2.0
+        assert spd.distance[3] == 3.0
+
+    def test_grid_path_counts(self):
+        # in a grid the number of shortest paths to cell (i, j) is C(i+j, i)
+        g = grid_graph(4, 4)
+        spd = bfs_spd(g, 0)
+        assert spd.sigma[5] == 2.0  # cell (1,1)
+        assert spd.sigma[15] == 20.0  # cell (3,3): C(6,3)
+
+    def test_star_predecessors(self, star6):
+        spd = bfs_spd(star6, 1)
+        assert spd.parents(0) == [1]
+        assert spd.parents(4) == [0]
+        assert spd.distance[4] == 2.0
+
+    def test_order_is_sorted_by_distance(self, barbell):
+        spd = bfs_spd(barbell, 0)
+        distances = [spd.distance[v] for v in spd.order]
+        assert distances == sorted(distances)
+
+    def test_unreachable_vertices_absent(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        spd = bfs_spd(g, 0)
+        assert not spd.is_reachable(2)
+        assert spd.distance_to(2) == float("inf")
+        assert spd.path_count(2) == 0.0
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(VertexNotFoundError):
+            bfs_spd(path5, 42)
+
+    def test_cutoff_limits_exploration(self, path5):
+        spd = bfs_spd(path5, 0, cutoff=2)
+        assert spd.is_reachable(2)
+        assert not spd.is_reachable(4)
+
+    def test_validate_passes_on_real_spd(self, small_ba):
+        spd = bfs_spd(small_ba, 0)
+        spd.validate()  # must not raise
+
+
+class TestSpdDerived:
+    def test_successors_inverse_of_predecessors(self, barbell):
+        spd = bfs_spd(barbell, 0)
+        children = spd.successors()
+        for child, parents in spd.predecessors.items():
+            for parent in parents:
+                assert child in children[parent]
+
+    def test_paths_through_middle_of_path(self, path5):
+        spd = bfs_spd(path5, 0)
+        through = spd.paths_through(2)
+        assert through == {3: 1.0, 4: 1.0}
+
+    def test_paths_through_source_is_empty_for_source_target(self, path5):
+        spd = bfs_spd(path5, 0)
+        through = spd.paths_through(2)
+        assert 0 not in through and 2 not in through
+
+    def test_paths_through_unreachable_vertex(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        spd = bfs_spd(g, 0)
+        assert spd.paths_through(2) == {}
+
+    def test_pair_dependencies_cycle(self):
+        g = cycle_graph(6)
+        spd = bfs_spd(g, 0)
+        deps = spd.pair_dependencies(1)
+        # vertex 1 lies on one of the two shortest 0-3 paths and the single 0-2 path
+        assert deps[2] == pytest.approx(1.0)
+        assert deps[3] == pytest.approx(0.5)
+
+    def test_reachable_count(self, barbell):
+        spd = bfs_spd(barbell, 0)
+        assert spd.number_of_reachable() == barbell.number_of_vertices()
+
+
+class TestBfsHelpers:
+    def test_bfs_distances_matches_spd(self, grid4x4):
+        spd = bfs_spd(grid4x4, 0)
+        assert bfs_distances(grid4x4, 0) == spd.distance
+
+    def test_single_pair_distance(self, path5):
+        assert single_pair_distance(path5, 0, 4) == 4.0
+        assert single_pair_distance(path5, 2, 2) == 0.0
+
+    def test_single_pair_distance_unreachable(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(5)
+        assert single_pair_distance(g, 0, 5) == float("inf")
+
+    def test_single_pair_missing_vertex(self, path5):
+        with pytest.raises(VertexNotFoundError):
+            single_pair_distance(path5, 0, 42)

@@ -1,0 +1,116 @@
+"""Tests for bidirectional BFS and uniform shortest-path sampling."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph
+from repro.shortest_paths import (
+    all_shortest_paths,
+    bfs_spd,
+    bidirectional_shortest_path_info,
+    sample_shortest_path,
+)
+
+
+class TestBidirectionalInfo:
+    def test_same_vertex(self, path5):
+        assert bidirectional_shortest_path_info(path5, 2, 2) == (0.0, 1.0)
+
+    def test_path_graph(self, path5):
+        d, sigma = bidirectional_shortest_path_info(path5, 0, 4)
+        assert d == 4.0 and sigma == 1.0
+
+    def test_cycle_antipode_has_two_paths(self):
+        g = cycle_graph(6)
+        d, sigma = bidirectional_shortest_path_info(g, 0, 3)
+        assert d == 3.0 and sigma == 2.0
+
+    def test_grid_counts_match_full_bfs(self):
+        g = grid_graph(4, 4)
+        spd = bfs_spd(g, 0)
+        for target in [5, 10, 15, 3, 12]:
+            d, sigma = bidirectional_shortest_path_info(g, 0, target)
+            assert d == spd.distance[target]
+            assert sigma == spd.sigma[target]
+
+    def test_disconnected_pair(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        d, sigma = bidirectional_shortest_path_info(g, 0, 3)
+        assert d == float("inf") and sigma == 0.0
+
+    def test_random_graph_against_bfs(self, small_er):
+        spd = bfs_spd(small_er, 0)
+        vertices = [v for v in small_er.vertices() if v != 0][:8]
+        for t in vertices:
+            d, sigma = bidirectional_shortest_path_info(small_er, 0, t)
+            assert d == spd.distance_to(t)
+            assert sigma == spd.path_count(t)
+
+
+class TestAllShortestPaths:
+    def test_single_path(self, path5):
+        paths = all_shortest_paths(path5, 0, 3)
+        assert paths == [[0, 1, 2, 3]]
+
+    def test_two_paths_in_cycle(self):
+        g = cycle_graph(6)
+        paths = all_shortest_paths(g, 0, 3)
+        assert len(paths) == 2
+        assert all(len(p) == 4 for p in paths)
+
+    def test_same_endpoints(self, path5):
+        assert all_shortest_paths(path5, 1, 1) == [[1]]
+
+    def test_disconnected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        assert all_shortest_paths(g, 0, 2) == []
+
+    def test_path_count_matches_sigma(self, grid4x4):
+        spd = bfs_spd(grid4x4, 0)
+        assert len(all_shortest_paths(grid4x4, 0, 15)) == spd.sigma[15]
+
+
+class TestSampleShortestPath:
+    def test_sampled_path_is_shortest(self, grid4x4):
+        spd = bfs_spd(grid4x4, 0)
+        path = sample_shortest_path(grid4x4, 0, 15, seed=1)
+        assert path[0] == 0 and path[-1] == 15
+        assert len(path) - 1 == spd.distance[15]
+        for a, b in zip(path, path[1:]):
+            assert grid4x4.has_edge(a, b)
+
+    def test_disconnected_returns_none(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)
+        assert sample_shortest_path(g, 0, 2, seed=1) is None
+
+    def test_same_endpoints(self, path5):
+        assert sample_shortest_path(path5, 3, 3, seed=1) == [3]
+
+    def test_sampling_is_close_to_uniform(self):
+        # Cycle of 6: exactly two shortest 0->3 paths; each should appear
+        # roughly half the time.
+        g = cycle_graph(6)
+        counts = collections.Counter()
+        import random
+
+        rng = random.Random(0)
+        for _ in range(400):
+            path = tuple(sample_shortest_path(g, 0, 3, seed=rng))
+            counts[path] += 1
+        assert len(counts) == 2
+        ratio = min(counts.values()) / max(counts.values())
+        assert ratio > 0.7
+
+    def test_weighted_graph_sampling(self, weighted_diamond):
+        path = sample_shortest_path(weighted_diamond, 0, 3, seed=5)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 3  # the two-hop routes, never the 0-4-3 route
