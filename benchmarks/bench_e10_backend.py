@@ -1,0 +1,147 @@
+"""E10 — dict vs CSR backend micro-benchmark (the PR-level speedup receipt).
+
+Times the two traversal backends on the two operations every estimator in
+the library is built from:
+
+* one ``bfs_spd`` construction (the per-sample cost of Section 2.1), and
+* a Brandes sweep (SPD + dependency accumulation per source — the exact
+  algorithm and the uniform-source baseline are straight loops over this).
+
+The reference configuration is a 2000-vertex Barabási–Albert graph
+(``m = 3``); the table reports per-operation wall-clock for both backends
+and the speedup ratio.  The expectation this benchmark guards is
+**CSR Brandes >= 3x faster than dict** on that graph.
+
+Run directly (``python benchmarks/bench_e10_backend.py``) or through pytest
+with the other ``bench_e*`` modules.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from harness import bench_seed, bench_size, emit_table
+
+from repro.graphs import barabasi_albert_graph
+from repro.graphs.csr import np
+from repro.shortest_paths import (
+    accumulate_dependencies,
+    accumulate_dependencies_csr,
+    bfs_spd,
+    bfs_spd_csr,
+)
+
+#: Vertices of the reference Barabási–Albert graph.
+GRAPH_SIZE = 2000
+#: Attachment parameter of the reference graph.
+BA_M = 3
+#: Sources timed per backend; ``tiny`` keeps the dict side affordable while
+#: still averaging over enough BFS shapes to be stable.
+SOURCES = {"tiny": 150, "small": 600, "medium": GRAPH_SIZE}
+
+
+def _num_sources() -> int:
+    return SOURCES.get(bench_size(), SOURCES["tiny"])
+
+
+def _time_per_source(fn, sources) -> float:
+    start = time.perf_counter()
+    for s in sources:
+        fn(s)
+    return (time.perf_counter() - start) / max(len(sources), 1)
+
+
+def _experiment_rows():
+    graph = barabasi_albert_graph(GRAPH_SIZE, BA_M, seed=bench_seed())
+    csr = graph.csr()
+    vertices = graph.vertices()[: _num_sources()]
+    indices = [csr.index_of(v) for v in vertices]
+
+    rows = []
+    for operation, dict_fn, csr_fn in (
+        (
+            "bfs_spd",
+            lambda s: bfs_spd(graph, s),
+            lambda i: bfs_spd_csr(csr, i),
+        ),
+        (
+            "brandes (spd + accumulate)",
+            lambda s: accumulate_dependencies(bfs_spd(graph, s)),
+            lambda i: accumulate_dependencies_csr(bfs_spd_csr(csr, i)),
+        ),
+    ):
+        dict_seconds = _time_per_source(dict_fn, vertices)
+        csr_seconds = _time_per_source(csr_fn, indices)
+        rows.append(
+            {
+                "operation": operation,
+                "vertices": graph.number_of_vertices(),
+                "edges": graph.number_of_edges(),
+                "sources_timed": len(vertices),
+                "dict_seconds_per_source": dict_seconds,
+                "csr_seconds_per_source": csr_seconds,
+                "speedup": dict_seconds / csr_seconds if csr_seconds > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+COLUMNS = [
+    "operation",
+    "vertices",
+    "edges",
+    "sources_timed",
+    "dict_seconds_per_source",
+    "csr_seconds_per_source",
+    "speedup",
+]
+
+
+@pytest.mark.skipif(np is None, reason="the CSR backend requires numpy")
+@pytest.mark.benchmark(group="e10")
+def test_e10_backend_speedup(benchmark):
+    """Regenerate the E10 table and time one CSR Brandes pass."""
+    rows = _experiment_rows()
+    emit_table(
+        "E10",
+        f"dict vs CSR backend on a BA({GRAPH_SIZE}, {BA_M}) graph",
+        rows,
+        COLUMNS,
+    )
+
+    graph = barabasi_albert_graph(GRAPH_SIZE, BA_M, seed=bench_seed())
+    csr = graph.csr()
+    benchmark.pedantic(
+        lambda: accumulate_dependencies_csr(bfs_spd_csr(csr, 0)),
+        rounds=5,
+        iterations=1,
+    )
+    brandes = next(r for r in rows if r["operation"].startswith("brandes"))
+    benchmark.extra_info["speedup"] = brandes["speedup"]
+    # The emitted table is the receipt for the >= 3x expectation; the pytest
+    # assert only guards a sanity floor so a descheduled timing loop on a
+    # loaded CI runner cannot flake the suite.
+    assert brandes["speedup"] > 1.0, (
+        f"CSR Brandes is not faster than dict at all "
+        f"({brandes['speedup']:.2f}x on BA({GRAPH_SIZE}, {BA_M}))"
+    )
+
+
+def main() -> None:
+    if np is None:
+        raise SystemExit("the CSR backend requires numpy")
+    rows = _experiment_rows()
+    emit_table(
+        "E10",
+        f"dict vs CSR backend on a BA({GRAPH_SIZE}, {BA_M}) graph",
+        rows,
+        COLUMNS,
+    )
+    brandes = next(r for r in rows if r["operation"].startswith("brandes"))
+    print(f"CSR Brandes speedup: {brandes['speedup']:.2f}x (target: >= 3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,16 @@ Environment knobs
     ``small`` (minutes) or ``medium`` (pure-Python: be patient).
 ``REPRO_BENCH_SEED``
     Base seed for every stochastic component (default 2019, the venue year).
+``REPRO_BENCH_BACKEND``
+    Traversal backend the benchmarks run (and record in their tables):
+    ``auto`` (default; CSR kernels when numpy is importable), ``dict`` or
+    ``csr``.  Importing this module exports the value as ``REPRO_BACKEND``,
+    which every ``backend="auto"`` call site in the library resolves
+    through — so the knob steers what the ``bench_e*`` estimators actually
+    run, and the *resolved* backend stamped in every emitted table is the
+    truth.  That stamp is what lets BENCH_* trajectories across commits
+    attribute speedups to the backend switch rather than to dataset or
+    seed drift.
 """
 
 from __future__ import annotations
@@ -37,6 +47,31 @@ def bench_size() -> str:
 def bench_seed() -> int:
     """Return the base seed selected through ``REPRO_BENCH_SEED``."""
     return int(os.environ.get("REPRO_BENCH_SEED", "2019"))
+
+
+def bench_backend() -> str:
+    """Return the requested traversal backend (``REPRO_BENCH_BACKEND``)."""
+    return os.environ.get("REPRO_BENCH_BACKEND", "auto")
+
+
+# Export the bench knob as the library-wide "auto" override so the
+# estimators constructed inside the bench_e* modules (which all default to
+# backend="auto") genuinely run the requested backend.  Validated here so a
+# typo fails at import naming the variable the user actually set.
+if bench_backend() != "auto":
+    if bench_backend() not in ("dict", "csr"):
+        raise ValueError(
+            f"REPRO_BENCH_BACKEND must be 'auto', 'dict' or 'csr', "
+            f"got {bench_backend()!r}"
+        )
+    os.environ["REPRO_BACKEND"] = bench_backend()
+
+
+def resolved_bench_backend() -> str:
+    """Return the backend the benchmarks actually run (``dict`` or ``csr``)."""
+    from repro.graphs.csr import resolve_backend
+
+    return resolve_backend(bench_backend())
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -66,9 +101,18 @@ def emit_table(
     rows: Sequence[Dict[str, object]],
     columns: Sequence[str],
 ) -> str:
-    """Print the experiment table and persist it under ``benchmarks/results/``."""
+    """Print the experiment table and persist it under ``benchmarks/results/``.
+
+    A ``backend: <dict|csr>`` line is stamped under the title so every stored
+    result records which traversal backend produced it.
+    """
     table = format_table(rows, columns)
-    text = f"{experiment}: {title}\n{'=' * (len(experiment) + 2 + len(title))}\n{table}\n"
+    text = (
+        f"{experiment}: {title}\n"
+        f"{'=' * (len(experiment) + 2 + len(title))}\n"
+        f"backend: {resolved_bench_backend()}\n"
+        f"{table}\n"
+    )
     print("\n" + text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{experiment.lower()}.txt").write_text(text, encoding="utf-8")

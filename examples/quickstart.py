@@ -20,6 +20,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
+    Graph,
     betweenness_exact,
     betweenness_single,
     load_dataset,
@@ -34,6 +35,12 @@ SAMPLES = 400
 
 
 def main() -> None:
+    # Warm-up on a hand-built graph: Graph.from_edges builds a whole graph
+    # from one edge list, no add_edge loop needed.
+    toy = Graph.from_edges([(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)])
+    print(f"warm-up: exact BC of vertex 3 in a {toy.number_of_vertices()}-vertex "
+          f"toy graph = {betweenness_exact(toy, [3])[3]:.3f}")
+
     graph = load_dataset("collaboration", size="tiny", seed=SEED)
     print(f"graph: {graph.number_of_vertices()} vertices, {graph.number_of_edges()} edges")
 

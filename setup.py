@@ -1,11 +1,26 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that fully offline environments (no ``wheel`` package available, so PEP 660
-editable installs fail) can still do ``python setup.py develop`` or
+There is no ``pyproject.toml``: keeping the whole configuration here lets
+fully offline environments (no ``wheel`` package available, so PEP 660
+editable installs fail) still do ``python setup.py develop`` or
 ``pip install -e . --no-build-isolation``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Metropolis-Hastings Algorithms for Estimating "
+        "Betweenness Centrality' (EDBT 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # numpy powers the CSR traversal backend (repro.graphs.csr and the
+    # *_csr kernels); the library degrades to the pure-Python dict backend
+    # when it is missing, but installs declare it so the fast path is the
+    # default everywhere.
+    install_requires=["numpy>=1.22"],
+)

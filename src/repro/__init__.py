@@ -59,6 +59,7 @@ from repro.exact import (
     exact_relative_betweenness,
 )
 from repro.graphs import (
+    CSRGraph,
     Graph,
     barabasi_albert_graph,
     barbell_graph,
@@ -89,6 +90,7 @@ __all__ = [
     "suggested_chain_length",
     # core classes
     "Graph",
+    "CSRGraph",
     "SingleSpaceMHSampler",
     "JointSpaceMHSampler",
     "DependencyOracle",

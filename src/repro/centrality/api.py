@@ -47,16 +47,24 @@ __all__ = [
     "suggested_chain_length",
 ]
 
-#: Estimator registry for :func:`betweenness_single`.
+#: Estimator registry for :func:`betweenness_single`.  Every factory accepts
+#: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``); calling
+#: one with no argument keeps the pre-backend behaviour (``"auto"``).
 SINGLE_VERTEX_METHODS = {
-    "mh": lambda: SingleSpaceMHSampler(),
-    "mh-unbiased": lambda: SingleSpaceMHSampler(estimator="proposal"),
-    "mh-degree": lambda: SingleSpaceMHSampler(proposal="degree"),
-    "mh-random-walk": lambda: SingleSpaceMHSampler(proposal="random-walk"),
-    "uniform-source": lambda: UniformSourceSampler(),
-    "distance": lambda: DistanceBasedSampler(),
-    "rk": lambda: RiondatoKornaropoulosSampler(),
-    "kadabra": lambda: KadabraSampler(),
+    "mh": lambda backend="auto": SingleSpaceMHSampler(backend=backend),
+    "mh-unbiased": lambda backend="auto": SingleSpaceMHSampler(
+        estimator="proposal", backend=backend
+    ),
+    "mh-degree": lambda backend="auto": SingleSpaceMHSampler(
+        proposal="degree", backend=backend
+    ),
+    "mh-random-walk": lambda backend="auto": SingleSpaceMHSampler(
+        proposal="random-walk", backend=backend
+    ),
+    "uniform-source": lambda backend="auto": UniformSourceSampler(backend=backend),
+    "distance": lambda backend="auto": DistanceBasedSampler(backend=backend),
+    "rk": lambda backend="auto": RiondatoKornaropoulosSampler(backend=backend),
+    "kadabra": lambda backend="auto": KadabraSampler(backend=backend),
 }
 
 
@@ -68,6 +76,7 @@ def betweenness_single(
     samples: int = 200,
     seed: RandomState = None,
     check_connected: bool = True,
+    backend: str = "auto",
 ) -> SingleEstimate:
     """Estimate the betweenness of one vertex with the chosen *method*.
 
@@ -86,6 +95,12 @@ def betweenness_single(
         Chain length (MCMC methods) or number of samples (baselines).
     seed:
         Randomness specification.
+    backend:
+        Traversal backend: ``"auto"`` (CSR kernels whenever numpy is
+        importable — the graph snapshot is static for the duration of the
+        call), ``"dict"`` (pure-Python reference) or ``"csr"``.  Both
+        backends consume identical rng streams, so for a fixed *seed* the
+        estimate is the same up to floating-point accumulation order.
     """
     if method not in SINGLE_VERTEX_METHODS:
         raise ConfigurationError(
@@ -93,7 +108,7 @@ def betweenness_single(
         )
     if check_connected:
         ensure_connected(graph)
-    estimator = SINGLE_VERTEX_METHODS[method]()
+    estimator = SINGLE_VERTEX_METHODS[method](backend)
     return estimator.estimate(graph, r, samples, seed=seed)
 
 
@@ -102,12 +117,14 @@ def betweenness_exact(
     vertices: Optional[Iterable[Vertex]] = None,
     *,
     normalization: str = "paper",
+    backend: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return exact betweenness scores (all vertices, or just the requested ones)."""
     if vertices is None:
-        return betweenness_centrality(graph, normalization=normalization)
+        return betweenness_centrality(graph, normalization=normalization, backend=backend)
     return {
-        v: betweenness_of_vertex(graph, v, normalization=normalization) for v in vertices
+        v: betweenness_of_vertex(graph, v, normalization=normalization, backend=backend)
+        for v in vertices
     }
 
 
@@ -118,6 +135,7 @@ def relative_betweenness(
     samples: int = 1000,
     seed: RandomState = None,
     check_connected: bool = True,
+    backend: str = "auto",
 ) -> RelativeBetweennessEstimate:
     """Estimate all pairwise relative betweenness scores of *reference_set*.
 
@@ -126,7 +144,7 @@ def relative_betweenness(
     """
     if check_connected:
         ensure_connected(graph)
-    sampler = JointSpaceMHSampler()
+    sampler = JointSpaceMHSampler(backend=backend)
     return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
 
 

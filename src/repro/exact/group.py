@@ -19,9 +19,10 @@ from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.errors import ConfigurationError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import np, resolve_backend
 from repro.shortest_paths.bfs import bfs_spd
-from repro.shortest_paths.dependencies import spd_builder
-from repro.shortest_paths.spd import ShortestPathDAG
+from repro.shortest_paths.dependencies import csr_spd_builder, spd_builder
+from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
 __all__ = [
     "group_betweenness_centrality",
@@ -61,8 +62,44 @@ def _paths_through_counts(
     return avoid
 
 
+def _csr_avoid_counts(spd: CSRShortestPathDAG, member_mask) -> "np.ndarray":
+    """Array twin of :func:`_paths_through_counts` over a CSR-built SPD.
+
+    Runs one vectorised pass per BFS level (or an ordered per-vertex sweep
+    for Dijkstra-built DAGs): a vertex's avoid-count is the sum of its DAG
+    parents' counts, zeroed on group members so no path through a member is
+    ever credited downstream.
+    """
+    n = spd.csr.number_of_vertices()
+    avoid = np.zeros(n)
+    s = spd.source_index
+    avoid[s] = 0.0 if member_mask[s] else 1.0
+    if spd.level_edges is not None:
+        for parents, children in spd.level_edges:
+            level_members = np.unique(children[member_mask[children]])
+            counts = np.bincount(children, weights=avoid[parents], minlength=n)
+            avoid += counts
+            avoid[level_members] = 0.0
+    else:
+        pred_indptr = spd.pred_indptr
+        pred_indices = spd.pred_indices
+        for t in spd.order_indices.tolist():
+            if t == s:
+                continue
+            if member_mask[t]:
+                avoid[t] = 0.0
+                continue
+            parents = pred_indices[pred_indptr[t] : pred_indptr[t + 1]]
+            avoid[t] = float(avoid[parents].sum())
+    return avoid
+
+
 def group_betweenness_centrality(
-    graph: Graph, group: Iterable[Vertex], *, normalized: bool = True
+    graph: Graph,
+    group: Iterable[Vertex],
+    *,
+    normalized: bool = True,
+    backend: str = "auto",
 ) -> float:
     """Return the group betweenness centrality of *group*.
 
@@ -71,26 +108,45 @@ def group_betweenness_centrality(
     member.  With ``normalized=True`` it is divided by ``|V| (|V| - 1)``.
     """
     members = set(_validate_group(graph, group))
-    build = spd_builder(graph)
-    total = 0.0
-    for s in graph.vertices():
-        if s in members:
-            continue
-        spd = build(graph, s)
-        avoiding = _paths_through_counts(spd, members)
-        for t in spd.order:
-            if t == s or t in members:
+    n = graph.number_of_vertices()
+    if resolve_backend(backend) == "csr":
+        csr = graph.csr()
+        build = csr_spd_builder(csr)
+        member_mask = np.zeros(csr.number_of_vertices(), dtype=bool)
+        for m in members:
+            member_mask[csr.index_of(m)] = True
+        total = 0.0
+        for s in range(csr.number_of_vertices()):
+            if member_mask[s]:
                 continue
-            sigma = spd.sigma[t]
-            if sigma <= 0.0:
+            spd = build(csr, s)
+            avoid = _csr_avoid_counts(spd, member_mask)
+            reachable = spd.order_indices
+            keep = reachable[(reachable != s) & ~member_mask[reachable]]
+            sigma = spd.sig[keep]
+            positive = sigma > 0.0
+            through = sigma[positive] - avoid[keep][positive]
+            ratio = through / sigma[positive]
+            total += float(ratio[through > 0.0].sum())
+    else:
+        build = spd_builder(graph)
+        total = 0.0
+        for s in graph.vertices():
+            if s in members:
                 continue
-            through = sigma - avoiding.get(t, 0.0)
-            if through > 0.0:
-                total += through / sigma
-    if normalized:
-        n = graph.number_of_vertices()
-        if n > 1:
-            total /= n * (n - 1)
+            spd = build(graph, s)
+            avoiding = _paths_through_counts(spd, members)
+            for t in spd.order:
+                if t == s or t in members:
+                    continue
+                sigma = spd.sigma[t]
+                if sigma <= 0.0:
+                    continue
+                through = sigma - avoiding.get(t, 0.0)
+                if through > 0.0:
+                    total += through / sigma
+    if normalized and n > 1:
+        total /= n * (n - 1)
     return total
 
 
@@ -135,7 +191,9 @@ def co_betweenness_centrality(
     return total
 
 
-def greedy_prominent_group(graph: Graph, size: int) -> List[Vertex]:
+def greedy_prominent_group(
+    graph: Graph, size: int, *, backend: str = "auto"
+) -> List[Vertex]:
     """Return a vertex set of the given *size* chosen greedily by marginal group betweenness.
 
     A lightweight stand-in for the "most prominent group" heuristics of Puzis
@@ -153,7 +211,9 @@ def greedy_prominent_group(graph: Graph, size: int) -> List[Vertex]:
         for candidate in graph.vertices():
             if candidate in chosen:
                 continue
-            score = group_betweenness_centrality(graph, chosen + [candidate])
+            score = group_betweenness_centrality(
+                graph, chosen + [candidate], backend=backend
+            )
             if score > best_score:
                 best_score = score
                 best_vertex = candidate

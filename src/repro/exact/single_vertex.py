@@ -25,13 +25,15 @@ __all__ = [
 ]
 
 
-def dependency_vector(graph: Graph, r: Vertex) -> Dict[Vertex, float]:
+def dependency_vector(
+    graph: Graph, r: Vertex, *, backend: str = "auto"
+) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(r)}`` — the unnormalised MH target distribution of Eq. 5."""
-    return all_dependencies_on_target(graph, r)
+    return all_dependencies_on_target(graph, r, backend=backend)
 
 
 def betweenness_of_vertex(
-    graph: Graph, r: Vertex, *, normalization: str = "paper"
+    graph: Graph, r: Vertex, *, normalization: str = "paper", backend: str = "auto"
 ) -> float:
     """Return the exact betweenness score of vertex *r*.
 
@@ -39,7 +41,7 @@ def betweenness_of_vertex(
     sum the sampling algorithms approximate, so the tests can compare both
     routes.
     """
-    deltas = dependency_vector(graph, r)
+    deltas = dependency_vector(graph, r, backend=backend)
     raw = sum(deltas.values())
     factor = normalization_factor(
         graph.number_of_vertices(), normalization, directed=graph.directed
@@ -48,15 +50,22 @@ def betweenness_of_vertex(
 
 
 def betweenness_of_vertices(
-    graph: Graph, targets: Iterable[Vertex], *, normalization: str = "paper"
+    graph: Graph,
+    targets: Iterable[Vertex],
+    *,
+    normalization: str = "paper",
+    backend: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return the exact betweenness of each vertex in *targets*."""
     return {
-        r: betweenness_of_vertex(graph, r, normalization=normalization) for r in targets
+        r: betweenness_of_vertex(graph, r, normalization=normalization, backend=backend)
+        for r in targets
     }
 
 
-def exact_betweenness_ratio(graph: Graph, ri: Vertex, rj: Vertex) -> float:
+def exact_betweenness_ratio(
+    graph: Graph, ri: Vertex, rj: Vertex, *, backend: str = "auto"
+) -> float:
     """Return the exact ratio ``BC(ri) / BC(rj)``.
 
     Raises
@@ -65,12 +74,14 @@ def exact_betweenness_ratio(graph: Graph, ri: Vertex, rj: Vertex) -> float:
         If ``BC(rj)`` is exactly zero; callers in the benchmark harness pick
         reference vertices with positive betweenness.
     """
-    bc_i = betweenness_of_vertex(graph, ri)
-    bc_j = betweenness_of_vertex(graph, rj)
+    bc_i = betweenness_of_vertex(graph, ri, backend=backend)
+    bc_j = betweenness_of_vertex(graph, rj, backend=backend)
     return bc_i / bc_j
 
 
-def exact_relative_betweenness(graph: Graph, ri: Vertex, rj: Vertex) -> float:
+def exact_relative_betweenness(
+    graph: Graph, ri: Vertex, rj: Vertex, *, backend: str = "auto"
+) -> float:
     """Return the exact relative betweenness score ``BC_rj(ri)`` of Equation 23.
 
     .. math::
@@ -86,8 +97,8 @@ def exact_relative_betweenness(graph: Graph, ri: Vertex, rj: Vertex) -> float:
     """
     graph.validate_vertex(ri)
     graph.validate_vertex(rj)
-    deltas_i = dependency_vector(graph, ri)
-    deltas_j = dependency_vector(graph, rj)
+    deltas_i = dependency_vector(graph, ri, backend=backend)
+    deltas_j = dependency_vector(graph, rj, backend=backend)
     n = graph.number_of_vertices()
     if n == 0:
         return 0.0
@@ -103,7 +114,9 @@ def exact_relative_betweenness(graph: Graph, ri: Vertex, rj: Vertex) -> float:
     return total / n
 
 
-def exact_stationary_relative_betweenness(graph: Graph, ri: Vertex, rj: Vertex) -> float:
+def exact_stationary_relative_betweenness(
+    graph: Graph, ri: Vertex, rj: Vertex, *, backend: str = "auto"
+) -> float:
     """Return the expectation the joint-space chain's relative estimator converges to.
 
     .. math::
@@ -130,8 +143,8 @@ def exact_stationary_relative_betweenness(graph: Graph, ri: Vertex, rj: Vertex) 
     """
     graph.validate_vertex(ri)
     graph.validate_vertex(rj)
-    deltas_i = dependency_vector(graph, ri)
-    deltas_j = dependency_vector(graph, rj)
+    deltas_i = dependency_vector(graph, ri, backend=backend)
+    deltas_j = dependency_vector(graph, rj, backend=backend)
     denominator = sum(deltas_j.values())
     numerator = sum(
         min(deltas_i.get(v, 0.0), deltas_j.get(v, 0.0)) for v in graph.vertices()

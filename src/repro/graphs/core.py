@@ -15,14 +15,16 @@ Design notes
   path for weighted and unweighted algorithms while the ``weighted`` flag
   records the caller's intent (and controls which shortest-path engine is
   used).
-* Mutation invalidates nothing: the class keeps no derived caches.  Derived
-  data (shortest-path DAGs, dependency vectors) is owned by the algorithm
-  layers, which decide their own caching policy.
+* The only derived cache the class keeps is the CSR snapshot returned by
+  :meth:`Graph.csr`; every mutating operation drops it, so a stale view can
+  never be observed through the graph.  All other derived data
+  (shortest-path DAGs, dependency vectors) is owned by the algorithm layers,
+  which decide their own caching policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import (
     EdgeNotFoundError,
@@ -30,6 +32,9 @@ from repro.errors import (
     NegativeWeightError,
     VertexNotFoundError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
 
 __all__ = ["Vertex", "Edge", "Graph"]
 
@@ -64,7 +69,7 @@ class Graph:
     (3, 2)
     """
 
-    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges")
+    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges", "_csr")
 
     def __init__(self, *, directed: bool = False, weighted: bool = False) -> None:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
@@ -73,6 +78,7 @@ class Graph:
         self._directed = bool(directed)
         self._weighted = bool(weighted)
         self._num_edges = 0
+        self._csr: Optional["CSRGraph"] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -121,6 +127,7 @@ class Graph:
             self._adj[vertex] = {}
             if self._pred is not None:
                 self._pred[vertex] = {}
+            self._csr = None
 
     def add_vertices_from(self, vertices: Iterable[Vertex]) -> None:
         """Add every vertex in *vertices*."""
@@ -150,6 +157,7 @@ class Graph:
             weight = 1.0
         self.add_vertex(u)
         self.add_vertex(v)
+        self._csr = None
         is_new = v not in self._adj[u]
         self._adj[u][v] = weight
         if self._directed:
@@ -178,6 +186,31 @@ class Graph:
             else:
                 raise ValueError(f"edge tuples must have 2 or 3 elements, got {edge!r}")
 
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, ...]],
+        *,
+        directed: bool = False,
+        weighted: bool = False,
+    ) -> "Graph":
+        """Build a graph directly from an iterable of edges.
+
+        Each element may be a pair ``(u, v)`` or a triple ``(u, v, w)``; the
+        triple form requires ``weighted=True`` for the weight to be kept.
+        This is the one-liner replacement for the ``g = Graph();
+        g.add_edge(...)`` loops that used to pepper examples and fixtures.
+
+        Examples
+        --------
+        >>> g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        >>> g.number_of_vertices(), g.number_of_edges()
+        (3, 3)
+        """
+        graph = cls(directed=directed, weighted=weighted)
+        graph.add_edges_from(edges)
+        return graph
+
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``(u, v)``.
 
@@ -188,6 +221,7 @@ class Graph:
         """
         if u not in self._adj or v not in self._adj[u]:
             raise EdgeNotFoundError(u, v)
+        self._csr = None
         del self._adj[u][v]
         if self._directed:
             assert self._pred is not None
@@ -206,6 +240,7 @@ class Graph:
         """
         if vertex not in self._adj:
             raise VertexNotFoundError(vertex)
+        self._csr = None
         if self._directed:
             assert self._pred is not None
             out_neighbors = list(self._adj[vertex])
@@ -309,6 +344,24 @@ class Graph:
     def degree_sequence(self) -> List[int]:
         """Return the sorted (descending) degree sequence."""
         return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    # ------------------------------------------------------------------
+    # CSR view
+    # ------------------------------------------------------------------
+    def csr(self) -> "CSRGraph":
+        """Return the cached immutable CSR snapshot of the graph.
+
+        The snapshot is built lazily on first call and re-used until the next
+        mutating operation (``add_vertex`` / ``add_edge`` / ``remove_edge`` /
+        ``remove_vertex``), which drops the cache; see
+        :mod:`repro.graphs.csr` for the immutability contract.  Requires
+        numpy; raises :class:`~repro.errors.ConfigurationError` without it.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            self._csr = CSRGraph.from_graph(self)
+        return self._csr
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,0 +1,235 @@
+"""Compressed-sparse-row (CSR) view of a :class:`~repro.graphs.core.Graph`.
+
+Every estimator in this library pays one shortest-path-DAG construction per
+sample (Section 2.1 of the paper), so the traversal substrate dominates the
+runtime.  The dict-of-dicts adjacency of :class:`Graph` is convenient for
+mutation and for hashable vertex labels, but it is the wrong shape for a hot
+loop: every edge visit pays a hash lookup and the working set is scattered
+across the heap.  :class:`CSRGraph` is the standard flat-array alternative —
+the whole adjacency packed into three numpy arrays — on top of which the
+``*_csr`` kernels in :mod:`repro.shortest_paths` run level-synchronous,
+vectorised traversals.
+
+Immutability / invalidation contract
+------------------------------------
+A :class:`CSRGraph` is an **immutable snapshot**: it never observes later
+mutations of the :class:`Graph` it was built from.  The canonical way to
+obtain one is ``graph.csr()``, which caches the view on the graph and
+*invalidates* the cache on every mutating operation (``add_vertex``,
+``add_edge``, ``remove_edge``, ``remove_vertex``).  Holding on to a
+:class:`CSRGraph` across a mutation is safe — the arrays still describe the
+old snapshot — but a fresh ``graph.csr()`` call is needed to see the new
+structure.  Algorithms therefore take the snapshot once at their entry point
+and index into it for their whole run.
+
+Vertex ↔ index mapping
+----------------------
+Vertices keep their arbitrary hashable labels at the API boundary; inside the
+kernels they are dense integers ``0..n-1`` in **insertion order** (the same
+order as ``graph.vertices()``).  The bidirectional mapper —
+:meth:`CSRGraph.index_of` and :meth:`CSRGraph.vertex_at` — is how results
+cross the boundary back to vertex-keyed dictionaries.  Keeping insertion
+order means that index-based random draws consume the *same* rng stream as
+label-based draws from ``graph.vertices()``, which is what makes the dict and
+CSR backends produce identical estimates for a fixed seed.
+
+numpy gating
+------------
+numpy is an optional dependency at import time: when it is missing this
+module still imports (``np is None``) and :func:`resolve_backend` degrades
+``"auto"`` to ``"dict"`` so the pure-Python code paths keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, VertexNotFoundError
+
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.core import Graph, Vertex
+
+__all__ = ["CSRGraph", "BACKENDS", "resolve_backend", "np"]
+
+#: The accepted backend names for every ``backend=`` knob in the library.
+BACKENDS = ("auto", "dict", "csr")
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a ``backend=`` argument to a concrete ``"dict"`` or ``"csr"``.
+
+    ``"auto"`` picks ``"csr"`` whenever numpy is importable (the graph
+    snapshot taken by ``graph.csr()`` is static by construction, see the
+    module docstring) and falls back to ``"dict"`` otherwise.  Requesting
+    ``"csr"`` explicitly without numpy raises :class:`ConfigurationError`.
+
+    The ``REPRO_BACKEND`` environment variable (``"dict"`` or ``"csr"``)
+    overrides what ``"auto"`` resolves to — a process-wide switch used by
+    the benchmark harness so one env knob steers every ``backend="auto"``
+    call site without threading a parameter through each of them.
+    Explicit ``"dict"`` / ``"csr"`` arguments always win over the env var.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        override = os.environ.get("REPRO_BACKEND")
+        if override:
+            if override not in ("dict", "csr"):
+                raise ConfigurationError(
+                    f"REPRO_BACKEND must be 'dict' or 'csr', got {override!r}"
+                )
+            return resolve_backend(override)
+        return "csr" if np is not None else "dict"
+    if backend == "csr" and np is None:
+        raise ConfigurationError("backend='csr' requires numpy, which is not installed")
+    return backend
+
+
+class CSRGraph:
+    """Immutable flat-array snapshot of a :class:`Graph` (see module docstring).
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the out-edges of vertex index
+        ``i`` occupy ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` array of length ``m`` holding neighbour indices, in the
+        same order the dict adjacency iterates them (so traversals visit
+        edges in the same order on both backends).
+    weights:
+        ``float64`` array of length ``m`` with the matching edge weights
+        (all ``1.0`` for unweighted graphs).
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "directed",
+        "weighted",
+        "_vertices",
+        "_index_of",
+    )
+
+    def __init__(
+        self,
+        indptr,
+        indices,
+        weights,
+        vertices: Sequence["Vertex"],
+        *,
+        directed: bool,
+        weighted: bool,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.directed = bool(directed)
+        self.weighted = bool(weighted)
+        self._vertices: Tuple["Vertex", ...] = tuple(vertices)
+        self._index_of: Dict["Vertex", int] = {v: i for i, v in enumerate(vertices)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "CSRGraph":
+        """Build a CSR snapshot of *graph* (vertex indices in insertion order)."""
+        if np is None:
+            raise ConfigurationError(
+                "building a CSR view requires numpy, which is not installed"
+            )
+        vertices = graph.vertices()
+        index = {v: i for i, v in enumerate(vertices)}
+        n = len(vertices)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        flat_indices: List[int] = []
+        flat_weights: List[float] = []
+        for i, v in enumerate(vertices):
+            for u, w in graph.adjacency(v).items():
+                flat_indices.append(index[u])
+                flat_weights.append(w)
+            indptr[i + 1] = len(flat_indices)
+        return cls(
+            indptr,
+            np.asarray(flat_indices, dtype=np.int64),
+            np.asarray(flat_weights, dtype=np.float64),
+            vertices,
+            directed=graph.directed,
+            weighted=graph.weighted,
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes and mapping
+    # ------------------------------------------------------------------
+    def number_of_vertices(self) -> int:
+        """Return ``|V|`` of the snapshot."""
+        return len(self._vertices)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|`` (each undirected edge counted once)."""
+        m = int(self.indices.shape[0])
+        return m if self.directed else m // 2
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CSRGraph with {self.number_of_vertices()} vertices and "
+            f"{self.number_of_edges()} edges>"
+        )
+
+    @property
+    def vertices(self) -> Tuple["Vertex", ...]:
+        """The vertex labels in index order (insertion order of the source graph)."""
+        return self._vertices
+
+    def index_of(self, vertex: "Vertex") -> int:
+        """Return the dense index of *vertex* (raises :class:`VertexNotFoundError`)."""
+        try:
+            return self._index_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def find_index(self, vertex: "Vertex") -> Optional[int]:
+        """Return the dense index of *vertex*, or ``None`` when absent.
+
+        The lenient twin of :meth:`index_of`, for callers whose dict-backed
+        contract treats unknown vertices as "no data" rather than an error.
+        """
+        return self._index_of.get(vertex)
+
+    def vertex_at(self, index: int) -> "Vertex":
+        """Return the vertex label stored at dense *index*."""
+        return self._vertices[index]
+
+    # ------------------------------------------------------------------
+    # Structure queries (index space)
+    # ------------------------------------------------------------------
+    def degree_of(self, index: int) -> int:
+        """Return the (out-)degree of the vertex at *index*."""
+        return int(self.indptr[index + 1] - self.indptr[index])
+
+    def degrees(self):
+        """Return the ``int64`` array of (out-)degrees of all vertices."""
+        return self.indptr[1:] - self.indptr[:-1]
+
+    def neighbors_of(self, index: int):
+        """Return the neighbour-index array of the vertex at *index* (a view)."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def weights_of(self, index: int):
+        """Return the edge-weight array matching :meth:`neighbors_of` (a view)."""
+        return self.weights[self.indptr[index] : self.indptr[index + 1]]
+
+    def array_to_vertex_map(self, values) -> Dict["Vertex", float]:
+        """Convert a per-index array into a ``{vertex: value}`` dict (boundary helper)."""
+        return {v: float(values[i]) for i, v in enumerate(self._vertices)}

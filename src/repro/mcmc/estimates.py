@@ -11,6 +11,12 @@ vertex, which makes
 * the joint-space sampler able to evaluate :math:`\\delta_{v\\bullet}(r_i)`
   for every ``r_i ∈ R`` from a single pass.
 
+With the CSR backend (the default whenever numpy is available) the Brandes
+pass runs on the vectorised kernels of :mod:`repro.shortest_paths` and the
+cached vector is a dense ``float64`` array indexed by CSR vertex index;
+point queries read one array element and the dict view is materialised only
+when a caller explicitly asks for a vertex-keyed vector.
+
 Caching is an implementation choice, not part of the algorithm; benchmark E8
 ablates it.
 """
@@ -21,7 +27,12 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from repro.graphs.core import Graph, Vertex
-from repro.shortest_paths.dependencies import accumulate_dependencies, spd_builder
+from repro.graphs.csr import resolve_backend
+from repro.shortest_paths.dependencies import (
+    accumulate_dependencies,
+    csr_source_dependencies,
+    spd_builder,
+)
 
 __all__ = ["DependencyOracle"]
 
@@ -32,18 +43,34 @@ class DependencyOracle:
     Parameters
     ----------
     graph:
-        The graph all evaluations refer to.  The oracle assumes the graph is
-        not mutated while the oracle is alive.
+        The graph all evaluations refer to.  The oracle snapshots the graph
+        through :meth:`Graph.csr` when the CSR backend is active and assumes
+        the graph is not mutated while the oracle is alive.
     cache_size:
         Maximum number of source vertices whose dependency vectors are kept
         (LRU eviction).  ``0`` disables caching entirely; ``None`` means
         unbounded.
+    backend:
+        ``"auto"`` (default), ``"dict"`` or ``"csr"``; see
+        :func:`repro.graphs.csr.resolve_backend`.
     """
 
-    def __init__(self, graph: Graph, *, cache_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        cache_size: Optional[int] = None,
+        backend: str = "auto",
+    ) -> None:
         self._graph = graph
-        self._build = spd_builder(graph)
-        self._cache: "OrderedDict[Vertex, Dict[Vertex, float]]" = OrderedDict()
+        self._backend = resolve_backend(backend)
+        if self._backend == "csr":
+            self._csr = graph.csr()
+            self._build = None
+        else:
+            self._csr = None
+            self._build = spd_builder(graph)
+        self._cache: "OrderedDict[Vertex, object]" = OrderedDict()
         self._cache_size = cache_size
         self.evaluations = 0  #: number of Brandes passes actually performed
         self.lookups = 0  #: number of dependency queries answered
@@ -53,6 +80,11 @@ class DependencyOracle:
     def graph(self) -> Graph:
         """The graph the oracle evaluates on."""
         return self._graph
+
+    @property
+    def backend(self) -> str:
+        """The resolved backend the oracle evaluates with (``"dict"`` or ``"csr"``)."""
+        return self._backend
 
     @property
     def cache_enabled(self) -> bool:
@@ -66,26 +98,72 @@ class DependencyOracle:
         return 1.0 - self.evaluations / self.lookups
 
     # ------------------------------------------------------------------
-    def dependency_vector(self, source: Vertex) -> Dict[Vertex, float]:
-        """Return ``{target: delta_{source.}(target)}`` for every target."""
+    def _raw_vector(self, source: Vertex):
+        """Return the cached per-source vector (array or dict, backend-shaped)."""
         self.lookups += 1
         if self.cache_enabled and source in self._cache:
             self._cache.move_to_end(source)
             return self._cache[source]
         self.evaluations += 1
-        spd = self._build(self._graph, source)
-        deltas = accumulate_dependencies(spd)
+        if self._backend == "csr":
+            vector: object = csr_source_dependencies(
+                self._csr, self._csr.index_of(source)
+            )
+        else:
+            spd = self._build(self._graph, source)
+            vector = accumulate_dependencies(spd)
         if self.cache_enabled:
-            self._cache[source] = deltas
+            self._cache[source] = vector
             if self._cache_size is not None and len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-        return deltas
+        return vector
+
+    def dependency_vector(self, source: Vertex) -> Dict[Vertex, float]:
+        """Return ``{target: delta_{source.}(target)}`` for every target.
+
+        On the CSR backend this materialises a vertex-keyed dict from the
+        cached array (boundary conversion); point queries should prefer
+        :meth:`dependency`, which reads a single array element.
+        """
+        vector = self._raw_vector(source)
+        if self._backend == "csr":
+            return self._csr.array_to_vertex_map(vector)
+        return vector
 
     def dependency(self, source: Vertex, target: Vertex) -> float:
-        """Return :math:`\\delta_{source\\bullet}(target)` (0 when source == target)."""
+        """Return :math:`\\delta_{source\\bullet}(target)`.
+
+        0 when ``source == target`` and — matching the dict backend's
+        ``.get(target, 0.0)`` contract — when *target* is not a vertex of
+        the graph at all.
+        """
         if source == target:
             return 0.0
-        return self.dependency_vector(source).get(target, 0.0)
+        vector = self._raw_vector(source)
+        if self._backend == "csr":
+            index = self._csr.find_index(target)
+            return 0.0 if index is None else float(vector[index])
+        return vector.get(target, 0.0)
+
+    def dependencies_for(self, source: Vertex, targets) -> Dict[Vertex, float]:
+        """Return ``{t: delta_{source.}(t)}`` for the given *targets* only.
+
+        One Brandes pass (or cache hit) serves every target — the joint-space
+        chain reads its whole reference set this way without materialising a
+        full vertex-keyed vector.  Unknown targets read as 0.0 on both
+        backends.
+        """
+        vector = self._raw_vector(source)
+        if self._backend == "csr":
+            find_index = self._csr.find_index
+            result: Dict[Vertex, float] = {}
+            for t in targets:
+                index = find_index(t)
+                result[t] = (
+                    0.0 if t == source or index is None else float(vector[index])
+                )
+            return result
+        return {t: (0.0 if t == source else vector.get(t, 0.0)) for t in targets}
 
     # ------------------------------------------------------------------
     def clear(self) -> None:

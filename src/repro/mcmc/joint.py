@@ -205,11 +205,16 @@ class JointSpaceMHSampler:
         *,
         burn_in: int = 0,
         cache_size: Optional[int] = None,
+        backend: str = "auto",
     ) -> None:
         if burn_in < 0:
             raise ConfigurationError("burn_in must be non-negative")
         self.burn_in = int(burn_in)
         self.cache_size = cache_size
+        #: Traversal backend handed to the :class:`DependencyOracle`; the
+        #: pair draws are positional (``members[i]`` / ``vertices[i]``), so
+        #: the rng stream is identical on both backends.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run_chain(
@@ -243,7 +248,9 @@ class JointSpaceMHSampler:
         if self.burn_in >= num_iterations + 1:
             raise ConfigurationError("burn_in must be smaller than the chain length")
         rng = ensure_rng(seed)
-        oracle = oracle or DependencyOracle(graph, cache_size=self.cache_size)
+        oracle = oracle or DependencyOracle(
+            graph, cache_size=self.cache_size, backend=self.backend
+        )
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
@@ -297,9 +304,13 @@ class JointSpaceMHSampler:
     def _restricted_dependencies(
         oracle: DependencyOracle, source: Vertex, members: Sequence[Vertex]
     ) -> Dict[Vertex, float]:
-        """Return δ_{source·}(r) for every r in the reference set (one Brandes pass)."""
-        vector = oracle.dependency_vector(source)
-        return {r: (0.0 if r == source else vector.get(r, 0.0)) for r in members}
+        """Return δ_{source·}(r) for every r in the reference set (one Brandes pass).
+
+        :meth:`DependencyOracle.dependencies_for` serves the whole reference
+        set from one pass (or cache hit); on the CSR backend each member is a
+        single array read and no full vertex-keyed dict is materialised.
+        """
+        return oracle.dependencies_for(source, members)
 
     @staticmethod
     def _accept(current_delta: float, candidate_delta: float, rng) -> bool:

@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, SamplingError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import resolve_backend
 from repro.mcmc.estimates import DependencyOracle
 from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
 
@@ -205,6 +206,7 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         burn_in: int = 0,
         cache_size: Optional[int] = None,
         record_states: bool = True,
+        backend: str = "auto",
     ) -> None:
         if proposal not in PROPOSALS:
             raise ConfigurationError(
@@ -221,6 +223,12 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         self.burn_in = int(burn_in)
         self.cache_size = cache_size
         self.record_states = bool(record_states)
+        #: Traversal backend handed to the :class:`DependencyOracle`
+        #: (``"auto"`` / ``"dict"`` / ``"csr"``).  Candidate vertices are
+        #: drawn by position in ``graph.vertices()`` — the same dense index
+        #: order the CSR snapshot uses — so both backends consume an
+        #: identical rng stream and walk the same chain for a fixed seed.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Proposal machinery
@@ -300,7 +308,9 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         if self.burn_in >= num_iterations + 1:
             raise ConfigurationError("burn_in must be smaller than the chain length")
         rng = ensure_rng(seed)
-        oracle = oracle or DependencyOracle(graph, cache_size=self.cache_size)
+        oracle = oracle or DependencyOracle(
+            graph, cache_size=self.cache_size, backend=self.backend
+        )
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
@@ -406,6 +416,7 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
                 "proposal": self.proposal,
                 "estimator": self.estimator,
                 "burn_in": self.burn_in,
+                "backend": resolve_backend(self.backend),
                 "chain": chain,
             },
         )

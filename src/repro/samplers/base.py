@@ -22,7 +22,21 @@ __all__ = [
     "SingleVertexEstimator",
     "AllVerticesEstimator",
     "timed",
+    "vertex_keyed",
 ]
+
+
+def vertex_keyed(csr, values) -> Dict[Vertex, float]:
+    """Convert a per-index accumulation buffer into a ``{vertex: value}`` dict.
+
+    The result boundary of the samplers in *this package*: estimators
+    accumulate into numpy buffers over a
+    :class:`~repro.graphs.csr.CSRGraph` and cross back to vertex labels
+    once, here, when filling the result containers below.  (Other layers —
+    exact, mcmc — convert at their own API boundaries via
+    ``CSRGraph.array_to_vertex_map``, which this delegates to.)
+    """
+    return csr.array_to_vertex_map(values)
 
 
 @dataclass

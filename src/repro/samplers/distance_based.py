@@ -25,9 +25,13 @@ from typing import Callable, Dict, Optional
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, SamplingError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import resolve_backend
 from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
-from repro.shortest_paths.bfs import bfs_distances
-from repro.shortest_paths.dependencies import dependency_on_target
+from repro.shortest_paths.bfs import bfs_distances, bfs_distances_csr
+from repro.shortest_paths.dependencies import (
+    csr_dependency_on_target,
+    dependency_on_target,
+)
 from repro.shortest_paths.dijkstra import dijkstra_distances
 
 __all__ = ["DistanceBasedSampler", "ImportanceSamplingEstimator"]
@@ -45,15 +49,22 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
         a positive dependency score on *r* has positive mass.
     name:
         Identifier used in benchmark tables.
+    backend:
+        ``"auto"`` / ``"dict"`` / ``"csr"``; selects the traversal kernels
+        for the per-sample dependency evaluation.  The mass function itself
+        decides its own backend (the built-in ones follow the sampler's).
     """
 
     def __init__(
         self,
         mass_function: Callable[[Graph, Vertex], Dict[Vertex, float]],
         name: str = "importance-sampling",
+        *,
+        backend: str = "auto",
     ) -> None:
         self._mass_function = mass_function
         self.name = name
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def estimate(
@@ -70,7 +81,9 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
             raise ConfigurationError("num_samples must be at least 1")
         rng = ensure_rng(seed)
         n = graph.number_of_vertices()
+        backend = resolve_backend(self.backend)
         with timed() as clock:
+            csr = graph.csr() if backend == "csr" else None
             masses = self._mass_function(graph, r)
             masses = {v: m for v, m in masses.items() if m > 0.0 and v != r}
             total_mass = sum(masses.values())
@@ -82,10 +95,14 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
             vertices = list(masses)
             weights = [masses[v] for v in vertices]
             probabilities = {v: w / total_mass for v, w in zip(vertices, weights)}
+            r_index = csr.index_of(r) if csr is not None else None
             total = 0.0
             for _ in range(num_samples):
                 s = rng.choices(vertices, weights=weights, k=1)[0]
-                delta = dependency_on_target(graph, s, r)
+                if csr is not None:
+                    delta = csr_dependency_on_target(csr, csr.index_of(s), r_index)
+                else:
+                    delta = dependency_on_target(graph, s, r)
                 total += delta / probabilities[s]
         estimate = total / (num_samples * n * max(n - 1, 1))
         return SingleEstimate(
@@ -94,16 +111,29 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"support_size": len(vertices)},
+            diagnostics={"support_size": len(vertices), "backend": backend},
         )
 
 
-def _distance_mass(graph: Graph, r: Vertex) -> Dict[Vertex, float]:
-    """Return the distance-proportional mass function ``q(s) ∝ d(r, s)``."""
+def _distance_mass(graph: Graph, r: Vertex, *, backend: str = "auto") -> Dict[Vertex, float]:
+    """Return the distance-proportional mass function ``q(s) ∝ d(r, s)``.
+
+    Both backends yield the dict in BFS discovery order: ``rng.choices``
+    consumes the same candidate ordering either way, keeping fixed-seed
+    estimates identical across backends.
+    """
     if graph.weighted:
         distances = dijkstra_distances(graph, r)
-    else:
-        distances = bfs_distances(graph, r)
+        return {v: d for v, d in distances.items() if v != r and d != float("inf")}
+    if resolve_backend(backend) == "csr":
+        csr = graph.csr()
+        r_index = csr.index_of(r)
+        dist, order = bfs_distances_csr(csr, r_index)
+        vertex_at = csr.vertex_at
+        return {
+            vertex_at(i): float(dist[i]) for i in order.tolist() if i != r_index
+        }
+    distances = bfs_distances(graph, r)
     return {v: d for v, d in distances.items() if v != r and d != float("inf")}
 
 
@@ -120,8 +150,12 @@ class DistanceBasedSampler(ImportanceSamplingEstimator):
     optimal (dependency-proportional) distribution of Equation 5.
     """
 
-    def __init__(self, *, uniform: bool = False) -> None:
+    def __init__(self, *, uniform: bool = False, backend: str = "auto") -> None:
         if uniform:
-            super().__init__(_uniform_mass, name="uniform-importance")
+            super().__init__(_uniform_mass, name="uniform-importance", backend=backend)
         else:
-            super().__init__(_distance_mass, name="distance-based")
+            super().__init__(
+                lambda graph, r: _distance_mass(graph, r, backend=self.backend),
+                name="distance-based",
+                backend=backend,
+            )

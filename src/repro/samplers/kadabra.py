@@ -19,14 +19,18 @@ from typing import Dict, List, Optional, Tuple
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
     timed,
+    vertex_keyed,
 )
-from repro.shortest_paths.bfs import bfs_spd
+from repro.shortest_paths.bfs import _gather_neighbors, bfs_spd
+from repro.shortest_paths.bidirectional import sample_path_interior_csr
+from repro.shortest_paths.dependencies import csr_spd_builder
 from repro.shortest_paths.dijkstra import dijkstra_spd
 
 __all__ = ["KadabraSampler"]
@@ -44,6 +48,11 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         ``num_samples`` samples are drawn.
     epsilon, delta:
         Accuracy / confidence targets for the adaptive stopping rule.
+    backend:
+        ``"auto"`` / ``"dict"`` / ``"csr"``.  The CSR backend runs the
+        balanced bidirectional growth and the path SPD on the vectorised
+        kernels, drawing pairs by dense index with the same rng stream as
+        the dict backend (identical samples for a fixed seed).
     """
 
     name = "kadabra"
@@ -54,6 +63,7 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         adaptive: bool = False,
         epsilon: float = 0.01,
         delta: float = 0.1,
+        backend: str = "auto",
     ) -> None:
         if epsilon <= 0.0:
             raise ConfigurationError("epsilon must be positive")
@@ -62,6 +72,7 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         self.adaptive = bool(adaptive)
         self.epsilon = float(epsilon)
         self.delta = float(delta)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _sample_path_interior(self, graph: Graph, rng) -> Tuple[List[Vertex], int]:
@@ -143,6 +154,59 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         return next_frontier, met
 
     # ------------------------------------------------------------------
+    def _sample_path_interior_csr(self, csr, rng) -> Tuple[List[int], int]:
+        """Index-space twin of :meth:`_sample_path_interior` on a CSR snapshot."""
+        n = csr.number_of_vertices()
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while t == s:
+            t = rng.randrange(n)
+
+        degrees = csr.degrees()
+        dist_s = np.full(n, np.inf)
+        dist_t = np.full(n, np.inf)
+        dist_s[s] = 0.0
+        dist_t[t] = 0.0
+        frontier_s = np.array([s], dtype=np.int64)
+        frontier_t = np.array([t], dtype=np.int64)
+        touched = 0
+        met = False
+        while frontier_s.size and frontier_t.size and not met:
+            work_s = int(degrees[frontier_s].sum())
+            work_t = int(degrees[frontier_t].sum())
+            if work_s <= work_t:
+                frontier_s, met = self._expand_csr(csr, frontier_s, dist_s, dist_t)
+                touched += work_s
+            else:
+                frontier_t, met = self._expand_csr(csr, frontier_t, dist_t, dist_s)
+                touched += work_t
+        if not met:
+            return [], touched
+
+        spd = csr_spd_builder(csr)(csr, s)
+        if not np.isfinite(spd.dist[t]):
+            return [], touched
+        return sample_path_interior_csr(spd, s, t, rng), touched
+
+    @staticmethod
+    def _expand_csr(csr, frontier, dist, other_dist):
+        """Vectorised one-level growth; mirrors :meth:`_expand` (every touched
+        neighbour — not just newly discovered ones — can signal a meeting)."""
+        level = float(dist[frontier[0]])
+        _, nbrs = _gather_neighbors(csr, frontier)
+        if nbrs.size == 0:
+            return np.empty(0, dtype=np.int64), False
+        fresh = nbrs[np.isinf(dist[nbrs])]
+        if fresh.size:
+            _, first_pos = np.unique(fresh, return_index=True)
+            next_frontier = fresh[np.sort(first_pos)]
+            dist[next_frontier] = level + 1.0
+        else:
+            next_frontier = np.empty(0, dtype=np.int64)
+        met = bool(np.isfinite(other_dist[nbrs]).any())
+        return next_frontier, met
+
+    # ------------------------------------------------------------------
     def estimate_all(
         self,
         graph: Graph,
@@ -156,21 +220,33 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         if graph.number_of_vertices() < 2:
             raise ConfigurationError("the graph must have at least two vertices")
         rng = ensure_rng(seed)
-        counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
         touched_total = 0
-        with timed() as clock:
-            for _ in range(num_samples):
-                interior, touched = self._sample_path_interior(graph, rng)
-                touched_total += touched
-                for v in interior:
-                    counts[v] += 1.0
-        estimates = {v: c / num_samples for v, c in counts.items()}
+        backend = resolve_backend(self.backend)
+        if backend == "csr":
+            with timed() as clock:
+                csr = graph.csr()
+                buffer = np.zeros(csr.number_of_vertices())
+                for _ in range(num_samples):
+                    interior, touched = self._sample_path_interior_csr(csr, rng)
+                    touched_total += touched
+                    for i in interior:
+                        buffer[i] += 1.0
+            estimates = vertex_keyed(csr, buffer / num_samples)
+        else:
+            counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+            with timed() as clock:
+                for _ in range(num_samples):
+                    interior, touched = self._sample_path_interior(graph, rng)
+                    touched_total += touched
+                    for v in interior:
+                        counts[v] += 1.0
+            estimates = {v: c / num_samples for v, c in counts.items()}
         return MapEstimate(
             estimates=estimates,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"touched_edges": touched_total},
+            diagnostics={"touched_edges": touched_total, "backend": backend},
         )
 
     # ------------------------------------------------------------------
@@ -190,11 +266,19 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         hits = 0.0
         drawn = 0
         touched_total = 0
+        backend = resolve_backend(self.backend)
         with timed() as clock:
+            csr = graph.csr() if backend == "csr" else None
+            r_index = csr.index_of(r) if csr is not None else None
             for i in range(1, num_samples + 1):
-                interior, touched = self._sample_path_interior(graph, rng)
+                if csr is not None:
+                    interior, touched = self._sample_path_interior_csr(csr, rng)
+                    hit = r_index in interior
+                else:
+                    interior, touched = self._sample_path_interior(graph, rng)
+                    hit = r in interior
                 touched_total += touched
-                if r in interior:
+                if hit:
                     hits += 1.0
                 drawn = i
                 if self.adaptive and i >= 30 and self._bernstein_radius(hits, i) <= self.epsilon:
@@ -205,7 +289,12 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
             samples=drawn,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"hits": hits, "touched_edges": touched_total, "adaptive": self.adaptive},
+            diagnostics={
+                "hits": hits,
+                "touched_edges": touched_total,
+                "adaptive": self.adaptive,
+                "backend": backend,
+            },
         )
 
     # ------------------------------------------------------------------

@@ -24,14 +24,18 @@ from typing import Dict, Optional
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
     timed,
+    vertex_keyed,
 )
 from repro.shortest_paths.bfs import bfs_distances, bfs_spd
+from repro.shortest_paths.bidirectional import sample_path_interior_csr
+from repro.shortest_paths.dependencies import csr_spd_builder
 from repro.shortest_paths.dijkstra import dijkstra_spd
 
 __all__ = ["RiondatoKornaropoulosSampler", "vertex_diameter_estimate", "rk_sample_size"]
@@ -76,9 +80,18 @@ def rk_sample_size(
 
 
 class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
-    """Uniform shortest-path sampling estimator for all vertices (or one)."""
+    """Uniform shortest-path sampling estimator for all vertices (or one).
+
+    With ``backend="csr"`` (the ``"auto"`` default when numpy is available)
+    pairs are drawn by dense index, the SPD is built by the vectorised CSR
+    kernels and hits are accumulated into a numpy buffer; the rng stream is
+    identical to the dict backend, so a fixed seed samples the same paths.
+    """
 
     name = "riondato-kornaropoulos"
+
+    def __init__(self, *, backend: str = "auto") -> None:
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _sample_internal_vertices(self, graph: Graph, rng) -> list:
@@ -116,6 +129,19 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
             current = chosen
         return interior
 
+    @staticmethod
+    def _sample_internal_indices(csr, rng) -> list:
+        """Index-space twin of :meth:`_sample_internal_vertices`."""
+        n = csr.number_of_vertices()
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while t == s:
+            t = rng.randrange(n)
+        spd = csr_spd_builder(csr)(csr, s)
+        if not np.isfinite(spd.dist[t]):
+            return []
+        return sample_path_interior_csr(spd, s, t, rng)
+
     # ------------------------------------------------------------------
     def estimate_all(
         self,
@@ -130,17 +156,28 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
         if graph.number_of_vertices() < 2:
             raise ConfigurationError("the graph must have at least two vertices")
         rng = ensure_rng(seed)
-        counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
-        with timed() as clock:
-            for _ in range(num_samples):
-                for v in self._sample_internal_vertices(graph, rng):
-                    counts[v] += 1.0
-        estimates = {v: c / num_samples for v, c in counts.items()}
+        backend = resolve_backend(self.backend)
+        if backend == "csr":
+            with timed() as clock:
+                csr = graph.csr()
+                buffer = np.zeros(csr.number_of_vertices())
+                for _ in range(num_samples):
+                    for i in self._sample_internal_indices(csr, rng):
+                        buffer[i] += 1.0
+            estimates = vertex_keyed(csr, buffer / num_samples)
+        else:
+            counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+            with timed() as clock:
+                for _ in range(num_samples):
+                    for v in self._sample_internal_vertices(graph, rng):
+                        counts[v] += 1.0
+            estimates = {v: c / num_samples for v, c in counts.items()}
         return MapEstimate(
             estimates=estimates,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
+            diagnostics={"backend": backend},
         )
 
     # ------------------------------------------------------------------
@@ -158,17 +195,26 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
             raise ConfigurationError("num_samples must be at least 1")
         rng = ensure_rng(seed)
         hits = 0.0
-        with timed() as clock:
-            for _ in range(num_samples):
-                if r in self._sample_internal_vertices(graph, rng):
-                    hits += 1.0
+        backend = resolve_backend(self.backend)
+        if backend == "csr":
+            with timed() as clock:
+                csr = graph.csr()
+                r_index = csr.index_of(r)
+                for _ in range(num_samples):
+                    if r_index in self._sample_internal_indices(csr, rng):
+                        hits += 1.0
+        else:
+            with timed() as clock:
+                for _ in range(num_samples):
+                    if r in self._sample_internal_vertices(graph, rng):
+                        hits += 1.0
         return SingleEstimate(
             vertex=r,
             estimate=hits / num_samples,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"hits": hits},
+            diagnostics={"hits": hits, "backend": backend},
         )
 
     # ------------------------------------------------------------------

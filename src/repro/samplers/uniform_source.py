@@ -15,14 +15,20 @@ from typing import Dict, Optional
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
     timed,
+    vertex_keyed,
 )
-from repro.shortest_paths.dependencies import accumulate_dependencies, spd_builder
+from repro.shortest_paths.dependencies import (
+    accumulate_dependencies,
+    csr_source_dependencies,
+    spd_builder,
+)
 
 __all__ = ["UniformSourceSampler"]
 
@@ -41,12 +47,20 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         When ``True`` (default) sources are drawn i.i.d. uniformly; when
         ``False`` they are drawn without replacement (the Brandes–Pich
         "random k sources" variant), which caps ``num_samples`` at ``|V|``.
+    backend:
+        ``"auto"`` / ``"dict"`` / ``"csr"``.  On the CSR backend every
+        dependency pass is a vectorised kernel accumulated into one numpy
+        buffer; sources are drawn through the same rng calls as the dict
+        backend (positions in ``graph.vertices()``), so a fixed seed yields
+        the same sample set, and results are converted back to vertex-keyed
+        dicts only at the estimate boundary.
     """
 
     name = "uniform-source"
 
-    def __init__(self, *, with_replacement: bool = True) -> None:
+    def __init__(self, *, with_replacement: bool = True, backend: str = "auto") -> None:
         self.with_replacement = bool(with_replacement)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _sample_sources(self, graph: Graph, num_samples: int, rng) -> list:
@@ -72,24 +86,38 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         if num_samples < 1:
             raise ConfigurationError("num_samples must be at least 1")
         rng = ensure_rng(seed)
-        build = spd_builder(graph)
         n = graph.number_of_vertices()
-        totals: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
-        with timed() as clock:
-            sources = self._sample_sources(graph, num_samples, rng)
-            for s in sources:
-                spd = build(graph, s)
-                for v, delta in accumulate_dependencies(spd).items():
-                    if v != s:
-                        totals[v] += delta
         scale = 1.0 / (num_samples * max(n - 1, 1))
-        estimates = {v: total * scale for v, total in totals.items()}
+        backend = resolve_backend(self.backend)
+        if backend == "csr":
+            with timed() as clock:
+                # Building (or fetching the cached) snapshot is part of the
+                # backend's cost, so it is timed like the dict traversals.
+                csr = graph.csr()
+                buffer = np.zeros(csr.number_of_vertices())
+                sources = self._sample_sources(graph, num_samples, rng)
+                for s in sources:
+                    # delta[s] == 0 by construction: array addition matches
+                    # the dict loop's "skip v == s" rule.
+                    buffer += csr_source_dependencies(csr, csr.index_of(s))
+            estimates = vertex_keyed(csr, buffer * scale)
+        else:
+            build = spd_builder(graph)
+            totals: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+            with timed() as clock:
+                sources = self._sample_sources(graph, num_samples, rng)
+                for s in sources:
+                    spd = build(graph, s)
+                    for v, delta in accumulate_dependencies(spd).items():
+                        if v != s:
+                            totals[v] += delta
+            estimates = {v: total * scale for v, total in totals.items()}
         return MapEstimate(
             estimates=estimates,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"with_replacement": self.with_replacement},
+            diagnostics={"with_replacement": self.with_replacement, "backend": backend},
         )
 
     # ------------------------------------------------------------------
@@ -111,17 +139,28 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         if num_samples < 1:
             raise ConfigurationError("num_samples must be at least 1")
         rng = ensure_rng(seed)
-        build = spd_builder(graph)
         n = graph.number_of_vertices()
         total = 0.0
-        with timed() as clock:
-            sources = self._sample_sources(graph, num_samples, rng)
-            for s in sources:
-                if s == r:
-                    continue
-                spd = build(graph, s)
-                deltas = accumulate_dependencies(spd)
-                total += deltas.get(r, 0.0)
+        backend = resolve_backend(self.backend)
+        if backend == "csr":
+            with timed() as clock:
+                csr = graph.csr()
+                r_index = csr.index_of(r)
+                sources = self._sample_sources(graph, num_samples, rng)
+                for s in sources:
+                    if s == r:
+                        continue
+                    total += float(csr_source_dependencies(csr, csr.index_of(s))[r_index])
+        else:
+            build = spd_builder(graph)
+            with timed() as clock:
+                sources = self._sample_sources(graph, num_samples, rng)
+                for s in sources:
+                    if s == r:
+                        continue
+                    spd = build(graph, s)
+                    deltas = accumulate_dependencies(spd)
+                    total += deltas.get(r, 0.0)
         estimate = total / (num_samples * max(n - 1, 1))
         return SingleEstimate(
             vertex=r,
@@ -129,5 +168,5 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"with_replacement": self.with_replacement},
+            diagnostics={"with_replacement": self.with_replacement, "backend": backend},
         )

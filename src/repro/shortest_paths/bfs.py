@@ -2,17 +2,50 @@
 
 Building the SPD rooted at a source costs ``O(|E(G)|)`` time (Section 2.1),
 which is also the per-sample cost quoted for every sampler in the paper.
+
+Two implementations share this module:
+
+* :func:`bfs_spd` / :func:`bfs_distances` — the reference dict-backed
+  traversal over :class:`~repro.graphs.core.Graph`;
+* :func:`bfs_spd_csr` / :func:`bfs_distances_csr` — level-synchronous,
+  numpy-vectorised traversals over a :class:`~repro.graphs.csr.CSRGraph`
+  snapshot.  Each BFS level is expanded with one gather over the CSR arrays
+  instead of one dict lookup per edge, which is where the CSR backend's
+  speedup comes from.  Frontier and predecessor ordering deliberately mirror
+  the dict implementation (queue order / adjacency order), so both backends
+  produce identical DAGs and — for samplers that backtrack through them —
+  identical rng-driven paths.
+
+Cutoff semantics
+----------------
+``cutoff`` is **inclusive**: exactly the vertices with ``d(source, v) <=
+cutoff`` are discovered and returned; no vertex beyond the cutoff is ever
+enqueued or recorded.  (An earlier revision compared ``distance >= cutoff``
+at dequeue time, which silently *included* vertices one level beyond a
+fractional cutoff — e.g. ``cutoff=1.5`` returned vertices at distance 2.
+The check is now equivalent to testing ``d_u + 1 > cutoff`` before
+discovering neighbours, on both backends.)
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.graphs.core import Graph, Vertex
-from repro.shortest_paths.spd import ShortestPathDAG
+from repro.graphs.csr import np
+from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
-__all__ = ["bfs_spd", "bfs_distances", "single_pair_distance"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "bfs_spd",
+    "bfs_distances",
+    "single_pair_distance",
+    "bfs_spd_csr",
+    "bfs_distances_csr",
+]
 
 
 def bfs_spd(graph: Graph, source: Vertex, *, cutoff: Optional[float] = None) -> ShortestPathDAG:
@@ -26,8 +59,9 @@ def bfs_spd(graph: Graph, source: Vertex, *, cutoff: Optional[float] = None) -> 
     source:
         The root vertex.
     cutoff:
-        Optional maximum distance; vertices farther than *cutoff* are not
-        explored.  Used by truncated traversals in the examples.
+        Optional maximum distance (inclusive): exactly the vertices with
+        ``d(source, v) <= cutoff`` are explored and returned.  Used by
+        truncated traversals in the examples.
     """
     graph.validate_vertex(source)
     distance: Dict[Vertex, float] = {source: 0.0}
@@ -39,7 +73,7 @@ def bfs_spd(graph: Graph, source: Vertex, *, cutoff: Optional[float] = None) -> 
         u = queue.popleft()
         order.append(u)
         d_u = distance[u]
-        if cutoff is not None and d_u >= cutoff:
+        if cutoff is not None and d_u + 1.0 > cutoff:
             continue
         for v in graph.neighbors(u):
             if v not in distance:
@@ -92,3 +126,110 @@ def single_pair_distance(graph: Graph, source: Vertex, target: Vertex) -> float:
                 distance[v] = d_u + 1.0
                 queue.append(v)
     return float("inf")
+
+
+# ----------------------------------------------------------------------
+# CSR kernels
+# ----------------------------------------------------------------------
+def _gather_neighbors(csr: "CSRGraph", frontier):
+    """Return ``(parents, nbrs)`` — every out-edge of *frontier*, flattened.
+
+    ``parents[k]`` is the frontier vertex whose adjacency produced
+    ``nbrs[k]``; edges appear in frontier order and, within one parent, in
+    adjacency order — the exact order the dict BFS visits them.
+    """
+    indptr = csr.indptr
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    flat = np.repeat(starts, counts) + offsets
+    return np.repeat(frontier, counts), csr.indices[flat]
+
+
+def bfs_spd_csr(
+    csr: "CSRGraph", source: int, *, cutoff: Optional[float] = None
+) -> CSRShortestPathDAG:
+    """Return the array-backed SPD rooted at vertex index *source*.
+
+    Level-synchronous vectorised BFS: each iteration gathers the whole next
+    level with numpy primitives.  Distances, path counts, traversal order and
+    predecessor ordering are identical to :func:`bfs_spd` on the same graph
+    (``cutoff`` is inclusive, as documented in the module docstring).
+    """
+    n = csr.number_of_vertices()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} vertices")
+    dist = np.full(n, np.inf)
+    sig = np.zeros(n)
+    dist[source] = 0.0
+    sig[source] = 1.0
+    frontier = np.array([source], dtype=np.int64)
+    order_parts = [frontier]
+    level_edges: List[Tuple] = []
+    level = 0.0
+    while frontier.size:
+        if cutoff is not None and level + 1.0 > cutoff:
+            break
+        parents, nbrs = _gather_neighbors(csr, frontier)
+        if nbrs.size == 0:
+            break
+        # DAG edges point to the next level: exactly the neighbours not yet
+        # assigned a distance (same-level and backward edges are finite here).
+        mask = np.isinf(dist[nbrs])
+        children = nbrs[mask]
+        if children.size == 0:
+            break
+        edge_parents = parents[mask]
+        # bincount-as-scatter-add: much faster than np.add.at for the
+        # many-small-updates pattern of a BFS level.
+        sig += np.bincount(children, weights=sig[edge_parents], minlength=n)
+        # New frontier: unique children in first-touch order, matching the
+        # dict BFS queue (np.unique alone would sort by index instead).
+        _, first_pos = np.unique(children, return_index=True)
+        frontier = children[np.sort(first_pos)]
+        dist[frontier] = level + 1.0
+        order_parts.append(frontier)
+        level_edges.append((edge_parents, children))
+        level += 1.0
+    order = np.concatenate(order_parts) if len(order_parts) > 1 else order_parts[0]
+    return CSRShortestPathDAG(
+        csr, source, dist, sig, order, level_edges=level_edges
+    )
+
+
+def bfs_distances_csr(csr: "CSRGraph", source: int):
+    """Return ``(dist, order)`` arrays for vertex index *source*.
+
+    ``dist`` is the full ``float64`` distance array (``inf`` when
+    unreachable) and ``order`` lists the reachable indices in discovery
+    order — the same iteration order :func:`bfs_distances` yields, which
+    callers rely on when they rebuild insertion-ordered dicts at the result
+    boundary.
+    """
+    n = csr.number_of_vertices()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} vertices")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    order_parts = [frontier]
+    level = 0.0
+    while frontier.size:
+        _, nbrs = _gather_neighbors(csr, frontier)
+        if nbrs.size == 0:
+            break
+        fresh = nbrs[np.isinf(dist[nbrs])]
+        if fresh.size == 0:
+            break
+        _, first_pos = np.unique(fresh, return_index=True)
+        frontier = fresh[np.sort(first_pos)]
+        dist[frontier] = level + 1.0
+        order_parts.append(frontier)
+        level += 1.0
+    order = np.concatenate(order_parts) if len(order_parts) > 1 else order_parts[0]
+    return dist, order

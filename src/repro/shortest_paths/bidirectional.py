@@ -10,13 +10,23 @@ count shortest s-t paths and to sample one uniformly at random.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro._rng import RandomState, ensure_rng
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import np
 from repro.shortest_paths.bfs import bfs_spd
 
-__all__ = ["bidirectional_shortest_path_info", "sample_shortest_path", "all_shortest_paths"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "bidirectional_shortest_path_info",
+    "bidirectional_shortest_path_info_csr",
+    "sample_shortest_path",
+    "sample_path_interior_csr",
+    "all_shortest_paths",
+]
 
 
 def bidirectional_shortest_path_info(
@@ -98,6 +108,117 @@ def _expand(
                 if v in other_dist:
                     met = True
     return next_frontier, level + 1.0, met
+
+
+def bidirectional_shortest_path_info_csr(
+    csr: "CSRGraph", s: int, t: int
+) -> Tuple[float, float]:
+    """Return ``(d(s, t), sigma_st)`` for vertex *indices* on a CSR snapshot.
+
+    Array-native twin of :func:`bidirectional_shortest_path_info`: both
+    frontiers live in numpy arrays, each expansion is one gather over the
+    CSR arrays, and the balanced rule compares the summed degrees of the two
+    frontiers exactly as the dict implementation does.
+    """
+    n = csr.number_of_vertices()
+    if s == t:
+        return 0.0, 1.0
+    degrees = csr.degrees()
+    dist_s = np.full(n, np.inf)
+    dist_t = np.full(n, np.inf)
+    sigma_s = np.zeros(n)
+    sigma_t = np.zeros(n)
+    dist_s[s] = 0.0
+    dist_t[t] = 0.0
+    sigma_s[s] = 1.0
+    sigma_t[t] = 1.0
+    frontier_s = np.array([s], dtype=np.int64)
+    frontier_t = np.array([t], dtype=np.int64)
+    level_s = 0.0
+    level_t = 0.0
+    met = False
+    while frontier_s.size and frontier_t.size:
+        work_s = int(degrees[frontier_s].sum())
+        work_t = int(degrees[frontier_t].sum())
+        if work_s <= work_t:
+            frontier_s, level_s, hit = _expand_csr(
+                csr, frontier_s, dist_s, sigma_s, level_s, dist_t
+            )
+        else:
+            frontier_t, level_t, hit = _expand_csr(
+                csr, frontier_t, dist_t, sigma_t, level_t, dist_s
+            )
+        if hit:
+            met = True
+            break
+    if not met:
+        return float("inf"), 0.0
+    both = np.isfinite(dist_s) & np.isfinite(dist_t)
+    if not both.any():
+        return float("inf"), 0.0
+    totals = dist_s[both] + dist_t[both]
+    best = float(totals.min())
+    on_best = totals == best
+    sigma = float((sigma_s[both][on_best] * sigma_t[both][on_best]).sum())
+    return best, sigma
+
+
+def _expand_csr(csr, frontier, dist, sigma, level, other_dist):
+    """Vectorised one-level expansion; mirrors :func:`_expand` exactly."""
+    from repro.shortest_paths.bfs import _gather_neighbors
+
+    parents, nbrs = _gather_neighbors(csr, frontier)
+    if nbrs.size == 0:
+        return np.empty(0, dtype=np.int64), level + 1.0, False
+    next_mask = np.isinf(dist[nbrs])
+    children = nbrs[next_mask]
+    if children.size:
+        _, first_pos = np.unique(children, return_index=True)
+        next_frontier = children[np.sort(first_pos)]
+        dist[next_frontier] = level + 1.0
+    else:
+        next_frontier = np.empty(0, dtype=np.int64)
+    # sigma flows along every edge into the new level (children only), and —
+    # matching the dict implementation — only those edges can signal that the
+    # searches met.
+    on_level = dist[nbrs] == level + 1.0
+    np.add.at(sigma, nbrs[on_level], sigma[parents[on_level]])
+    met = bool(np.isfinite(other_dist[nbrs[on_level]]).any())
+    return next_frontier, level + 1.0, met
+
+
+def sample_path_interior_csr(spd, source: int, target: int, rng) -> List[int]:
+    """Sample the interior of one uniform shortest source→target path, by index.
+
+    Backtracks from *target* through an array-backed SPD, choosing each
+    predecessor with probability proportional to its shortest-path count —
+    the same uniform-path guarantee (and, deliberately, the same per-step
+    ``rng.random()`` consumption and cumulative-scan tie-breaking) as the
+    dict-backed samplers, so both backends walk identical paths for a fixed
+    seed.  Returns the interior vertex indices from *target* backwards.
+    """
+    interior: List[int] = []
+    sig = spd.sig
+    current = target
+    while True:
+        parents = spd.parents_of(current)
+        if parents.size == 0:
+            break
+        weights = sig[parents].tolist()
+        total = sum(weights)
+        pick = rng.random() * total
+        cumulative = 0.0
+        chosen = int(parents[-1])
+        for parent, weight in zip(parents.tolist(), weights):
+            cumulative += weight
+            if pick <= cumulative:
+                chosen = parent
+                break
+        if chosen == source:
+            break
+        interior.append(chosen)
+        current = chosen
+    return interior
 
 
 def all_shortest_paths(graph: Graph, s: Vertex, t: Vertex) -> List[List[Vertex]]:

@@ -16,12 +16,16 @@ Metropolis-Hastings acceptance ratio is a ratio of two of them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.graphs.core import Graph, Vertex
-from repro.shortest_paths.bfs import bfs_spd
-from repro.shortest_paths.dijkstra import dijkstra_spd
-from repro.shortest_paths.spd import ShortestPathDAG
+from repro.graphs.csr import np, resolve_backend
+from repro.shortest_paths.bfs import bfs_spd, bfs_spd_csr
+from repro.shortest_paths.dijkstra import dijkstra_spd, dijkstra_spd_csr
+from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
 
 __all__ = [
     "accumulate_dependencies",
@@ -30,6 +34,11 @@ __all__ = [
     "dependency_on_target",
     "all_dependencies_on_target",
     "spd_builder",
+    "csr_spd_builder",
+    "accumulate_dependencies_csr",
+    "csr_source_dependencies",
+    "csr_dependency_on_target",
+    "csr_edge_dependency",
 ]
 
 
@@ -40,6 +49,11 @@ def spd_builder(graph: Graph) -> Callable[[Graph, Vertex], ShortestPathDAG]:
     per-sample complexities quoted in the paper.
     """
     return dijkstra_spd if graph.weighted else bfs_spd
+
+
+def csr_spd_builder(csr: "CSRGraph") -> Callable[["CSRGraph", int], CSRShortestPathDAG]:
+    """Return the CSR SPD construction kernel appropriate for *csr*."""
+    return dijkstra_spd_csr if csr.weighted else bfs_spd_csr
 
 
 def accumulate_dependencies(spd: ShortestPathDAG) -> Dict[Vertex, float]:
@@ -106,15 +120,31 @@ def dependency_on_target(graph: Graph, source: Vertex, target: Vertex) -> float:
     return deltas.get(target, 0.0)
 
 
-def all_dependencies_on_target(graph: Graph, target: Vertex) -> Dict[Vertex, float]:
+def all_dependencies_on_target(
+    graph: Graph, target: Vertex, *, backend: str = "auto"
+) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(target)}`` for every vertex *v* of *graph*.
 
     This is the full (unnormalised) Metropolis-Hastings target distribution
     of Equation 5.  It costs one SPD per vertex (``O(|V||E|)`` total) and is
     used by the exact single-vertex algorithm, by the optimal sampler, and by
-    the analysis layer to compute :math:`\\mu(r)` exactly.
+    the analysis layer to compute :math:`\\mu(r)` exactly.  With the CSR
+    backend every pass runs on the vectorised kernels; the result is
+    converted back to a vertex-keyed dict only at this boundary.
     """
     graph.validate_vertex(target)
+    if resolve_backend(backend) == "csr":
+        csr = graph.csr()
+        r = csr.index_of(target)
+        build = csr_spd_builder(csr)
+        result = {}
+        for i, v in enumerate(csr.vertices):
+            if i == r:
+                result[v] = 0.0
+                continue
+            delta = accumulate_dependencies_csr(build(csr, i))
+            result[v] = float(delta[r])
+        return result
     result: Dict[Vertex, float] = {}
     for v in graph.vertices():
         if v == target:
@@ -122,3 +152,64 @@ def all_dependencies_on_target(graph: Graph, target: Vertex) -> Dict[Vertex, flo
             continue
         result[v] = dependency_on_target(graph, v, target)
     return result
+
+
+# ----------------------------------------------------------------------
+# CSR kernels
+# ----------------------------------------------------------------------
+def accumulate_dependencies_csr(spd: CSRShortestPathDAG):
+    """Return the dependency array ``delta`` for the source of *spd*.
+
+    ``delta[i]`` is :math:`\\delta_{s\\bullet}(v_i)` with ``delta[source] =
+    0`` — the array twin of :func:`accumulate_dependencies`.  BFS-built DAGs
+    carry their edges grouped by level, so the Brandes recursion runs one
+    vectorised pass per level (every child of level ``L + 1`` has its final
+    delta before the level-``L`` edges are processed).  Dijkstra-built DAGs
+    have no levels and fall back to a per-vertex sweep in reverse settle
+    order over the CSR predecessor arrays.
+    """
+    n = spd.csr.number_of_vertices()
+    sig = spd.sig
+    delta = np.zeros(n)
+    if spd.level_edges is not None:
+        for parents, children in reversed(spd.level_edges):
+            contrib = sig[parents] / sig[children] * (1.0 + delta[children])
+            delta += np.bincount(parents, weights=contrib, minlength=n)
+    else:
+        pred_indptr = spd.pred_indptr
+        pred_indices = spd.pred_indices
+        for w in spd.order_indices[::-1].tolist():
+            parents = pred_indices[pred_indptr[w] : pred_indptr[w + 1]]
+            if parents.size:
+                delta[parents] += sig[parents] * ((1.0 + delta[w]) / sig[w])
+    delta[spd.source_index] = 0.0
+    return delta
+
+
+def csr_source_dependencies(csr: "CSRGraph", source: int):
+    """Return the dependency array of vertex index *source* (build + accumulate)."""
+    return accumulate_dependencies_csr(csr_spd_builder(csr)(csr, source))
+
+
+def csr_dependency_on_target(csr: "CSRGraph", source: int, target: int) -> float:
+    """Return :math:`\\delta_{source\\bullet}(target)` in index space."""
+    if source == target:
+        return 0.0
+    return float(csr_source_dependencies(csr, source)[target])
+
+
+def csr_edge_dependency(spd: CSRShortestPathDAG, a: int, b: int) -> float:
+    """Return the dependency of the source of *spd* on the undirected edge ``{a, b}``.
+
+    Sums the contributions of both possible DAG orientations, mirroring
+    :func:`accumulate_edge_dependencies` read at a single edge: an
+    orientation ``(v, w)`` contributes ``sigma[v] / sigma[w] * (1 +
+    delta[w])`` when ``v`` is a DAG predecessor of ``w``.
+    """
+    delta = accumulate_dependencies_csr(spd)
+    sig = spd.sig
+    total = 0.0
+    for v, w in ((a, b), (b, a)):
+        if sig[w] > 0.0 and v in spd.parents_of(w):
+            total += float(sig[v] / sig[w] * (1.0 + delta[w]))
+    return total

@@ -10,13 +10,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import NegativeWeightError
 from repro.graphs.core import Graph, Vertex
-from repro.shortest_paths.spd import ShortestPathDAG
+from repro.graphs.csr import np
+from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
-__all__ = ["dijkstra_spd", "dijkstra_distances"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
+
+__all__ = ["dijkstra_spd", "dijkstra_distances", "dijkstra_spd_csr"]
 
 #: Tolerance used when comparing path lengths for equality.  Weighted
 #: shortest-path counting needs an explicit tolerance because float addition
@@ -80,3 +84,73 @@ def dijkstra_distances(graph: Graph, source: Vertex) -> Dict[Vertex, float]:
     """Return only the distance map from *source* in a weighted graph."""
     spd = dijkstra_spd(graph, source)
     return dict(spd.distance)
+
+
+def dijkstra_spd_csr(csr: "CSRGraph", source: int) -> CSRShortestPathDAG:
+    """Return the array-backed SPD rooted at vertex index *source* (weighted).
+
+    Index-space mirror of :func:`dijkstra_spd`: the heap discipline, the
+    tie-breaking counter and the ``_EPSILON`` comparisons are identical, so
+    both backends settle vertices in the same order and count the same
+    shortest paths bit-for-bit.  The result carries no ``level_edges`` (a
+    weighted DAG has no BFS levels); dependency accumulation falls back to
+    the ordered per-vertex sweep.
+    """
+    n = csr.number_of_vertices()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} vertices")
+    indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+    dist = np.full(n, np.inf)
+    sig = np.zeros(n)
+    sig[source] = 1.0
+    settled = np.zeros(n, dtype=bool)
+    predecessors: List[List[int]] = [[] for _ in range(n)]
+    order: List[int] = []
+    seen: Dict[int, float] = {source: 0.0}
+    counter = itertools.count()
+    heap: List = [(0.0, next(counter), source)]
+    while heap:
+        dist_u, _, u = heapq.heappop(heap)
+        if settled[u]:
+            continue  # already settled via a shorter path
+        settled[u] = True
+        dist[u] = dist_u
+        order.append(u)
+        sigma_u = sig[u]
+        for pos in range(int(indptr[u]), int(indptr[u + 1])):
+            v = int(indices[pos])
+            weight = float(weights[pos])
+            if weight <= 0.0:
+                raise NegativeWeightError(csr.vertex_at(u), csr.vertex_at(v), weight)
+            candidate = dist_u + weight
+            tolerance = _EPSILON * max(1.0, abs(candidate))
+            if settled[v]:
+                if abs(candidate - dist[v]) <= tolerance:
+                    sig[v] += sigma_u
+                    predecessors[v].append(u)
+                continue
+            previous = seen.get(v)
+            if previous is None or candidate < previous - tolerance:
+                seen[v] = candidate
+                sig[v] = sigma_u
+                predecessors[v] = [u]
+                heapq.heappush(heap, (candidate, next(counter), v))
+            elif abs(candidate - previous) <= tolerance:
+                sig[v] += sigma_u
+                predecessors[v].append(u)
+    # Flatten the per-vertex parent lists into the CSR predecessor layout.
+    counts = np.array([len(p) for p in predecessors], dtype=np.int64)
+    pred_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=pred_indptr[1:])
+    flat = [p for parents in predecessors for p in parents]
+    pred_indices = np.asarray(flat, dtype=np.int64)
+    return CSRShortestPathDAG(
+        csr,
+        source,
+        dist,
+        sig,
+        np.asarray(order, dtype=np.int64),
+        level_edges=None,
+        pred_indptr=pred_indptr,
+        pred_indices=pred_indices,
+    )

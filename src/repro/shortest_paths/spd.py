@@ -19,11 +19,15 @@ An SPD stores, for each vertex *v* reachable from the source:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.graphs.core import Vertex
+from repro.graphs.csr import np
 
-__all__ = ["ShortestPathDAG"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
+
+__all__ = ["ShortestPathDAG", "CSRShortestPathDAG"]
 
 
 @dataclass
@@ -146,3 +150,222 @@ class ShortestPathDAG:
             assert self.sigma[v] == sum(self.sigma[p] for p in parents), (
                 f"sigma[{v!r}] must equal the sum of predecessor sigmas"
             )
+
+
+class CSRShortestPathDAG:
+    """Array-backed shortest-path DAG over a :class:`~repro.graphs.csr.CSRGraph`.
+
+    Produced by :func:`repro.shortest_paths.bfs.bfs_spd_csr` and
+    :func:`repro.shortest_paths.dijkstra.dijkstra_spd_csr`.  All per-vertex
+    quantities live in dense numpy arrays indexed by CSR vertex index:
+
+    * ``dist`` — ``float64`` distances (``inf`` for unreachable vertices);
+    * ``sig`` — ``float64`` shortest-path counts (0 for unreachable);
+    * ``order_indices`` — reachable vertex indices in non-decreasing distance
+      order (exactly the dequeue/settle order of the dict builders);
+    * predecessor lists in CSR layout, built lazily from the recorded DAG
+      edges: the parents of index ``i`` are
+      ``pred_indices[pred_indptr[i]:pred_indptr[i + 1]]``, in the same order
+      the dict builder would have appended them.
+
+    For unweighted (BFS-built) DAGs, ``level_edges`` additionally groups the
+    DAG edges by the level of the child vertex, which is what lets the
+    dependency accumulation in :mod:`repro.shortest_paths.dependencies` run
+    one vectorised pass per level instead of one dict operation per edge.
+    Dijkstra-built DAGs set it to ``None`` and fall back to the per-vertex
+    ordered sweep.
+
+    Compatibility mapping API
+    -------------------------
+    The class quacks like :class:`ShortestPathDAG` where it matters: the
+    ``distance`` / ``sigma`` / ``predecessors`` / ``order`` properties
+    materialise the vertex-keyed dictionaries (and label list) lazily, cached
+    after the first access; the reader methods (:meth:`distance_to`,
+    :meth:`path_count`, :meth:`parents`, :meth:`is_reachable`,
+    :meth:`reachable`) answer straight from the arrays, and :meth:`to_dag`
+    produces a full dict-backed :class:`ShortestPathDAG` for consumers that
+    need one.  Hot paths should use the arrays directly.
+    """
+
+    __slots__ = (
+        "csr",
+        "source_index",
+        "dist",
+        "sig",
+        "order_indices",
+        "level_edges",
+        "_pred_indptr",
+        "_pred_indices",
+        "_distance_dict",
+        "_sigma_dict",
+        "_pred_dict",
+        "_order_list",
+    )
+
+    def __init__(
+        self,
+        csr: "CSRGraph",
+        source_index: int,
+        dist,
+        sig,
+        order_indices,
+        *,
+        level_edges=None,
+        pred_indptr=None,
+        pred_indices=None,
+    ) -> None:
+        self.csr = csr
+        self.source_index = int(source_index)
+        self.dist = dist
+        self.sig = sig
+        self.order_indices = order_indices
+        self.level_edges = level_edges
+        self._pred_indptr = pred_indptr
+        self._pred_indices = pred_indices
+        self._distance_dict: Optional[Dict[Vertex, float]] = None
+        self._sigma_dict: Optional[Dict[Vertex, float]] = None
+        self._pred_dict: Optional[Dict[Vertex, List[Vertex]]] = None
+        self._order_list: Optional[List[Vertex]] = None
+
+    # ------------------------------------------------------------------
+    # Array-native API (index space)
+    # ------------------------------------------------------------------
+    @property
+    def pred_indptr(self):
+        """CSR-layout offsets of the predecessor lists (built lazily)."""
+        if self._pred_indptr is None:
+            self._build_predecessors()
+        return self._pred_indptr
+
+    @property
+    def pred_indices(self):
+        """Flat predecessor-index array matching :attr:`pred_indptr`."""
+        if self._pred_indices is None:
+            self._build_predecessors()
+        return self._pred_indices
+
+    def _build_predecessors(self) -> None:
+        n = self.csr.number_of_vertices()
+        if self.level_edges is None:
+            raise RuntimeError(
+                "predecessor arrays were neither recorded nor derivable; "
+                "the builder must pass pred_indptr/pred_indices or level_edges"
+            )
+        if self.level_edges:
+            parents = np.concatenate([p for p, _ in self.level_edges])
+            children = np.concatenate([c for _, c in self.level_edges])
+            # Stable sort by child keeps, within each child, the order the
+            # dict builder appends parents (frontier order, then adjacency
+            # order) — required for rng-identical path backtracking.
+            perm = np.argsort(children, kind="stable")
+            self._pred_indices = parents[perm]
+            counts = np.bincount(children, minlength=n)
+        else:
+            self._pred_indices = np.empty(0, dtype=np.int64)
+            counts = np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._pred_indptr = indptr
+
+    def parents_of(self, index: int):
+        """Return the predecessor-index array of vertex *index* (a view)."""
+        indptr = self.pred_indptr
+        return self.pred_indices[indptr[index] : indptr[index + 1]]
+
+    def number_of_reachable(self) -> int:
+        """Return how many vertices are reachable from the source."""
+        return int(self.order_indices.shape[0])
+
+    # ------------------------------------------------------------------
+    # Compatibility mapping API (vertex space)
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Vertex:
+        """The source vertex *label* (mirrors ``ShortestPathDAG.source``)."""
+        return self.csr.vertex_at(self.source_index)
+
+    @property
+    def distance(self) -> Dict[Vertex, float]:
+        """Vertex-keyed distance dict (lazy; reachable vertices only)."""
+        if self._distance_dict is None:
+            vertex_at = self.csr.vertex_at
+            dist = self.dist
+            self._distance_dict = {
+                vertex_at(i): float(dist[i]) for i in self.order_indices.tolist()
+            }
+        return self._distance_dict
+
+    @property
+    def sigma(self) -> Dict[Vertex, float]:
+        """Vertex-keyed path-count dict (lazy; reachable vertices only)."""
+        if self._sigma_dict is None:
+            vertex_at = self.csr.vertex_at
+            sig = self.sig
+            self._sigma_dict = {
+                vertex_at(i): float(sig[i]) for i in self.order_indices.tolist()
+            }
+        return self._sigma_dict
+
+    @property
+    def predecessors(self) -> Dict[Vertex, List[Vertex]]:
+        """Vertex-keyed predecessor lists (lazy; reachable vertices only)."""
+        if self._pred_dict is None:
+            vertex_at = self.csr.vertex_at
+            indptr = self.pred_indptr
+            indices = self.pred_indices
+            result: Dict[Vertex, List[Vertex]] = {}
+            for i in self.order_indices.tolist():
+                result[vertex_at(i)] = [
+                    vertex_at(p) for p in indices[indptr[i] : indptr[i + 1]].tolist()
+                ]
+            self._pred_dict = result
+        return self._pred_dict
+
+    @property
+    def order(self) -> List[Vertex]:
+        """Reachable vertex labels in traversal order (lazy compat view)."""
+        if self._order_list is None:
+            vertex_at = self.csr.vertex_at
+            self._order_list = [vertex_at(i) for i in self.order_indices.tolist()]
+        return self._order_list
+
+    def reachable(self) -> List[Vertex]:
+        """Return the reachable vertex labels in traversal order."""
+        return list(self.order)
+
+    def is_reachable(self, vertex: Vertex) -> bool:
+        """Return ``True`` if *vertex* is reachable from the source.
+
+        Like every reader below, mirrors the dict DAG's lenient contract: a
+        label absent from the snapshot reads as unreachable, not an error.
+        """
+        index = self.csr.find_index(vertex)
+        return False if index is None else bool(np.isfinite(self.dist[index]))
+
+    def distance_to(self, vertex: Vertex) -> float:
+        """Return d(source, vertex), or ``inf`` when unreachable."""
+        index = self.csr.find_index(vertex)
+        return float("inf") if index is None else float(self.dist[index])
+
+    def path_count(self, vertex: Vertex) -> float:
+        """Return :math:`\\sigma_{s,vertex}` (0 when unreachable)."""
+        index = self.csr.find_index(vertex)
+        return 0.0 if index is None else float(self.sig[index])
+
+    def parents(self, vertex: Vertex) -> List[Vertex]:
+        """Return the predecessor labels of *vertex* (empty if none)."""
+        index = self.csr.find_index(vertex)
+        if index is None:
+            return []
+        vertex_at = self.csr.vertex_at
+        return [vertex_at(p) for p in self.parents_of(index).tolist()]
+
+    def to_dag(self) -> ShortestPathDAG:
+        """Materialise a fully dict-backed :class:`ShortestPathDAG` copy."""
+        return ShortestPathDAG(
+            source=self.source,
+            distance=dict(self.distance),
+            sigma=dict(self.sigma),
+            predecessors={v: list(ps) for v, ps in self.predecessors.items()},
+            order=self.reachable(),
+        )

@@ -76,11 +76,7 @@ def small_ws() -> Graph:
 @pytest.fixture
 def weighted_diamond() -> Graph:
     """Weighted diamond where two equal-length shortest paths exist between 0 and 3."""
-    graph = Graph(weighted=True)
-    graph.add_edge(0, 1, 1.0)
-    graph.add_edge(0, 2, 1.0)
-    graph.add_edge(1, 3, 1.0)
-    graph.add_edge(2, 3, 1.0)
-    graph.add_edge(0, 4, 0.5)
-    graph.add_edge(4, 3, 3.0)
-    return graph
+    return Graph.from_edges(
+        [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0), (0, 4, 0.5), (4, 3, 3.0)],
+        weighted=True,
+    )

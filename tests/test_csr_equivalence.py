@@ -1,0 +1,279 @@
+"""Property-based equivalence suite: the CSR backend must match the dict backend.
+
+The CSR refactor promises that the flat-array kernels are drop-in twins of
+the dict-backed reference implementations: same distances, same path counts,
+same traversal order, same predecessor lists (and ordering, which the
+rng-driven path samplers rely on), same dependency scores, and — for every
+registered estimator — the same estimate for a fixed seed.  This module
+checks those promises on randomly generated graphs (Erdős–Rényi,
+Barabási–Albert, barbell, random weighted), plus the cache-invalidation
+contract of ``Graph.csr()``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.centrality.api import SINGLE_VERTEX_METHODS, betweenness_single
+from repro.exact.brandes import betweenness_centrality
+from repro.exact.group import group_betweenness_centrality
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    barbell_graph,
+    erdos_renyi_graph,
+)
+from repro.graphs.components import largest_connected_component
+from repro.graphs.csr import np
+from repro.shortest_paths import (
+    accumulate_dependencies,
+    accumulate_dependencies_csr,
+    bfs_distances,
+    bfs_distances_csr,
+    bfs_spd,
+    bfs_spd_csr,
+    bidirectional_shortest_path_info,
+    bidirectional_shortest_path_info_csr,
+    dijkstra_spd,
+    dijkstra_spd_csr,
+)
+
+pytestmark = pytest.mark.skipif(np is None, reason="the CSR backend requires numpy")
+
+# ----------------------------------------------------------------------
+# Graph strategies: one generator family per draw, seeded by hypothesis.
+# ----------------------------------------------------------------------
+
+
+def _random_weighted_graph(seed: int) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph(weighted=True)
+    n = rng.randint(6, 18)
+    for _ in range(3 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, rng.choice([0.5, 1.0, 1.5, 2.0, 3.0]))
+    return largest_connected_component(graph)
+
+
+def _make_graph(family: str, seed: int) -> Graph:
+    if family == "er":
+        return largest_connected_component(erdos_renyi_graph(24, 0.12, seed=seed))
+    if family == "ba":
+        return barabasi_albert_graph(22, 2, seed=seed)
+    if family == "barbell":
+        rng = random.Random(seed)
+        return barbell_graph(rng.randint(3, 6), rng.randint(1, 4))
+    return _random_weighted_graph(seed)
+
+
+graph_cases = st.tuples(
+    st.sampled_from(["er", "ba", "barbell", "weighted"]),
+    st.integers(min_value=0, max_value=10_000),
+).map(lambda case: _make_graph(*case)).filter(lambda g: g.number_of_vertices() >= 3)
+
+
+# ----------------------------------------------------------------------
+# SPD equivalence
+# ----------------------------------------------------------------------
+
+
+@given(graph_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_spd_construction_matches_dict_backend(graph, source_seed):
+    """BFS/Dijkstra CSR SPDs equal the dict SPDs field for field."""
+    vertices = graph.vertices()
+    source = vertices[source_seed % len(vertices)]
+    csr = graph.csr()
+    if graph.weighted:
+        dict_spd = dijkstra_spd(graph, source)
+        csr_spd = dijkstra_spd_csr(csr, csr.index_of(source))
+    else:
+        dict_spd = bfs_spd(graph, source)
+        csr_spd = bfs_spd_csr(csr, csr.index_of(source))
+    assert csr_spd.source == source
+    assert csr_spd.distance == dict_spd.distance
+    assert csr_spd.sigma == dict_spd.sigma
+    assert csr_spd.order == dict_spd.order
+    assert csr_spd.predecessors == dict_spd.predecessors
+    # The compat view must satisfy the same structural invariants.
+    csr_spd.to_dag().validate()
+
+
+@given(graph_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dependency_accumulation_matches_dict_backend(graph, source_seed):
+    """Brandes dependency scores agree across backends (float tolerance only)."""
+    vertices = graph.vertices()
+    source = vertices[source_seed % len(vertices)]
+    csr = graph.csr()
+    if graph.weighted:
+        deltas = accumulate_dependencies(dijkstra_spd(graph, source))
+        array = accumulate_dependencies_csr(dijkstra_spd_csr(csr, csr.index_of(source)))
+    else:
+        deltas = accumulate_dependencies(bfs_spd(graph, source))
+        array = accumulate_dependencies_csr(bfs_spd_csr(csr, csr.index_of(source)))
+    for v, value in deltas.items():
+        assert math.isclose(value, float(array[csr.index_of(v)]), rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(graph_cases.filter(lambda g: not g.weighted), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bfs_distances_and_bidirectional_match(graph, pair_seed):
+    """Distance-only BFS and the bidirectional pair query agree across backends."""
+    vertices = graph.vertices()
+    s = vertices[pair_seed % len(vertices)]
+    t = vertices[(3 * pair_seed + 1) % len(vertices)]
+    csr = graph.csr()
+    dist, order = bfs_distances_csr(csr, csr.index_of(s))
+    dict_distances = bfs_distances(graph, s)
+    assert {csr.vertex_at(i): dist[i] for i in order.tolist()} == dict_distances
+    assert [csr.vertex_at(i) for i in order.tolist()] == list(dict_distances)
+    assert bidirectional_shortest_path_info(graph, s, t) == (
+        bidirectional_shortest_path_info_csr(csr, csr.index_of(s), csr.index_of(t))
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-algorithm equivalence
+# ----------------------------------------------------------------------
+
+
+@given(graph_cases)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_brandes_betweenness_matches_dict_backend(graph):
+    """Exact Brandes centrality agrees across backends on every vertex."""
+    dict_scores = betweenness_centrality(graph, backend="dict")
+    csr_scores = betweenness_centrality(graph, backend="csr")
+    assert dict_scores.keys() == csr_scores.keys()
+    for v in dict_scores:
+        assert math.isclose(
+            dict_scores[v], csr_scores[v], rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(sorted(SINGLE_VERTEX_METHODS)),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_every_estimator_is_backend_invariant(seed, method):
+    """For a fixed seed, every registered estimator returns the same estimate
+    on both backends (identical rng streams; float-accumulation tolerance)."""
+    graph = barabasi_albert_graph(20, 2, seed=seed % 50)
+    target = graph.vertices()[seed % graph.number_of_vertices()]
+    dict_result = betweenness_single(
+        graph, target, method=method, samples=40, seed=seed, backend="dict"
+    )
+    csr_result = betweenness_single(
+        graph, target, method=method, samples=40, seed=seed, backend="csr"
+    )
+    assert math.isclose(
+        dict_result.estimate, csr_result.estimate, rel_tol=1e-9, abs_tol=1e-12
+    )
+
+
+def test_group_betweenness_matches_dict_backend(barbell):
+    for group in ([5], [5, 6], [0, 5]):
+        assert math.isclose(
+            group_betweenness_centrality(barbell, group, backend="dict"),
+            group_betweenness_centrality(barbell, group, backend="csr"),
+            rel_tol=1e-9,
+        )
+
+
+# ----------------------------------------------------------------------
+# Cache / invalidation contract
+# ----------------------------------------------------------------------
+
+
+def test_csr_view_is_cached_until_mutation():
+    graph = erdos_renyi_graph(12, 0.3, seed=1)
+    view = graph.csr()
+    assert graph.csr() is view, "repeated csr() calls must return the cached view"
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda g: g.add_edge(0, 5),
+        lambda g: g.add_vertex("fresh"),
+        lambda g: g.remove_edge(*next(iter(g.edges()))),
+        lambda g: g.remove_vertex(g.vertices()[-1]),
+    ],
+    ids=["add_edge", "add_vertex", "remove_edge", "remove_vertex"],
+)
+def test_mutation_invalidates_cached_view(mutate):
+    graph = largest_connected_component(erdos_renyi_graph(14, 0.3, seed=2))
+    stale = graph.csr()
+    mutate(graph)
+    fresh = graph.csr()
+    assert fresh is not stale, "mutation must drop the cached CSR view"
+    # The fresh snapshot reflects the mutation; the stale one still
+    # describes the old graph (immutability of the snapshot itself).
+    assert fresh.number_of_vertices() == graph.number_of_vertices()
+    assert fresh.number_of_edges() == graph.number_of_edges()
+
+
+def test_updating_an_edge_weight_invalidates_the_view():
+    graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0)], weighted=True)
+    stale = graph.csr()
+    graph.add_edge(0, 1, 5.0)  # same edge, new weight
+    fresh = graph.csr()
+    assert fresh is not stale
+    i, j = fresh.index_of(0), 0
+    neighbors = fresh.neighbors_of(i).tolist()
+    weights = fresh.weights_of(i).tolist()
+    assert weights[neighbors.index(fresh.index_of(1))] == 5.0
+
+
+def test_spd_compat_readers_are_lenient_for_unknown_labels():
+    """Absent labels read as unreachable on both DAG flavours, never raise."""
+    graph = barbell_graph(3, 1)
+    for spd in (bfs_spd(graph, 0), bfs_spd_csr(graph.csr(), 0)):
+        assert spd.is_reachable("ghost") is False
+        assert spd.distance_to("ghost") == float("inf")
+        assert spd.path_count("ghost") == 0.0
+        assert spd.parents("ghost") == []
+
+
+def test_oracle_unknown_target_reads_zero_on_both_backends():
+    """The dict backend's `.get(target, 0.0)` contract must survive on CSR."""
+    from repro.mcmc.estimates import DependencyOracle
+
+    graph = barbell_graph(4, 1)
+    for backend in ("dict", "csr"):
+        oracle = DependencyOracle(graph, backend=backend)
+        assert oracle.dependency(0, "not-a-vertex") == 0.0
+        assert oracle.dependencies_for(0, ["not-a-vertex", 4]) [
+            "not-a-vertex"
+        ] == 0.0
+
+
+def test_repro_backend_env_overrides_auto(monkeypatch):
+    from repro.graphs.csr import resolve_backend
+    from repro.errors import ConfigurationError
+
+    monkeypatch.setenv("REPRO_BACKEND", "dict")
+    assert resolve_backend("auto") == "dict"
+    assert resolve_backend("csr") == "csr", "explicit backend wins over the env var"
+    monkeypatch.setenv("REPRO_BACKEND", "gpu")
+    with pytest.raises(ConfigurationError):
+        resolve_backend("auto")
+
+
+def test_from_edges_builds_the_same_graph_as_add_edge_loops():
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    via_classmethod = Graph.from_edges(edges)
+    by_hand = Graph()
+    for u, v in edges:
+        by_hand.add_edge(u, v)
+    assert sorted(via_classmethod.edges()) == sorted(by_hand.edges())
+    weighted = Graph.from_edges([(0, 1, 2.5), (1, 2, 0.5)], weighted=True)
+    assert weighted.edge_weight(0, 1) == 2.5
+    assert weighted.edge_weight(1, 2) == 0.5
