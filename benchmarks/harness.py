@@ -24,6 +24,12 @@ Environment knobs
     truth.  That stamp is what lets BENCH_* trajectories across commits
     attribute speedups to the backend switch rather than to dataset or
     seed drift.
+``REPRO_BENCH_JOBS``
+    Worker processes for the sharded execution engine (default ``1``,
+    sequential).  Exported as ``REPRO_JOBS`` so every estimator constructed
+    inside the ``bench_e*`` modules runs under the requested parallelism;
+    the value is stamped as a ``jobs:`` line in every emitted table, next
+    to the backend, for the same trajectory-attribution reason.
 """
 
 from __future__ import annotations
@@ -54,6 +60,11 @@ def bench_backend() -> str:
     return os.environ.get("REPRO_BENCH_BACKEND", "auto")
 
 
+def bench_jobs() -> int:
+    """Return the worker-process count selected through ``REPRO_BENCH_JOBS``."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 # Export the bench knob as the library-wide "auto" override so the
 # estimators constructed inside the bench_e* modules (which all default to
 # backend="auto") genuinely run the requested backend.  Validated here so a
@@ -65,6 +76,13 @@ if bench_backend() != "auto":
             f"got {bench_backend()!r}"
         )
     os.environ["REPRO_BACKEND"] = bench_backend()
+
+# Same export for the parallelism knob: REPRO_JOBS engages the sharded
+# execution engine at every call site that accepts an ExecutionPlan.
+if bench_jobs() != 1:
+    if bench_jobs() < 1:
+        raise ValueError(f"REPRO_BENCH_JOBS must be a positive integer, got {bench_jobs()!r}")
+    os.environ["REPRO_JOBS"] = str(bench_jobs())
 
 
 def resolved_bench_backend() -> str:
@@ -103,14 +121,16 @@ def emit_table(
 ) -> str:
     """Print the experiment table and persist it under ``benchmarks/results/``.
 
-    A ``backend: <dict|csr>`` line is stamped under the title so every stored
-    result records which traversal backend produced it.
+    ``backend: <dict|csr>`` and ``jobs: <n>`` lines are stamped under the
+    title so every stored result records which traversal backend and degree
+    of parallelism produced it.
     """
     table = format_table(rows, columns)
     text = (
         f"{experiment}: {title}\n"
         f"{'=' * (len(experiment) + 2 + len(title))}\n"
         f"backend: {resolved_bench_backend()}\n"
+        f"jobs: {bench_jobs()}\n"
         f"{table}\n"
     )
     print("\n" + text)

@@ -23,4 +23,8 @@ setup(
     # when it is missing, but installs declare it so the fast path is the
     # default everywhere.
     install_requires=["numpy>=1.22"],
+    # scipy upgrades the batched multi-source engine to sparse-matmul
+    # sweeps (repro.shortest_paths.batch); without it the pure-numpy wave
+    # kernels serve the same API.
+    extras_require={"fast": ["scipy>=1.8"]},
 )

@@ -48,23 +48,35 @@ __all__ = [
 ]
 
 #: Estimator registry for :func:`betweenness_single`.  Every factory accepts
-#: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``); calling
-#: one with no argument keeps the pre-backend behaviour (``"auto"``).
+#: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``) plus the
+#: execution-engine knobs ``batch_size`` / ``n_jobs`` (see
+#: :mod:`repro.execution`); calling one with no argument keeps the
+#: pre-backend behaviour (``"auto"``, sequential).
 SINGLE_VERTEX_METHODS = {
-    "mh": lambda backend="auto": SingleSpaceMHSampler(backend=backend),
-    "mh-unbiased": lambda backend="auto": SingleSpaceMHSampler(
-        estimator="proposal", backend=backend
+    "mh": lambda backend="auto", batch_size=None, n_jobs=None: SingleSpaceMHSampler(
+        backend=backend, batch_size=batch_size, n_jobs=n_jobs
     ),
-    "mh-degree": lambda backend="auto": SingleSpaceMHSampler(
-        proposal="degree", backend=backend
+    "mh-unbiased": lambda backend="auto", batch_size=None, n_jobs=None: SingleSpaceMHSampler(
+        estimator="proposal", backend=backend, batch_size=batch_size, n_jobs=n_jobs
     ),
-    "mh-random-walk": lambda backend="auto": SingleSpaceMHSampler(
-        proposal="random-walk", backend=backend
+    "mh-degree": lambda backend="auto", batch_size=None, n_jobs=None: SingleSpaceMHSampler(
+        proposal="degree", backend=backend, batch_size=batch_size, n_jobs=n_jobs
     ),
-    "uniform-source": lambda backend="auto": UniformSourceSampler(backend=backend),
-    "distance": lambda backend="auto": DistanceBasedSampler(backend=backend),
-    "rk": lambda backend="auto": RiondatoKornaropoulosSampler(backend=backend),
-    "kadabra": lambda backend="auto": KadabraSampler(backend=backend),
+    "mh-random-walk": lambda backend="auto", batch_size=None, n_jobs=None: SingleSpaceMHSampler(
+        proposal="random-walk", backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    ),
+    "uniform-source": lambda backend="auto", batch_size=None, n_jobs=None: UniformSourceSampler(
+        backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    ),
+    "distance": lambda backend="auto", batch_size=None, n_jobs=None: DistanceBasedSampler(
+        backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    ),
+    "rk": lambda backend="auto", batch_size=None, n_jobs=None: RiondatoKornaropoulosSampler(
+        backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    ),
+    "kadabra": lambda backend="auto", batch_size=None, n_jobs=None: KadabraSampler(
+        backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    ),
 }
 
 
@@ -77,6 +89,8 @@ def betweenness_single(
     seed: RandomState = None,
     check_connected: bool = True,
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> SingleEstimate:
     """Estimate the betweenness of one vertex with the chosen *method*.
 
@@ -101,6 +115,12 @@ def betweenness_single(
         call), ``"dict"`` (pure-Python reference) or ``"csr"``.  Both
         backends consume identical rng streams, so for a fixed *seed* the
         estimate is the same up to floating-point accumulation order.
+    batch_size, n_jobs:
+        Execution-engine knobs (:mod:`repro.execution`): sources per
+        batched CSR traversal and worker processes for the sharded source
+        loop.  Engaging the engine keeps results deterministic — identical
+        for any ``n_jobs`` / ``batch_size`` at a fixed seed — per the
+        estimator-specific notes on each sampler class.
     """
     if method not in SINGLE_VERTEX_METHODS:
         raise ConfigurationError(
@@ -108,7 +128,7 @@ def betweenness_single(
         )
     if check_connected:
         ensure_connected(graph)
-    estimator = SINGLE_VERTEX_METHODS[method](backend)
+    estimator = SINGLE_VERTEX_METHODS[method](backend, batch_size, n_jobs)
     return estimator.estimate(graph, r, samples, seed=seed)
 
 
@@ -118,12 +138,31 @@ def betweenness_exact(
     *,
     normalization: str = "paper",
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dict[Vertex, float]:
-    """Return exact betweenness scores (all vertices, or just the requested ones)."""
+    """Return exact betweenness scores (all vertices, or just the requested ones).
+
+    ``batch_size`` / ``n_jobs`` engage the sharded execution engine for the
+    per-source Brandes passes (see :mod:`repro.execution`).
+    """
     if vertices is None:
-        return betweenness_centrality(graph, normalization=normalization, backend=backend)
+        return betweenness_centrality(
+            graph,
+            normalization=normalization,
+            backend=backend,
+            batch_size=batch_size,
+            n_jobs=n_jobs,
+        )
     return {
-        v: betweenness_of_vertex(graph, v, normalization=normalization, backend=backend)
+        v: betweenness_of_vertex(
+            graph,
+            v,
+            normalization=normalization,
+            backend=backend,
+            batch_size=batch_size,
+            n_jobs=n_jobs,
+        )
         for v in vertices
     }
 
@@ -136,15 +175,19 @@ def relative_betweenness(
     seed: RandomState = None,
     check_connected: bool = True,
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> RelativeBetweennessEstimate:
     """Estimate all pairwise relative betweenness scores of *reference_set*.
 
     Runs the joint-space Metropolis-Hastings sampler of Section 4.3 and
     returns the Equation 22/23 estimates plus chain diagnostics.
+    ``batch_size`` engages the oracle's batch-prefetch of upcoming proposal
+    sources (see :class:`~repro.mcmc.joint.JointSpaceMHSampler`).
     """
     if check_connected:
         ensure_connected(graph)
-    sampler = JointSpaceMHSampler(backend=backend)
+    sampler = JointSpaceMHSampler(backend=backend, batch_size=batch_size, n_jobs=n_jobs)
     return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
 
 

@@ -30,6 +30,7 @@ from repro.centrality.api import (
     relative_betweenness,
 )
 from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
+from repro.graphs.csr import BACKENDS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.io import read_edge_list
@@ -56,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("--samples", type=int, default=200, help="chain length / sample count")
     estimate.add_argument("--seed", type=int, default=None, help="random seed")
+    _add_execution_arguments(estimate)
 
     relative = subparsers.add_parser(
         "relative", help="estimate relative betweenness scores of a vertex set"
@@ -66,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     relative.add_argument("--samples", type=int, default=1000, help="joint chain length")
     relative.add_argument("--seed", type=int, default=None, help="random seed")
+    _add_execution_arguments(relative)
 
     exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
     _add_graph_arguments(exact)
@@ -75,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional comma-separated vertex labels (default: all vertices)",
     )
     exact.add_argument("--top", type=int, default=None, help="print only the top-K vertices")
+    _add_execution_arguments(exact)
 
     datasets = subparsers.add_parser("datasets", help="list the built-in synthetic datasets")
     datasets.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -90,6 +94,35 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--weighted", action="store_true", help="treat the edge list as weighted (u v w lines)"
     )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine knobs shared by every estimating sub-command."""
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKENDS,
+        help="traversal backend (default: auto = CSR kernels when numpy is available)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the sharded source loop (default: sequential)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="sources per batched CSR traversal (default: per-source kernels)",
+    )
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    return value
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -127,7 +160,14 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
 def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
     vertex = _parse_vertex(args.vertex)
     result = betweenness_single(
-        graph, vertex, method=args.method, samples=args.samples, seed=args.seed
+        graph,
+        vertex,
+        method=args.method,
+        samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        n_jobs=args.jobs,
     )
     payload = {
         "vertex": str(vertex),
@@ -136,6 +176,9 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         "samples": result.samples,
         "elapsed_seconds": result.elapsed_seconds,
         "acceptance_rate": result.diagnostics.get("acceptance_rate"),
+        "backend": result.diagnostics.get("backend"),
+        "jobs": result.diagnostics.get("n_jobs"),
+        "batch_size": result.diagnostics.get("batch_size"),
     }
     print(json.dumps(payload, indent=2), file=out)
     return 0
@@ -143,8 +186,21 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
 
 def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
     vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
-    estimate = relative_betweenness(graph, vertices, samples=args.samples, seed=args.seed)
+    estimate = relative_betweenness(
+        graph,
+        vertices,
+        samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        n_jobs=args.jobs,
+    )
     payload = {
+        # The resolved execution stamp, with the same semantics as the
+        # estimate payload: null jobs/batch_size = engine not engaged.
+        "backend": estimate.diagnostics.get("backend"),
+        "jobs": estimate.diagnostics.get("n_jobs"),
+        "batch_size": estimate.diagnostics.get("batch_size"),
         "reference_set": [str(v) for v in estimate.reference_set],
         "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
         "acceptance_rate": estimate.acceptance_rate,
@@ -163,7 +219,13 @@ def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:
     vertices: Optional[List[object]] = None
     if args.vertices:
         vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
-    scores = betweenness_exact(graph, vertices)
+    scores = betweenness_exact(
+        graph,
+        vertices,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        n_jobs=args.jobs,
+    )
     items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
     if args.top is not None:
         items = items[: args.top]

@@ -30,12 +30,15 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.errors import ConfigurationError
+from repro.execution import ExecutionPlan, merge_ordered, resolve_plan, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.shortest_paths.dependencies import (
     accumulate_dependencies,
     accumulate_dependencies_csr,
     csr_spd_builder,
+    dependency_sum_shard_csr,
+    dependency_sum_shard_dict,
     spd_builder,
 )
 
@@ -74,6 +77,9 @@ def betweenness_centrality(
     normalization: str = "paper",
     sources: Optional[Iterable[Vertex]] = None,
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> Dict[Vertex, float]:
     """Return the exact betweenness centrality of every vertex.
 
@@ -93,6 +99,13 @@ def betweenness_centrality(
         ``"auto"`` (default), ``"dict"`` or ``"csr"``.  ``"auto"`` runs on
         the flat-array CSR kernels whenever numpy is available; the two
         backends agree to floating-point accumulation order.
+    batch_size, n_jobs, plan:
+        Execution-engine knobs (see :mod:`repro.execution`): when any is
+        set (or the ``REPRO_BATCH`` / ``REPRO_JOBS`` env vars are), the
+        outer source loop runs sharded — ``batch_size`` sources per batched
+        CSR traversal, shards spread over ``n_jobs`` processes, buffers
+        merged in deterministic shard order, so the result is bit-identical
+        for any ``n_jobs`` / ``batch_size``.
 
     Returns
     -------
@@ -103,6 +116,9 @@ def betweenness_centrality(
     factor = normalization_factor(
         graph.number_of_vertices(), normalization, directed=graph.directed
     )
+    resolved_plan = resolve_plan(plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    if resolved_plan is not None:
+        return _betweenness_centrality_planned(graph, factor, sources, resolved_plan)
     if resolve_backend(backend) == "csr":
         csr = graph.csr()
         build = csr_spd_builder(csr)
@@ -127,3 +143,43 @@ def betweenness_centrality(
             if v != s:
                 scores[v] += delta
     return {v: score * factor for v, score in scores.items()}
+
+
+def _betweenness_centrality_planned(
+    graph: Graph,
+    factor: float,
+    sources: Optional[Iterable[Vertex]],
+    plan: ExecutionPlan,
+) -> Dict[Vertex, float]:
+    """Sharded/batched Brandes: the execution-engine twin of the loops above."""
+    if resolve_backend(plan.backend) == "csr":
+        csr = graph.csr()
+        if sources is None:
+            source_indices = list(range(csr.number_of_vertices()))
+        else:
+            source_indices = [csr.index_of(s) for s in sources]
+        if not source_indices:
+            return csr.array_to_vertex_map(np.zeros(csr.number_of_vertices()))
+        totals = merge_ordered(
+            run_sharded(
+                dependency_sum_shard_csr,
+                split_shards(source_indices),
+                n_jobs=plan.n_jobs,
+                shared=(csr, plan.batch_size),
+            )
+        )
+        return csr.array_to_vertex_map(totals * factor)
+    source_list = list(sources) if sources is not None else graph.vertices()
+    for s in source_list:
+        graph.validate_vertex(s)
+    if not source_list:
+        return {v: 0.0 for v in graph.vertices()}
+    scores = merge_ordered(
+        run_sharded(
+            dependency_sum_shard_dict,
+            split_shards(source_list),
+            n_jobs=plan.n_jobs,
+            shared=graph,
+        )
+    )
+    return {v: scores.get(v, 0.0) * factor for v in graph.vertices()}

@@ -15,13 +15,15 @@ implementations suitable for small-to-mid graphs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError
+from repro.execution import ExecutionPlan, merge_ordered, resolve_plan, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
+from repro.shortest_paths.batch import BatchedSPD, bfs_spd_batch_csr
 from repro.shortest_paths.bfs import bfs_spd
-from repro.shortest_paths.dependencies import csr_spd_builder, spd_builder
+from repro.shortest_paths.dependencies import csr_spd_builder, iter_batches, spd_builder
 from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
 __all__ = [
@@ -94,21 +96,114 @@ def _csr_avoid_counts(spd: CSRShortestPathDAG, member_mask) -> "np.ndarray":
     return avoid
 
 
+def _csr_avoid_counts_batch(batch: BatchedSPD, member_mask):
+    """Batched twin of :func:`_csr_avoid_counts` over K SPDs at once.
+
+    One vectorised pass per BFS level over the batch's compact edge records
+    (avoid counts live in per-level frontier-indexed arrays, like the sigma
+    values they mirror); returns the ``(K, n)`` avoid-count matrix (row *k*
+    belongs to ``batch.sources[k]``).
+    """
+    k, n = batch.sig.shape
+    level_avoid = [np.where(member_mask[batch.sources], 0.0, 1.0)]
+    for record in batch.levels:
+        counts = np.bincount(
+            record.child_cid,
+            weights=level_avoid[-1][record.parent_cid],
+            minlength=record.frontier_keys.shape[0],
+        )
+        counts[member_mask[record.frontier_keys % n]] = 0.0
+        level_avoid.append(counts)
+    avoid = np.zeros(k * n)
+    avoid[batch.root_keys] = level_avoid[0]
+    for record, values in zip(batch.levels, level_avoid[1:]):
+        avoid[record.frontier_keys] = values
+    return avoid.reshape(k, n)
+
+
+def _group_shard_csr(shared, shard):
+    """Shard worker: summed group-betweenness contributions of the shard's sources.
+
+    ``shared`` is ``(csr, batch_size, member_mask)``; unweighted snapshots
+    run ``batch_size`` sources per batched BFS + avoid pass, weighted ones
+    fall back to the per-source kernels.  Per-source contributions are
+    summed sequentially in shard order.
+    """
+    csr, batch_size, member_mask = shared
+    total = 0.0
+    if not csr.weighted:
+        for batch in iter_batches(shard, batch_size):
+            spds = bfs_spd_batch_csr(csr, batch)
+            avoid = _csr_avoid_counts_batch(spds, member_mask)
+            for row, s in enumerate(batch):
+                reachable = np.flatnonzero(np.isfinite(spds.dist[row]))
+                keep = reachable[(reachable != s) & ~member_mask[reachable]]
+                sigma = spds.sig[row][keep]
+                positive = sigma > 0.0
+                through = sigma[positive] - avoid[row][keep][positive]
+                ratio = through / sigma[positive]
+                total += float(ratio[through > 0.0].sum())
+        return total
+    build = csr_spd_builder(csr)
+    for s in shard:
+        spd = build(csr, s)
+        avoid = _csr_avoid_counts(spd, member_mask)
+        reachable = spd.order_indices
+        keep = reachable[(reachable != s) & ~member_mask[reachable]]
+        sigma = spd.sig[keep]
+        positive = sigma > 0.0
+        through = sigma[positive] - avoid[keep][positive]
+        ratio = through / sigma[positive]
+        total += float(ratio[through > 0.0].sum())
+    return total
+
+
+def _group_shard_dict(shared, shard):
+    """Dict-backend twin of :func:`_group_shard_csr` (``shared`` = (graph, members))."""
+    graph, members = shared
+    build = spd_builder(graph)
+    total = 0.0
+    for s in shard:
+        spd = build(graph, s)
+        avoiding = _paths_through_counts(spd, members)
+        for t in spd.order:
+            if t == s or t in members:
+                continue
+            sigma = spd.sigma[t]
+            if sigma <= 0.0:
+                continue
+            through = sigma - avoiding.get(t, 0.0)
+            if through > 0.0:
+                total += through / sigma
+    return total
+
+
 def group_betweenness_centrality(
     graph: Graph,
     group: Iterable[Vertex],
     *,
     normalized: bool = True,
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> float:
     """Return the group betweenness centrality of *group*.
 
     The score sums, over ordered pairs (s, t) with both endpoints outside the
     group, the fraction of shortest s-t paths that touch at least one group
     member.  With ``normalized=True`` it is divided by ``|V| (|V| - 1)``.
+    ``batch_size`` / ``n_jobs`` / ``plan`` engage the sharded execution
+    engine for the outer source loop (see :mod:`repro.execution`).
     """
     members = set(_validate_group(graph, group))
     n = graph.number_of_vertices()
+    resolved_plan = resolve_plan(plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    if resolved_plan is not None:
+        total = _group_betweenness_planned(graph, members, resolved_plan)
+        if normalized and n > 1:
+            total /= n * (n - 1)
+        return total
     if resolve_backend(backend) == "csr":
         csr = graph.csr()
         build = csr_spd_builder(csr)
@@ -148,6 +243,41 @@ def group_betweenness_centrality(
     if normalized and n > 1:
         total /= n * (n - 1)
     return total
+
+
+def _group_betweenness_planned(
+    graph: Graph, members: Set[Vertex], plan: ExecutionPlan
+) -> float:
+    """Sharded/batched raw group-betweenness sum (pre-normalisation)."""
+    if resolve_backend(plan.backend) == "csr":
+        csr = graph.csr()
+        member_mask = np.zeros(csr.number_of_vertices(), dtype=bool)
+        for m in members:
+            member_mask[csr.index_of(m)] = True
+        source_indices = [
+            s for s in range(csr.number_of_vertices()) if not member_mask[s]
+        ]
+        if not source_indices:
+            return 0.0
+        return merge_ordered(
+            run_sharded(
+                _group_shard_csr,
+                split_shards(source_indices),
+                n_jobs=plan.n_jobs,
+                shared=(csr, plan.batch_size, member_mask),
+            )
+        )
+    sources = [s for s in graph.vertices() if s not in members]
+    if not sources:
+        return 0.0
+    return merge_ordered(
+        run_sharded(
+            _group_shard_dict,
+            split_shards(sources),
+            n_jobs=plan.n_jobs,
+            shared=(graph, members),
+        )
+    )
 
 
 def co_betweenness_centrality(
@@ -192,7 +322,12 @@ def co_betweenness_centrality(
 
 
 def greedy_prominent_group(
-    graph: Graph, size: int, *, backend: str = "auto"
+    graph: Graph,
+    size: int,
+    *,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> List[Vertex]:
     """Return a vertex set of the given *size* chosen greedily by marginal group betweenness.
 
@@ -212,7 +347,11 @@ def greedy_prominent_group(
             if candidate in chosen:
                 continue
             score = group_betweenness_centrality(
-                graph, chosen + [candidate], backend=backend
+                graph,
+                chosen + [candidate],
+                backend=backend,
+                batch_size=batch_size,
+                n_jobs=n_jobs,
             )
             if score > best_score:
                 best_score = score

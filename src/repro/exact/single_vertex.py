@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.execution import ExecutionPlan
 from repro.graphs.core import Graph, Vertex
 from repro.exact.brandes import normalization_factor
 from repro.shortest_paths.dependencies import all_dependencies_on_target
@@ -26,22 +27,43 @@ __all__ = [
 
 
 def dependency_vector(
-    graph: Graph, r: Vertex, *, backend: str = "auto"
+    graph: Graph,
+    r: Vertex,
+    *,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    plan: Optional["ExecutionPlan"] = None,
 ) -> Dict[Vertex, float]:
-    """Return ``{v: delta_{v.}(r)}`` — the unnormalised MH target distribution of Eq. 5."""
-    return all_dependencies_on_target(graph, r, backend=backend)
+    """Return ``{v: delta_{v.}(r)}`` — the unnormalised MH target distribution of Eq. 5.
+
+    ``batch_size`` / ``n_jobs`` / ``plan`` engage the sharded execution
+    engine for the |V| Brandes passes (see :mod:`repro.execution`).
+    """
+    return all_dependencies_on_target(
+        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs, plan=plan
+    )
 
 
 def betweenness_of_vertex(
-    graph: Graph, r: Vertex, *, normalization: str = "paper", backend: str = "auto"
+    graph: Graph,
+    r: Vertex,
+    *,
+    normalization: str = "paper",
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> float:
     """Return the exact betweenness score of vertex *r*.
 
     Equivalent to ``betweenness_centrality(graph)[r]`` but phrased as the
     sum the sampling algorithms approximate, so the tests can compare both
-    routes.
+    routes.  ``batch_size`` / ``n_jobs`` engage the execution engine for
+    the |V| dependency passes.
     """
-    deltas = dependency_vector(graph, r, backend=backend)
+    deltas = dependency_vector(
+        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs
+    )
     raw = sum(deltas.values())
     factor = normalization_factor(
         graph.number_of_vertices(), normalization, directed=graph.directed
@@ -55,10 +77,19 @@ def betweenness_of_vertices(
     *,
     normalization: str = "paper",
     backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dict[Vertex, float]:
     """Return the exact betweenness of each vertex in *targets*."""
     return {
-        r: betweenness_of_vertex(graph, r, normalization=normalization, backend=backend)
+        r: betweenness_of_vertex(
+            graph,
+            r,
+            normalization=normalization,
+            backend=backend,
+            batch_size=batch_size,
+            n_jobs=n_jobs,
+        )
         for r in targets
     }
 

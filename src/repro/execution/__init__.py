@@ -1,0 +1,44 @@
+"""Source-sharded parallel execution layer.
+
+Every estimation layer of the library (exact Brandes, the baseline
+samplers, the Metropolis-Hastings oracles) reduces to "run many per-source
+passes and accumulate".  This package owns *how* those passes are executed:
+
+* :class:`~repro.execution.plan.ExecutionPlan` bundles the three execution
+  knobs — traversal ``backend``, batched-kernel ``batch_size`` and
+  multiprocessing ``n_jobs`` — and
+  :func:`~repro.execution.plan.resolve_plan` resolves them the same way
+  :func:`~repro.graphs.csr.resolve_backend` resolves backends (explicit
+  arguments win over the ``REPRO_JOBS`` / ``REPRO_BATCH`` environment
+  overrides; with nothing set the estimators keep their original
+  sequential code paths).
+* :mod:`~repro.execution.scheduler` splits a source list into fixed-size
+  shards, derives an independently-seeded child rng stream per shard, runs
+  shards inline or on a multiprocessing pool, and merges per-shard buffers
+  in deterministic shard order — so results are identical for any
+  ``n_jobs`` given a fixed seed.
+"""
+
+from repro.execution.plan import (
+    DEFAULT_SHARD_SIZE,
+    ExecutionPlan,
+    resolve_plan,
+)
+from repro.execution.scheduler import (
+    merge_ordered,
+    run_sharded,
+    sample_shards,
+    shard_rngs,
+    split_shards,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "resolve_plan",
+    "DEFAULT_SHARD_SIZE",
+    "split_shards",
+    "shard_rngs",
+    "sample_shards",
+    "run_sharded",
+    "merge_ordered",
+]

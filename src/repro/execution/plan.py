@@ -1,0 +1,142 @@
+"""The :class:`ExecutionPlan` — the library's three execution knobs in one value.
+
+A plan answers three independent questions for a per-source workload:
+
+* ``backend`` — which traversal kernels run each pass (``"auto"`` /
+  ``"dict"`` / ``"csr"``, resolved through
+  :func:`~repro.graphs.csr.resolve_backend` at the point of use);
+* ``batch_size`` — how many sources each call into the batched CSR kernels
+  (:mod:`repro.shortest_paths.batch`) traverses at once;
+* ``n_jobs`` — how many worker processes the shard scheduler spreads the
+  source shards over.
+
+Resolution mirrors the backend knob: explicit arguments always win, the
+``REPRO_JOBS`` and ``REPRO_BATCH`` environment variables fill in anything
+left unspecified (one env knob steers every call site, which is how the
+benchmark harness runs a whole suite under a given parallelism setting),
+and when *neither* an argument nor an env var asks for the execution
+engine, :func:`resolve_plan` returns ``None`` and the estimators keep their
+original sequential code paths (same loops, same rng discipline, same
+accumulation order).
+
+Determinism contract
+--------------------
+Engaging the engine fixes the floating-point accumulation order once and
+for all: per-source results are accumulated sequentially in source order
+inside each fixed-size shard (shard boundaries depend only on
+:data:`DEFAULT_SHARD_SIZE`, never on ``n_jobs`` or ``batch_size``), and
+shard buffers are merged in shard order.  Together with the bit-identical
+per-row contract of the batch kernels this makes every estimate
+**bit-identical across any** ``n_jobs`` **and** ``batch_size`` for a fixed
+seed.  The engine's accumulation order may differ from the legacy
+sequential path in the last float ulp (a different association of the same
+sums), which is why the legacy path is preserved when no knob is set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.csr import BACKENDS
+
+__all__ = ["ExecutionPlan", "resolve_plan", "DEFAULT_SHARD_SIZE"]
+
+#: Number of sources per shard.  A constant (not a knob) on purpose: shard
+#: boundaries are part of the determinism contract, so they must not vary
+#: with ``n_jobs`` or ``batch_size``.  256 divides evenly by every power-of-
+#: two batch size up to 256 and keeps per-shard pickling traffic small.
+DEFAULT_SHARD_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a per-source workload is executed (see the module docstring).
+
+    Attributes
+    ----------
+    backend:
+        Traversal backend name (``"auto"`` / ``"dict"`` / ``"csr"``); kept
+        unresolved so each call site resolves it exactly once, next to its
+        graph.
+    batch_size:
+        Sources per batched-kernel call (>= 1; 1 means per-source kernels).
+        Ignored by the dict backend, which has no batch kernels.
+    n_jobs:
+        Worker processes for the shard scheduler (>= 1; 1 means inline).
+    """
+
+    backend: str = "auto"
+    batch_size: int = 1
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be a positive integer, got {self.batch_size!r}"
+            )
+        if not isinstance(self.n_jobs, int) or self.n_jobs < 1:
+            raise ConfigurationError(
+                f"n_jobs must be a positive integer, got {self.n_jobs!r}"
+            )
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a positive integer, got {raw!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be a positive integer, got {raw!r}")
+    return value
+
+
+def resolve_plan(
+    plan: Optional[ExecutionPlan] = None,
+    *,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+) -> Optional[ExecutionPlan]:
+    """Resolve the execution knobs of one estimator call.
+
+    Parameters
+    ----------
+    plan:
+        A ready-made :class:`ExecutionPlan`; returned as-is when provided
+        (it always wins, like an explicit backend argument).
+    backend, batch_size, n_jobs:
+        The estimator's individual knobs.  ``None`` for ``batch_size`` /
+        ``n_jobs`` means "not requested", in which case the ``REPRO_BATCH``
+        / ``REPRO_JOBS`` environment variables are consulted.
+
+    Returns
+    -------
+    ExecutionPlan or None
+        ``None`` when neither an argument nor an env var engages the
+        execution engine — the caller should then take its original
+        sequential code path, whose behaviour (including float accumulation
+        order and rng stream) is preserved exactly.
+    """
+    if plan is not None:
+        return plan
+    if batch_size is None:
+        batch_size = _env_int("REPRO_BATCH")
+    if n_jobs is None:
+        n_jobs = _env_int("REPRO_JOBS")
+    if batch_size is None and n_jobs is None:
+        return None
+    return ExecutionPlan(
+        backend=backend,
+        batch_size=batch_size if batch_size is not None else 1,
+        n_jobs=n_jobs if n_jobs is not None else 1,
+    )

@@ -118,6 +118,9 @@ class CSRGraph:
         "weighted",
         "_vertices",
         "_index_of",
+        "_scipy_forward",
+        "_scipy_backward",
+        "_spmm_ok",
     )
 
     def __init__(
@@ -137,6 +140,14 @@ class CSRGraph:
         self.weighted = bool(weighted)
         self._vertices: Tuple["Vertex", ...] = tuple(vertices)
         self._index_of: Dict["Vertex", int] = {v: i for i, v in enumerate(vertices)}
+        self._scipy_forward = None
+        self._scipy_backward = None
+        # Lazily-computed verdict of repro.shortest_paths.batch on whether
+        # the sparse-matmul sweep suits this snapshot (small depth).  Cached
+        # here so the decision is a pure per-graph property — never a
+        # function of batch composition, which would break the engine's
+        # batch_size invariance.
+        self._spmm_ok = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -233,3 +244,29 @@ class CSRGraph:
     def array_to_vertex_map(self, values) -> Dict["Vertex", float]:
         """Convert a per-index array into a ``{vertex: value}`` dict (boundary helper)."""
         return {v: float(values[i]) for i, v in enumerate(self._vertices)}
+
+    # ------------------------------------------------------------------
+    # Optional scipy views (cached; the snapshot is immutable)
+    # ------------------------------------------------------------------
+    def scipy_adjacency(self, *, transpose: bool = False):
+        """Return the cached ``scipy.sparse.csr_matrix`` view of the snapshot.
+
+        With ``transpose=False`` rows are out-adjacencies (the orientation
+        the Brandes back-propagation spreads along); ``transpose=True``
+        yields in-adjacencies (what a forward BFS wave gathers over) — the
+        two coincide for undirected graphs, so the transpose is only
+        materialised for directed ones.  Used by the sparse-matmul fast path
+        of :mod:`repro.shortest_paths.batch`; callers must gate on scipy
+        being importable (it is an optional dependency, like numpy).
+        """
+        from scipy.sparse import csr_matrix
+
+        if self._scipy_forward is None:
+            n = len(self._vertices)
+            self._scipy_forward = csr_matrix(
+                (self.weights, self.indices, self.indptr), shape=(n, n)
+            )
+            self._scipy_backward = (
+                self._scipy_forward.T.tocsr() if self.directed else self._scipy_forward
+            )
+        return self._scipy_backward if transpose else self._scipy_forward

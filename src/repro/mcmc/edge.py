@@ -194,12 +194,16 @@ class EdgeMHSampler:
         for t in range(1, num_iterations + 1):
             candidate = vertices[rng.randrange(len(vertices))]
             candidate_delta = oracle.dependency(candidate)
+            # One uniform draw per proposal, unconditionally — see
+            # SingleSpaceMHSampler._accept for why a conditional draw breaks
+            # cross-backend rng-stream identity.
+            u = rng.random()
             if current_delta <= 0.0:
                 accepted = True
             elif candidate_delta >= current_delta:
                 accepted = True
             else:
-                accepted = rng.random() < candidate_delta / current_delta
+                accepted = u < candidate_delta / current_delta
             if accepted:
                 current, current_delta = candidate, candidate_delta
             states.append(

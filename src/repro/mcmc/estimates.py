@@ -53,6 +53,18 @@ class DependencyOracle:
     backend:
         ``"auto"`` (default), ``"dict"`` or ``"csr"``; see
         :func:`repro.graphs.csr.resolve_backend`.
+    batch_size:
+        ``None`` (default) keeps the original per-source evaluation path
+        everywhere.  An ``int >= 1`` switches the oracle to the batched
+        kernels of :mod:`repro.shortest_paths.batch` for **both**
+        :meth:`prefetch` blocks (that many sources per traversal) and
+        point-query misses (a K=1 batch) — the batch paths compute every
+        column independently, so a vector is bit-identical whether it was
+        prefetched or recomputed after eviction, which is what keeps a
+        chain's estimate independent of the batch size.  (The batch paths
+        may differ from the ``None`` path in the last ulp when scipy's
+        sparse-matmul sweep is active, which is why ``None`` remains the
+        default: legacy callers keep their exact pre-engine values.)
     """
 
     def __init__(
@@ -61,6 +73,7 @@ class DependencyOracle:
         *,
         cache_size: Optional[int] = None,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._backend = resolve_backend(backend)
@@ -72,6 +85,7 @@ class DependencyOracle:
             self._build = spd_builder(graph)
         self._cache: "OrderedDict[Vertex, object]" = OrderedDict()
         self._cache_size = cache_size
+        self._batch_size = None if batch_size is None else max(int(batch_size), 1)
         self.evaluations = 0  #: number of Brandes passes actually performed
         self.lookups = 0  #: number of dependency queries answered
 
@@ -98,6 +112,57 @@ class DependencyOracle:
         return 1.0 - self.evaluations / self.lookups
 
     # ------------------------------------------------------------------
+    def prefetch(self, sources) -> int:
+        """Batch-compute and cache the dependency vectors of *sources*.
+
+        The entry point of the Metropolis-Hastings batch-prefetch path:
+        samplers with an independence proposal know their upcoming proposal
+        sources ahead of time and hand them over in blocks, so the Brandes
+        passes run ``batch_size`` sources per batched traversal instead of
+        one pass per acceptance test.  Already-cached (and duplicate)
+        sources are skipped; a disabled cache makes this a no-op because
+        there is nowhere to keep the vectors, and a bounded cache caps the
+        prefetch at its capacity (prefetching past it would evict the very
+        vectors just computed and *double* the passes instead of saving
+        them).  Returns the number of passes performed (each counted in
+        :attr:`evaluations`).
+        """
+        if not self.cache_enabled:
+            return 0
+        missing = [s for s in dict.fromkeys(sources) if s not in self._cache]
+        if self._cache_size is not None:
+            missing = missing[: self._cache_size]
+        if not missing:
+            return 0
+        if self._backend == "csr" and self._batch_size is not None:
+            from repro.shortest_paths.batch import batch_source_dependencies
+            from repro.shortest_paths.dependencies import iter_batches
+
+            index_of = self._csr.index_of
+            for chunk in iter_batches(missing, self._batch_size):
+                deltas = batch_source_dependencies(
+                    self._csr, [index_of(s) for s in chunk]
+                )
+                for row, s in enumerate(chunk):
+                    # Copy the row so the (K, n) batch matrix can be freed.
+                    self._store(s, deltas[row].copy())
+        elif self._backend == "csr":
+            # Not batch-configured: warm the cache with the same point
+            # kernel `_raw_vector` uses, so a vector never depends on
+            # whether it was prefetched or recomputed after eviction.
+            for s in missing:
+                self._store(s, csr_source_dependencies(self._csr, self._csr.index_of(s)))
+        else:
+            for s in missing:
+                self._store(s, accumulate_dependencies(self._build(self._graph, s)))
+        self.evaluations += len(missing)
+        return len(missing)
+
+    def _store(self, source: Vertex, vector: object) -> None:
+        self._cache[source] = vector
+        if self._cache_size is not None and len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
     def _raw_vector(self, source: Vertex):
         """Return the cached per-source vector (array or dict, backend-shaped)."""
         self.lookups += 1
@@ -106,16 +171,24 @@ class DependencyOracle:
             return self._cache[source]
         self.evaluations += 1
         if self._backend == "csr":
-            vector: object = csr_source_dependencies(
-                self._csr, self._csr.index_of(source)
-            )
+            if self._batch_size is not None:
+                # Batch-configured oracle: a K=1 batch, so a recomputed
+                # vector is bit-identical to its prefetched twin (batch
+                # columns are composition-independent).
+                from repro.shortest_paths.batch import batch_source_dependencies
+
+                vector: object = batch_source_dependencies(
+                    self._csr, [self._csr.index_of(source)]
+                )[0].copy()
+            else:
+                vector = csr_source_dependencies(
+                    self._csr, self._csr.index_of(source)
+                )
         else:
             spd = self._build(self._graph, source)
             vector = accumulate_dependencies(spd)
         if self.cache_enabled:
-            self._cache[source] = vector
-            if self._cache_size is not None and len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+            self._store(source, vector)
         return vector
 
     def dependency_vector(self, source: Vertex) -> Dict[Vertex, float]:

@@ -27,11 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro._rng import RandomState, ensure_rng
+from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.errors import ConfigurationError, SamplingError
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import resolve_backend
 from repro.mcmc.estimates import DependencyOracle
-from repro.samplers.base import timed
+from repro.samplers.base import ExecutionPlanMixin, timed
 
 __all__ = [
     "JointChainState",
@@ -189,13 +190,17 @@ class RelativeBetweennessEstimate:
     samples: int
     elapsed_seconds: float
     chain: JointChainResult
+    #: Execution stamp mirroring ``SingleEstimate.diagnostics``: the
+    #: resolved backend, plus ``n_jobs`` / ``batch_size`` only when the
+    #: execution engine was engaged.
+    diagnostics: Dict[str, object] = field(default_factory=dict)
 
     def ranking(self) -> List[Vertex]:
         """Return the reference vertices ranked by estimated betweenness (descending)."""
         return self.chain.ranking()
 
 
-class JointSpaceMHSampler:
+class JointSpaceMHSampler(ExecutionPlanMixin):
     """Metropolis-Hastings estimator of relative betweenness scores over a set R."""
 
     name = "mh-joint"
@@ -206,6 +211,8 @@ class JointSpaceMHSampler:
         burn_in: int = 0,
         cache_size: Optional[int] = None,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if burn_in < 0:
             raise ConfigurationError("burn_in must be non-negative")
@@ -215,6 +222,15 @@ class JointSpaceMHSampler:
         #: pair draws are positional (``members[i]`` / ``vertices[i]``), so
         #: the rng stream is identical on both backends.
         self.backend = backend
+        #: Execution-engine knobs, with the same semantics as
+        #: :class:`~repro.mcmc.single.SingleSpaceMHSampler`: the joint
+        #: proposal ``⟨r', v'⟩`` is an independence proposal, so with
+        #: ``batch_size`` set the whole candidate sequence is drawn upfront
+        #: from a child rng stream and the oracle batch-prefetches the
+        #: upcoming ``v'`` dependency vectors; ``n_jobs`` is accepted and
+        #: unused (the chain is sequential).
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def run_chain(
@@ -248,12 +264,31 @@ class JointSpaceMHSampler:
         if self.burn_in >= num_iterations + 1:
             raise ConfigurationError("burn_in must be smaller than the chain length")
         rng = ensure_rng(seed)
-        oracle = oracle or DependencyOracle(
-            graph, cache_size=self.cache_size, backend=self.backend
-        )
+        plan = self._plan()
+        if oracle is None:
+            oracle = DependencyOracle(
+                graph,
+                cache_size=self.cache_size,
+                backend=self.backend,
+                batch_size=plan.batch_size if plan is not None else None,
+            )
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
+
+        pair_proposals: Optional[List[Tuple[Vertex, Vertex]]] = None
+        if plan is not None:
+            # The joint proposal is an independence proposal: pre-draw the
+            # ⟨r', v'⟩ sequence from a child stream so the oracle can
+            # batch-prefetch the upcoming v' dependency vectors.
+            proposal_rng = spawn_rng(rng, 0)
+            pair_proposals = [
+                (
+                    members[proposal_rng.randrange(len(members))],
+                    vertices[proposal_rng.randrange(len(vertices))],
+                )
+                for _ in range(num_iterations)
+            ]
 
         if initial_state is None:
             current_r = members[rng.randrange(len(members))]
@@ -274,9 +309,17 @@ class JointSpaceMHSampler:
                 accepted=True,
             )
         ]
+        prefetch_block = plan.batch_size if plan is not None else 1
         for t in range(1, num_iterations + 1):
-            candidate_r = members[rng.randrange(len(members))]
-            candidate_v = vertices[rng.randrange(len(vertices))]
+            if pair_proposals is not None:
+                candidate_r, candidate_v = pair_proposals[t - 1]
+                if (t - 1) % prefetch_block == 0:
+                    oracle.prefetch(
+                        [v for _, v in pair_proposals[t - 1 : t - 1 + prefetch_block]]
+                    )
+            else:
+                candidate_r = members[rng.randrange(len(members))]
+                candidate_v = vertices[rng.randrange(len(vertices))]
             candidate_deps = self._restricted_dependencies(oracle, candidate_v, members)
             accepted = self._accept(
                 states[-1].dependency, candidate_deps.get(candidate_r, 0.0), rng
@@ -314,13 +357,17 @@ class JointSpaceMHSampler:
 
     @staticmethod
     def _accept(current_delta: float, candidate_delta: float, rng) -> bool:
-        """Equation 17 acceptance; zero-probability current states always move."""
+        """Equation 17 acceptance; zero-probability current states always move.
+
+        One uniform draw per proposal, unconditionally — see
+        :meth:`repro.mcmc.single.SingleSpaceMHSampler._accept` for why a
+        conditional draw breaks cross-backend rng-stream identity.
+        """
+        u = rng.random()
         if current_delta <= 0.0:
             return True
         ratio = candidate_delta / current_delta
-        if ratio >= 1.0:
-            return True
-        return rng.random() < ratio
+        return ratio >= 1.0 or u < ratio
 
     # ------------------------------------------------------------------
     def estimate_relative(
@@ -347,6 +394,10 @@ class JointSpaceMHSampler:
                         ratios[(ri, rj)] = chain.ratio_estimate(ri, rj)
                     except SamplingError:
                         ratios[(ri, rj)] = float("nan")
+        diagnostics: Dict[str, object] = {"backend": resolve_backend(self.backend)}
+        plan = self._plan()
+        if plan is not None:
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
         return RelativeBetweennessEstimate(
             reference_set=chain.reference_set,
             relative=relative,
@@ -356,4 +407,5 @@ class JointSpaceMHSampler:
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             chain=chain,
+            diagnostics=diagnostics,
         )

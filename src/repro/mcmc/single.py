@@ -57,12 +57,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro._rng import RandomState, ensure_rng
+from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.errors import ConfigurationError, SamplingError
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.mcmc.estimates import DependencyOracle
-from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
+from repro.samplers.base import ExecutionPlanMixin, SingleEstimate, SingleVertexEstimator, timed
 
 __all__ = ["ChainState", "ChainResult", "SingleSpaceMHSampler", "PROPOSALS", "ESTIMATORS"]
 
@@ -193,7 +193,7 @@ class ChainResult:
         return {v: c / total for v, c in counts.items()}
 
 
-class SingleSpaceMHSampler(SingleVertexEstimator):
+class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
     """Metropolis-Hastings estimator of the betweenness of a single vertex."""
 
     name = "mh-single"
@@ -207,6 +207,8 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         cache_size: Optional[int] = None,
         record_states: bool = True,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if proposal not in PROPOSALS:
             raise ConfigurationError(
@@ -229,6 +231,23 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         #: order the CSR snapshot uses — so both backends consume an
         #: identical rng stream and walk the same chain for a fixed seed.
         self.backend = backend
+        #: Execution-engine knobs (:mod:`repro.execution`).  A Markov chain
+        #: is inherently sequential, so ``n_jobs`` is accepted for interface
+        #: uniformity and unused.  ``batch_size`` engages the
+        #: **batch-prefetch** discipline for the independence proposals
+        #: (``"uniform"`` / ``"degree"``), whose candidate sequence does not
+        #: depend on the chain state: the whole sequence is drawn upfront
+        #: from a child rng stream and the oracle batch-computes upcoming
+        #: dependency vectors ``batch_size`` sources per traversal.  The
+        #: per-vector values are bit-identical however they are batched, so
+        #: for a fixed seed the chain (and estimate) is the same for any
+        #: ``batch_size`` and ``n_jobs`` — though not the same chain the
+        #: sequential discipline walks, which is why the legacy behaviour is
+        #: kept when no knob is set.  The state-dependent ``"random-walk"``
+        #: proposal cannot know its candidates ahead of time and ignores the
+        #: engine.
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     # Proposal machinery
@@ -308,12 +327,36 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         if self.burn_in >= num_iterations + 1:
             raise ConfigurationError("burn_in must be smaller than the chain length")
         rng = ensure_rng(seed)
-        oracle = oracle or DependencyOracle(
-            graph, cache_size=self.cache_size, backend=self.backend
-        )
+        plan = self._plan()
+        prefetching = plan is not None and self.proposal in ("uniform", "degree")
+        if oracle is None:
+            oracle = DependencyOracle(
+                graph,
+                cache_size=self.cache_size,
+                backend=self.backend,
+                batch_size=plan.batch_size if plan is not None else None,
+            )
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
+
+        proposals: Optional[List[Vertex]] = None
+        if prefetching:
+            # Independence proposals don't depend on the chain state, so the
+            # whole candidate sequence can be drawn upfront from a child
+            # stream (the main stream keeps the initial draw and the
+            # acceptance draws) and handed to the oracle in blocks.
+            proposal_rng = spawn_rng(rng, 0)
+            if self.proposal == "uniform":
+                proposals = [
+                    vertices[proposal_rng.randrange(len(vertices))]
+                    for _ in range(num_iterations)
+                ]
+            else:
+                proposals = [
+                    self._degree_weighted_choice(graph, vertices, proposal_rng)
+                    for _ in range(num_iterations)
+                ]
 
         if initial_state is None:
             current = vertices[rng.randrange(len(vertices))]
@@ -331,8 +374,20 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
                 proposal_dependency=current_delta,
             )
         ]
+        prefetch_block = plan.batch_size if plan is not None else 1
         for t in range(1, num_iterations + 1):
-            candidate, proposal_correction = self._propose(graph, current, vertices, rng)
+            if proposals is not None:
+                candidate = proposals[t - 1]
+                if (t - 1) % prefetch_block == 0:
+                    oracle.prefetch(proposals[t - 1 : t - 1 + prefetch_block])
+                if self.proposal == "uniform":
+                    proposal_correction = 1.0
+                else:
+                    proposal_correction = max(graph.degree(current), 1) / max(
+                        graph.degree(candidate), 1
+                    )
+            else:
+                candidate, proposal_correction = self._propose(graph, current, vertices, rng)
             candidate_delta = oracle.dependency(candidate, r)
             accepted = self._accept(current_delta, candidate_delta, proposal_correction, rng)
             if accepted:
@@ -372,13 +427,21 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
         any candidate with positive dependency is then accepted outright
         (the ratio is +inf), and a zero-dependency candidate is accepted too
         so the chain keeps moving until it reaches the support.
+
+        Exactly one uniform draw is consumed per proposal, *unconditionally*
+        (drawing and ignoring when the ratio exceeds 1 is statistically
+        identical to not drawing).  An earlier revision drew only when
+        ``ratio < 1``, which broke the backends' identical-rng-stream
+        promise: symmetric dependency scores put the true ratio at exactly
+        1, the backends' last-ulp accumulation drift landed one side at
+        ``1 + ε`` and the other at ``1 - ε``, only one of them consumed a
+        draw, and the chains diverged structurally from there.
         """
+        u = rng.random()
         if current_delta <= 0.0:
             return True
         ratio = (candidate_delta / current_delta) * proposal_correction
-        if ratio >= 1.0:
-            return True
-        return rng.random() < ratio
+        return ratio >= 1.0 or u < ratio
 
     # ------------------------------------------------------------------
     # Estimator interface
@@ -404,19 +467,23 @@ class SingleSpaceMHSampler(SingleVertexEstimator):
                 initial_state=initial_state,
             )
             value = chain.estimate(self.estimator)
+        diagnostics = {
+            "acceptance_rate": chain.acceptance_rate(),
+            "evaluations": chain.evaluations,
+            "proposal": self.proposal,
+            "estimator": self.estimator,
+            "burn_in": self.burn_in,
+            "backend": resolve_backend(self.backend),
+            "chain": chain,
+        }
+        plan = self._plan()
+        if plan is not None:
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
         return SingleEstimate(
             vertex=r,
             estimate=value,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={
-                "acceptance_rate": chain.acceptance_rate(),
-                "evaluations": chain.evaluations,
-                "proposal": self.proposal,
-                "estimator": self.estimator,
-                "burn_in": self.burn_in,
-                "backend": resolve_backend(self.backend),
-                "chain": chain,
-            },
+            diagnostics=diagnostics,
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from repro._rng import RandomState
+from repro.execution import ExecutionPlan, resolve_plan
 from repro.graphs.core import Graph, Vertex
 
 __all__ = [
@@ -21,9 +22,31 @@ __all__ = [
     "MapEstimate",
     "SingleVertexEstimator",
     "AllVerticesEstimator",
+    "ExecutionPlanMixin",
     "timed",
     "vertex_keyed",
 ]
+
+
+class ExecutionPlanMixin:
+    """Shared resolution of the execution-engine knobs.
+
+    Estimators that accept the engine knobs store them as ``self.backend``
+    / ``self.batch_size`` / ``self.n_jobs`` in their constructors (the
+    per-class API surface) and call :meth:`_plan` once per estimate; a
+    ``None`` plan means "no knob set" and the estimator must take its
+    original sequential path.  Centralised here so a change to plan
+    resolution (a new env knob, say) lands in every sampler at once.
+    """
+
+    backend: str = "auto"
+    batch_size: Optional[int] = None
+    n_jobs: Optional[int] = None
+
+    def _plan(self) -> Optional[ExecutionPlan]:
+        return resolve_plan(
+            None, backend=self.backend, batch_size=self.batch_size, n_jobs=self.n_jobs
+        )
 
 
 def vertex_keyed(csr, values) -> Dict[Vertex, float]:

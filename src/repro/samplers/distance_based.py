@@ -24,12 +24,15 @@ from typing import Callable, Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, SamplingError
+from repro.execution import merge_ordered, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
-from repro.samplers.base import SingleEstimate, SingleVertexEstimator, timed
+from repro.samplers.base import ExecutionPlanMixin, SingleEstimate, SingleVertexEstimator, timed
 from repro.shortest_paths.bfs import bfs_distances, bfs_distances_csr
 from repro.shortest_paths.dependencies import (
     csr_dependency_on_target,
+    dependency_at_target_shard_csr,
+    dependency_at_target_shard_dict,
     dependency_on_target,
 )
 from repro.shortest_paths.dijkstra import dijkstra_distances
@@ -37,7 +40,7 @@ from repro.shortest_paths.dijkstra import dijkstra_distances
 __all__ = ["DistanceBasedSampler", "ImportanceSamplingEstimator"]
 
 
-class ImportanceSamplingEstimator(SingleVertexEstimator):
+class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
     """Chehreghani's randomized framework with a pluggable source distribution.
 
     Parameters
@@ -53,6 +56,12 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
         ``"auto"`` / ``"dict"`` / ``"csr"``; selects the traversal kernels
         for the per-sample dependency evaluation.  The mass function itself
         decides its own backend (the built-in ones follow the sampler's).
+    batch_size, n_jobs:
+        Execution-engine knobs (:mod:`repro.execution`).  The source
+        sequence is drawn upfront through exactly the rng calls the
+        sequential loop makes (the dependency passes consume no randomness),
+        then the passes run sharded and batched; for a fixed seed the
+        estimate is bit-identical for any ``n_jobs`` / ``batch_size``.
     """
 
     def __init__(
@@ -61,10 +70,14 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
         name: str = "importance-sampling",
         *,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self._mass_function = mass_function
         self.name = name
         self.backend = backend
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def estimate(
@@ -97,21 +110,54 @@ class ImportanceSamplingEstimator(SingleVertexEstimator):
             probabilities = {v: w / total_mass for v, w in zip(vertices, weights)}
             r_index = csr.index_of(r) if csr is not None else None
             total = 0.0
-            for _ in range(num_samples):
-                s = rng.choices(vertices, weights=weights, k=1)[0]
+            plan = self._plan()
+            if plan is not None:
+                # Draw the whole source sequence upfront — the exact rng
+                # calls the sequential loop makes — then run the passes
+                # sharded; per-sample weighting happens at the fold below.
+                sources = [
+                    rng.choices(vertices, weights=weights, k=1)[0]
+                    for _ in range(num_samples)
+                ]
                 if csr is not None:
-                    delta = csr_dependency_on_target(csr, csr.index_of(s), r_index)
+                    values = merge_ordered(
+                        run_sharded(
+                            dependency_at_target_shard_csr,
+                            split_shards([csr.index_of(s) for s in sources]),
+                            n_jobs=plan.n_jobs,
+                            shared=(csr, plan.batch_size, r_index),
+                        )
+                    )
                 else:
-                    delta = dependency_on_target(graph, s, r)
-                total += delta / probabilities[s]
+                    values = merge_ordered(
+                        run_sharded(
+                            dependency_at_target_shard_dict,
+                            split_shards(sources),
+                            n_jobs=plan.n_jobs,
+                            shared=(graph, r),
+                        )
+                    )
+                for s, delta in zip(sources, values):
+                    total += delta / probabilities[s]
+            else:
+                for _ in range(num_samples):
+                    s = rng.choices(vertices, weights=weights, k=1)[0]
+                    if csr is not None:
+                        delta = csr_dependency_on_target(csr, csr.index_of(s), r_index)
+                    else:
+                        delta = dependency_on_target(graph, s, r)
+                    total += delta / probabilities[s]
         estimate = total / (num_samples * n * max(n - 1, 1))
+        diagnostics: Dict[str, object] = {"support_size": len(vertices), "backend": backend}
+        if plan is not None:
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
         return SingleEstimate(
             vertex=r,
             estimate=estimate,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"support_size": len(vertices), "backend": backend},
+            diagnostics=diagnostics,
         )
 
 
@@ -150,12 +196,27 @@ class DistanceBasedSampler(ImportanceSamplingEstimator):
     optimal (dependency-proportional) distribution of Equation 5.
     """
 
-    def __init__(self, *, uniform: bool = False, backend: str = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        uniform: bool = False,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         if uniform:
-            super().__init__(_uniform_mass, name="uniform-importance", backend=backend)
+            super().__init__(
+                _uniform_mass,
+                name="uniform-importance",
+                backend=backend,
+                batch_size=batch_size,
+                n_jobs=n_jobs,
+            )
         else:
             super().__init__(
                 lambda graph, r: _distance_mass(graph, r, backend=self.backend),
                 name="distance-based",
                 backend=backend,
+                batch_size=batch_size,
+                n_jobs=n_jobs,
             )

@@ -18,10 +18,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
+from repro.execution import run_sharded, sample_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
+    ExecutionPlanMixin,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
@@ -36,7 +38,7 @@ from repro.shortest_paths.dijkstra import dijkstra_spd
 __all__ = ["KadabraSampler"]
 
 
-class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
+class KadabraSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstimator):
     """Bidirectional-BFS shortest-path sampler with optional adaptive stopping.
 
     Parameters
@@ -64,6 +66,8 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         epsilon: float = 0.01,
         delta: float = 0.1,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if epsilon <= 0.0:
             raise ConfigurationError("epsilon must be positive")
@@ -73,6 +77,16 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         self.epsilon = float(epsilon)
         self.delta = float(delta)
         self.backend = backend
+        #: Execution-engine knobs, with the same semantics as the RK
+        #: sampler: ``n_jobs`` shards the sample loop with per-shard child
+        #: rng streams (results identical for any ``n_jobs``, but a
+        #: different stream than the sequential path); ``batch_size`` is
+        #: accepted for uniformity and unused (per-sample rng interleaving).
+        #: The adaptive stopping rule is a sequential decision over the
+        #: global sample stream, so :meth:`estimate` ignores the engine when
+        #: ``adaptive=True``.
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def _sample_path_interior(self, graph: Graph, rng) -> Tuple[List[Vertex], int]:
@@ -222,7 +236,33 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         rng = ensure_rng(seed)
         touched_total = 0
         backend = resolve_backend(self.backend)
-        if backend == "csr":
+        plan = self._plan()
+        diagnostics: Dict[str, object] = {"backend": backend}
+        if plan is not None:
+            with timed() as clock:
+                shards = sample_shards(num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    results = run_sharded(
+                        _kadabra_all_shard_csr, shards, n_jobs=plan.n_jobs, shared=(self, csr)
+                    )
+                    buffer = np.zeros(csr.number_of_vertices())
+                    for shard_buffer, shard_touched in results:
+                        buffer += shard_buffer
+                        touched_total += shard_touched
+                    estimates = vertex_keyed(csr, buffer / num_samples)
+                else:
+                    results = run_sharded(
+                        _kadabra_all_shard_dict, shards, n_jobs=plan.n_jobs, shared=(self, graph)
+                    )
+                    counts = {v: 0.0 for v in graph.vertices()}
+                    for shard_counts, shard_touched in results:
+                        touched_total += shard_touched
+                        for v, c in shard_counts.items():
+                            counts[v] += c
+                    estimates = {v: c / num_samples for v, c in counts.items()}
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
+        elif backend == "csr":
             with timed() as clock:
                 csr = graph.csr()
                 buffer = np.zeros(csr.number_of_vertices())
@@ -241,12 +281,13 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
                     for v in interior:
                         counts[v] += 1.0
             estimates = {v: c / num_samples for v, c in counts.items()}
+        diagnostics["touched_edges"] = touched_total
         return MapEstimate(
             estimates=estimates,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"touched_edges": touched_total, "backend": backend},
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------
@@ -267,6 +308,44 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         drawn = 0
         touched_total = 0
         backend = resolve_backend(self.backend)
+        plan = self._plan()
+        if plan is not None and not self.adaptive:
+            with timed() as clock:
+                shards = sample_shards(num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    results = run_sharded(
+                        _kadabra_hits_shard_csr,
+                        shards,
+                        n_jobs=plan.n_jobs,
+                        shared=(self, csr, csr.index_of(r)),
+                    )
+                else:
+                    results = run_sharded(
+                        _kadabra_hits_shard_dict,
+                        shards,
+                        n_jobs=plan.n_jobs,
+                        shared=(self, graph, r),
+                    )
+                for shard_hits, shard_touched in results:
+                    hits += shard_hits
+                    touched_total += shard_touched
+                drawn = num_samples
+            return SingleEstimate(
+                vertex=r,
+                estimate=hits / drawn,
+                samples=drawn,
+                elapsed_seconds=clock.elapsed,
+                method=self.name,
+                diagnostics={
+                    "hits": hits,
+                    "touched_edges": touched_total,
+                    "adaptive": self.adaptive,
+                    "backend": backend,
+                    "n_jobs": plan.n_jobs,
+                    "batch_size": plan.batch_size,
+                },
+            )
         with timed() as clock:
             csr = graph.csr() if backend == "csr" else None
             r_index = csr.index_of(r) if csr is not None else None
@@ -304,3 +383,60 @@ class KadabraSampler(SingleVertexEstimator, AllVerticesEstimator):
         variance = mean * (1.0 - mean)
         log_term = math.log(3.0 / self.delta)
         return math.sqrt(2.0 * variance * log_term / n) + 3.0 * log_term / n
+
+
+# ----------------------------------------------------------------------
+# Shard workers (module-level so the multiprocessing pool can pickle them).
+# Each shard is a ``(sample_count, shard_rng)`` pair; every worker returns
+# ``(accumulator, touched_edges)``.
+# ----------------------------------------------------------------------
+def _kadabra_all_shard_csr(shared, shard):
+    sampler, csr = shared
+    count, rng = shard
+    buffer = np.zeros(csr.number_of_vertices())
+    touched_total = 0
+    for _ in range(count):
+        interior, touched = sampler._sample_path_interior_csr(csr, rng)
+        touched_total += touched
+        for i in interior:
+            buffer[i] += 1.0
+    return buffer, touched_total
+
+
+def _kadabra_all_shard_dict(shared, shard):
+    sampler, graph = shared
+    count, rng = shard
+    counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    touched_total = 0
+    for _ in range(count):
+        interior, touched = sampler._sample_path_interior(graph, rng)
+        touched_total += touched
+        for v in interior:
+            counts[v] += 1.0
+    return counts, touched_total
+
+
+def _kadabra_hits_shard_csr(shared, shard):
+    sampler, csr, r_index = shared
+    count, rng = shard
+    hits = 0.0
+    touched_total = 0
+    for _ in range(count):
+        interior, touched = sampler._sample_path_interior_csr(csr, rng)
+        touched_total += touched
+        if r_index in interior:
+            hits += 1.0
+    return hits, touched_total
+
+
+def _kadabra_hits_shard_dict(shared, shard):
+    sampler, graph, r = shared
+    count, rng = shard
+    hits = 0.0
+    touched_total = 0
+    for _ in range(count):
+        interior, touched = sampler._sample_path_interior(graph, rng)
+        touched_total += touched
+        if r in interior:
+            hits += 1.0
+    return hits, touched_total

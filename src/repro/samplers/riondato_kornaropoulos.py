@@ -23,10 +23,12 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
+from repro.execution import merge_ordered, run_sharded, sample_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
+    ExecutionPlanMixin,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
@@ -79,7 +81,7 @@ def rk_sample_size(
     return int(math.ceil(constant / (epsilon * epsilon) * (vc_term + math.log(1.0 / delta))))
 
 
-class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
+class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstimator):
     """Uniform shortest-path sampling estimator for all vertices (or one).
 
     With ``backend="csr"`` (the ``"auto"`` default when numpy is available)
@@ -90,8 +92,26 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
 
     name = "riondato-kornaropoulos"
 
-    def __init__(self, *, backend: str = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         self.backend = backend
+        #: Execution-engine knobs.  ``n_jobs`` spreads the sample loop over
+        #: worker processes: samples are cut into fixed shards, each shard
+        #: drawing from its own child rng stream
+        #: (:func:`repro.execution.shard_rngs`), so the estimate is
+        #: identical for any ``n_jobs`` — but, unlike the dependency-pass
+        #: samplers, engaging the engine changes which paths a given seed
+        #: samples (the sequential path consumes one global stream).
+        #: ``batch_size`` is accepted for interface uniformity and has no
+        #: effect: path sampling interleaves rng draws with each traversal,
+        #: so batching SPD builds would change the sample stream.
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def _sample_internal_vertices(self, graph: Graph, rng) -> list:
@@ -157,7 +177,31 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
             raise ConfigurationError("the graph must have at least two vertices")
         rng = ensure_rng(seed)
         backend = resolve_backend(self.backend)
-        if backend == "csr":
+        plan = self._plan()
+        diagnostics: Dict[str, object] = {"backend": backend}
+        if plan is not None:
+            with timed() as clock:
+                shards = sample_shards(num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    buffer = merge_ordered(
+                        run_sharded(
+                            _rk_all_shard_csr, shards, n_jobs=plan.n_jobs, shared=csr
+                        )
+                    )
+                    estimates = vertex_keyed(csr, buffer / num_samples)
+                else:
+                    counts = merge_ordered(
+                        run_sharded(
+                            _rk_all_shard_dict,
+                            shards,
+                            n_jobs=plan.n_jobs,
+                            shared=(self, graph),
+                        )
+                    )
+                    estimates = {v: counts.get(v, 0.0) / num_samples for v in graph.vertices()}
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
+        elif backend == "csr":
             with timed() as clock:
                 csr = graph.csr()
                 buffer = np.zeros(csr.number_of_vertices())
@@ -177,7 +221,7 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"backend": backend},
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------
@@ -196,7 +240,32 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
         rng = ensure_rng(seed)
         hits = 0.0
         backend = resolve_backend(self.backend)
-        if backend == "csr":
+        plan = self._plan()
+        diagnostics: Dict[str, object] = {"backend": backend}
+        if plan is not None:
+            with timed() as clock:
+                shards = sample_shards(num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    hits = merge_ordered(
+                        run_sharded(
+                            _rk_hits_shard_csr,
+                            shards,
+                            n_jobs=plan.n_jobs,
+                            shared=(csr, csr.index_of(r)),
+                        )
+                    )
+                else:
+                    hits = merge_ordered(
+                        run_sharded(
+                            _rk_hits_shard_dict,
+                            shards,
+                            n_jobs=plan.n_jobs,
+                            shared=(self, graph, r),
+                        )
+                    )
+            diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)
+        elif backend == "csr":
             with timed() as clock:
                 csr = graph.csr()
                 r_index = csr.index_of(r)
@@ -208,13 +277,14 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
                 for _ in range(num_samples):
                     if r in self._sample_internal_vertices(graph, rng):
                         hits += 1.0
+        diagnostics["hits"] = hits
         return SingleEstimate(
             vertex=r,
             estimate=hits / num_samples,
             samples=num_samples,
             elapsed_seconds=clock.elapsed,
             method=self.name,
-            diagnostics={"hits": hits, "backend": backend},
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------
@@ -223,3 +293,48 @@ class RiondatoKornaropoulosSampler(SingleVertexEstimator, AllVerticesEstimator):
     ) -> int:
         """Return the VC-bound sample size for an (ε, δ)-guarantee on *graph*."""
         return rk_sample_size(vertex_diameter_estimate(graph, seed), epsilon, delta)
+
+
+# ----------------------------------------------------------------------
+# Shard workers (module-level so the multiprocessing pool can pickle them).
+# Each shard is a ``(sample_count, shard_rng)`` pair from
+# ``repro.execution.sample_shards``.
+# ----------------------------------------------------------------------
+def _rk_all_shard_csr(shared, shard):
+    csr = shared
+    count, rng = shard
+    buffer = np.zeros(csr.number_of_vertices())
+    for _ in range(count):
+        for i in RiondatoKornaropoulosSampler._sample_internal_indices(csr, rng):
+            buffer[i] += 1.0
+    return buffer
+
+
+def _rk_all_shard_dict(shared, shard):
+    sampler, graph = shared
+    count, rng = shard
+    counts: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    for _ in range(count):
+        for v in sampler._sample_internal_vertices(graph, rng):
+            counts[v] += 1.0
+    return counts
+
+
+def _rk_hits_shard_csr(shared, shard) -> float:
+    csr, r_index = shared
+    count, rng = shard
+    hits = 0.0
+    for _ in range(count):
+        if r_index in RiondatoKornaropoulosSampler._sample_internal_indices(csr, rng):
+            hits += 1.0
+    return hits
+
+
+def _rk_hits_shard_dict(shared, shard) -> float:
+    sampler, graph, r = shared
+    count, rng = shard
+    hits = 0.0
+    for _ in range(count):
+        if r in sampler._sample_internal_vertices(graph, rng):
+            hits += 1.0
+    return hits

@@ -14,10 +14,12 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
+from repro.execution import merge_ordered, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
     AllVerticesEstimator,
+    ExecutionPlanMixin,
     MapEstimate,
     SingleEstimate,
     SingleVertexEstimator,
@@ -27,13 +29,17 @@ from repro.samplers.base import (
 from repro.shortest_paths.dependencies import (
     accumulate_dependencies,
     csr_source_dependencies,
+    dependency_at_target_shard_csr,
+    dependency_at_target_shard_dict,
+    dependency_sum_shard_csr,
+    dependency_sum_shard_dict,
     spd_builder,
 )
 
 __all__ = ["UniformSourceSampler"]
 
 
-class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
+class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstimator):
     """Estimate betweenness by averaging dependency scores of random sources.
 
     For each sampled source *s*, one Brandes pass yields
@@ -54,13 +60,28 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         backend (positions in ``graph.vertices()``), so a fixed seed yields
         the same sample set, and results are converted back to vertex-keyed
         dicts only at the estimate boundary.
+    batch_size, n_jobs:
+        Execution-engine knobs (:mod:`repro.execution`).  Sources are drawn
+        upfront from the caller's rng stream (the same draws the sequential
+        path makes), so engaging the engine changes neither the sample set
+        nor the estimate beyond float re-association — and a fixed seed
+        gives bit-identical results for any ``n_jobs`` / ``batch_size``.
     """
 
     name = "uniform-source"
 
-    def __init__(self, *, with_replacement: bool = True, backend: str = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        with_replacement: bool = True,
+        backend: str = "auto",
+        batch_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         self.with_replacement = bool(with_replacement)
         self.backend = backend
+        self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
     def _sample_sources(self, graph: Graph, num_samples: int, rng) -> list:
@@ -89,6 +110,43 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         n = graph.number_of_vertices()
         scale = 1.0 / (num_samples * max(n - 1, 1))
         backend = resolve_backend(self.backend)
+        plan = self._plan()
+        if plan is not None:
+            with timed() as clock:
+                sources = self._sample_sources(graph, num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    buffer = merge_ordered(
+                        run_sharded(
+                            dependency_sum_shard_csr,
+                            split_shards([csr.index_of(s) for s in sources]),
+                            n_jobs=plan.n_jobs,
+                            shared=(csr, plan.batch_size),
+                        )
+                    )
+                    estimates = vertex_keyed(csr, buffer * scale)
+                else:
+                    totals = merge_ordered(
+                        run_sharded(
+                            dependency_sum_shard_dict,
+                            split_shards(sources),
+                            n_jobs=plan.n_jobs,
+                            shared=graph,
+                        )
+                    )
+                    estimates = {v: totals.get(v, 0.0) * scale for v in graph.vertices()}
+            return MapEstimate(
+                estimates=estimates,
+                samples=num_samples,
+                elapsed_seconds=clock.elapsed,
+                method=self.name,
+                diagnostics={
+                    "with_replacement": self.with_replacement,
+                    "backend": backend,
+                    "n_jobs": plan.n_jobs,
+                    "batch_size": plan.batch_size,
+                },
+            )
         if backend == "csr":
             with timed() as clock:
                 # Building (or fetching the cached) snapshot is part of the
@@ -142,6 +200,44 @@ class UniformSourceSampler(SingleVertexEstimator, AllVerticesEstimator):
         n = graph.number_of_vertices()
         total = 0.0
         backend = resolve_backend(self.backend)
+        plan = self._plan()
+        if plan is not None:
+            with timed() as clock:
+                sources = self._sample_sources(graph, num_samples, rng)
+                if backend == "csr":
+                    csr = graph.csr()
+                    values = merge_ordered(
+                        run_sharded(
+                            dependency_at_target_shard_csr,
+                            split_shards([csr.index_of(s) for s in sources]),
+                            n_jobs=plan.n_jobs,
+                            shared=(csr, plan.batch_size, csr.index_of(r)),
+                        )
+                    )
+                else:
+                    values = merge_ordered(
+                        run_sharded(
+                            dependency_at_target_shard_dict,
+                            split_shards(sources),
+                            n_jobs=plan.n_jobs,
+                            shared=(graph, r),
+                        )
+                    )
+                for value in values:
+                    total += value
+            return SingleEstimate(
+                vertex=r,
+                estimate=total / (num_samples * max(n - 1, 1)),
+                samples=num_samples,
+                elapsed_seconds=clock.elapsed,
+                method=self.name,
+                diagnostics={
+                    "with_replacement": self.with_replacement,
+                    "backend": backend,
+                    "n_jobs": plan.n_jobs,
+                    "batch_size": plan.batch_size,
+                },
+            )
         if backend == "csr":
             with timed() as clock:
                 csr = graph.csr()

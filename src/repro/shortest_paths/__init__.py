@@ -6,6 +6,12 @@ reference implementation over :class:`~repro.graphs.core.Graph` and a
 snapshot (see that module for the backend contract).
 """
 
+from repro.shortest_paths.batch import (
+    BatchedSPD,
+    accumulate_dependencies_batch_csr,
+    batch_source_dependencies,
+    bfs_spd_batch_csr,
+)
 from repro.shortest_paths.bfs import (
     bfs_distances,
     bfs_distances_csr,
@@ -37,8 +43,12 @@ from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 __all__ = [
     "ShortestPathDAG",
     "CSRShortestPathDAG",
+    "BatchedSPD",
     "bfs_spd",
     "bfs_spd_csr",
+    "bfs_spd_batch_csr",
+    "accumulate_dependencies_batch_csr",
+    "batch_source_dependencies",
     "bfs_distances",
     "bfs_distances_csr",
     "single_pair_distance",

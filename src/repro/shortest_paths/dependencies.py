@@ -16,10 +16,12 @@ Metropolis-Hastings acceptance ratio is a ratio of two of them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
+from repro.execution.plan import ExecutionPlan, resolve_plan
+from repro.execution.scheduler import merge_ordered, run_sharded, split_shards
 from repro.shortest_paths.bfs import bfs_spd, bfs_spd_csr
 from repro.shortest_paths.dijkstra import dijkstra_spd, dijkstra_spd_csr
 from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
@@ -39,6 +41,11 @@ __all__ = [
     "csr_source_dependencies",
     "csr_dependency_on_target",
     "csr_edge_dependency",
+    "iter_batches",
+    "dependency_sum_shard_csr",
+    "dependency_sum_shard_dict",
+    "dependency_at_target_shard_csr",
+    "dependency_at_target_shard_dict",
 ]
 
 
@@ -121,7 +128,13 @@ def dependency_on_target(graph: Graph, source: Vertex, target: Vertex) -> float:
 
 
 def all_dependencies_on_target(
-    graph: Graph, target: Vertex, *, backend: str = "auto"
+    graph: Graph,
+    target: Vertex,
+    *,
+    backend: str = "auto",
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(target)}`` for every vertex *v* of *graph*.
 
@@ -131,8 +144,19 @@ def all_dependencies_on_target(
     the analysis layer to compute :math:`\\mu(r)` exactly.  With the CSR
     backend every pass runs on the vectorised kernels; the result is
     converted back to a vertex-keyed dict only at this boundary.
+
+    ``batch_size`` / ``n_jobs`` (or a ready-made *plan*) engage the
+    execution engine of :mod:`repro.execution`: sources are split into
+    fixed shards, each shard's passes run through the batched kernels
+    (``batch_size`` sources per traversal on the CSR backend) on up to
+    ``n_jobs`` worker processes, and the per-source values are merged in
+    source order — so the result is identical for any ``n_jobs`` and
+    ``batch_size``.
     """
     graph.validate_vertex(target)
+    plan = resolve_plan(plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    if plan is not None:
+        return _all_dependencies_on_target_planned(graph, target, plan)
     if resolve_backend(backend) == "csr":
         csr = graph.csr()
         r = csr.index_of(target)
@@ -152,6 +176,105 @@ def all_dependencies_on_target(
             continue
         result[v] = dependency_on_target(graph, v, target)
     return result
+
+
+def _all_dependencies_on_target_planned(
+    graph: Graph, target: Vertex, plan: ExecutionPlan
+) -> Dict[Vertex, float]:
+    """Sharded/batched evaluation of the Equation 5 vector (see the caller)."""
+    vertices = graph.vertices()
+    if not vertices:
+        return {}
+    if resolve_backend(plan.backend) == "csr":
+        csr = graph.csr()
+        shards = split_shards(list(range(csr.number_of_vertices())))
+        values = merge_ordered(
+            run_sharded(
+                dependency_at_target_shard_csr,
+                shards,
+                n_jobs=plan.n_jobs,
+                shared=(csr, plan.batch_size, csr.index_of(target)),
+            )
+        )
+        return dict(zip(csr.vertices, values))
+    shards = split_shards(vertices)
+    values = merge_ordered(
+        run_sharded(
+            dependency_at_target_shard_dict,
+            shards,
+            n_jobs=plan.n_jobs,
+            shared=(graph, target),
+        )
+    )
+    return dict(zip(vertices, values))
+
+
+# ----------------------------------------------------------------------
+# Shard workers (module-level so the multiprocessing pool can pickle them)
+# ----------------------------------------------------------------------
+def iter_batches(items: Sequence, batch_size: int):
+    """Yield contiguous slices of *items* of at most *batch_size* elements."""
+    for start in range(0, len(items), batch_size):
+        yield items[start : start + batch_size]
+
+
+def dependency_sum_shard_csr(shared, shard):
+    """Shard worker: sum the dependency vectors of the shard's source indices.
+
+    ``shared`` is ``(csr, batch_size)``; the sum follows the canonical
+    accumulation order (one vector addition per source, in shard order), so
+    the buffer is bit-identical however the sources are batched.
+    """
+    csr, batch_size = shared
+    from repro.shortest_paths.batch import batch_source_dependencies
+
+    out = np.zeros(csr.number_of_vertices())
+    for batch in iter_batches(shard, batch_size):
+        batch_source_dependencies(csr, batch, out=out)
+    return out
+
+
+def dependency_sum_shard_dict(shared, shard):
+    """Dict-backend twin of :func:`dependency_sum_shard_csr` (``shared`` = graph)."""
+    graph = shared
+    build = spd_builder(graph)
+    totals: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
+    for s in shard:
+        for v, delta in accumulate_dependencies(build(graph, s)).items():
+            if v != s:
+                totals[v] += delta
+    return totals
+
+
+def dependency_at_target_shard_csr(shared, shard) -> List[float]:
+    """Shard worker: per-source dependency on one target index.
+
+    ``shared`` is ``(csr, batch_size, target_index)``; returns one float per
+    shard source, in shard order.  A source equal to the target reads its
+    own delta entry, which is 0 by construction — matching the dict
+    backend's explicit skip.
+    """
+    csr, batch_size, target_index = shared
+    from repro.shortest_paths.batch import batch_source_dependencies
+
+    values: List[float] = []
+    for batch in iter_batches(shard, batch_size):
+        deltas = batch_source_dependencies(csr, batch)
+        values.extend(float(deltas[k, target_index]) for k in range(len(batch)))
+    return values
+
+
+def dependency_at_target_shard_dict(shared, shard) -> List[float]:
+    """Dict-backend twin of :func:`dependency_at_target_shard_csr` (``shared`` = (graph, target))."""
+    graph, target = shared
+    build = spd_builder(graph)
+    values: List[float] = []
+    for s in shard:
+        if s == target:
+            values.append(0.0)
+            continue
+        values.append(accumulate_dependencies(build(graph, s)).get(target, 0.0))
+    return values
 
 
 # ----------------------------------------------------------------------

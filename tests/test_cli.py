@@ -108,6 +108,64 @@ class TestExactCommand:
         assert set(payload) == {"5", "0"}
 
 
+class TestExecutionFlags:
+    """--backend / --jobs / --batch-size wiring into the ExecutionPlan."""
+
+    def test_estimate_with_execution_flags(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+             "uniform-source", "--samples", "40", "--seed", "1",
+             "--backend", "csr", "--jobs", "2", "--batch-size", "8"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["backend"] == "csr"
+        assert payload["jobs"] == 2
+        assert payload["batch_size"] == 8
+
+    def test_estimate_jobs_do_not_change_the_estimate(self, barbell_file):
+        estimates = []
+        for jobs in ("1", "2", "4"):
+            code, output = run_cli(
+                ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+                 "uniform-source", "--samples", "40", "--seed", "7", "--jobs", jobs]
+            )
+            assert code == 0
+            estimates.append(json.loads(output)["estimate"])
+        assert estimates[0] == estimates[1] == estimates[2]
+
+    def test_exact_with_execution_flags_matches_sequential(self, barbell_file):
+        code_seq, out_seq = run_cli(["exact", "--graph", barbell_file])
+        code_par, out_par = run_cli(
+            ["exact", "--graph", barbell_file, "--jobs", "2", "--batch-size", "4"]
+        )
+        assert code_seq == code_par == 0
+        seq, par = json.loads(out_seq), json.loads(out_par)
+        assert seq.keys() == par.keys()
+        for v in seq:
+            assert par[v] == pytest.approx(seq[v], rel=1e-9, abs=1e-12)
+
+    def test_relative_accepts_execution_flags(self, barbell_file):
+        code, output = run_cli(
+            ["relative", "--graph", barbell_file, "--vertices", "5,6",
+             "--samples", "100", "--seed", "3", "--batch-size", "16"]
+        )
+        assert code == 0
+        assert "5/6" in json.loads(output)["ratios"]
+
+    def test_rejects_non_positive_jobs(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["exact", "--graph", barbell_file, "--jobs", "0"]
+            )
+
+    def test_rejects_unknown_backend(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["exact", "--graph", barbell_file, "--backend", "gpu"]
+            )
+
+
 class TestDatasetsCommand:
     def test_plain_listing(self):
         code, output = run_cli(["datasets"])

@@ -232,6 +232,54 @@ def test_updating_an_edge_weight_invalidates_the_view():
     assert weights[neighbors.index(fresh.index_of(1))] == 5.0
 
 
+def test_weight_mutation_invalidates_snapshot_and_backends_stay_equivalent():
+    """Mutating edge weights after ``.csr()`` drops the cached snapshot, and
+    the Dijkstra-based estimators agree across backends on the new weights."""
+    graph = _random_weighted_graph(37)
+    target = graph.vertices()[1]
+    stale = graph.csr()
+    before = betweenness_centrality(graph, backend="csr")
+
+    # Re-weight a few existing edges (same endpoints, new weights): the
+    # mutation must invalidate the cache even though the topology is intact.
+    reweighted = [edge for edge, _ in zip(graph.edges(data=True), range(3))]
+    for u, v, w in reweighted:
+        graph.add_edge(u, v, w + 2.5)
+    fresh = graph.csr()
+    assert fresh is not stale, "weight mutation must drop the cached CSR view"
+    for u, v, w in reweighted:
+        i = fresh.index_of(u)
+        position = fresh.neighbors_of(i).tolist().index(fresh.index_of(v))
+        assert fresh.weights_of(i)[position] == w + 2.5
+
+    # Dijkstra-backed exact scores: dict and CSR agree on the new weights...
+    dict_scores = betweenness_centrality(graph, backend="dict")
+    csr_scores = betweenness_centrality(graph, backend="csr")
+    assert dict_scores.keys() == csr_scores.keys()
+    for v in dict_scores:
+        assert math.isclose(dict_scores[v], csr_scores[v], rel_tol=1e-9, abs_tol=1e-12)
+    # ... and the scores moved with the weights (the stale snapshot's values
+    # would not have).
+    assert any(
+        not math.isclose(before[v], csr_scores[v], rel_tol=1e-9, abs_tol=1e-12)
+        for v in before
+    )
+
+    # Dijkstra-based sampling estimates stay rng-stream identical too.
+    for method in ("uniform-source", "distance"):
+        dict_est = betweenness_single(
+            graph, target, method=method, samples=30, seed=7,
+            backend="dict", check_connected=False,
+        )
+        csr_est = betweenness_single(
+            graph, target, method=method, samples=30, seed=7,
+            backend="csr", check_connected=False,
+        )
+        assert math.isclose(
+            dict_est.estimate, csr_est.estimate, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
 def test_spd_compat_readers_are_lenient_for_unknown_labels():
     """Absent labels read as unreachable on both DAG flavours, never raise."""
     graph = barbell_graph(3, 1)

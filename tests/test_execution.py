@@ -1,0 +1,458 @@
+"""Tests for the batched multi-source kernels and the execution layer.
+
+Two promises are checked here:
+
+1. **Batch kernels are bit-identical per row** — for every source in a
+   batch, the ``(K, n)`` distance / sigma / dependency rows equal what the
+   single-source CSR kernels produce for that source alone, bit for bit,
+   regardless of which other sources share the batch.
+2. **Engine results are execution-invariant** — for a fixed seed, every
+   estimator that accepts the ``batch_size`` / ``n_jobs`` knobs returns the
+   same result for any combination of ``n_jobs ∈ {1, 2, 4}`` and
+   ``batch_size ∈ {1, 8, 64}``, on both backends.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.centrality.api import betweenness_single
+from repro.errors import ConfigurationError
+from repro.exact.brandes import betweenness_centrality
+from repro.exact.group import group_betweenness_centrality
+from repro.execution import (
+    DEFAULT_SHARD_SIZE,
+    ExecutionPlan,
+    merge_ordered,
+    resolve_plan,
+    run_sharded,
+    shard_rngs,
+    split_shards,
+)
+from repro.graphs import Graph, barabasi_albert_graph, erdos_renyi_graph
+from repro.graphs.components import largest_connected_component
+from repro.graphs.csr import np
+from repro.mcmc.estimates import DependencyOracle
+from repro.mcmc.joint import JointSpaceMHSampler
+from repro.mcmc.single import SingleSpaceMHSampler
+from repro.shortest_paths import (
+    accumulate_dependencies_batch_csr,
+    accumulate_dependencies_csr,
+    all_dependencies_on_target,
+    batch_source_dependencies,
+    bfs_spd_batch_csr,
+    bfs_spd_csr,
+    csr_source_dependencies,
+)
+
+pytestmark = pytest.mark.skipif(np is None, reason="the execution engine requires numpy")
+
+#: The grid the determinism contract is stated over (ISSUE 2 acceptance).
+JOBS_GRID = (1, 2, 4)
+BATCH_GRID = (1, 8, 64)
+
+
+def _random_unweighted(seed: int) -> Graph:
+    return largest_connected_component(erdos_renyi_graph(30, 0.12, seed=seed))
+
+
+def _random_weighted(seed: int) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph(weighted=True)
+    n = rng.randint(8, 16)
+    for _ in range(3 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, rng.choice([0.5, 1.0, 1.5, 2.0]))
+    return largest_connected_component(graph)
+
+
+# ----------------------------------------------------------------------
+# Batch kernels
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=12))
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_batch_rows_bit_identical_to_single_source(seed, batch_len):
+    """Every row of a batched BFS + accumulation equals the K=1 kernels exactly."""
+    graph = _random_unweighted(seed)
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    rng = random.Random(seed)
+    sources = [rng.randrange(n) for _ in range(batch_len)]  # duplicates allowed
+    batch = bfs_spd_batch_csr(csr, sources)
+    deltas = accumulate_dependencies_batch_csr(batch)
+    for row, s in enumerate(sources):
+        spd = bfs_spd_csr(csr, s)
+        assert np.array_equal(batch.dist[row], spd.dist, equal_nan=True)
+        assert np.array_equal(batch.sig[row], spd.sig)
+        assert np.array_equal(deltas[row], accumulate_dependencies_csr(spd))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_batch_rows_independent_of_batch_composition(seed):
+    """A source's row does not depend on which other sources share the batch."""
+    graph = _random_unweighted(seed)
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    alone = batch_source_dependencies(csr, [0])
+    grouped = batch_source_dependencies(csr, list(range(min(n, 7))))
+    assert np.array_equal(alone[0], grouped[0])
+
+
+def test_batch_cutoff_matches_single_source():
+    graph = _random_unweighted(5)
+    csr = graph.csr()
+    batch = bfs_spd_batch_csr(csr, [0, 1], cutoff=1.5)
+    for row, s in enumerate([0, 1]):
+        spd = bfs_spd_csr(csr, s, cutoff=1.5)
+        assert np.array_equal(batch.dist[row], spd.dist, equal_nan=True)
+
+
+def test_batch_weighted_fallback_matches_dijkstra_rows():
+    graph = _random_weighted(11)
+    csr = graph.csr()
+    sources = list(range(min(5, csr.number_of_vertices())))
+    deltas = batch_source_dependencies(csr, sources)
+    for row, s in enumerate(sources):
+        assert np.array_equal(deltas[row], csr_source_dependencies(csr, s))
+
+
+def test_batch_out_accumulates_in_source_order():
+    graph = _random_unweighted(9)
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    sources = list(range(n))
+    out = np.zeros(n)
+    batch_source_dependencies(csr, sources, out=out)
+    expected = np.zeros(n)
+    for row in batch_source_dependencies(csr, sources):
+        expected += row
+    assert np.array_equal(out, expected)
+
+
+def test_batch_rejects_empty_and_out_of_range_sources():
+    csr = _random_unweighted(3).csr()
+    with pytest.raises(ValueError):
+        bfs_spd_batch_csr(csr, [])
+    with pytest.raises(IndexError):
+        bfs_spd_batch_csr(csr, [csr.number_of_vertices()])
+
+
+# ----------------------------------------------------------------------
+# Plan resolution and scheduler plumbing
+# ----------------------------------------------------------------------
+
+
+def test_resolve_plan_returns_none_without_any_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert resolve_plan(None) is None
+
+
+def test_resolve_plan_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    monkeypatch.setenv("REPRO_BATCH", "16")
+    plan = resolve_plan(None)
+    assert plan == ExecutionPlan(backend="auto", batch_size=16, n_jobs=3)
+    # Explicit arguments win over the env vars.
+    plan = resolve_plan(None, batch_size=4, n_jobs=1)
+    assert plan.batch_size == 4 and plan.n_jobs == 1
+    # A ready-made plan wins over everything.
+    ready = ExecutionPlan(batch_size=2, n_jobs=2)
+    assert resolve_plan(ready, batch_size=64, n_jobs=8) is ready
+
+
+def test_resolve_plan_rejects_bad_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ConfigurationError):
+        resolve_plan(None)
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ConfigurationError):
+        resolve_plan(None)
+
+
+def test_execution_plan_validates_fields():
+    with pytest.raises(ConfigurationError):
+        ExecutionPlan(backend="gpu")
+    with pytest.raises(ConfigurationError):
+        ExecutionPlan(batch_size=0)
+    with pytest.raises(ConfigurationError):
+        ExecutionPlan(n_jobs=-1)
+
+
+def test_split_shards_boundaries_are_fixed():
+    items = list(range(600))
+    shards = split_shards(items)
+    assert [len(s) for s in shards] == [DEFAULT_SHARD_SIZE, DEFAULT_SHARD_SIZE, 88]
+    assert [x for shard in shards for x in shard] == items
+    assert split_shards([]) == []
+    with pytest.raises(ValueError):
+        split_shards(items, 0)
+
+
+def test_shard_rngs_are_deterministic_and_independent():
+    streams_a = [r.random() for r in shard_rngs(random.Random(42), 4)]
+    streams_b = [r.random() for r in shard_rngs(random.Random(42), 4)]
+    assert streams_a == streams_b
+    assert len(set(streams_a)) == 4
+
+
+def test_merge_ordered_shapes():
+    assert merge_ordered([[1, 2], [3]]) == [1, 2, 3]
+    assert merge_ordered([{"a": 1.0}, {"a": 2.0, "b": 1.0}]) == {"a": 3.0, "b": 1.0}
+    assert merge_ordered([1.5, 2.5]) == 4.0
+    arrays = [np.ones(3), np.ones(3)]
+    assert np.array_equal(merge_ordered(arrays), np.full(3, 2.0))
+    assert np.array_equal(arrays[0], np.ones(3)), "inputs must not be mutated"
+    with pytest.raises(ValueError):
+        merge_ordered([])
+
+
+def _echo_shard(shared, shard):
+    return [shared + x for x in shard]
+
+
+def test_run_sharded_pool_preserves_shard_order():
+    shards = split_shards(list(range(40)), 10)
+    inline = run_sharded(_echo_shard, shards, n_jobs=1, shared=100)
+    pooled = run_sharded(_echo_shard, shards, n_jobs=3, shared=100)
+    assert inline == pooled
+    assert merge_ordered(pooled) == [100 + x for x in range(40)]
+
+
+def test_worker_payloads_survive_a_real_pool():
+    """Graphs below one shard run inline, so force multi-shard pool runs to
+    prove the CSR snapshot, the Graph and sampler instances all pickle into
+    worker processes and come back with identical buffers."""
+    from repro.samplers.riondato_kornaropoulos import _rk_hits_shard_csr
+    from repro.shortest_paths.dependencies import (
+        dependency_sum_shard_csr,
+        dependency_sum_shard_dict,
+    )
+
+    graph = barabasi_albert_graph(60, 2, seed=1)
+    csr = graph.csr()
+    shards = split_shards(list(range(60)), 16)
+    inline = run_sharded(
+        dependency_sum_shard_csr, shards, n_jobs=1, shared=(csr, 4)
+    )
+    pooled = run_sharded(
+        dependency_sum_shard_csr, shards, n_jobs=2, shared=(csr, 4)
+    )
+    for a, b in zip(inline, pooled):
+        assert np.array_equal(a, b)
+
+    label_shards = split_shards(graph.vertices(), 16)
+    inline_dict = run_sharded(dependency_sum_shard_dict, label_shards, n_jobs=1, shared=graph)
+    pooled_dict = run_sharded(dependency_sum_shard_dict, label_shards, n_jobs=2, shared=graph)
+    assert inline_dict == pooled_dict
+
+    sample_shards = [(10, rng) for rng in shard_rngs(random.Random(6), 3)]
+    inline_rk = run_sharded(_rk_hits_shard_csr, sample_shards, n_jobs=1, shared=(csr, 3))
+    pooled_rk = run_sharded(
+        _rk_hits_shard_csr,
+        [(10, rng) for rng in shard_rngs(random.Random(6), 3)],
+        n_jobs=3,
+        shared=(csr, 3),
+    )
+    assert inline_rk == pooled_rk
+
+
+# ----------------------------------------------------------------------
+# Determinism: fixed-seed results identical across n_jobs and batch_size
+# ----------------------------------------------------------------------
+
+
+def _grid(reference_fn):
+    """Assert ``reference_fn(n_jobs, batch_size)`` is constant over the grid."""
+    reference = reference_fn(1, 1)
+    for n_jobs in JOBS_GRID:
+        for batch_size in BATCH_GRID:
+            assert reference_fn(n_jobs, batch_size) == reference, (n_jobs, batch_size)
+    return reference
+
+
+@pytest.mark.parametrize("backend", ["dict", "csr"])
+def test_exact_brandes_is_execution_invariant(backend):
+    graph = barabasi_albert_graph(50, 2, seed=13)
+    reference = _grid(
+        lambda j, b: betweenness_centrality(graph, backend=backend, n_jobs=j, batch_size=b)
+    )
+    sequential = betweenness_centrality(graph, backend=backend)
+    for v, score in sequential.items():
+        assert math.isclose(reference[v], score, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@pytest.mark.parametrize("backend", ["dict", "csr"])
+def test_all_dependencies_on_target_is_execution_invariant(backend):
+    graph = barabasi_albert_graph(40, 2, seed=21)
+    r = graph.vertices()[3]
+    reference = _grid(
+        lambda j, b: all_dependencies_on_target(graph, r, backend=backend, n_jobs=j, batch_size=b)
+    )
+    sequential = all_dependencies_on_target(graph, r, backend=backend)
+    for v, score in sequential.items():
+        assert math.isclose(reference[v], score, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@pytest.mark.parametrize("backend", ["dict", "csr"])
+def test_group_betweenness_is_execution_invariant(backend):
+    graph = barabasi_albert_graph(40, 2, seed=8)
+    group = [graph.vertices()[0], graph.vertices()[4]]
+    reference = _grid(
+        lambda j, b: group_betweenness_centrality(
+            graph, group, backend=backend, n_jobs=j, batch_size=b
+        )
+    )
+    sequential = group_betweenness_centrality(graph, group, backend=backend)
+    assert math.isclose(reference, sequential, rel_tol=1e-9)
+
+
+@pytest.mark.parametrize("backend", ["dict", "csr"])
+@pytest.mark.parametrize(
+    "method", ["uniform-source", "distance", "rk", "kadabra", "mh", "mh-degree"]
+)
+def test_estimators_are_execution_invariant(backend, method):
+    """The ISSUE 2 acceptance property: fixed-seed estimates are identical
+    across n_jobs ∈ {1, 2, 4} and batch_size ∈ {1, 8, 64} on both backends."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    _grid(
+        lambda j, b: betweenness_single(
+            graph, r, method=method, samples=40, seed=99,
+            backend=backend, n_jobs=j, batch_size=b,
+        ).estimate
+    )
+
+
+@pytest.mark.parametrize("method", ["uniform-source", "distance"])
+def test_dependency_samplers_match_their_sequential_estimates(method):
+    """Dependency-pass samplers draw their sources upfront through the same
+    rng calls the sequential loop makes, so the engine changes the estimate
+    by float re-association at most."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    for backend in ("dict", "csr"):
+        sequential = betweenness_single(
+            graph, r, method=method, samples=40, seed=31, backend=backend
+        ).estimate
+        planned = betweenness_single(
+            graph, r, method=method, samples=40, seed=31,
+            backend=backend, n_jobs=2, batch_size=8,
+        ).estimate
+        assert math.isclose(sequential, planned, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_path_samplers_agree_across_backends_under_the_engine():
+    """RK / KADABRA use per-shard child streams under the engine; the shard
+    discipline is backend-agnostic, so dict and CSR still sample the same
+    paths for a fixed seed."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    for method in ("rk", "kadabra"):
+        dict_est = betweenness_single(
+            graph, r, method=method, samples=80, seed=3, backend="dict", n_jobs=2
+        ).estimate
+        csr_est = betweenness_single(
+            graph, r, method=method, samples=80, seed=3, backend="csr", n_jobs=2
+        ).estimate
+        assert math.isclose(dict_est, csr_est, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_relative_betweenness_is_batch_invariant():
+    graph = barabasi_albert_graph(30, 2, seed=17)
+    refs = graph.vertices()[:3]
+    results = []
+    for batch_size in BATCH_GRID:
+        sampler = JointSpaceMHSampler(batch_size=batch_size)
+        estimate = sampler.estimate_relative(graph, refs, 150, seed=29)
+        results.append(
+            sorted((str(k), v) for k, v in estimate.ratios.items() if v == v)
+        )
+    assert results[0] == results[1] == results[2]
+
+
+# ----------------------------------------------------------------------
+# Oracle batch prefetch
+# ----------------------------------------------------------------------
+
+
+def test_oracle_prefetch_caches_and_counts_evaluations():
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    oracle = DependencyOracle(graph, backend="csr", batch_size=8)
+    sources = graph.vertices()[:10]
+    assert oracle.prefetch(sources) == 10
+    assert oracle.evaluations == 10
+    # All prefetched: the point queries below are pure cache hits.
+    for s in sources:
+        oracle.dependency(s, graph.vertices()[-1])
+    assert oracle.evaluations == 10
+    assert oracle.prefetch(sources) == 0, "already-cached sources are skipped"
+
+
+def test_oracle_prefetch_matches_per_source_vectors():
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    batched = DependencyOracle(graph, backend="csr", batch_size=16)
+    batched.prefetch(graph.vertices())
+    sequential = DependencyOracle(graph, backend="csr")
+    r = graph.vertices()[5]
+    for s in graph.vertices():
+        # The sparse-matmul prefetch path may differ from the per-source
+        # kernel in the last ulp (fixed but different summation order).
+        assert math.isclose(
+            batched.dependency(s, r),
+            sequential.dependency(s, r),
+            rel_tol=1e-12,
+            abs_tol=1e-15,
+        )
+
+
+def test_oracle_prefetch_respects_a_bounded_cache():
+    """Prefetching past a bounded cache would evict the freshly computed
+    vectors and double the passes; the oracle must cap at capacity."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    oracle = DependencyOracle(graph, backend="csr", cache_size=4, batch_size=16)
+    sources = graph.vertices()[:12]
+    assert oracle.prefetch(sources) == 4
+    r = graph.vertices()[-1]
+    for s in sources[:4]:
+        oracle.dependency(s, r)
+    assert oracle.evaluations == 4, "capped prefetch must serve its block from cache"
+
+
+def test_oracle_recompute_after_eviction_is_bit_identical():
+    """A batch-configured oracle must return the same bits for a vector
+    whether it came from a prefetch block or a post-eviction point query
+    (otherwise estimates could depend on cache timing)."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    oracle = DependencyOracle(graph, backend="csr", cache_size=1, batch_size=8)
+    sources = graph.vertices()[:8]
+    r = graph.vertices()[-1]
+    prefetched = DependencyOracle(graph, backend="csr", batch_size=8)
+    prefetched.prefetch(sources)
+    for s in sources:
+        assert oracle.dependency(s, r) == prefetched.dependency(s, r)
+
+
+def test_oracle_prefetch_is_a_noop_when_cache_disabled():
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    oracle = DependencyOracle(graph, backend="csr", cache_size=0, batch_size=8)
+    assert oracle.prefetch(graph.vertices()) == 0
+    assert oracle.evaluations == 0
+
+
+def test_mh_prefetch_reduces_passes_without_changing_the_chain():
+    graph = barabasi_albert_graph(30, 2, seed=4)
+    r = graph.vertices()[5]
+    one = SingleSpaceMHSampler(batch_size=1).estimate(graph, r, 60, seed=11)
+    big = SingleSpaceMHSampler(batch_size=16).estimate(graph, r, 60, seed=11)
+    assert one.estimate == big.estimate
+    assert big.diagnostics["evaluations"] == one.diagnostics["evaluations"]
