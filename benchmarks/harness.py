@@ -30,6 +30,10 @@ Environment knobs
     inside the ``bench_e*`` modules runs under the requested parallelism;
     the value is stamped as a ``jobs:`` line in every emitted table, next
     to the backend, for the same trajectory-attribution reason.
+(``n_chains`` is deliberately *not* an env knob: it is an explicit API
+argument, and the multi-chain benchmark — ``bench_e12_multichain.py`` —
+sweeps chain counts itself, recording the count plus the cross-chain
+diagnostics as columns of every row.)
 """
 
 from __future__ import annotations

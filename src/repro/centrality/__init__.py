@@ -1,6 +1,8 @@
 """High-level estimation API (the library façade)."""
 
 from repro.centrality.api import (
+    DEFAULT_CHAINS,
+    MCMC_SINGLE_METHODS,
     SINGLE_VERTEX_METHODS,
     betweenness_exact,
     betweenness_ranking,
@@ -11,6 +13,8 @@ from repro.centrality.api import (
 
 __all__ = [
     "SINGLE_VERTEX_METHODS",
+    "MCMC_SINGLE_METHODS",
+    "DEFAULT_CHAINS",
     "betweenness_single",
     "betweenness_exact",
     "relative_betweenness",

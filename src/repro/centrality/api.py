@@ -18,7 +18,7 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro._rng import RandomState
 from repro.errors import ConfigurationError
@@ -27,10 +27,13 @@ from repro.exact.single_vertex import (
     betweenness_of_vertex,
     exact_relative_betweenness,
 )
+from repro.execution.autotune import calibrate_batch_size
 from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import resolve_backend
 from repro.graphs.utils import ensure_connected
 from repro.mcmc.bounds import epsilon_for_samples, mu_statistics, required_samples
 from repro.mcmc.joint import JointSpaceMHSampler, RelativeBetweennessEstimate
+from repro.mcmc.multichain import MultiChainJointSampler, MultiChainMHSampler
 from repro.mcmc.single import SingleSpaceMHSampler
 from repro.samplers.base import SingleEstimate
 from repro.samplers.distance_based import DistanceBasedSampler
@@ -40,12 +43,44 @@ from repro.samplers.uniform_source import UniformSourceSampler
 
 __all__ = [
     "SINGLE_VERTEX_METHODS",
+    "MCMC_SINGLE_METHODS",
+    "DEFAULT_CHAINS",
     "betweenness_single",
     "betweenness_exact",
     "relative_betweenness",
     "betweenness_ranking",
     "suggested_chain_length",
 ]
+
+#: Chains the multi-chain driver runs when only ``rhat_target`` was given.
+DEFAULT_CHAINS = 4
+
+#: Batch-size specification: an int, ``None`` (sequential kernels) or
+#: ``"auto"`` (calibrated from a timed probe, :mod:`repro.execution.autotune`).
+BatchSize = Union[int, str, None]
+
+
+def _resolve_batch_size(
+    graph: Graph, batch_size: BatchSize, backend: str, workload: Optional[int] = None
+):
+    """Resolve ``"auto"`` to a calibrated batch size at the point the graph is known.
+
+    On the dict backend there are no batch kernels to calibrate, so
+    ``"auto"`` resolves to ``None`` — the legacy sequential path — rather
+    than engaging the execution plan (and its pre-drawn proposal stream)
+    for a size-1 batch that could never be faster.  *workload* is the
+    caller's rough count of upcoming Brandes passes; the probe is scaled
+    down for small jobs so calibration never rivals the work it is meant
+    to speed up (a cruder, noisier probe is the right trade there).
+    """
+    if batch_size == "auto":
+        if resolve_backend(backend) != "csr":
+            return None
+        probe_sources = 32 if workload is None else max(4, min(32, workload // 16))
+        return calibrate_batch_size(
+            graph, backend=backend, probe_sources=probe_sources
+        )
+    return batch_size
 
 #: Estimator registry for :func:`betweenness_single`.  Every factory accepts
 #: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``) plus the
@@ -79,6 +114,12 @@ SINGLE_VERTEX_METHODS = {
     ),
 }
 
+#: The methods the multi-chain driver (``n_chains`` / ``rhat_target``) can
+#: wrap: the Metropolis-Hastings single-vertex samplers.  The baselines draw
+#: i.i.d. samples — there is no chain to multiply — and already parallelise
+#: over sources through the execution engine.
+MCMC_SINGLE_METHODS = ("mh", "mh-unbiased", "mh-degree", "mh-random-walk")
+
 
 def betweenness_single(
     graph: Graph,
@@ -89,8 +130,10 @@ def betweenness_single(
     seed: RandomState = None,
     check_connected: bool = True,
     backend: str = "auto",
-    batch_size: Optional[int] = None,
+    batch_size: BatchSize = None,
     n_jobs: Optional[int] = None,
+    n_chains: Optional[int] = None,
+    rhat_target: Optional[float] = None,
 ) -> SingleEstimate:
     """Estimate the betweenness of one vertex with the chosen *method*.
 
@@ -120,14 +163,47 @@ def betweenness_single(
         batched CSR traversal and worker processes for the sharded source
         loop.  Engaging the engine keeps results deterministic — identical
         for any ``n_jobs`` / ``batch_size`` at a fixed seed — per the
-        estimator-specific notes on each sampler class.
+        estimator-specific notes on each sampler class.  ``batch_size``
+        additionally accepts ``"auto"``: the block size is calibrated from
+        a short timed probe on *graph*
+        (:func:`repro.execution.calibrate_batch_size`), which changes
+        wall-clock only, never the estimate for a given resolved size.
+    n_chains, rhat_target:
+        Engage the multi-chain MCMC driver
+        (:class:`repro.mcmc.multichain.MultiChainMHSampler`) for the MH
+        methods: *samples* becomes a total budget split over ``n_chains``
+        independent chains (per-chain rng streams, executed across
+        ``n_jobs`` worker processes, pooled with a deterministic ordered
+        reduce), and ``rhat_target`` optionally adds split-R̂-driven
+        adaptive burn-in and early stopping.  ``rhat_target`` alone implies
+        ``n_chains=DEFAULT_CHAINS``.  ``n_chains=1`` reproduces the legacy
+        sequential sampler bit for bit.  Rejected for the non-MCMC
+        baselines, which have no chain to multiply.
     """
     if method not in SINGLE_VERTEX_METHODS:
         raise ConfigurationError(
             f"unknown method {method!r}; expected one of {sorted(SINGLE_VERTEX_METHODS)}"
         )
+    multichain = n_chains is not None or rhat_target is not None
+    if multichain and method not in MCMC_SINGLE_METHODS:
+        raise ConfigurationError(
+            f"n_chains / rhat_target apply to the MCMC methods "
+            f"{sorted(MCMC_SINGLE_METHODS)} only; got {method!r}"
+        )
     if check_connected:
         ensure_connected(graph)
+    batch_size = _resolve_batch_size(graph, batch_size, backend, workload=samples)
+    if multichain:
+        # The driver owns n_jobs (chains are the unit of parallel work); the
+        # base sampler keeps batch-prefetching its own proposals.
+        base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
+        driver = MultiChainMHSampler(
+            base,
+            n_chains=n_chains if n_chains is not None else DEFAULT_CHAINS,
+            rhat_target=rhat_target,
+            n_jobs=n_jobs,
+        )
+        return driver.estimate(graph, r, samples, seed=seed)
     estimator = SINGLE_VERTEX_METHODS[method](backend, batch_size, n_jobs)
     return estimator.estimate(graph, r, samples, seed=seed)
 
@@ -138,14 +214,17 @@ def betweenness_exact(
     *,
     normalization: str = "paper",
     backend: str = "auto",
-    batch_size: Optional[int] = None,
+    batch_size: BatchSize = None,
     n_jobs: Optional[int] = None,
 ) -> Dict[Vertex, float]:
     """Return exact betweenness scores (all vertices, or just the requested ones).
 
     ``batch_size`` / ``n_jobs`` engage the sharded execution engine for the
-    per-source Brandes passes (see :mod:`repro.execution`).
+    per-source Brandes passes (see :mod:`repro.execution`); ``"auto"``
+    calibrates the batch size from a timed probe.
     """
+    passes = graph.number_of_vertices() if vertices is None else None
+    batch_size = _resolve_batch_size(graph, batch_size, backend, workload=passes)
     if vertices is None:
         return betweenness_centrality(
             graph,
@@ -175,18 +254,32 @@ def relative_betweenness(
     seed: RandomState = None,
     check_connected: bool = True,
     backend: str = "auto",
-    batch_size: Optional[int] = None,
+    batch_size: BatchSize = None,
     n_jobs: Optional[int] = None,
+    n_chains: Optional[int] = None,
 ) -> RelativeBetweennessEstimate:
     """Estimate all pairwise relative betweenness scores of *reference_set*.
 
     Runs the joint-space Metropolis-Hastings sampler of Section 4.3 and
     returns the Equation 22/23 estimates plus chain diagnostics.
     ``batch_size`` engages the oracle's batch-prefetch of upcoming proposal
-    sources (see :class:`~repro.mcmc.joint.JointSpaceMHSampler`).
+    sources (see :class:`~repro.mcmc.joint.JointSpaceMHSampler`; ``"auto"``
+    calibrates it from a timed probe).  ``n_chains`` splits *samples* over
+    that many independent joint chains run across ``n_jobs`` worker
+    processes and pools the per-chain multisets
+    (:class:`~repro.mcmc.multichain.MultiChainJointSampler`); ``n_chains=1``
+    reproduces the single-chain sampler bit for bit.
     """
     if check_connected:
         ensure_connected(graph)
+    batch_size = _resolve_batch_size(graph, batch_size, backend, workload=samples)
+    if n_chains is not None:
+        driver = MultiChainJointSampler(
+            JointSpaceMHSampler(backend=backend, batch_size=batch_size),
+            n_chains=n_chains,
+            n_jobs=n_jobs,
+        )
+        return driver.estimate_relative(graph, reference_set, samples, seed=seed)
     sampler = JointSpaceMHSampler(backend=backend, batch_size=batch_size, n_jobs=n_jobs)
     return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
 

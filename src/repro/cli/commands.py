@@ -58,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--samples", type=int, default=200, help="chain length / sample count")
     estimate.add_argument("--seed", type=int, default=None, help="random seed")
     _add_execution_arguments(estimate)
+    estimate.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=None,
+        help="independent MH chains the sample budget is split over "
+        "(MCMC methods only; per-chain rng streams, pooled deterministically)",
+    )
+    estimate.add_argument(
+        "--rhat",
+        type=_rhat_threshold,
+        default=None,
+        help="split-R-hat target for adaptive burn-in / early stop "
+        "(> 1.0; implies --chains 4 when --chains is not given)",
+    )
 
     relative = subparsers.add_parser(
         "relative", help="estimate relative betweenness scores of a vertex set"
@@ -69,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     relative.add_argument("--samples", type=int, default=1000, help="joint chain length")
     relative.add_argument("--seed", type=int, default=None, help="random seed")
     _add_execution_arguments(relative)
+    relative.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=None,
+        help="independent joint chains the sample budget is split over",
+    )
 
     exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
     _add_graph_arguments(exact)
@@ -112,9 +132,10 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--batch-size",
-        type=_positive_int,
+        type=_batch_size,
         default=None,
-        help="sources per batched CSR traversal (default: per-source kernels)",
+        help="sources per batched CSR traversal, or 'auto' to calibrate the "
+        "size from a short timed probe (default: per-source kernels)",
     )
 
 
@@ -122,6 +143,21 @@ def _positive_int(raw: str) -> int:
     value = int(raw)
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    return value
+
+
+def _batch_size(raw: str):
+    if raw == "auto":
+        return "auto"
+    return _positive_int(raw)
+
+
+def _rhat_threshold(raw: str) -> float:
+    value = float(raw)
+    if not value > 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a threshold greater than 1.0, got {raw!r}"
+        )
     return value
 
 
@@ -168,6 +204,8 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         n_jobs=args.jobs,
+        n_chains=args.chains,
+        rhat_target=args.rhat,
     )
     payload = {
         "vertex": str(vertex),
@@ -179,6 +217,11 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         "backend": result.diagnostics.get("backend"),
         "jobs": result.diagnostics.get("n_jobs"),
         "batch_size": result.diagnostics.get("batch_size"),
+        # Multi-chain diagnostics: null unless the --chains/--rhat driver ran.
+        "chains": result.diagnostics.get("n_chains"),
+        "rhat": result.diagnostics.get("rhat"),
+        "ess": result.diagnostics.get("ess"),
+        "converged": result.diagnostics.get("converged"),
     }
     print(json.dumps(payload, indent=2), file=out)
     return 0
@@ -194,6 +237,7 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         n_jobs=args.jobs,
+        n_chains=args.chains,
     )
     payload = {
         # The resolved execution stamp, with the same semantics as the
@@ -201,6 +245,9 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         "backend": estimate.diagnostics.get("backend"),
         "jobs": estimate.diagnostics.get("n_jobs"),
         "batch_size": estimate.diagnostics.get("batch_size"),
+        "chains": estimate.diagnostics.get("n_chains"),
+        "rhat": estimate.diagnostics.get("rhat"),
+        "ess": estimate.diagnostics.get("ess"),
         "reference_set": [str(v) for v in estimate.reference_set],
         "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
         "acceptance_rate": estimate.acceptance_rate,

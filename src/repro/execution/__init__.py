@@ -17,8 +17,16 @@ passes and accumulate".  This package owns *how* those passes are executed:
   shards inline or on a multiprocessing pool, and merges per-shard buffers
   in deterministic shard order — so results are identical for any
   ``n_jobs`` given a fixed seed.
+* :mod:`~repro.execution.autotune` calibrates ``batch_size`` from a short
+  timed probe (what ``batch_size="auto"`` resolves to); safe because the
+  batch kernels are bit-identical per source row at any block size.
 """
 
+from repro.execution.autotune import (
+    DEFAULT_BATCH_CANDIDATES,
+    calibrate_batch_size,
+    probe_batch_sizes,
+)
 from repro.execution.plan import (
     DEFAULT_SHARD_SIZE,
     ExecutionPlan,
@@ -36,6 +44,9 @@ __all__ = [
     "ExecutionPlan",
     "resolve_plan",
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_BATCH_CANDIDATES",
+    "calibrate_batch_size",
+    "probe_batch_sizes",
     "split_shards",
     "shard_rngs",
     "sample_shards",

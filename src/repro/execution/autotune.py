@@ -1,0 +1,125 @@
+"""Adaptive batch-size selection: calibrate the batched-kernel block size.
+
+The best ``batch_size`` for :func:`repro.shortest_paths.batch.
+batch_source_dependencies` depends on the graph (frontier width, whether the
+scipy sparse-matmul sweep engages) and on the machine — the fixed 8/64
+defaults the benchmarks used historically leave real speedup on the table.
+This module replaces the guess with a short timed probe: run a handful of
+real batched sweeps at each candidate size and keep the fastest.
+
+Timing is inherently nondeterministic, but the choice it produces cannot
+leak into results: the batch kernels are bit-identical per source row for
+*any* batch composition (the execution engine's determinism contract), so
+the calibrated size changes wall-clock only, never an estimate.  The probe
+itself costs ``repeats × len(candidates) × probe_sources`` Brandes passes —
+size it against the workload it is meant to speed up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.core import Graph
+from repro.graphs.csr import resolve_backend
+
+__all__ = ["DEFAULT_BATCH_CANDIDATES", "probe_batch_sizes", "calibrate_batch_size"]
+
+#: Candidate block sizes the probe sweeps (1 = the per-source kernels).
+DEFAULT_BATCH_CANDIDATES = (1, 8, 16, 32, 64)
+
+
+def _csr_of(graph):
+    """Accept either a mutable :class:`Graph` or a ready CSR snapshot."""
+    if isinstance(graph, Graph):
+        return graph.csr()
+    return graph
+
+
+def probe_batch_sizes(
+    graph,
+    *,
+    backend: str = "auto",
+    candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES,
+    probe_sources: int = 32,
+    repeats: int = 1,
+) -> List[Tuple[int, float]]:
+    """Time one batched dependency sweep per candidate; return ``[(size, seconds)]``.
+
+    The probe runs ``probe_sources`` real Brandes passes per candidate (the
+    best of *repeats* timings is kept) after one untimed warm-up sweep, so
+    first-touch costs — the CSR snapshot, the cached scipy adjacency — are
+    not billed to whichever candidate happens to run first.  Candidates
+    larger than the source budget are dropped rather than timed: a batch
+    that cannot be filled runs the exact same kernel call as the budget-
+    sized one, so its timing would be pure noise and could crown a block
+    size the probe never actually measured.  (If every candidate exceeds
+    the budget, the smallest is kept as the only honest option.)  On the
+    dict backend, which has no batch kernels, the probe is skipped and
+    ``[(1, 0.0)]`` returned.
+    """
+    if not candidates:
+        raise ConfigurationError("candidates must be a non-empty sequence")
+    for candidate in candidates:
+        if not isinstance(candidate, int) or isinstance(candidate, bool) or candidate < 1:
+            raise ConfigurationError(
+                f"batch-size candidates must be positive integers, got {candidate!r}"
+            )
+    if probe_sources < 1:
+        raise ConfigurationError("probe_sources must be a positive integer")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be a positive integer")
+    if resolve_backend(backend) != "csr":
+        return [(1, 0.0)]
+    from repro.shortest_paths.batch import batch_source_dependencies
+
+    csr = _csr_of(graph)
+    sources = list(range(min(probe_sources, csr.number_of_vertices())))
+    if not sources:
+        return [(1, 0.0)]
+    eligible = [c for c in candidates if c <= len(sources)]
+    if not eligible:
+        eligible = [min(candidates)]
+
+    def sweep(batch: int) -> None:
+        for begin in range(0, len(sources), batch):
+            batch_source_dependencies(csr, sources[begin : begin + batch])
+
+    sweep(eligible[0])  # warm-up, untimed
+    timings: List[Tuple[int, float]] = []
+    for batch in eligible:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            sweep(batch)
+            best = min(best, time.perf_counter() - start)
+        timings.append((batch, best))
+    return timings
+
+
+def calibrate_batch_size(
+    graph,
+    *,
+    backend: str = "auto",
+    candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES,
+    probe_sources: int = 32,
+    repeats: int = 1,
+) -> int:
+    """Return the candidate batch size whose probe sweep ran fastest.
+
+    Ties go to the smaller size (less peak memory for the same speed).  This
+    is what ``batch_size="auto"`` resolves to at the API and CLI layers.
+    """
+    timings = probe_batch_sizes(
+        graph,
+        backend=backend,
+        candidates=candidates,
+        probe_sources=probe_sources,
+        repeats=repeats,
+    )
+    best_size, best_seconds = timings[0]
+    for size, seconds in timings[1:]:
+        if seconds < best_seconds or (seconds == best_seconds and size < best_size):
+            best_size, best_seconds = size, seconds
+    return best_size

@@ -102,7 +102,12 @@ def run_sharded(
     ----------
     fn:
         A module-level (picklable) worker.  It receives the shared payload
-        first and one shard second, and must not mutate the payload.
+        first and one shard second, and must not mutate the payload in any
+        way that can change results.  (Result-neutral mutation — memoizing
+        a per-process cache on the payload, as the multi-chain driver does
+        with its oracle — is fine, but remember the inline path shares one
+        payload instance across every shard and call, while pool workers
+        each hold their own copy.)
     shards:
         The shard list from :func:`split_shards` (any per-shard value works;
         stochastic workers typically get ``(sources, shard_rng)`` tuples).

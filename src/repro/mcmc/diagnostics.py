@@ -11,13 +11,19 @@ benchmark E7 and by the examples:
 * the Geweke z-score comparing the first and last portions of the trace;
 * total-variation distance between the empirical visit distribution and the
   exact stationary distribution of Equation 5 (small graphs only, since the
-  exact distribution needs a full Brandes sweep).
+  exact distribution needs a full Brandes sweep);
+* cross-chain convergence statistics for the multi-chain driver of
+  :mod:`repro.mcmc.multichain`: the Gelman–Rubin potential scale reduction
+  factor (:func:`gelman_rubin`), its split-chain variant
+  (:func:`split_rhat`, which also diagnoses a *single* chain by comparing
+  its halves) and the pooled effective sample size
+  (:func:`multichain_ess`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -34,6 +40,11 @@ __all__ = [
     "empirical_vs_stationary",
     "ChainDiagnostics",
     "diagnose_chain",
+    "gelman_rubin",
+    "split_rhat",
+    "multichain_ess",
+    "MultiChainDiagnostics",
+    "diagnose_chains",
 ]
 
 
@@ -160,6 +171,173 @@ class ChainDiagnostics:
             and abs(self.geweke_z) <= 2.0
             and self.effective_sample_size >= 10.0
         )
+
+
+# ----------------------------------------------------------------------
+# Cross-chain diagnostics (multi-chain driver)
+# ----------------------------------------------------------------------
+
+
+def gelman_rubin(traces: Sequence[Sequence[float]]) -> float:
+    """Return the Gelman–Rubin potential scale reduction factor R̂ of *traces*.
+
+    The classic between/within variance comparison over ``m >= 2`` chains:
+    with *n* the common length (longer traces are truncated to the shortest),
+    *W* the mean of the within-chain sample variances and *B/n* the sample
+    variance of the chain means,
+
+    .. math::
+
+       \\hat R = \\sqrt{\\frac{\\frac{n-1}{n} W + B/n}{W}}.
+
+    Values near 1 indicate the chains explored the same distribution.
+    Degenerate cases are pinned explicitly: all chains constant *and* equal
+    gives 1.0 (nothing left to mix); chains constant but *unequal* gives
+    ``inf`` (they will never agree); fewer than two samples per chain gives
+    ``inf`` (no information yet, treat as unconverged).
+
+    Raises
+    ------
+    ConfigurationError
+        If fewer than two traces are given — use :func:`split_rhat` to
+        diagnose a single chain by comparing its halves.
+    """
+    if len(traces) < 2:
+        raise ConfigurationError(
+            "gelman_rubin needs at least two chains; use split_rhat for one"
+        )
+    n = min(len(trace) for trace in traces)
+    if n < 2:
+        return float("inf")
+    truncated = [list(trace[:n]) for trace in traces]
+    within = _mean([_variance(trace) for trace in truncated])
+    means = [_mean(trace) for trace in truncated]
+    between_over_n = _variance(means)
+    if within == 0.0:
+        return 1.0 if between_over_n == 0.0 else float("inf")
+    var_plus = (n - 1) / n * within + between_over_n
+    return math.sqrt(var_plus / within)
+
+
+def split_rhat(traces: Sequence[Sequence[float]]) -> float:
+    """Return the split-chain R̂ of *traces* (works for a single chain too).
+
+    Each trace is truncated to the shortest length *n*, then split into its
+    first and last ``n // 2`` samples (the middle element is dropped when
+    *n* is odd), and :func:`gelman_rubin` is applied to the ``2 m`` halves.
+    Splitting makes the statistic sensitive to within-chain drift — a chain
+    whose first half lives somewhere else than its second half is not
+    converged even if the *m* full chains agree — and it gives the
+    degenerate 1-chain case a meaningful reading.  Returns ``inf`` when the
+    halves would be shorter than two samples.
+    """
+    if not traces:
+        raise ConfigurationError("split_rhat needs at least one chain")
+    n = min(len(trace) for trace in traces)
+    half = n // 2
+    if half < 2:
+        return float("inf")
+    halves: List[List[float]] = []
+    for trace in traces:
+        truncated = list(trace[:n])
+        halves.append(truncated[:half])
+        halves.append(truncated[n - half :])
+    return gelman_rubin(halves)
+
+
+def multichain_ess(traces: Sequence[Sequence[float]]) -> float:
+    """Return the pooled effective sample size of *traces*.
+
+    The chains are independent by construction (per-chain rng streams), so
+    their effective sample sizes — each computed with the
+    initial-positive-sequence truncation of :func:`effective_sample_size` —
+    simply add.
+    """
+    return sum(effective_sample_size(trace) for trace in traces)
+
+
+@dataclass
+class MultiChainDiagnostics:
+    """Cross-chain convergence report (produced by :func:`diagnose_chains`).
+
+    Attributes
+    ----------
+    n_chains:
+        Number of pooled chains.
+    rhat:
+        Split-chain R̂ over the post-burn-in dependency traces.
+    ess:
+        Pooled effective sample size of the same traces.
+    acceptance_rates:
+        Per-chain acceptance rates, in chain order.
+    chain_lengths:
+        Per-chain iteration counts ``T`` (excluding initial states).
+    evaluations:
+        Brandes passes actually performed across every chain (cache misses;
+        with chains sharing a per-process oracle this is the true total
+        work, which per-chain ``ChainResult.evaluations`` cannot report).
+    burn_in:
+        Leading states excluded from each chain (driver-adapted when the
+        R̂-driven mode converged, else the base sampler's setting).
+    converged:
+        ``True``/``False`` when an R̂ target drove the run, ``None`` when
+        the chains ran their full fixed length.
+    rounds:
+        Scheduler rounds executed (1 unless the adaptive mode segmented the
+        chains).
+    """
+
+    n_chains: int
+    rhat: float
+    ess: float
+    acceptance_rates: List[float] = field(default_factory=list)
+    chain_lengths: List[int] = field(default_factory=list)
+    evaluations: int = 0
+    burn_in: int = 0
+    converged: Optional[bool] = None
+    rounds: int = 1
+
+    def mean_acceptance_rate(self) -> float:
+        """Return the unweighted mean of the per-chain acceptance rates."""
+        if not self.acceptance_rates:
+            return 0.0
+        return sum(self.acceptance_rates) / len(self.acceptance_rates)
+
+    def healthy(self, *, rhat_threshold: float = 1.1) -> bool:
+        """Return ``True`` when the standard multi-chain rules of thumb hold."""
+        return (
+            self.rhat <= rhat_threshold
+            and self.ess >= 10.0
+            and all(0.05 <= rate <= 0.999 for rate in self.acceptance_rates)
+        )
+
+
+def diagnose_chains(
+    chains: Sequence[ChainResult],
+    *,
+    evaluations: int = 0,
+    converged: Optional[bool] = None,
+    rounds: int = 1,
+) -> MultiChainDiagnostics:
+    """Return :class:`MultiChainDiagnostics` for a family of single-space chains.
+
+    The traces are the post-burn-in dependency traces, so the statistics
+    describe exactly the samples that enter the pooled estimate.
+    """
+    if not chains:
+        raise ConfigurationError("diagnose_chains needs at least one chain")
+    traces = [chain.dependency_trace() for chain in chains]
+    return MultiChainDiagnostics(
+        n_chains=len(chains),
+        rhat=split_rhat(traces),
+        ess=multichain_ess(traces),
+        acceptance_rates=[chain.acceptance_rate() for chain in chains],
+        chain_lengths=[chain.chain_length() for chain in chains],
+        evaluations=evaluations,
+        burn_in=chains[0].burn_in,
+        converged=converged,
+        rounds=rounds,
+    )
 
 
 def diagnose_chain(

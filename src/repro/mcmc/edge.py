@@ -31,6 +31,7 @@ from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, EdgeNotFoundError, SamplingError
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
+from repro.mcmc.single import state_contribution
 from repro.samplers.base import SingleEstimate, timed
 from repro.shortest_paths.dependencies import (
     accumulate_edge_dependencies,
@@ -160,6 +161,12 @@ class EdgeMHSampler:
         self.backend = backend
 
     # ------------------------------------------------------------------
+    def build_oracle(self, graph: Graph, edge: EdgeKey) -> EdgeDependencyOracle:
+        """Return an :class:`EdgeDependencyOracle` configured like this sampler's private one."""
+        return EdgeDependencyOracle(
+            graph, edge, cache_size=self.cache_size, backend=self.backend
+        )
+
     def run_chain(
         self,
         graph: Graph,
@@ -173,9 +180,7 @@ class EdgeMHSampler:
         if num_iterations < 1:
             raise ConfigurationError("num_iterations must be at least 1")
         rng = ensure_rng(seed)
-        oracle = oracle or EdgeDependencyOracle(
-            graph, edge, cache_size=self.cache_size, backend=self.backend
-        )
+        oracle = oracle or self.build_oracle(graph, edge)
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
@@ -233,10 +238,7 @@ class EdgeMHSampler:
         n = graph.number_of_vertices()
         with timed() as clock:
             states = self.run_chain(graph, edge, num_samples, seed=seed)
-            if self.estimator == "chain":
-                total = sum(s.dependency for s in states)
-            else:
-                total = sum(s.proposal_dependency for s in states)
+            total = sum(state_contribution(s, self.estimator) for s in states)
             # The per-source dependency on an edge sums pair fractions over
             # targets, so dividing by n(n-1) * (states) gives the paper-scale
             # edge betweenness; the (n-1) factor is folded into the source

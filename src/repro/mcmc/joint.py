@@ -233,6 +233,20 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
         self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
+    def build_oracle(self, graph: Graph) -> DependencyOracle:
+        """Return a :class:`DependencyOracle` configured like this sampler's private one.
+
+        Shared by :meth:`run_chain` and the multi-chain worker payload (see
+        :meth:`repro.mcmc.single.SingleSpaceMHSampler.build_oracle`).
+        """
+        plan = self._plan()
+        return DependencyOracle(
+            graph,
+            cache_size=self.cache_size,
+            backend=self.backend,
+            batch_size=plan.batch_size if plan is not None else None,
+        )
+
     def run_chain(
         self,
         graph: Graph,
@@ -266,12 +280,7 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
         rng = ensure_rng(seed)
         plan = self._plan()
         if oracle is None:
-            oracle = DependencyOracle(
-                graph,
-                cache_size=self.cache_size,
-                backend=self.backend,
-                batch_size=plan.batch_size if plan is not None else None,
-            )
+            oracle = self.build_oracle(graph)
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")

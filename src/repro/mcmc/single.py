@@ -64,13 +64,38 @@ from repro.graphs.csr import resolve_backend
 from repro.mcmc.estimates import DependencyOracle
 from repro.samplers.base import ExecutionPlanMixin, SingleEstimate, SingleVertexEstimator, timed
 
-__all__ = ["ChainState", "ChainResult", "SingleSpaceMHSampler", "PROPOSALS", "ESTIMATORS"]
+__all__ = [
+    "ChainState",
+    "ChainResult",
+    "SingleSpaceMHSampler",
+    "PROPOSALS",
+    "ESTIMATORS",
+    "state_contribution",
+]
 
 #: Supported proposal mechanisms.
 PROPOSALS = ("uniform", "degree", "random-walk")
 
 #: Supported estimator read-outs (see the module docstring).
 ESTIMATORS = ("chain", "proposal", "accepted")
+
+
+def state_contribution(state, estimator: str) -> float:
+    """Return one chain state's contribution to the given estimator read-out.
+
+    The single definition of the three read-outs (``"chain"`` /
+    ``"proposal"`` / ``"accepted"``, see the module docstring), shared by
+    :meth:`ChainResult.estimate`, the multi-chain pooled reduce and the edge
+    samplers (whose states duck-type the same fields) so the read-outs can
+    never drift apart.  Rejected proposals contribute exactly ``0.0`` to the
+    ``"accepted"`` read-out, which leaves float totals bit-identical to a
+    filtered sum.
+    """
+    if estimator == "chain":
+        return state.dependency
+    if estimator == "proposal":
+        return state.proposal_dependency
+    return state.proposal_dependency if state.accepted else 0.0
 
 
 @dataclass
@@ -154,12 +179,7 @@ class ChainResult:
         if not kept:
             return 0.0
         scale = max(self.num_vertices - 1, 1)
-        if estimator == "chain":
-            return sum(s.dependency for s in kept) / (len(kept) * scale)
-        if estimator == "proposal":
-            return sum(s.proposal_dependency for s in kept) / (len(kept) * scale)
-        accepted_total = sum(s.proposal_dependency for s in kept if s.accepted)
-        return accepted_total / (len(kept) * scale)
+        return sum(state_contribution(s, estimator) for s in kept) / (len(kept) * scale)
 
     def running_estimates(self, estimator: str = "chain") -> List[float]:
         """Return the estimate after each kept state (used by the convergence benchmark E7)."""
@@ -170,12 +190,7 @@ class ChainResult:
         estimates: List[float] = []
         total = 0.0
         for i, state in enumerate(kept, start=1):
-            if estimator == "chain":
-                total += state.dependency
-            elif estimator == "proposal":
-                total += state.proposal_dependency
-            else:
-                total += state.proposal_dependency if state.accepted else 0.0
+            total += state_contribution(state, estimator)
             estimates.append(total / (i * scale))
         return estimates
 
@@ -289,9 +304,45 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
                 return vertex
         return vertices[-1]
 
+    def _draw_proposals(
+        self, graph: Graph, vertices: Sequence[Vertex], rng, count: int
+    ) -> List[Vertex]:
+        """Pre-draw *count* independence-proposal candidates from a child stream.
+
+        Spawning the child advances *rng* by exactly one spawn regardless of
+        *count*, so the main stream (initial draw, acceptance draws) is
+        unaffected by how many proposals are drawn upfront.
+        """
+        proposal_rng = spawn_rng(rng, 0)
+        if self.proposal == "uniform":
+            return [
+                vertices[proposal_rng.randrange(len(vertices))] for _ in range(count)
+            ]
+        return [
+            self._degree_weighted_choice(graph, vertices, proposal_rng)
+            for _ in range(count)
+        ]
+
     # ------------------------------------------------------------------
     # Chain
     # ------------------------------------------------------------------
+    def build_oracle(self, graph: Graph) -> DependencyOracle:
+        """Return a :class:`DependencyOracle` configured like this sampler's private one.
+
+        The single place the sampler's oracle knobs (``cache_size``,
+        ``backend``, the plan's ``batch_size``) turn into an oracle —
+        :meth:`run_chain`, :meth:`extend_chain` and the multi-chain worker
+        payload all construct through here, so a new oracle parameter can
+        never silently diverge between the inline and pooled paths.
+        """
+        plan = self._plan()
+        return DependencyOracle(
+            graph,
+            cache_size=self.cache_size,
+            backend=self.backend,
+            batch_size=plan.batch_size if plan is not None else None,
+        )
+
     def run_chain(
         self,
         graph: Graph,
@@ -330,12 +381,7 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
         plan = self._plan()
         prefetching = plan is not None and self.proposal in ("uniform", "degree")
         if oracle is None:
-            oracle = DependencyOracle(
-                graph,
-                cache_size=self.cache_size,
-                backend=self.backend,
-                batch_size=plan.batch_size if plan is not None else None,
-            )
+            oracle = self.build_oracle(graph)
         vertices = graph.vertices()
         if len(vertices) < 2:
             raise SamplingError("the graph must contain at least two vertices")
@@ -346,17 +392,7 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
             # whole candidate sequence can be drawn upfront from a child
             # stream (the main stream keeps the initial draw and the
             # acceptance draws) and handed to the oracle in blocks.
-            proposal_rng = spawn_rng(rng, 0)
-            if self.proposal == "uniform":
-                proposals = [
-                    vertices[proposal_rng.randrange(len(vertices))]
-                    for _ in range(num_iterations)
-                ]
-            else:
-                proposals = [
-                    self._degree_weighted_choice(graph, vertices, proposal_rng)
-                    for _ in range(num_iterations)
-                ]
+            proposals = self._draw_proposals(graph, vertices, rng, num_iterations)
 
         if initial_state is None:
             current = vertices[rng.randrange(len(vertices))]
@@ -375,11 +411,52 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
             )
         ]
         prefetch_block = plan.batch_size if plan is not None else 1
-        for t in range(1, num_iterations + 1):
+        self._iterate(
+            graph, r, oracle, rng, vertices, states, num_iterations, proposals, prefetch_block
+        )
+        if not self.record_states:
+            # Memory-lean mode: keep only the fields the estimate needs by
+            # dropping vertex identities (they are replaced by the target).
+            states = [
+                ChainState(s.iteration, r, s.dependency, s.accepted, s.proposal_dependency)
+                for s in states
+            ]
+        return ChainResult(
+            target=r,
+            states=states,
+            num_vertices=graph.number_of_vertices(),
+            burn_in=self.burn_in,
+            evaluations=oracle.evaluations,
+        )
+
+    def _iterate(
+        self,
+        graph: Graph,
+        r: Vertex,
+        oracle: DependencyOracle,
+        rng,
+        vertices: Sequence[Vertex],
+        states: List[ChainState],
+        num_iterations: int,
+        proposals: Optional[List[Vertex]],
+        prefetch_block: int,
+    ) -> None:
+        """Advance the chain *num_iterations* steps, appending to *states* in place.
+
+        The shared engine of :meth:`run_chain` and :meth:`extend_chain`:
+        continuation starts from ``states[-1]`` and the rng draws per step are
+        exactly those of a fresh run (one acceptance draw per proposal), so a
+        chain's trajectory is a pure function of its rng stream and its last
+        state — never of which process or segment schedule produced it.
+        """
+        current = states[-1].vertex
+        current_delta = states[-1].dependency
+        base_iteration = states[-1].iteration
+        for step in range(1, num_iterations + 1):
             if proposals is not None:
-                candidate = proposals[t - 1]
-                if (t - 1) % prefetch_block == 0:
-                    oracle.prefetch(proposals[t - 1 : t - 1 + prefetch_block])
+                candidate = proposals[step - 1]
+                if (step - 1) % prefetch_block == 0:
+                    oracle.prefetch(proposals[step - 1 : step - 1 + prefetch_block])
                 if self.proposal == "uniform":
                     proposal_correction = 1.0
                 else:
@@ -395,26 +472,77 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
                 current_delta = candidate_delta
             states.append(
                 ChainState(
-                    iteration=t,
+                    iteration=base_iteration + step,
                     vertex=current,
                     dependency=current_delta,
                     accepted=accepted,
                     proposal_dependency=candidate_delta,
                 )
             )
+
+    def extend_chain(
+        self,
+        graph: Graph,
+        r: Vertex,
+        chain: ChainResult,
+        num_iterations: int,
+        *,
+        rng: RandomState = None,
+        oracle: Optional[DependencyOracle] = None,
+    ) -> ChainResult:
+        """Continue *chain* for *num_iterations* more iterations and return the longer record.
+
+        The segment entry point of the multi-chain driver's adaptive mode
+        (:mod:`repro.mcmc.multichain`): a chain is run in checkpointed
+        segments, and between segments only ``(rng, last state)`` matter —
+        the dependency scores the oracle returns are deterministic, so the
+        continuation is bit-identical whether the oracle is the original
+        instance, a rebuilt one in another process, or freshly empty.  When
+        the engine is engaged the continuation spawns a new proposal child
+        stream from *rng* per segment (mirroring :meth:`run_chain`), so a
+        segmented chain is a valid Metropolis-Hastings chain but *not* the
+        same trajectory a single unsegmented run walks.
+
+        Requires ``record_states=True`` (the memory-lean mode discards the
+        vertex identities the continuation needs).  The input *chain* is not
+        mutated.
+        """
+        graph.validate_vertex(r)
+        if num_iterations < 1:
+            raise ConfigurationError("num_iterations must be at least 1")
+        if not chain.states:
+            raise ConfigurationError("cannot extend an empty chain")
         if not self.record_states:
-            # Memory-lean mode: keep only the fields the estimate needs by
-            # dropping vertex identities (they are replaced by the target).
-            states = [
-                ChainState(s.iteration, r, s.dependency, s.accepted, s.proposal_dependency)
-                for s in states
-            ]
+            raise ConfigurationError(
+                "extend_chain requires record_states=True; the lean mode drops "
+                "the vertex identities that seed the continuation"
+            )
+        rng = ensure_rng(rng)
+        plan = self._plan()
+        prefetching = plan is not None and self.proposal in ("uniform", "degree")
+        if oracle is None:
+            oracle = self.build_oracle(graph)
+        vertices = graph.vertices()
+        proposals = (
+            self._draw_proposals(graph, vertices, rng, num_iterations)
+            if prefetching
+            else None
+        )
+        states = list(chain.states)
+        prefetch_block = plan.batch_size if plan is not None else 1
+        evaluations_before = oracle.evaluations
+        self._iterate(
+            graph, r, oracle, rng, vertices, states, num_iterations, proposals, prefetch_block
+        )
+        # The chain's running total plus this segment's passes only — a
+        # shared oracle's counter includes other chains' work, which must
+        # not be billed to this record.
         return ChainResult(
-            target=r,
+            target=chain.target,
             states=states,
-            num_vertices=graph.number_of_vertices(),
-            burn_in=self.burn_in,
-            evaluations=oracle.evaluations,
+            num_vertices=chain.num_vertices,
+            burn_in=chain.burn_in,
+            evaluations=chain.evaluations + (oracle.evaluations - evaluations_before),
         )
 
     @staticmethod

@@ -86,6 +86,75 @@ class TestRelativeAndRanking:
         assert outcome["ranking"][-1] == exact_order[-1] == 0
 
 
+class TestMultiChainThreading:
+    """n_chains / rhat_target / batch_size='auto' threading through the API."""
+
+    def test_n_chains_engages_the_multichain_driver(self, barbell):
+        result = betweenness_single(barbell, 5, method="mh", samples=80, seed=2, n_chains=4)
+        assert result.method == "mh-multichain"
+        assert result.diagnostics["n_chains"] == 4
+        assert "rhat" in result.diagnostics and "ess" in result.diagnostics
+
+    def test_rhat_target_alone_implies_default_chains(self, barbell):
+        result = betweenness_single(
+            barbell, 5, method="mh", samples=200, seed=2, rhat_target=1.5
+        )
+        assert result.diagnostics["n_chains"] == 4
+        assert result.diagnostics["converged"] in (True, False)
+
+    def test_single_chain_matches_legacy_method(self, barbell):
+        legacy = betweenness_single(barbell, 5, method="mh", samples=60, seed=9)
+        pooled = betweenness_single(
+            barbell, 5, method="mh", samples=60, seed=9, n_chains=1
+        )
+        assert pooled.estimate == legacy.estimate
+
+    def test_unbiased_variant_supported(self, barbell):
+        result = betweenness_single(
+            barbell, 5, method="mh-unbiased", samples=60, seed=2, n_chains=2
+        )
+        assert result.diagnostics["estimator"] == "proposal"
+
+    def test_baselines_reject_chains(self, barbell):
+        with pytest.raises(ConfigurationError):
+            betweenness_single(barbell, 5, method="rk", samples=20, n_chains=2)
+        with pytest.raises(ConfigurationError):
+            betweenness_single(barbell, 5, method="kadabra", samples=20, rhat_target=1.1)
+
+    def test_relative_n_chains(self, barbell):
+        pooled = relative_betweenness(barbell, [5, 6, 4], samples=200, seed=3, n_chains=4)
+        assert pooled.diagnostics["n_chains"] == 4
+        single = relative_betweenness(barbell, [5, 6, 4], samples=200, seed=3, n_chains=1)
+        legacy = relative_betweenness(barbell, [5, 6, 4], samples=200, seed=3)
+        assert single.ratios == legacy.ratios
+
+    def test_auto_batch_size_resolves_before_estimation(self, barbell):
+        pytest.importorskip("numpy")
+        result = betweenness_single(
+            barbell, 5, method="mh", samples=60, seed=2, batch_size="auto"
+        )
+        # The probe resolves to a concrete positive block size on CSR.
+        assert result.diagnostics["batch_size"] >= 1
+
+    def test_auto_batch_size_on_dict_backend_keeps_the_legacy_path(self, barbell):
+        """No batch kernels to calibrate -> 'auto' must resolve to None so
+        the dict backend walks exactly the legacy sequential chain."""
+        auto = betweenness_single(
+            barbell, 5, method="mh", samples=60, seed=2, backend="dict",
+            batch_size="auto",
+        )
+        legacy = betweenness_single(
+            barbell, 5, method="mh", samples=60, seed=2, backend="dict"
+        )
+        assert auto.estimate == legacy.estimate
+        assert "batch_size" not in auto.diagnostics  # plan never engaged
+
+    def test_auto_batch_size_for_exact(self, barbell):
+        auto = betweenness_exact(barbell, [5], batch_size="auto")
+        plain = betweenness_exact(barbell, [5])
+        assert auto[5] == pytest.approx(plain[5], rel=1e-9)
+
+
 class TestSuggestedChainLength:
     def test_fields_and_consistency(self, barbell):
         info = suggested_chain_length(barbell, 5, epsilon=0.05, delta=0.1)

@@ -166,6 +166,90 @@ class TestExecutionFlags:
             )
 
 
+class TestMultiChainFlags:
+    """--chains / --rhat / --batch-size auto wiring into the multi-chain driver."""
+
+    def test_estimate_with_chains(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "80", "--seed", "1", "--chains", "4"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["method"] == "mh-multichain"
+        assert payload["chains"] == 4
+        assert payload["rhat"] is not None
+        assert payload["ess"] is not None
+
+    def test_estimate_chains_do_not_change_with_jobs(self, barbell_file):
+        estimates = []
+        for jobs in ("1", "2", "4"):
+            code, output = run_cli(
+                ["estimate", "--graph", barbell_file, "--vertex", "5",
+                 "--samples", "64", "--seed", "7", "--chains", "4", "--jobs", jobs]
+            )
+            assert code == 0
+            estimates.append(json.loads(output)["estimate"])
+        assert estimates[0] == estimates[1] == estimates[2]
+
+    def test_estimate_with_rhat_early_stop(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "4000", "--seed", "1", "--chains", "4", "--rhat", "1.5"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["converged"] is True
+        assert payload["samples"] < 4000
+
+    def test_single_chain_matches_plain_estimate(self, barbell_file):
+        base = ["estimate", "--graph", barbell_file, "--vertex", "5",
+                "--samples", "60", "--seed", "9"]
+        code_a, out_a = run_cli(base)
+        code_b, out_b = run_cli(base + ["--chains", "1"])
+        assert code_a == code_b == 0
+        assert json.loads(out_a)["estimate"] == json.loads(out_b)["estimate"]
+
+    def test_chains_rejected_for_baseline_methods(self, barbell_file):
+        code, _ = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method", "rk",
+             "--samples", "20", "--chains", "4"]
+        )
+        assert code == 2
+
+    def test_relative_with_chains(self, barbell_file):
+        code, output = run_cli(
+            ["relative", "--graph", barbell_file, "--vertices", "5,6,4",
+             "--samples", "160", "--seed", "3", "--chains", "4"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["chains"] == 4
+        assert payload["rhat"] is not None
+        assert "5/6" in payload["ratios"]
+
+    def test_batch_size_auto(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "40", "--seed", "1", "--batch-size", "auto"]
+        )
+        assert code == 0
+        assert json.loads(output)["batch_size"] >= 1
+
+    def test_rejects_bad_rhat(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--graph", barbell_file, "--vertex", "5", "--rhat", "0.9"]
+            )
+
+    def test_rejects_bad_batch_size_string(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--graph", barbell_file, "--vertex", "5",
+                 "--batch-size", "fast"]
+            )
+
+
 class TestDatasetsCommand:
     def test_plain_listing(self):
         code, output = run_cli(["datasets"])

@@ -442,11 +442,127 @@ def test_oracle_recompute_after_eviction_is_bit_identical():
         assert oracle.dependency(s, r) == prefetched.dependency(s, r)
 
 
+def test_oracle_prefetch_capacity_overflow_never_changes_vectors():
+    """Multi-chain runs hammer a shared oracle with prefetch blocks larger
+    than a bounded cache can hold; however the capacity overflows, evicts and
+    recomputes interleave, every returned vector must equal the unbounded
+    oracle's bit for bit (otherwise estimates would depend on cache timing)."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    vertices = graph.vertices()
+    r = vertices[-1]
+    reference = DependencyOracle(graph, backend="csr", batch_size=8)
+    bounded = DependencyOracle(graph, backend="csr", cache_size=3, batch_size=8)
+    # Repeated oversized prefetches (2x capacity) interleaved with point
+    # queries — the access pattern K chains sharing one oracle produce.
+    for start in range(0, len(vertices), 6):
+        block = vertices[start : start + 6]
+        bounded.prefetch(block)
+        for s in block:
+            assert bounded.dependency(s, r) == reference.dependency(s, r)
+    # Re-query everything after the cache churned through the whole graph.
+    for s in vertices:
+        assert bounded.dependency(s, r) == reference.dependency(s, r)
+
+
+def test_chains_sharing_an_overflowing_oracle_match_private_oracles():
+    """Chain-level version of the promise above: two chains sharing one
+    tightly bounded oracle walk exactly the chains they walk with private
+    unbounded oracles."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    r = graph.vertices()[5]
+    sampler = SingleSpaceMHSampler(batch_size=8)
+    shared = DependencyOracle(graph, backend="csr", cache_size=2, batch_size=8)
+    shared_first = sampler.run_chain(graph, r, 40, seed=1, oracle=shared)
+    shared_second = sampler.run_chain(graph, r, 40, seed=2, oracle=shared)
+    private_first = sampler.run_chain(graph, r, 40, seed=1)
+    private_second = sampler.run_chain(graph, r, 40, seed=2)
+    assert shared_first.states == private_first.states
+    assert shared_second.states == private_second.states
+
+
 def test_oracle_prefetch_is_a_noop_when_cache_disabled():
     graph = barabasi_albert_graph(25, 2, seed=2)
     oracle = DependencyOracle(graph, backend="csr", cache_size=0, batch_size=8)
     assert oracle.prefetch(graph.vertices()) == 0
     assert oracle.evaluations == 0
+
+
+# ----------------------------------------------------------------------
+# Adaptive batch-size selection
+# ----------------------------------------------------------------------
+
+
+def test_calibrate_batch_size_returns_a_candidate():
+    from repro.execution import DEFAULT_BATCH_CANDIDATES, calibrate_batch_size
+
+    graph = barabasi_albert_graph(60, 2, seed=1)
+    chosen = calibrate_batch_size(graph, probe_sources=16)
+    assert chosen in DEFAULT_BATCH_CANDIDATES
+
+
+def test_probe_covers_every_measurable_candidate():
+    from repro.execution import probe_batch_sizes
+
+    graph = barabasi_albert_graph(40, 2, seed=1)
+    timings = probe_batch_sizes(graph, candidates=(1, 4, 16), probe_sources=16)
+    assert [size for size, _ in timings] == [1, 4, 16]
+    assert all(seconds >= 0.0 for _, seconds in timings)
+
+
+def test_probe_drops_candidates_it_cannot_fill():
+    """A batch larger than the source budget runs the identical kernel call
+    as the budget-sized one — timing it would crown a size on pure noise."""
+    from repro.execution import calibrate_batch_size, probe_batch_sizes
+
+    graph = barabasi_albert_graph(40, 2, seed=1)
+    timings = probe_batch_sizes(graph, candidates=(1, 4, 16, 64), probe_sources=8)
+    assert [size for size, _ in timings] == [1, 4]
+    # Every candidate over budget: the smallest is the only honest option.
+    fallback = probe_batch_sizes(graph, candidates=(16, 64), probe_sources=8)
+    assert [size for size, _ in fallback] == [16]
+    assert calibrate_batch_size(graph, candidates=(16, 64), probe_sources=8) == 16
+
+
+def test_calibrate_accepts_a_csr_snapshot():
+    from repro.execution import calibrate_batch_size
+
+    csr = barabasi_albert_graph(40, 2, seed=1).csr()
+    assert calibrate_batch_size(csr, candidates=(1, 8), probe_sources=8) in (1, 8)
+
+
+def test_calibrated_size_never_changes_the_estimate():
+    """The point of 'auto': whatever size the noisy probe picks, the engine's
+    per-row bit-identity makes the estimate independent of it."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    estimates = {
+        batch: betweenness_single(
+            graph, r, method="mh", samples=40, seed=99, backend="csr", batch_size=batch
+        ).estimate
+        for batch in (1, 8, 16, 32, 64)
+    }
+    assert len(set(estimates.values())) == 1
+
+
+def test_calibrate_falls_back_to_one_on_dict_backend():
+    from repro.execution import calibrate_batch_size
+
+    graph = barabasi_albert_graph(30, 2, seed=1)
+    assert calibrate_batch_size(graph, backend="dict") == 1
+
+
+def test_probe_validates_its_knobs():
+    from repro.execution import probe_batch_sizes
+
+    graph = barabasi_albert_graph(20, 2, seed=1)
+    with pytest.raises(ConfigurationError):
+        probe_batch_sizes(graph, candidates=())
+    with pytest.raises(ConfigurationError):
+        probe_batch_sizes(graph, candidates=(0,))
+    with pytest.raises(ConfigurationError):
+        probe_batch_sizes(graph, probe_sources=0)
+    with pytest.raises(ConfigurationError):
+        probe_batch_sizes(graph, repeats=0)
 
 
 def test_mh_prefetch_reduces_passes_without_changing_the_chain():

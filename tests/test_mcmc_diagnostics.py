@@ -2,18 +2,25 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.graphs import barbell_graph, star_graph
 from repro.mcmc import (
     ChainDiagnostics,
+    MultiChainDiagnostics,
     SingleSpaceMHSampler,
     autocorrelation,
     diagnose_chain,
+    diagnose_chains,
     effective_sample_size,
     empirical_vs_stationary,
+    gelman_rubin,
     geweke_z_score,
+    multichain_ess,
+    split_rhat,
     stationary_distribution,
     total_variation_distance,
 )
@@ -107,6 +114,135 @@ class TestDistributionDiagnostics:
         short = sampler.run_chain(barbell, 5, 30, seed=3)
         long = sampler.run_chain(barbell, 5, 3000, seed=3)
         assert empirical_vs_stationary(barbell, long) < empirical_vs_stationary(barbell, short)
+
+
+class TestGelmanRubin:
+    """R-hat validated against hand-computed values on synthetic chain arrays."""
+
+    def test_hand_computed_value(self):
+        # traces [1,2,3] and [2,4,6]: within = (1 + 4) / 2 = 2.5,
+        # B/n = var([2, 4], ddof=1) = 2, var+ = (2/3)*2.5 + 2 = 11/3,
+        # R-hat = sqrt((11/3) / 2.5) = sqrt(22/15).
+        assert gelman_rubin([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]]) == pytest.approx(
+            math.sqrt(22.0 / 15.0)
+        )
+
+    def test_identical_chains(self):
+        # Equal chains: B = 0, so R-hat = sqrt((n-1)/n) — below 1 by design
+        # of the finite-sample estimator (n=4 -> sqrt(3/4)).
+        assert gelman_rubin([[1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0]]) == pytest.approx(
+            math.sqrt(0.75)
+        )
+
+    def test_constant_equal_chains_are_converged(self):
+        assert gelman_rubin([[2.0, 2.0, 2.0], [2.0, 2.0, 2.0]]) == 1.0
+
+    def test_constant_disagreeing_chains_never_converge(self):
+        assert gelman_rubin([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]) == float("inf")
+
+    def test_truncates_to_shortest_chain(self):
+        # The longer chain's tail must not affect the statistic.
+        short = gelman_rubin([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+        padded = gelman_rubin([[1.0, 2.0, 3.0, 999.0], [2.0, 4.0, 6.0]])
+        assert padded == pytest.approx(short)
+
+    def test_too_short_chains_read_as_unconverged(self):
+        assert gelman_rubin([[1.0], [2.0]]) == float("inf")
+
+    def test_single_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gelman_rubin([[1.0, 2.0, 3.0]])
+
+
+class TestSplitRhat:
+    def test_matches_gelman_rubin_on_explicit_halves(self):
+        traces = [[1.0, 2.0, 3.0, 4.0], [2.0, 1.0, 4.0, 3.0]]
+        halves = [[1.0, 2.0], [3.0, 4.0], [2.0, 1.0], [4.0, 3.0]]
+        assert split_rhat(traces) == pytest.approx(gelman_rubin(halves))
+
+    def test_degenerate_single_chain_splits_into_halves(self):
+        # One drifting chain: the halves disagree, which the unsplit
+        # statistic could never see.
+        drifting = [float(i) for i in range(20)]
+        stationary = [1.0, 2.0] * 10
+        assert split_rhat([drifting]) > split_rhat([stationary])
+
+    def test_odd_length_drops_the_middle_element(self):
+        assert split_rhat([[1.0, 2.0, 99.0, 1.0, 2.0]]) == pytest.approx(
+            split_rhat([[1.0, 2.0, 1.0, 2.0]])
+        )
+
+    def test_too_short_for_halves_is_unconverged(self):
+        assert split_rhat([[1.0, 2.0, 3.0]]) == float("inf")
+
+    def test_constant_chains_are_converged(self):
+        assert split_rhat([[5.0] * 10, [5.0] * 10]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_rhat([])
+
+
+class TestMultiChainESS:
+    def test_independent_chains_add(self):
+        # Constant chains have ESS = length by convention, so K chains of
+        # length 50 pool to exactly 50 K.
+        assert multichain_ess([[1.0] * 50, [1.0] * 50, [1.0] * 50]) == 150.0
+
+    def test_matches_per_chain_sum(self):
+        import random
+
+        rng = random.Random(3)
+        traces = [[rng.random() for _ in range(100)] for _ in range(4)]
+        assert multichain_ess(traces) == pytest.approx(
+            sum(effective_sample_size(t) for t in traces)
+        )
+
+    def test_empty_family(self):
+        assert multichain_ess([]) == 0.0
+
+
+class TestDiagnoseChains:
+    def test_report_fields(self, barbell):
+        sampler = SingleSpaceMHSampler()
+        chains = [sampler.run_chain(barbell, 5, 100, seed=s) for s in (1, 2, 3)]
+        report = diagnose_chains(chains, evaluations=7, converged=True, rounds=2)
+        assert isinstance(report, MultiChainDiagnostics)
+        assert report.n_chains == 3
+        assert report.chain_lengths == [100, 100, 100]
+        assert len(report.acceptance_rates) == 3
+        assert report.evaluations == 7
+        assert report.converged is True
+        assert report.rounds == 2
+        assert report.ess > 0.0
+        assert report.rhat == pytest.approx(
+            split_rhat([c.dependency_trace() for c in chains])
+        )
+
+    def test_mean_acceptance_rate(self):
+        report = MultiChainDiagnostics(
+            n_chains=2, rhat=1.0, ess=50.0, acceptance_rates=[0.4, 0.6]
+        )
+        assert report.mean_acceptance_rate() == pytest.approx(0.5)
+
+    def test_healthy_thresholds(self):
+        good = MultiChainDiagnostics(
+            n_chains=2, rhat=1.02, ess=50.0, acceptance_rates=[0.4, 0.6]
+        )
+        assert good.healthy()
+        assert not good.healthy(rhat_threshold=1.01)
+        bad_mixing = MultiChainDiagnostics(
+            n_chains=2, rhat=1.5, ess=50.0, acceptance_rates=[0.4, 0.6]
+        )
+        assert not bad_mixing.healthy()
+        degenerate = MultiChainDiagnostics(
+            n_chains=2, rhat=1.0, ess=50.0, acceptance_rates=[0.001, 0.6]
+        )
+        assert not degenerate.healthy()
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diagnose_chains([])
 
 
 class TestDiagnoseChain:
