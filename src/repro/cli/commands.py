@@ -72,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="split-R-hat target for adaptive burn-in / early stop "
         "(> 1.0; implies --chains 4 when --chains is not given)",
     )
+    _add_shared_cache_argument(estimate)
 
     relative = subparsers.add_parser(
         "relative", help="estimate relative betweenness scores of a vertex set"
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="independent joint chains the sample budget is split over",
     )
+    _add_shared_cache_argument(relative)
 
     exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
     _add_graph_arguments(exact)
@@ -136,6 +138,18 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="sources per batched CSR traversal, or 'auto' to calibrate the "
         "size from a short timed probe (default: per-source kernels)",
+    )
+
+
+def _add_shared_cache_argument(parser: argparse.ArgumentParser) -> None:
+    """The cross-process oracle-cache knob of the multi-chain MCMC driver."""
+    parser.add_argument(
+        "--shared-cache",
+        action="store_true",
+        default=None,
+        help="share one cross-process dependency-vector cache across the "
+        "multi-chain driver's worker processes (requires --chains/--rhat; "
+        "estimates are bit-identical with or without it)",
     )
 
 
@@ -206,6 +220,7 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         n_jobs=args.jobs,
         n_chains=args.chains,
         rhat_target=args.rhat,
+        shared_cache=args.shared_cache,
     )
     payload = {
         "vertex": str(vertex),
@@ -222,6 +237,7 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         "rhat": result.diagnostics.get("rhat"),
         "ess": result.diagnostics.get("ess"),
         "converged": result.diagnostics.get("converged"),
+        "shared_cache": result.diagnostics.get("shared_cache"),
     }
     print(json.dumps(payload, indent=2), file=out)
     return 0
@@ -238,6 +254,7 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         batch_size=args.batch_size,
         n_jobs=args.jobs,
         n_chains=args.chains,
+        shared_cache=args.shared_cache,
     )
     payload = {
         # The resolved execution stamp, with the same semantics as the
@@ -246,6 +263,7 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         "jobs": estimate.diagnostics.get("n_jobs"),
         "batch_size": estimate.diagnostics.get("batch_size"),
         "chains": estimate.diagnostics.get("n_chains"),
+        "shared_cache": estimate.diagnostics.get("shared_cache"),
         "rhat": estimate.diagnostics.get("rhat"),
         "ess": estimate.diagnostics.get("ess"),
         "reference_set": [str(v) for v in estimate.reference_set],

@@ -20,6 +20,12 @@ passes and accumulate".  This package owns *how* those passes are executed:
 * :mod:`~repro.execution.autotune` calibrates ``batch_size`` from a short
   timed probe (what ``batch_size="auto"`` resolves to); safe because the
   batch kernels are bit-identical per source row at any block size.
+* :mod:`~repro.execution.shared_cache` provides the cross-process
+  :class:`~repro.execution.shared_cache.SharedDependencyStore` — a
+  shared-memory arena of per-source dependency vectors the multi-chain MCMC
+  drivers publish into so a Brandes pass paid by one worker process is a
+  cache hit for every other (the ``shared_cache`` plan knob /
+  ``REPRO_SHARED_CACHE`` override).
 """
 
 from repro.execution.autotune import (
@@ -31,6 +37,7 @@ from repro.execution.plan import (
     DEFAULT_SHARD_SIZE,
     ExecutionPlan,
     resolve_plan,
+    resolve_shared_cache,
 )
 from repro.execution.scheduler import (
     merge_ordered,
@@ -39,10 +46,16 @@ from repro.execution.scheduler import (
     shard_rngs,
     split_shards,
 )
+from repro.execution.shared_cache import (
+    SharedDependencyStore,
+    create_shared_store,
+    shared_memory_available,
+)
 
 __all__ = [
     "ExecutionPlan",
     "resolve_plan",
+    "resolve_shared_cache",
     "DEFAULT_SHARD_SIZE",
     "DEFAULT_BATCH_CANDIDATES",
     "calibrate_batch_size",
@@ -52,4 +65,7 @@ __all__ = [
     "sample_shards",
     "run_sharded",
     "merge_ordered",
+    "SharedDependencyStore",
+    "create_shared_store",
+    "shared_memory_available",
 ]

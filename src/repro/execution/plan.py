@@ -8,11 +8,19 @@ A plan answers three independent questions for a per-source workload:
 * ``batch_size`` — how many sources each call into the batched CSR kernels
   (:mod:`repro.shortest_paths.batch`) traverses at once;
 * ``n_jobs`` — how many worker processes the shard scheduler spreads the
-  source shards over.
+  source shards over;
+* ``shared_cache`` — whether parallel multi-chain MCMC runs publish their
+  per-source dependency vectors into a cross-process shared-memory arena
+  (:mod:`repro.execution.shared_cache`) instead of each worker keeping a
+  private cache.  Consumed by the multi-chain drivers only; per-source
+  workloads have nothing to share across processes beyond their inputs.
 
 Resolution mirrors the backend knob: explicit arguments always win, the
 ``REPRO_JOBS`` and ``REPRO_BATCH`` environment variables fill in anything
-left unspecified (one env knob steers every call site, which is how the
+left unspecified (``REPRO_SHARED_CACHE`` likewise fills the
+``shared_cache`` field — but never *engages* the engine on its own, so the
+flag cannot move an estimator off its legacy path; see
+:func:`resolve_shared_cache`) (one env knob steers every call site, which is how the
 benchmark harness runs a whole suite under a given parallelism setting),
 and when *neither* an argument nor an env var asks for the execution
 engine, :func:`resolve_plan` returns ``None`` and the estimators keep their
@@ -42,7 +50,12 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.graphs.csr import BACKENDS
 
-__all__ = ["ExecutionPlan", "resolve_plan", "DEFAULT_SHARD_SIZE"]
+__all__ = [
+    "ExecutionPlan",
+    "resolve_plan",
+    "resolve_shared_cache",
+    "DEFAULT_SHARD_SIZE",
+]
 
 #: Number of sources per shard.  A constant (not a knob) on purpose: shard
 #: boundaries are part of the determinism contract, so they must not vary
@@ -66,11 +79,17 @@ class ExecutionPlan:
         Ignored by the dict backend, which has no batch kernels.
     n_jobs:
         Worker processes for the shard scheduler (>= 1; 1 means inline).
+    shared_cache:
+        Whether the multi-chain MCMC drivers share one cross-process
+        dependency-vector arena across their workers (CSR-only; ignored by
+        every other workload).  Never changes a result — only which process
+        pays each Brandes pass.
     """
 
     backend: str = "auto"
     batch_size: int = 1
     n_jobs: int = 1
+    shared_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -84,6 +103,10 @@ class ExecutionPlan:
         if not isinstance(self.n_jobs, int) or self.n_jobs < 1:
             raise ConfigurationError(
                 f"n_jobs must be a positive integer, got {self.n_jobs!r}"
+            )
+        if not isinstance(self.shared_cache, bool):
+            raise ConfigurationError(
+                f"shared_cache must be a boolean, got {self.shared_cache!r}"
             )
 
 
@@ -100,12 +123,25 @@ def _env_int(name: str) -> Optional[int]:
     return value
 
 
+def _env_flag(name: str) -> Optional[bool]:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ConfigurationError(f"{name} must be a boolean flag (0/1), got {raw!r}")
+
+
 def resolve_plan(
     plan: Optional[ExecutionPlan] = None,
     *,
     backend: str = "auto",
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    shared_cache: Optional[bool] = None,
 ) -> Optional[ExecutionPlan]:
     """Resolve the execution knobs of one estimator call.
 
@@ -114,10 +150,11 @@ def resolve_plan(
     plan:
         A ready-made :class:`ExecutionPlan`; returned as-is when provided
         (it always wins, like an explicit backend argument).
-    backend, batch_size, n_jobs:
+    backend, batch_size, n_jobs, shared_cache:
         The estimator's individual knobs.  ``None`` for ``batch_size`` /
-        ``n_jobs`` means "not requested", in which case the ``REPRO_BATCH``
-        / ``REPRO_JOBS`` environment variables are consulted.
+        ``n_jobs`` / ``shared_cache`` means "not requested", in which case
+        the ``REPRO_BATCH`` / ``REPRO_JOBS`` / ``REPRO_SHARED_CACHE``
+        environment variables are consulted.
 
     Returns
     -------
@@ -133,10 +170,32 @@ def resolve_plan(
         batch_size = _env_int("REPRO_BATCH")
     if n_jobs is None:
         n_jobs = _env_int("REPRO_JOBS")
+    # shared_cache deliberately does NOT engage the engine: an engaged plan
+    # switches estimators onto the sharded/prefetch disciplines (different
+    # rng consumption, different — though equally valid — estimates), and
+    # the cache knob is documented to never change a result.  It only fills
+    # the field of a plan the other knobs engaged; standalone consumers (the
+    # multi-chain drivers) read it through resolve_shared_cache().
     if batch_size is None and n_jobs is None:
         return None
     return ExecutionPlan(
         backend=backend,
         batch_size=batch_size if batch_size is not None else 1,
         n_jobs=n_jobs if n_jobs is not None else 1,
+        shared_cache=resolve_shared_cache(shared_cache),
     )
+
+
+def resolve_shared_cache(shared_cache: Optional[bool] = None) -> bool:
+    """Resolve the ``shared_cache`` knob on its own.
+
+    Explicit ``True`` / ``False`` wins; ``None`` consults the
+    ``REPRO_SHARED_CACHE`` environment override (unset means off).  Kept
+    separate from :func:`resolve_plan` engagement so the flag can never
+    flip an estimator off its legacy sequential code path — it selects a
+    cache-sharing policy for runs that already parallelise, not an
+    execution discipline.
+    """
+    if shared_cache is not None:
+        return shared_cache
+    return bool(_env_flag("REPRO_SHARED_CACHE"))

@@ -73,10 +73,19 @@ def sample_shards(num_samples: int, rng: Random):
     :func:`split_shards` boundaries and each shard draws from its own
     :func:`shard_rngs` child stream, so the sampled paths are identical for
     any ``n_jobs``.
+
+    The shard lengths are computed arithmetically — only the *counts* of the
+    :func:`split_shards` boundaries matter here, so materialising an
+    ``O(num_samples)`` index list (as an earlier revision did) would cost
+    memory proportional to the sample budget for nothing.
     """
-    shards = split_shards(list(range(num_samples)))
-    rngs = shard_rngs(rng, len(shards))
-    return [(len(shard), shard_rng) for shard, shard_rng in zip(shards, rngs)]
+    if num_samples <= 0:
+        return []
+    full, remainder = divmod(num_samples, DEFAULT_SHARD_SIZE)
+    counts = [DEFAULT_SHARD_SIZE] * full
+    if remainder:
+        counts.append(remainder)
+    return list(zip(counts, shard_rngs(rng, len(counts))))
 
 
 def _init_worker(shared: Any) -> None:

@@ -23,9 +23,11 @@ ablates it.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.shortest_paths.dependencies import (
@@ -33,6 +35,9 @@ from repro.shortest_paths.dependencies import (
     csr_source_dependencies,
     spd_builder,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.execution.shared_cache import SharedDependencyStore
 
 __all__ = ["DependencyOracle"]
 
@@ -65,6 +70,19 @@ class DependencyOracle:
         may differ from the ``None`` path in the last ulp when scipy's
         sparse-matmul sweep is active, which is why ``None`` remains the
         default: legacy callers keep their exact pre-engine values.)
+    shared_store:
+        Optional cross-process
+        :class:`~repro.execution.shared_cache.SharedDependencyStore`.  When
+        attached, the oracle consults it between the private cache and the
+        kernels — a vector another worker already published is copied out
+        instead of recomputed — and publishes every vector it computes
+        itself, so one Brandes pass serves every chain of a multi-chain run
+        whatever process it lives in.  CSR-only: the arena's rows are dense
+        ``float64`` vectors; attaching a store to a dict-backed oracle
+        warns and falls back to the private cache alone.  Sharing is
+        result-neutral by construction — a published row is bit-identical
+        to what the reader would have computed — so only the pass counters
+        (never a chain) depend on it.
     """
 
     def __init__(
@@ -74,6 +92,7 @@ class DependencyOracle:
         cache_size: Optional[int] = None,
         backend: str = "auto",
         batch_size: Optional[int] = None,
+        shared_store: Optional["SharedDependencyStore"] = None,
     ) -> None:
         self._graph = graph
         self._backend = resolve_backend(backend)
@@ -83,11 +102,32 @@ class DependencyOracle:
         else:
             self._csr = None
             self._build = spd_builder(graph)
+        if shared_store is not None:
+            if self._backend != "csr":
+                warnings.warn(
+                    "the shared dependency store requires the CSR backend; "
+                    "falling back to the private cache",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                shared_store = None
+            elif shared_store.num_vertices != self._csr.number_of_vertices():
+                raise ConfigurationError(
+                    f"shared store is sized for {shared_store.num_vertices} "
+                    f"vertices but the graph has {self._csr.number_of_vertices()}"
+                )
+        self._shared = shared_store
         self._cache: "OrderedDict[Vertex, object]" = OrderedDict()
         self._cache_size = cache_size
         self._batch_size = None if batch_size is None else max(int(batch_size), 1)
         self.evaluations = 0  #: number of Brandes passes actually performed
         self.lookups = 0  #: number of dependency queries answered
+        #: Brandes passes performed by :meth:`prefetch` (a subset of
+        #: :attr:`evaluations`) — prefetched passes answer no lookup at the
+        #: time they run, so :meth:`hit_rate` must not bill them as misses.
+        self.prefetch_evaluations = 0
+        #: Vectors served from the cross-process shared store (0 without one).
+        self.shared_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -105,11 +145,26 @@ class DependencyOracle:
         """Whether dependency vectors are being cached."""
         return self._cache_size is None or self._cache_size > 0
 
+    @property
+    def shared_store(self) -> Optional["SharedDependencyStore"]:
+        """The attached cross-process store, or ``None``."""
+        return self._shared
+
     def hit_rate(self) -> float:
-        """Return the fraction of queries answered without a Brandes pass."""
+        """Return the fraction of lookups answered without a Brandes pass.
+
+        Only *lookup-serving* passes count as misses:
+        :attr:`prefetch_evaluations` are passes run speculatively before any
+        query existed, so subtracting them keeps the rate honest (an earlier
+        revision divided the raw :attr:`evaluations` — which include
+        prefetched passes — by :attr:`lookups` and returned negative rates
+        after a prefetch-then-hit sequence).  Clamped to ``[0, 1]`` so no
+        counter interleaving can push it outside the unit interval.
+        """
         if self.lookups == 0:
             return 0.0
-        return 1.0 - self.evaluations / self.lookups
+        misses = self.evaluations - self.prefetch_evaluations
+        return min(max(1.0 - misses / self.lookups, 0.0), 1.0)
 
     # ------------------------------------------------------------------
     def prefetch(self, sources) -> int:
@@ -121,19 +176,43 @@ class DependencyOracle:
         passes run ``batch_size`` sources per batched traversal instead of
         one pass per acceptance test.  Already-cached (and duplicate)
         sources are skipped; a disabled cache makes this a no-op because
-        there is nowhere to keep the vectors, and a bounded cache caps the
-        prefetch at its capacity (prefetching past it would evict the very
-        vectors just computed and *double* the passes instead of saving
-        them).  Returns the number of passes performed (each counted in
-        :attr:`evaluations`).
+        there is nowhere to keep the vectors.  A bounded cache fills its
+        **free slots** first and beyond them claims at most **half the
+        capacity**, so a prefetch evicts nothing but the LRU half: the MRU
+        entry provably survives every block (``max(free, C // 2) <= C - 1``
+        whenever anything is cached), and with it the recently-touched
+        vectors — in particular the one of the state the chain currently
+        sits on, which an earlier revision flushed by capping at raw
+        capacity, re-paying a Brandes pass on every later revisit.  The
+        half-capacity floor is what keeps the *batched* kernels running on a
+        full cache (a free-slots-only cap would degenerate to solitary
+        point-query passes for the rest of the chain).  With a shared store
+        attached, sources already published by another worker are copied in
+        instead of computed, and every freshly computed vector is
+        published.  Returns the number of passes performed (each counted in
+        both :attr:`evaluations` and :attr:`prefetch_evaluations`).
         """
         if not self.cache_enabled:
             return 0
         missing = [s for s in dict.fromkeys(sources) if s not in self._cache]
         if self._cache_size is not None:
-            missing = missing[: self._cache_size]
+            free = self._cache_size - len(self._cache)
+            allowance = max(free, 0 if not self._cache else self._cache_size // 2)
+            missing = missing[:allowance]
         if not missing:
             return 0
+        if self._shared is not None:
+            pending = []
+            for s in missing:
+                row = self._shared.get(self._csr.index_of(s))
+                if row is not None:
+                    self.shared_hits += 1
+                    self._store(s, row)
+                else:
+                    pending.append(s)
+            missing = pending
+            if not missing:
+                return 0
         if self._backend == "csr" and self._batch_size is not None:
             from repro.shortest_paths.batch import batch_source_dependencies
             from repro.shortest_paths.dependencies import iter_batches
@@ -145,18 +224,27 @@ class DependencyOracle:
                 )
                 for row, s in enumerate(chunk):
                     # Copy the row so the (K, n) batch matrix can be freed.
-                    self._store(s, deltas[row].copy())
+                    self._publish_and_store(s, deltas[row].copy())
         elif self._backend == "csr":
             # Not batch-configured: warm the cache with the same point
             # kernel `_raw_vector` uses, so a vector never depends on
             # whether it was prefetched or recomputed after eviction.
             for s in missing:
-                self._store(s, csr_source_dependencies(self._csr, self._csr.index_of(s)))
+                self._publish_and_store(
+                    s, csr_source_dependencies(self._csr, self._csr.index_of(s))
+                )
         else:
             for s in missing:
                 self._store(s, accumulate_dependencies(self._build(self._graph, s)))
         self.evaluations += len(missing)
+        self.prefetch_evaluations += len(missing)
         return len(missing)
+
+    def _publish_and_store(self, source: Vertex, vector: object) -> None:
+        """Publish a freshly computed CSR vector to the shared store, then cache it."""
+        if self._shared is not None:
+            self._shared.put(self._csr.index_of(source), vector)
+        self._store(source, vector)
 
     def _store(self, source: Vertex, vector: object) -> None:
         self._cache[source] = vector
@@ -164,11 +252,25 @@ class DependencyOracle:
             self._cache.popitem(last=False)
 
     def _raw_vector(self, source: Vertex):
-        """Return the cached per-source vector (array or dict, backend-shaped)."""
+        """Return the cached per-source vector (array or dict, backend-shaped).
+
+        Lookup order: private cache (lock-free), then the cross-process
+        shared store (a locked row copy, counted in :attr:`shared_hits` and
+        re-cached privately so revisits stay lock-free), then the kernels —
+        and a vector the kernels produce is published to the shared store so
+        no other worker pays the same pass again.
+        """
         self.lookups += 1
         if self.cache_enabled and source in self._cache:
             self._cache.move_to_end(source)
             return self._cache[source]
+        if self._shared is not None:
+            row = self._shared.get(self._csr.index_of(source))
+            if row is not None:
+                self.shared_hits += 1
+                if self.cache_enabled:
+                    self._store(source, row)
+                return row
         self.evaluations += 1
         if self._backend == "csr":
             if self._batch_size is not None:
@@ -187,6 +289,8 @@ class DependencyOracle:
         else:
             spd = self._build(self._graph, source)
             vector = accumulate_dependencies(spd)
+        if self._shared is not None:
+            self._shared.put(self._csr.index_of(source), vector)
         if self.cache_enabled:
             self._store(source, vector)
         return vector
@@ -240,7 +344,14 @@ class DependencyOracle:
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        """Drop every cached dependency vector and reset the counters."""
+        """Drop every *private* cached vector and reset the counters.
+
+        The cross-process shared store is deliberately left untouched: its
+        rows belong to the whole run (other workers may be reading them),
+        and its lifecycle is owned by the driver that created it.
+        """
         self._cache.clear()
         self.evaluations = 0
         self.lookups = 0
+        self.prefetch_evaluations = 0
+        self.shared_hits = 0

@@ -233,11 +233,12 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
         self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------
-    def build_oracle(self, graph: Graph) -> DependencyOracle:
+    def build_oracle(self, graph: Graph, *, shared_store=None) -> DependencyOracle:
         """Return a :class:`DependencyOracle` configured like this sampler's private one.
 
         Shared by :meth:`run_chain` and the multi-chain worker payload (see
-        :meth:`repro.mcmc.single.SingleSpaceMHSampler.build_oracle`).
+        :meth:`repro.mcmc.single.SingleSpaceMHSampler.build_oracle`, which
+        also documents the *shared_store* hook).
         """
         plan = self._plan()
         return DependencyOracle(
@@ -245,6 +246,7 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
             cache_size=self.cache_size,
             backend=self.backend,
             batch_size=plan.batch_size if plan is not None else None,
+            shared_store=shared_store,
         )
 
     def run_chain(

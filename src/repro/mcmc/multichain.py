@@ -40,18 +40,36 @@ chain's trajectory cannot vary with the degree of parallelism.  The base
 sampler's ``batch_size`` is honoured — each chain batch-prefetches its own
 independence proposals — and is typically the dominant speedup on few-core
 machines.
+
+The remaining duplication on few-core machines is the *private* per-worker
+oracle caches: chains propose sources from the same distribution, so with
+``n_jobs > 1`` each worker re-runs Brandes passes another worker already
+paid for.  ``shared_cache=True`` removes it by publishing every computed
+dependency vector into one cross-process shared-memory arena
+(:mod:`repro.execution.shared_cache`), attached to each worker's oracle
+through the pool-initializer payload.  Because the dependency kernels are
+bit-identical per source, *which* process computed a vector — and therefore
+any cache timing at all — can never change a chain; the total
+``evaluations`` across workers drops toward the run's unique-source count
+while the pooled estimate stays bit-identical to the private-cache path.
 """
 
 from __future__ import annotations
 
 import copy
+import warnings
 from dataclasses import dataclass
 from random import Random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.errors import ConfigurationError, EdgeNotFoundError, SamplingError
-from repro.execution import resolve_plan, run_sharded
+from repro.execution import (
+    create_shared_store,
+    resolve_plan,
+    resolve_shared_cache,
+    run_sharded,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.mcmc.diagnostics import (
@@ -116,13 +134,23 @@ class _ChainPayload:
     rebuilds it on first use (cheap next to the chains' Brandes passes) and
     the rebuild cannot change any chain: dependency vectors are
     deterministic regardless of the oracle instance or its cache history.
+
+    *shared_store* optionally carries the run's cross-process
+    :class:`~repro.execution.shared_cache.SharedDependencyStore`.  The
+    payload travels through :func:`repro.execution.run_sharded`'s pool
+    **initializer** — the only channel a process-shared lock may cross — so
+    every worker's rebuilt oracle attaches to the same arena and a Brandes
+    pass paid anywhere is a cache hit everywhere.
     """
 
-    def __init__(self, kind: str, graph: Graph, sampler, target) -> None:
+    def __init__(
+        self, kind: str, graph: Graph, sampler, target, shared_store=None
+    ) -> None:
         self.kind = kind
         self.graph = graph
         self.sampler = sampler
         self.target = target
+        self.shared_store = shared_store
         self._oracle = None
 
     def __getstate__(self):
@@ -135,7 +163,9 @@ class _ChainPayload:
             if self.kind == "edge":
                 self._oracle = self.sampler.build_oracle(self.graph, self.target)
             else:
-                self._oracle = self.sampler.build_oracle(self.graph)
+                self._oracle = self.sampler.build_oracle(
+                    self.graph, shared_store=self.shared_store
+                )
         return self._oracle
 
 
@@ -191,13 +221,39 @@ def _run_fixed_shard(payload: _ChainPayload, shard):
 class _MultiChainBase:
     """Shared knob validation and scheduling for the three drivers."""
 
-    def __init__(self, *, n_chains: int, n_jobs: Optional[int]) -> None:
+    def __init__(
+        self,
+        *,
+        n_chains: int,
+        n_jobs: Optional[int],
+        shared_cache: Optional[bool] = None,
+        shared_cache_capacity: Optional[int] = None,
+    ) -> None:
         if not isinstance(n_chains, int) or isinstance(n_chains, bool) or n_chains < 1:
             raise ConfigurationError(
                 f"n_chains must be a positive integer, got {n_chains!r}"
             )
+        if shared_cache is not None and not isinstance(shared_cache, bool):
+            raise ConfigurationError(
+                f"shared_cache must be a boolean or None, got {shared_cache!r}"
+            )
+        if shared_cache_capacity is not None and (
+            not isinstance(shared_cache_capacity, int)
+            or isinstance(shared_cache_capacity, bool)
+            or shared_cache_capacity < 1
+        ):
+            raise ConfigurationError(
+                "shared_cache_capacity must be a positive integer or None, "
+                f"got {shared_cache_capacity!r}"
+            )
         self.n_chains = n_chains
         self.n_jobs = n_jobs
+        self.shared_cache = shared_cache
+        self.shared_cache_capacity = shared_cache_capacity
+        #: ``SharedDependencyStore.stats()`` of the last run (``None`` when
+        #: the run used private caches) — the drivers' estimate methods stamp
+        #: it into their diagnostics.
+        self._shared_cache_stats: Optional[Dict[str, object]] = None
 
     @staticmethod
     def _resolve_base(base, expected_cls, base_kwargs):
@@ -218,6 +274,45 @@ class _MultiChainBase:
         """Worker processes for the chain scheduler (``REPRO_JOBS`` honoured)."""
         plan = resolve_plan(None, n_jobs=self.n_jobs)
         return plan.n_jobs if plan is not None else 1
+
+    def _resolved_shared_cache(self) -> bool:
+        """Whether this run shares one dependency arena across its workers.
+
+        The explicit ``shared_cache`` argument wins; ``None`` consults the
+        ``REPRO_SHARED_CACHE`` environment override.  Resolved standalone
+        (:func:`repro.execution.resolve_shared_cache`) rather than through
+        plan engagement: the cache knob must never switch anything onto an
+        engine code path by itself.
+        """
+        return resolve_shared_cache(self.shared_cache)
+
+    def _build_shared_store(self, graph: Graph, num_samples: int):
+        """Create the run's cross-process arena, or ``None`` when not applicable.
+
+        Falls back (with a warning) rather than failing: on the dict backend
+        there is no fixed-width vector row to share, and sandboxed platforms
+        may refuse shared-memory segments — in both cases the run proceeds
+        on private per-worker caches, merely slower.  The arena is sized at
+        ``min(|V|, total budget + K)``: a chain consumes at most one new
+        source per iteration plus its initial state, so that capacity can
+        never overflow (a caller-provided ``shared_cache_capacity`` may be
+        smaller; overflow is then handled by the store refusing new rows).
+        """
+        if not self._resolved_shared_cache():
+            return None
+        if resolve_backend(self.base.backend) != "csr":
+            warnings.warn(
+                "shared_cache requires the CSR backend; falling back to "
+                "private per-worker caches",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        n = graph.number_of_vertices()
+        capacity = self.shared_cache_capacity
+        if capacity is None:
+            capacity = max(min(n, num_samples + self.n_chains), 1)
+        return create_shared_store(n, capacity)
 
     def _chain_rngs(self, rng: Random) -> List[Random]:
         """One stream per chain; ``K = 1`` keeps the parent stream itself.
@@ -319,6 +414,19 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
     n_jobs:
         Worker processes for the chain scheduler (``None`` consults
         ``REPRO_JOBS``; 1 runs inline).  Never changes the pooled estimate.
+    shared_cache:
+        ``None`` (default) consults the ``REPRO_SHARED_CACHE`` environment
+        override; ``True`` publishes every dependency vector the run
+        computes into one cross-process shared-memory arena
+        (:mod:`repro.execution.shared_cache`) so a Brandes pass paid by any
+        worker is a cache hit for every chain — the pooled estimate is
+        bit-identical either way (vectors are deterministic per source;
+        only the pass counters move).  CSR-only; falls back to private
+        caches with a warning where unsupported.
+    shared_cache_capacity:
+        Arena rows of the shared store (``None`` sizes it so overflow is
+        impossible for the run's budget).  A smaller arena stays correct
+        and simply stops absorbing vectors once full.
     """
 
     name = "mh-multichain"
@@ -331,9 +439,16 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         rhat_target: Optional[float] = None,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
         n_jobs: Optional[int] = None,
+        shared_cache: Optional[bool] = None,
+        shared_cache_capacity: Optional[int] = None,
         **base_kwargs,
     ) -> None:
-        super().__init__(n_chains=n_chains, n_jobs=n_jobs)
+        super().__init__(
+            n_chains=n_chains,
+            n_jobs=n_jobs,
+            shared_cache=shared_cache,
+            shared_cache_capacity=shared_cache_capacity,
+        )
         base = self._resolve_base(base, SingleSpaceMHSampler, base_kwargs)
         if not base.record_states:
             raise ConfigurationError(
@@ -358,7 +473,19 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         rng = ensure_rng(seed)
         rngs = self._chain_rngs(rng)
         budgets = split_budget(num_samples, self.n_chains)
-        payload = _ChainPayload("single", graph, self.base, r)
+        store = self._build_shared_store(graph, num_samples)
+        self._shared_cache_stats = None
+        try:
+            return self._run_chain_rounds(graph, r, rngs, budgets, store)
+        finally:
+            if store is not None:
+                store.destroy()
+
+    def _run_chain_rounds(
+        self, graph: Graph, r: Vertex, rngs, budgets, store
+    ) -> MultiChainResult:
+        """The scheduling body of :meth:`run_chains` (store lifecycle handled there)."""
+        payload = _ChainPayload("single", graph, self.base, r, shared_store=store)
         jobs = self._resolved_jobs()
         chains: List[Optional[ChainResult]] = [None] * self.n_chains
         evaluations = 0
@@ -385,7 +512,9 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
             # as the not-converged fallback below.
             segment_sampler = copy.copy(self.base)
             segment_sampler.burn_in = 0
-            payload = _ChainPayload("single", graph, segment_sampler, r)
+            payload = _ChainPayload(
+                "single", graph, segment_sampler, r, shared_store=store
+            )
             converged = False
             rounds = 0
             remaining = list(budgets)
@@ -417,6 +546,8 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
                     for chain in chains:
                         chain.burn_in = self.base.burn_in
                     break
+        if store is not None:
+            self._shared_cache_stats = store.stats()
         diagnostics = diagnose_chains(
             chains, evaluations=evaluations, converged=converged, rounds=rounds
         )
@@ -451,6 +582,8 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
             "rhat_target": self.rhat_target,
             "converged": diag.converged,
             "rounds": diag.rounds,
+            "shared_cache": self._shared_cache_stats is not None,
+            "shared_cache_stats": self._shared_cache_stats,
             "multichain": result,
         }
         if self.n_chains == 1:
@@ -512,10 +645,13 @@ class MultiChainJointSampler(_MultiChainBase):
     """K independent joint-space MH chains with pooled relative scores.
 
     Same spawning, scheduling and determinism contract as
-    :class:`MultiChainMHSampler`; the chains run to their fixed budgets (no
-    adaptive mode — the joint chain's read-outs are per-reference-vertex
-    multisets, not a single trace) and cross-chain R̂ / ESS over the
-    dependency traces are reported in the estimate diagnostics.
+    :class:`MultiChainMHSampler` — including the ``shared_cache`` /
+    ``shared_cache_capacity`` knobs, which pay off doubly here because the
+    joint chain's reference-set reads revisit the same sources across every
+    chain; the chains run to their fixed budgets (no adaptive mode — the
+    joint chain's read-outs are per-reference-vertex multisets, not a single
+    trace) and cross-chain R̂ / ESS over the dependency traces are reported
+    in the estimate diagnostics.
     """
 
     name = "mh-joint-multichain"
@@ -526,9 +662,16 @@ class MultiChainJointSampler(_MultiChainBase):
         *,
         n_chains: int = 4,
         n_jobs: Optional[int] = None,
+        shared_cache: Optional[bool] = None,
+        shared_cache_capacity: Optional[int] = None,
         **base_kwargs,
     ) -> None:
-        super().__init__(n_chains=n_chains, n_jobs=n_jobs)
+        super().__init__(
+            n_chains=n_chains,
+            n_jobs=n_jobs,
+            shared_cache=shared_cache,
+            shared_cache_capacity=shared_cache_capacity,
+        )
         self.base = self._resolve_base(base, JointSpaceMHSampler, base_kwargs)
 
     def run_chains(
@@ -544,13 +687,23 @@ class MultiChainJointSampler(_MultiChainBase):
         rng = ensure_rng(seed)
         rngs = self._chain_rngs(rng)
         budgets = split_budget(num_samples, self.n_chains)
-        payload = _ChainPayload("joint", graph, self.base, members)
-        tasks = [(i, rngs[i], budgets[i]) for i in range(self.n_chains)]
-        chains, _, evaluations = self._run_round(
-            payload, tasks, _run_fixed_shard, self._resolved_jobs(),
-            [None] * self.n_chains, rngs,
-        )
-        return list(chains), evaluations
+        store = self._build_shared_store(graph, num_samples)
+        self._shared_cache_stats = None
+        try:
+            payload = _ChainPayload(
+                "joint", graph, self.base, members, shared_store=store
+            )
+            tasks = [(i, rngs[i], budgets[i]) for i in range(self.n_chains)]
+            chains, _, evaluations = self._run_round(
+                payload, tasks, _run_fixed_shard, self._resolved_jobs(),
+                [None] * self.n_chains, rngs,
+            )
+            if store is not None:
+                self._shared_cache_stats = store.stats()
+            return list(chains), evaluations
+        finally:
+            if store is not None:
+                store.destroy()
 
     def estimate_relative(
         self,
@@ -586,6 +739,8 @@ class MultiChainJointSampler(_MultiChainBase):
             "ess": multichain_ess(traces),
             "acceptance_rates": acceptance_rates,
             "evaluations": evaluations,
+            "shared_cache": self._shared_cache_stats is not None,
+            "shared_cache_stats": self._shared_cache_stats,
         }
         plan = self.base._plan()
         if plan is not None:
@@ -614,7 +769,11 @@ class MultiChainEdgeSampler(_MultiChainBase):
     Mirrors :class:`MultiChainMHSampler` for the edge extension: fixed
     per-chain budgets, one shared :class:`EdgeDependencyOracle` per worker
     process, sample-weighted pooled estimate, split-R̂ / pooled ESS
-    diagnostics.
+    diagnostics.  The cross-process ``shared_cache`` is deliberately not
+    offered here: the edge oracle caches one *scalar* per source (the
+    dependency on a fixed edge), so there is no expensive vector worth a
+    shared-memory arena — recomputing a scalar's pass is the whole cost
+    either way.
     """
 
     name = "mh-edge-multichain"

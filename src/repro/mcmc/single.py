@@ -326,7 +326,7 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
     # ------------------------------------------------------------------
     # Chain
     # ------------------------------------------------------------------
-    def build_oracle(self, graph: Graph) -> DependencyOracle:
+    def build_oracle(self, graph: Graph, *, shared_store=None) -> DependencyOracle:
         """Return a :class:`DependencyOracle` configured like this sampler's private one.
 
         The single place the sampler's oracle knobs (``cache_size``,
@@ -334,6 +334,10 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
         :meth:`run_chain`, :meth:`extend_chain` and the multi-chain worker
         payload all construct through here, so a new oracle parameter can
         never silently diverge between the inline and pooled paths.
+        *shared_store* attaches the multi-chain driver's cross-process
+        dependency arena (:mod:`repro.execution.shared_cache`); ``None`` —
+        the default for every direct use of this sampler — keeps the oracle
+        fully private.
         """
         plan = self._plan()
         return DependencyOracle(
@@ -341,6 +345,7 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
             cache_size=self.cache_size,
             backend=self.backend,
             batch_size=plan.batch_size if plan is not None else None,
+            shared_store=shared_store,
         )
 
     def run_chain(

@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main_with_args
+from repro.execution.shared_cache import shared_memory_available
 from repro.graphs import barbell_graph
 from repro.graphs.io import write_edge_list
 
@@ -216,6 +217,43 @@ class TestMultiChainFlags:
              "--samples", "20", "--chains", "4"]
         )
         assert code == 2
+
+    @pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="asserts the arena engaged; platforms without shared memory "
+        "fall back to private caches by design",
+    )
+    def test_estimate_with_shared_cache(self, barbell_file):
+        base = ["estimate", "--graph", barbell_file, "--vertex", "5",
+                "--samples", "64", "--seed", "7", "--chains", "4", "--jobs", "2"]
+        code_a, out_a = run_cli(base)
+        code_b, out_b = run_cli(base + ["--shared-cache"])
+        assert code_a == code_b == 0
+        private, shared = json.loads(out_a), json.loads(out_b)
+        assert shared["estimate"] == private["estimate"]
+        assert private["shared_cache"] is False and shared["shared_cache"] is True
+
+    def test_shared_cache_rejected_without_chains(self, barbell_file):
+        code, _ = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "20", "--shared-cache"]
+        )
+        assert code == 2
+
+    @pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="asserts the arena engaged; platforms without shared memory "
+        "fall back to private caches by design",
+    )
+    def test_relative_with_shared_cache(self, barbell_file):
+        base = ["relative", "--graph", barbell_file, "--vertices", "5,6,4",
+                "--samples", "120", "--seed", "3", "--chains", "2"]
+        code_a, out_a = run_cli(base)
+        code_b, out_b = run_cli(base + ["--shared-cache"])
+        assert code_a == code_b == 0
+        private, shared = json.loads(out_a), json.loads(out_b)
+        assert shared["ratios"] == private["ratios"]
+        assert shared["shared_cache"] is True
 
     def test_relative_with_chains(self, barbell_file):
         code, output = run_cli(

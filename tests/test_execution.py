@@ -488,6 +488,171 @@ def test_oracle_prefetch_is_a_noop_when_cache_disabled():
 
 
 # ----------------------------------------------------------------------
+# Oracle accounting: hit_rate and the prefetch eviction policy
+# ----------------------------------------------------------------------
+
+
+def test_oracle_hit_rate_after_prefetch_then_hit():
+    """The regression that motivated the split counter: 10 prefetched passes
+    followed by one cache-hit lookup used to report a hit rate of -9.0."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    oracle = DependencyOracle(graph, backend="csr", batch_size=8)
+    oracle.prefetch(graph.vertices()[:10])
+    assert oracle.evaluations == 10
+    assert oracle.prefetch_evaluations == 10
+    assert oracle.hit_rate() == 0.0, "no lookups answered yet"
+    oracle.dependency(graph.vertices()[0], graph.vertices()[-1])
+    assert oracle.lookups == 1
+    assert oracle.hit_rate() == 1.0
+    # A genuine miss degrades the rate but keeps prefetch passes out of it.
+    oracle.dependency(graph.vertices()[20], graph.vertices()[-1])
+    assert oracle.hit_rate() == 0.5
+    assert oracle.evaluations == 11, "evaluations still count every pass (E8)"
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["prefetch", "lookup"]), st.integers(0, 24)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.sampled_from([None, 0, 1, 3, 8]),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_oracle_hit_rate_stays_in_unit_interval(ops, cache_size):
+    """Property: whatever the interleaving of prefetches and lookups (and
+    whatever the cache bound), hit_rate() never leaves [0, 1]."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    vertices = graph.vertices()
+    oracle = DependencyOracle(
+        graph, backend="csr", cache_size=cache_size, batch_size=4
+    )
+    for op, index in ops:
+        if op == "prefetch":
+            oracle.prefetch(vertices[index : index + 6])
+        else:
+            oracle.dependency(vertices[index], vertices[-1])
+        assert 0.0 <= oracle.hit_rate() <= 1.0
+
+
+def test_oracle_prefetch_caps_at_free_slots_then_half_capacity():
+    """The occupancy-aware cap: free slots are filled first (evicting
+    nothing), and on a full cache a prefetch claims at most half the
+    capacity, so batching survives while the recent half of the cache —
+    the MRU included — never gets flushed."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    vertices = graph.vertices()
+    oracle = DependencyOracle(graph, backend="csr", cache_size=4, batch_size=8)
+    r = vertices[-1]
+    oracle.dependency(vertices[0], r)  # occupancy 1
+    assert oracle.prefetch(vertices[1:20]) == 3, "3 free slots -> 3 passes"
+    # Everything cached so far is still cached: all four are pure hits.
+    before = oracle.evaluations
+    for s in vertices[:4]:
+        oracle.dependency(s, r)
+    assert oracle.evaluations == before
+    # Full cache: the next block claims capacity // 2 = 2 slots (keeping
+    # the batch kernels in play), evicting only the two LRU entries — the
+    # two most recently touched vectors survive.
+    assert oracle.prefetch(vertices[10:20]) == 2
+    before = oracle.evaluations
+    oracle.dependency(vertices[3], r)  # MRU of the pre-block cache
+    oracle.dependency(vertices[2], r)  # second-newest
+    assert oracle.evaluations == before
+
+
+def test_oracle_prefetch_never_evicts_the_live_state_vector():
+    """The chain access pattern behind the bug: the vector of the state the
+    chain sits on must survive a full-capacity prefetch block, so revisits
+    (rejection-heavy stretches re-propose the current vertex) stay free."""
+    graph = barabasi_albert_graph(25, 2, seed=2)
+    vertices = graph.vertices()
+    r = vertices[-1]
+    oracle = DependencyOracle(graph, backend="csr", cache_size=3, batch_size=4)
+    state = vertices[0]
+    oracle.dependency(state, r)  # the live state's vector
+    oracle.prefetch(vertices[1:10])  # an over-capacity proposal block
+    before = oracle.evaluations
+    oracle.dependency(state, r)  # the revisit an earlier revision re-paid
+    assert oracle.evaluations == before
+
+
+def test_oracle_bounded_cache_chain_estimate_and_passes():
+    """Chain-level acceptance: on a rejection-heavy chain a bounded cache
+    yields the same estimate as an unbounded one, and — now that prefetch
+    stopped flushing the cache — strictly fewer passes than the
+    every-query-is-a-miss worst case."""
+    graph = barabasi_albert_graph(25, 2, seed=6)
+    r = graph.vertices()[0]  # early BA vertex: a hub, so most proposals lose
+    iterations = 120
+    sampler_kwargs = dict(batch_size=4, backend="csr")
+    unbounded = SingleSpaceMHSampler(**sampler_kwargs).run_chain(
+        graph, r, iterations, seed=17
+    )
+    bounded = SingleSpaceMHSampler(cache_size=4, **sampler_kwargs).run_chain(
+        graph, r, iterations, seed=17
+    )
+    assert bounded.states == unbounded.states, "cache bound must be result-neutral"
+    assert (
+        sum(1 for s in bounded.states[1:] if not s.accepted) > iterations / 3
+    ), "the scenario should be rejection-heavy, or this test checks nothing"
+    assert bounded.evaluations < iterations + 1, (
+        "revisited sources must hit the bounded cache; a full-capacity "
+        "prefetch flushing the cache would push this to the miss-only count"
+    )
+
+
+# ----------------------------------------------------------------------
+# sample_shards: arithmetic shard sizing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "num_samples", [0, 1, 255, 256, 257, 512, 600, 1024, 10_000]
+)
+def test_sample_shards_matches_the_list_based_implementation(num_samples):
+    """sample_shards computes shard lengths arithmetically; the payloads must
+    pin the old list-materialising implementation exactly — same counts,
+    same child streams, same parent-stream advancement."""
+    from repro.execution import sample_shards
+
+    rng_new, rng_old = random.Random(97), random.Random(97)
+    new = sample_shards(num_samples, rng_new)
+    old_shards = split_shards(list(range(num_samples)))
+    old = [
+        (len(shard), shard_rng)
+        for shard, shard_rng in zip(old_shards, shard_rngs(rng_old, len(old_shards)))
+    ]
+    assert [count for count, _ in new] == [count for count, _ in old]
+    assert [shard_rng.random() for _, shard_rng in new] == [
+        shard_rng.random() for _, shard_rng in old
+    ]
+    assert rng_new.random() == rng_old.random(), "parent streams must stay in lockstep"
+
+
+def test_sample_shards_cost_is_per_shard_not_per_sample():
+    """The satellite's point: shard sizing is O(#shards).  A multi-million
+    budget resolves through arithmetic — the old implementation materialised
+    ``list(range(budget))`` just to count it."""
+    import tracemalloc
+
+    from repro.execution import sample_shards
+
+    budget = 2_560_000 + 7
+    tracemalloc.start()
+    shards = sample_shards(budget, random.Random(1))
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert len(shards) == budget // DEFAULT_SHARD_SIZE + 1
+    assert shards[0][0] == DEFAULT_SHARD_SIZE
+    assert shards[-1][0] == budget % DEFAULT_SHARD_SIZE == 7
+    # The legitimate cost is the ~10k child generators (a Mersenne-Twister
+    # state is ~2.5 KB, so ~25 MB); a 2.56M-element index list would add
+    # ~70 MB of list + int objects on CPython and blow this bound.
+    assert peak < 40_000_000
+
+
+# ----------------------------------------------------------------------
 # Adaptive batch-size selection
 # ----------------------------------------------------------------------
 
