@@ -1,0 +1,309 @@
+"""E14 — persistent execution runtime / warm-session serving receipt.
+
+The PR 4 state of the library answered every query cold: ``run_sharded``
+built and tore down a multiprocessing pool per call, the shared dependency
+arena lived for exactly one run, and every request re-shipped the CSR
+snapshot to fresh workers.  The persistent runtime
+(:mod:`repro.execution.runtime` behind
+:class:`repro.centrality.session.BetweennessSession`) amortises all of it
+across a session; this benchmark is the receipt, on the reference BA graph
+with a 32-query mixed serving workload (single-vertex MH estimates,
+relative-betweenness sets and top-k rankings, with the repeats a serving
+workload actually sees — dashboards poll, users retry, hot vertices stay
+hot):
+
+* **E14 (throughput)** — the identical fixed-seed workload answered twice:
+  once *cold* (one fresh API call per query — per-call pool, per-call
+  arena) and once *warm* (one session).  The acceptance property is
+  ``cold_seconds / warm_seconds >= 2`` at the receipt size, with
+  ``cpu_count`` stamped so pool-spawn versus cache-hit contributions stay
+  attributable.
+* **E14-identity** — every one of the 32 warm answers is asserted
+  bit-identical to its cold twin (per-request rng streams derive from the
+  request seed, never from session state; warm caches serve vectors that
+  are bit-identical to recomputation).
+* **Zero cross-request redundancy** — for every repeated query template the
+  warm repeat performs **0** Brandes passes (``redundant_passes`` column):
+  a dependency vector computed for query 1 is a cache hit for queries
+  2..N through the persistent arena and the warm worker caches.
+
+Run directly (``python benchmarks/bench_e14_session.py``) or through pytest
+with the other ``bench_e*`` modules.  ``REPRO_BENCH_SIZE=tiny`` (the
+default) uses a smaller graph for smoke runs; the committed receipt under
+``benchmarks/results/`` is produced with ``REPRO_BENCH_SIZE=small`` — the
+BA(5000, 3) configuration of the acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from harness import bench_seed, bench_size, emit_table
+
+from repro.centrality import BetweennessSession, betweenness_single, relative_betweenness
+from repro.execution import ExecutionPlan
+from repro.execution.shared_cache import shared_memory_available
+from repro.graphs import barabasi_albert_graph
+from repro.graphs.csr import np
+
+#: Graph size per REPRO_BENCH_SIZE tier (attachment parameter fixed at 3;
+#: ``small`` is the BA(5000, 3) acceptance configuration).
+GRAPH_SIZES = {"tiny": 600, "small": 5000, "medium": 5000}
+#: Chain budget of each MH estimate query / joint budget of each set query.
+EST_SAMPLES = {"tiny": 48, "small": 96, "medium": 192}
+SET_SAMPLES = {"tiny": 48, "small": 96, "medium": 192}
+#: Execution knobs every query runs under (cold and warm identically).
+BENCH_JOBS = 2
+BATCH_SIZE = 16
+CHAINS = 2
+#: Persistent-arena rows of the warm session (ample for the workload's
+#: unique sources at every size; the cold path sizes its per-call arenas
+#: from each run's own budget as always).
+ARENA_CAPACITY = 4096
+#: The warm-over-cold throughput target of the acceptance criterion.
+SPEEDUP_TARGET = 2.0
+
+
+def _graph_size() -> int:
+    return GRAPH_SIZES.get(bench_size(), GRAPH_SIZES["tiny"])
+
+
+def _bench_graph():
+    graph = barabasi_albert_graph(_graph_size(), 3, seed=bench_seed())
+    graph.csr()  # take the snapshot outside every timed region
+    return graph
+
+
+def _workload(graph):
+    """The 32-query mixed serving workload (8 estimate templates x2, 2
+    relative templates x4, 2 ranking templates x4), deterministically
+    interleaved the way traffic arrives: repeats spread out, kinds mixed."""
+    v = graph.vertices()
+    est = EST_SAMPLES.get(bench_size(), EST_SAMPLES["tiny"])
+    rel = SET_SAMPLES.get(bench_size(), SET_SAMPLES["tiny"])
+    estimates = [
+        ("estimate", {"vertex": v[i], "samples": est, "seed": 100 + i})
+        for i in range(8)
+    ]
+    relatives = [
+        ("relative", {"vertices": [v[0], v[3], v[9], v[17]], "samples": rel, "seed": 50}),
+        ("relative", {"vertices": [v[1], v[5], v[28]], "samples": rel, "seed": 51}),
+    ]
+    rankings = [
+        ("ranking", {"vertices": [v[i] for i in range(12)], "k": 5, "samples": rel, "seed": 60}),
+        ("ranking", {"vertices": [v[i] for i in range(12, 24)], "k": 5, "samples": rel, "seed": 61}),
+    ]
+    queries = []
+    for round_index in range(4):
+        if round_index < 2:
+            queries.extend(estimates[round_index * 4 : round_index * 4 + 4])
+        else:
+            queries.extend(estimates[(round_index - 2) * 4 : (round_index - 2) * 4 + 4])
+        queries.append(relatives[round_index % 2])
+        queries.append(relatives[(round_index + 1) % 2])
+        queries.append(rankings[round_index % 2])
+        queries.append(rankings[(round_index + 1) % 2])
+    assert len(queries) == 32
+    return queries
+
+
+def _cold_answer(graph, kind, spec):
+    """One fresh API call — per-call pool, per-call arena, cold oracle."""
+    if kind == "estimate":
+        result = betweenness_single(
+            graph,
+            spec["vertex"],
+            method="mh",
+            samples=spec["samples"],
+            seed=spec["seed"],
+            backend="csr",
+            batch_size=BATCH_SIZE,
+            n_jobs=BENCH_JOBS,
+            n_chains=CHAINS,
+            shared_cache=True,
+        )
+        return result.estimate, result.diagnostics.get("evaluations")
+    estimate = relative_betweenness(
+        graph,
+        spec["vertices"],
+        samples=spec["samples"],
+        seed=spec["seed"],
+        backend="csr",
+        batch_size=BATCH_SIZE,
+        n_jobs=BENCH_JOBS,
+        n_chains=CHAINS,
+        shared_cache=True,
+    )
+    evaluations = estimate.diagnostics.get("evaluations")
+    if kind == "ranking":
+        return estimate.ranking()[: spec["k"]], evaluations
+    return estimate.ratios, evaluations
+
+
+def _warm_answer(session, kind, spec):
+    """The same query through the warm session."""
+    if kind == "estimate":
+        result = session.estimate(
+            spec["vertex"],
+            method="mh",
+            samples=spec["samples"],
+            seed=spec["seed"],
+            n_chains=CHAINS,
+        )
+        return result.estimate, result.diagnostics.get("evaluations")
+    estimate = session.relative(
+        spec["vertices"], samples=spec["samples"], seed=spec["seed"], n_chains=CHAINS
+    )
+    evaluations = estimate.diagnostics.get("evaluations")
+    if kind == "ranking":
+        return estimate.ranking()[: spec["k"]], evaluations
+    return estimate.ratios, evaluations
+
+
+def _spec_key(kind, spec):
+    if kind == "estimate":
+        return (kind, spec["vertex"], spec["samples"], spec["seed"])
+    return (kind, tuple(spec["vertices"]), spec["samples"], spec["seed"])
+
+
+def _run_workloads():
+    graph = _bench_graph()
+    queries = _workload(graph)
+
+    cold_answers = []
+    cold_start = time.perf_counter()
+    for kind, spec in queries:
+        cold_answers.append(_cold_answer(graph, kind, spec))
+    cold_seconds = time.perf_counter() - cold_start
+
+    plan = ExecutionPlan(backend="csr", batch_size=BATCH_SIZE, n_jobs=BENCH_JOBS)
+    warm_answers = []
+    warm_start = time.perf_counter()
+    with BetweennessSession(graph, plan, arena_capacity=ARENA_CAPACITY) as session:
+        for kind, spec in queries:
+            warm_answers.append(_warm_answer(session, kind, spec))
+        arena = session.stats()["context"]["arena"]
+    warm_seconds = time.perf_counter() - warm_start
+
+    identity_rows = []
+    seen = set()
+    redundant_passes = 0
+    repeat_queries = 0
+    for (kind, spec), cold, warm in zip(queries, cold_answers, warm_answers):
+        identical = warm[0] == cold[0]
+        assert identical, (
+            f"warm answer diverged from the cold path for {kind} {spec}: "
+            f"{warm[0]!r} != {cold[0]!r}"
+        )
+        key = _spec_key(kind, spec)
+        repeat = key in seen
+        seen.add(key)
+        if repeat:
+            repeat_queries += 1
+            redundant_passes += warm[1] or 0
+        identity_rows.append(
+            {
+                "op": kind,
+                "repeat": repeat,
+                "bit_identical": identical,
+                "cold_evaluations": cold[1],
+                "warm_evaluations": warm[1],
+            }
+        )
+
+    throughput_row = {
+        "queries": len(queries),
+        "unique_templates": len(seen),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "repeat_queries": repeat_queries,
+        "redundant_passes": redundant_passes,
+        "arena_published": arena["published"] if arena else None,
+        "arena_full": arena["full"] if arena else None,
+    }
+    return throughput_row, identity_rows
+
+
+THROUGHPUT_COLUMNS = [
+    "queries", "unique_templates", "cold_seconds", "warm_seconds", "speedup",
+    "repeat_queries", "redundant_passes", "arena_published", "arena_full",
+]
+IDENTITY_COLUMNS = [
+    "op", "repeat", "bit_identical", "cold_evaluations", "warm_evaluations",
+]
+
+
+def _emit_all():
+    size = _graph_size()
+    throughput_row, identity_rows = _run_workloads()
+    emit_table(
+        "E14",
+        f"warm session vs cold per-call API on a BA({size}, 3) graph "
+        f"(32-query mixed workload, K={CHAINS}, n_jobs={BENCH_JOBS}, "
+        f"batch={BATCH_SIZE}, cpu_count={multiprocessing.cpu_count()})",
+        [throughput_row],
+        THROUGHPUT_COLUMNS,
+    )
+    emit_table(
+        "E14-identity",
+        "per-query warm-vs-cold bit-identity and Brandes-pass counts",
+        identity_rows,
+        IDENTITY_COLUMNS,
+    )
+    return throughput_row
+
+
+@pytest.mark.skipif(
+    np is None or not shared_memory_available(),
+    reason="the session benchmark requires numpy and working shared memory",
+)
+@pytest.mark.benchmark(group="e14")
+def test_e14_session(benchmark):
+    """Regenerate the E14 tables and time one warm repeat query."""
+    row = _emit_all()
+
+    graph = _bench_graph()
+    plan = ExecutionPlan(backend="csr", batch_size=BATCH_SIZE, n_jobs=BENCH_JOBS)
+    with BetweennessSession(graph, plan, arena_capacity=ARENA_CAPACITY) as session:
+        hub = graph.vertices()[0]
+        session.estimate(hub, method="mh", samples=48, seed=1, n_chains=CHAINS)
+        benchmark.pedantic(
+            lambda: session.estimate(hub, method="mh", samples=48, seed=1, n_chains=CHAINS),
+            rounds=3,
+            iterations=1,
+        )
+    benchmark.extra_info["speedup"] = row["speedup"]
+    # Bit-identity is asserted inside _run_workloads at every size.  The
+    # throughput and zero-redundancy gates hold at the receipt sizes only:
+    # at tiny scale the absolute per-query cost is milliseconds and pool
+    # management noise dominates both sides of the ratio.
+    if bench_size() != "tiny":
+        assert row["redundant_passes"] == 0, (
+            f"warm repeats re-ran {row['redundant_passes']} Brandes passes"
+        )
+        assert row["speedup"] >= SPEEDUP_TARGET, (
+            f"warm session speedup {row['speedup']:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target"
+        )
+
+
+def main() -> None:
+    if np is None or not shared_memory_available():
+        raise SystemExit(
+            "the session benchmark requires numpy and working shared memory"
+        )
+    row = _emit_all()
+    print(
+        f"warm session: {row['speedup']:.2f}x over cold per-call "
+        f"(target: >= {SPEEDUP_TARGET}x at REPRO_BENCH_SIZE=small), "
+        f"{row['redundant_passes']} redundant Brandes passes across "
+        f"{row['repeat_queries']} repeat queries"
+    )
+
+
+if __name__ == "__main__":
+    main()

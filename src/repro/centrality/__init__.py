@@ -10,11 +10,13 @@ from repro.centrality.api import (
     relative_betweenness,
     suggested_chain_length,
 )
+from repro.centrality.session import BetweennessSession
 
 __all__ = [
     "SINGLE_VERTEX_METHODS",
     "MCMC_SINGLE_METHODS",
     "DEFAULT_CHAINS",
+    "BetweennessSession",
     "betweenness_single",
     "betweenness_exact",
     "relative_betweenness",

@@ -45,12 +45,24 @@ __all__ = [
     "SINGLE_VERTEX_METHODS",
     "MCMC_SINGLE_METHODS",
     "DEFAULT_CHAINS",
+    "BetweennessSession",
     "betweenness_single",
     "betweenness_exact",
     "relative_betweenness",
     "betweenness_ranking",
     "suggested_chain_length",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-export: the session module builds on this one, so importing
+    # it eagerly here would be circular.  ``from repro.centrality.api
+    # import BetweennessSession`` still works (PEP 562).
+    if name == "BetweennessSession":
+        from repro.centrality.session import BetweennessSession
+
+        return BetweennessSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Chains the multi-chain driver runs when only ``rhat_target`` was given.
 DEFAULT_CHAINS = 4

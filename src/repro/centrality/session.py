@@ -1,0 +1,382 @@
+"""Warm, multi-query estimation sessions over one graph.
+
+:func:`~repro.centrality.api.betweenness_single` and friends are one-shot:
+every call pays full cold-start — a fresh worker pool, the graph re-shipped
+to every worker, a fresh dependency arena, a fresh oracle.  A
+:class:`BetweennessSession` amortises all of it behind the exact same
+estimators: one :class:`~repro.execution.runtime.ExecutionContext` owns a
+persistent worker pool, interned worker payloads and a cross-request
+dependency arena, so query 1 warms what queries 2..N reuse.
+
+Example
+-------
+>>> from repro.graphs import barbell_graph
+>>> from repro.centrality import BetweennessSession
+>>> g = barbell_graph(6, 2)
+>>> with BetweennessSession(g) as s:
+...     a = s.estimate(6, samples=200, seed=7)
+...     b = s.estimate(6, samples=200, seed=7)   # warm: oracle hits
+>>> a.estimate == b.estimate
+True
+
+Determinism contract
+--------------------
+A session result is **bit-identical** to the cold per-call API result for
+the same knobs and seed: per-request rng streams are derived from the
+request's seed (never from session state), and every piece of warm state —
+arena rows, oracle caches, installed payloads — serves dependency vectors
+that are bit-identical to what a cold run would recompute (the kernel
+contract of :mod:`repro.shortest_paths.batch`).  Only work counters
+(``evaluations``) and wall-clock move; ``benchmarks/bench_e14_session.py``
+is the receipt.
+
+Mutating the session's graph between queries is allowed: the next query
+notices the version stamp, drops the arena, the interned payloads and the
+warm oracles, re-checks connectivity, and answers against the new graph —
+bit-identical to a cold call on the mutated graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro._rng import RandomState
+from repro.centrality.api import (
+    DEFAULT_CHAINS,
+    MCMC_SINGLE_METHODS,
+    SINGLE_VERTEX_METHODS,
+)
+from repro.errors import ConfigurationError
+from repro.exact.brandes import betweenness_centrality
+from repro.exact.single_vertex import betweenness_of_vertex
+from repro.execution import ExecutionContext, ExecutionPlan, resolve_plan
+from repro.graphs.core import Graph, Vertex
+from repro.graphs.csr import resolve_backend
+from repro.graphs.utils import ensure_connected
+from repro.mcmc.joint import JointSpaceMHSampler, RelativeBetweennessEstimate
+from repro.mcmc.multichain import MultiChainJointSampler, MultiChainMHSampler
+from repro.samplers.base import SingleEstimate
+
+__all__ = ["BetweennessSession"]
+
+
+class BetweennessSession:
+    """A warm execution context plus the estimator registry it serves.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query of this session runs against.  It may be
+        mutated between queries — the session invalidates its warm state on
+        the next call (see the module docstring) — but must stay connected
+        while ``check_connected`` is on (the paper's standing assumption).
+    plan:
+        Optional :class:`~repro.execution.ExecutionPlan` fixing the
+        execution knobs of every query: backend, batch size, worker count,
+        multiprocessing start method.  ``None`` resolves from the
+        ``REPRO_*`` environment overrides like every estimator does; with
+        nothing set, queries run on the legacy sequential paths (the warm
+        arena and oracles still apply).
+    backend:
+        Traversal backend of every query when *plan* is ``None`` (a plan's
+        own ``backend`` field wins otherwise).  Lets a sequential session
+        force ``"dict"`` / ``"csr"`` without engaging the execution engine
+        — an engaged plan switches the MCMC samplers onto the prefetch
+        discipline, which a backend choice alone must not do.
+    arena_capacity:
+        Rows of the persistent dependency arena (``None`` = byte-budget
+        heuristic, see :func:`repro.execution.runtime.default_arena_rows`).
+    check_connected:
+        Verify connectivity at session start and again after any mutation.
+
+    Use as a context manager (or call :meth:`close`): the session owns
+    worker processes and a shared-memory segment.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        plan: Optional[ExecutionPlan] = None,
+        *,
+        backend: str = "auto",
+        arena_capacity: Optional[int] = None,
+        check_connected: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.plan = resolve_plan(plan, backend=backend)
+        self.backend = self.plan.backend if self.plan is not None else backend
+        self.check_connected = bool(check_connected)
+        self._context = ExecutionContext(
+            n_jobs=self.plan.n_jobs if self.plan is not None else None,
+            mp_context=self.plan.mp_context if self.plan is not None else None,
+            arena_capacity=arena_capacity,
+        )
+        self._estimators: Dict[object, object] = {}
+        self._oracles: Dict[object, object] = {}
+        self._plan_with_runtime: Optional[ExecutionPlan] = (
+            dataclasses.replace(self.plan, runtime=self._context)
+            if self.plan is not None
+            else None
+        )
+        self._queries = 0
+        self._closed = False
+        if self.check_connected:
+            ensure_connected(graph)
+        # Stamp by reference *and* version: replacing ``session.graph``
+        # with a different object must invalidate exactly like a mutation,
+        # even when the two graphs happen to share a version number.
+        self._stamped_graph = graph
+        self._version = graph.version
+        self._context.refresh(graph)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        """The session's warm :class:`~repro.execution.runtime.ExecutionContext`."""
+        return self._context
+
+    def _begin(self) -> None:
+        """Per-query entry: closed-check and graph-change handling."""
+        if self._closed:
+            raise ConfigurationError("the session has been closed")
+        if self.graph is not self._stamped_graph or self.graph.version != self._version:
+            # The graph changed since the last query (mutated, or the
+            # ``graph`` attribute was rebound to another object): every
+            # piece of warm state keyed to the old snapshot is now invalid.
+            # The context drops its arena and interned payloads; the warm
+            # oracles are ours to drop.
+            self._context.refresh(self.graph)
+            self._oracles.clear()
+            if self.check_connected:
+                ensure_connected(self.graph)
+            self._stamped_graph = self.graph
+            self._version = self.graph.version
+        self._queries += 1
+
+    def _knobs(self):
+        """The (backend, batch_size, n_jobs) triple the cold API would use."""
+        if self.plan is None:
+            return self.backend, None, None
+        return self.plan.backend, self.plan.batch_size, self.plan.n_jobs
+
+    def _attach(self, sampler):
+        """Point a sampler's pool work at the session's persistent context."""
+        sampler.mp_context = self.plan.mp_context if self.plan is not None else None
+        sampler.runtime = self._context
+        return sampler
+
+    def _sampler(self, method: str):
+        """Memoized per-method estimator, constructed exactly like the cold API."""
+        key = ("single", method)
+        sampler = self._estimators.get(key)
+        if sampler is None:
+            backend, batch_size, n_jobs = self._knobs()
+            sampler = SINGLE_VERTEX_METHODS[method](backend, batch_size, n_jobs)
+            self._attach(sampler)
+            self._estimators[key] = sampler
+        return sampler
+
+    def _oracle(self, kind: str, sampler):
+        """Memoized warm dependency oracle (arena-attached on CSR)."""
+        key = (kind, self.graph.version)
+        oracle = self._oracles.get(key)
+        if oracle is None:
+            store = None
+            if resolve_backend(sampler.backend) == "csr":
+                store = self._context.dependency_arena(self.graph)
+            oracle = sampler.build_oracle(self.graph, shared_store=store)
+            self._oracles[key] = oracle
+        return oracle
+
+    def _multichain_driver(
+        self, method: str, n_chains: Optional[int], rhat_target: Optional[float]
+    ) -> MultiChainMHSampler:
+        key = ("multichain", method, n_chains, rhat_target)
+        driver = self._estimators.get(key)
+        if driver is None:
+            backend, batch_size, _ = self._knobs()
+            # Mirrors the cold API: the driver owns n_jobs (chains are the
+            # unit of parallel work); the base keeps batch-prefetching.
+            base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
+            driver = MultiChainMHSampler(
+                base,
+                n_chains=n_chains if n_chains is not None else DEFAULT_CHAINS,
+                rhat_target=rhat_target,
+                n_jobs=self.plan.n_jobs if self.plan is not None else None,
+                mp_context=self.plan.mp_context if self.plan is not None else None,
+                runtime=self._context,
+            )
+            self._estimators[key] = driver
+        return driver
+
+    def _joint_sampler(self) -> JointSpaceMHSampler:
+        key = ("joint",)
+        sampler = self._estimators.get(key)
+        if sampler is None:
+            backend, batch_size, n_jobs = self._knobs()
+            sampler = JointSpaceMHSampler(
+                backend=backend, batch_size=batch_size, n_jobs=n_jobs
+            )
+            self._attach(sampler)
+            self._estimators[key] = sampler
+        return sampler
+
+    def _joint_driver(self, n_chains: int) -> MultiChainJointSampler:
+        key = ("joint-multichain", n_chains)
+        driver = self._estimators.get(key)
+        if driver is None:
+            backend, batch_size, _ = self._knobs()
+            driver = MultiChainJointSampler(
+                JointSpaceMHSampler(backend=backend, batch_size=batch_size),
+                n_chains=n_chains,
+                n_jobs=self.plan.n_jobs if self.plan is not None else None,
+                mp_context=self.plan.mp_context if self.plan is not None else None,
+                runtime=self._context,
+            )
+            self._estimators[key] = driver
+        return driver
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        r: Vertex,
+        *,
+        method: str = "mh",
+        samples: int = 200,
+        seed: RandomState = None,
+        n_chains: Optional[int] = None,
+        rhat_target: Optional[float] = None,
+    ) -> SingleEstimate:
+        """Estimate ``BC(r)`` — the warm twin of :func:`betweenness_single`.
+
+        Same methods, same semantics, bit-identical results at a fixed
+        seed; the session's plan supplies the execution knobs.  MCMC
+        queries read and publish dependency vectors through the session's
+        persistent arena and warm oracles, so sources any earlier query
+        touched are cache hits here.
+        """
+        if method not in SINGLE_VERTEX_METHODS:
+            raise ConfigurationError(
+                f"unknown method {method!r}; expected one of "
+                f"{sorted(SINGLE_VERTEX_METHODS)}"
+            )
+        multichain = n_chains is not None or rhat_target is not None
+        if multichain and method not in MCMC_SINGLE_METHODS:
+            raise ConfigurationError(
+                f"n_chains / rhat_target apply to the MCMC methods "
+                f"{sorted(MCMC_SINGLE_METHODS)} only; got {method!r}"
+            )
+        self._begin()
+        if multichain:
+            driver = self._multichain_driver(method, n_chains, rhat_target)
+            return driver.estimate(self.graph, r, samples, seed=seed)
+        sampler = self._sampler(method)
+        if method in MCMC_SINGLE_METHODS:
+            oracle = self._oracle("single", sampler)
+            return sampler.estimate(self.graph, r, samples, seed=seed, oracle=oracle)
+        return sampler.estimate(self.graph, r, samples, seed=seed)
+
+    def relative(
+        self,
+        reference_set: Sequence[Vertex],
+        *,
+        samples: int = 1000,
+        seed: RandomState = None,
+        n_chains: Optional[int] = None,
+    ) -> RelativeBetweennessEstimate:
+        """Pairwise relative scores of *reference_set* — warm twin of
+        :func:`relative_betweenness`."""
+        self._begin()
+        if n_chains is not None:
+            driver = self._joint_driver(n_chains)
+            return driver.estimate_relative(
+                self.graph, reference_set, samples, seed=seed
+            )
+        sampler = self._joint_sampler()
+        oracle = self._oracle("joint", sampler)
+        return sampler.estimate_relative(
+            self.graph, reference_set, samples, seed=seed, oracle=oracle
+        )
+
+    def ranking(
+        self,
+        vertices: Union[int, Iterable[Vertex], None] = None,
+        *,
+        k: Optional[int] = None,
+        samples: int = 1000,
+        seed: RandomState = None,
+        n_chains: Optional[int] = None,
+    ) -> List[Vertex]:
+        """Rank vertices by estimated betweenness (descending), warm.
+
+        ``ranking(5)`` ranks every vertex of the graph and returns the top
+        5; ``ranking([...], k=3)`` restricts the candidate set.  Built on
+        the joint-space chain of :meth:`relative`, so the ranking shares
+        the session's warm arena with every other query.
+        """
+        if isinstance(vertices, int) and k is None:
+            k, vertices = vertices, None
+        members = list(vertices) if vertices is not None else self.graph.vertices()
+        # No _begin() here: the delegated relative() performs it, and one
+        # user-visible query must count once in stats().
+        estimate = self.relative(members, samples=samples, seed=seed, n_chains=n_chains)
+        ranked = estimate.ranking()
+        return ranked if k is None else ranked[:k]
+
+    def exact(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        *,
+        normalization: str = "paper",
+    ) -> Dict[Vertex, float]:
+        """Exact Brandes scores — warm twin of :func:`betweenness_exact`.
+
+        With an engaged plan the per-source passes run on the session's
+        persistent pool against the interned CSR payload (shipped once).
+        """
+        self._begin()
+        backend, batch_size, n_jobs = self._knobs()
+        plan = self._plan_with_runtime
+        if vertices is None:
+            return betweenness_centrality(
+                self.graph, normalization=normalization, backend=backend, plan=plan
+            )
+        return {
+            v: betweenness_of_vertex(
+                self.graph,
+                v,
+                normalization=normalization,
+                backend=backend,
+                plan=plan,
+            )
+            for v in vertices
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle + diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Warm-state diagnostics: query count plus the context's stamp."""
+        return {"queries": self._queries, "context": self._context.stats()}
+
+    def close(self) -> None:
+        """Release the pool and the arena (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._context.close()
+        self._estimators.clear()
+        self._oracles.clear()
+
+    def __enter__(self) -> "BetweennessSession":
+        if self._closed:
+            raise ConfigurationError("the session has been closed")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

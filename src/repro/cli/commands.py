@@ -1,6 +1,6 @@
 """Implementation of the ``repro-bc`` command-line interface.
 
-Four sub-commands, mirroring the public Python API:
+Five sub-commands, mirroring the public Python API:
 
 ``estimate``
     Estimate the betweenness of a single vertex with any registered method.
@@ -9,6 +9,11 @@ Four sub-commands, mirroring the public Python API:
     the joint-space Metropolis-Hastings sampler.
 ``exact``
     Compute exact betweenness (all vertices or a selection) with Brandes.
+``batch``
+    Serve many queries from one warm
+    :class:`~repro.centrality.session.BetweennessSession`: read a JSONL
+    query file (or stdin), stream one JSON result per line.  The graph is
+    loaded once, the worker pool / dependency arena persist across queries.
 ``datasets``
     List the built-in synthetic datasets.
 
@@ -24,12 +29,16 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.centrality.api import (
+    MCMC_SINGLE_METHODS,
     SINGLE_VERTEX_METHODS,
+    _resolve_batch_size,
     betweenness_exact,
     betweenness_single,
     relative_betweenness,
 )
+from repro.centrality.session import BetweennessSession
 from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
+from repro.execution import resolve_plan
 from repro.graphs.csr import BACKENDS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
@@ -91,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent joint chains the sample budget is split over",
     )
     _add_shared_cache_argument(relative)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="serve a JSONL query stream from one warm session "
+        "(graph loaded once, pool and dependency arena reused)",
+    )
+    _add_graph_arguments(batch)
+    batch.add_argument(
+        "--queries",
+        required=True,
+        help="path to a JSONL query file, or '-' for stdin; each line is an "
+        'object like {"op": "estimate", "vertex": 3, "samples": 200, '
+        '"seed": 7} with op one of estimate/relative/ranking/exact',
+    )
+    _add_execution_arguments(batch)
+    batch.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=None,
+        help="default chain count applied to MCMC queries that do not set "
+        '"chains" themselves',
+    )
+    batch.add_argument(
+        "--arena-capacity",
+        type=_positive_int,
+        default=None,
+        help="rows of the session's persistent dependency arena "
+        "(default: byte-budget heuristic)",
+    )
 
     exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
     _add_graph_arguments(exact)
@@ -201,10 +239,62 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
             return _run_relative(args, graph, out)
         if args.command == "exact":
             return _run_exact(args, graph, out)
+        if args.command == "batch":
+            return _run_batch(args, graph, out)
         raise ReproError(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _execution_stamp(diagnostics) -> dict:
+    """The execution stamp every estimating payload shares.
+
+    Same semantics everywhere: null ``jobs`` / ``batch_size`` = engine not
+    engaged, null ``chains`` / ``rhat`` / ``ess`` = the multi-chain driver
+    did not run.  One assembly point instead of each command re-listing the
+    keys (``estimate`` / ``relative`` previously kept diverging copies).
+    """
+    return {
+        "backend": diagnostics.get("backend"),
+        "jobs": diagnostics.get("n_jobs"),
+        "batch_size": diagnostics.get("batch_size"),
+        "chains": diagnostics.get("n_chains"),
+        "rhat": diagnostics.get("rhat"),
+        "ess": diagnostics.get("ess"),
+        "shared_cache": diagnostics.get("shared_cache"),
+    }
+
+
+def _estimate_payload(vertex, result) -> dict:
+    """JSON payload of one single-vertex estimate (shared with ``batch``)."""
+    return {
+        "vertex": str(vertex),
+        "method": result.method,
+        "estimate": result.estimate,
+        "samples": result.samples,
+        "elapsed_seconds": result.elapsed_seconds,
+        "acceptance_rate": result.diagnostics.get("acceptance_rate"),
+        **_execution_stamp(result.diagnostics),
+        # Multi-chain extras: null unless the chains/rhat driver ran.
+        "converged": result.diagnostics.get("converged"),
+    }
+
+
+def _relative_payload(estimate) -> dict:
+    """JSON payload of one relative-betweenness estimate (shared with ``batch``)."""
+    return {
+        **_execution_stamp(estimate.diagnostics),
+        "reference_set": [str(v) for v in estimate.reference_set],
+        "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
+        "acceptance_rate": estimate.acceptance_rate,
+        "ranking": [str(v) for v in estimate.ranking()],
+        "relative": {
+            str(ri): {str(rj): value for rj, value in row.items()}
+            for ri, row in estimate.relative.items()
+        },
+        "ratios": {f"{ri}/{rj}": value for (ri, rj), value in estimate.ratios.items()},
+    }
 
 
 def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
@@ -222,24 +312,7 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         rhat_target=args.rhat,
         shared_cache=args.shared_cache,
     )
-    payload = {
-        "vertex": str(vertex),
-        "method": result.method,
-        "estimate": result.estimate,
-        "samples": result.samples,
-        "elapsed_seconds": result.elapsed_seconds,
-        "acceptance_rate": result.diagnostics.get("acceptance_rate"),
-        "backend": result.diagnostics.get("backend"),
-        "jobs": result.diagnostics.get("n_jobs"),
-        "batch_size": result.diagnostics.get("batch_size"),
-        # Multi-chain diagnostics: null unless the --chains/--rhat driver ran.
-        "chains": result.diagnostics.get("n_chains"),
-        "rhat": result.diagnostics.get("rhat"),
-        "ess": result.diagnostics.get("ess"),
-        "converged": result.diagnostics.get("converged"),
-        "shared_cache": result.diagnostics.get("shared_cache"),
-    }
-    print(json.dumps(payload, indent=2), file=out)
+    print(json.dumps(_estimate_payload(vertex, result), indent=2), file=out)
     return 0
 
 
@@ -256,28 +329,110 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         n_chains=args.chains,
         shared_cache=args.shared_cache,
     )
-    payload = {
-        # The resolved execution stamp, with the same semantics as the
-        # estimate payload: null jobs/batch_size = engine not engaged.
-        "backend": estimate.diagnostics.get("backend"),
-        "jobs": estimate.diagnostics.get("n_jobs"),
-        "batch_size": estimate.diagnostics.get("batch_size"),
-        "chains": estimate.diagnostics.get("n_chains"),
-        "shared_cache": estimate.diagnostics.get("shared_cache"),
-        "rhat": estimate.diagnostics.get("rhat"),
-        "ess": estimate.diagnostics.get("ess"),
-        "reference_set": [str(v) for v in estimate.reference_set],
-        "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
-        "acceptance_rate": estimate.acceptance_rate,
-        "ranking": [str(v) for v in estimate.ranking()],
-        "relative": {
-            str(ri): {str(rj): value for rj, value in row.items()}
-            for ri, row in estimate.relative.items()
-        },
-        "ratios": {f"{ri}/{rj}": value for (ri, rj), value in estimate.ratios.items()},
-    }
-    print(json.dumps(payload, indent=2), file=out)
+    print(json.dumps(_relative_payload(estimate), indent=2), file=out)
     return 0
+
+
+def _batch_result(session: BetweennessSession, query: dict, default_chains) -> dict:
+    """Execute one parsed batch query against the warm session."""
+    op = query.get("op", "estimate")
+    seed = query.get("seed")
+    if op == "estimate":
+        method = query.get("method", "mh")
+        chains = query.get("chains", default_chains if method in MCMC_SINGLE_METHODS else None)
+        vertex = _parse_vertex(str(query["vertex"]))
+        result = session.estimate(
+            vertex,
+            method=method,
+            samples=int(query.get("samples", 200)),
+            seed=seed,
+            n_chains=chains,
+            rhat_target=query.get("rhat"),
+        )
+        return _estimate_payload(vertex, result)
+    chains = query.get("chains", default_chains)
+    if op == "relative":
+        vertices = [_parse_vertex(str(v)) for v in query["vertices"]]
+        estimate = session.relative(
+            vertices, samples=int(query.get("samples", 1000)), seed=seed, n_chains=chains
+        )
+        return _relative_payload(estimate)
+    if op == "ranking":
+        vertices = query.get("vertices")
+        members = (
+            [_parse_vertex(str(v)) for v in vertices] if vertices is not None else None
+        )
+        ranked = session.ranking(
+            members,
+            k=query.get("k"),
+            samples=int(query.get("samples", 1000)),
+            seed=seed,
+            n_chains=chains,
+        )
+        return {"ranking": [str(v) for v in ranked]}
+    if op == "exact":
+        vertices = query.get("vertices")
+        members = (
+            [_parse_vertex(str(v)) for v in vertices] if vertices is not None else None
+        )
+        scores = session.exact(members)
+        items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
+        if query.get("top") is not None:
+            items = items[: int(query["top"])]
+        return {"scores": {str(v): score for v, score in items}}
+    raise ReproError(
+        f"unknown batch op {op!r}; expected estimate/relative/ranking/exact"
+    )
+
+
+def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
+    """Stream JSONL queries through one warm session (one JSON result per line).
+
+    Every query line is answered independently — a malformed or failing
+    query emits an ``error`` record and the stream continues (exit code 1 at
+    the end if anything failed).  The session — graph, worker pool, arena,
+    oracles — stays warm across the whole stream, which is the point: the
+    per-query marginal cost is the estimator work alone.
+    """
+    batch_size = _resolve_batch_size(graph, args.batch_size, args.backend)
+    plan = resolve_plan(
+        None, backend=args.backend, batch_size=batch_size, n_jobs=args.jobs
+    )
+    if args.queries == "-":
+        lines = sys.stdin
+        close_lines = False
+    else:
+        try:
+            lines = open(args.queries, "r", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot read the query file: {exc}")
+        close_lines = True
+    failures = 0
+    try:
+        with BetweennessSession(
+            graph, plan, backend=args.backend, arena_capacity=args.arena_capacity
+        ) as session:
+            for lineno, line in enumerate(lines, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record: dict = {"line": lineno}
+                try:
+                    query = json.loads(line)
+                    if not isinstance(query, dict):
+                        raise ReproError("each query line must be a JSON object")
+                    if "id" in query:
+                        record["id"] = query["id"]
+                    record["op"] = query.get("op", "estimate")
+                    record.update(_batch_result(session, query, args.chains))
+                except (ReproError, ValueError, KeyError, TypeError) as exc:
+                    failures += 1
+                    record["error"] = str(exc) or type(exc).__name__
+                print(json.dumps(record), file=out, flush=True)
+    finally:
+        if close_lines:
+            lines.close()
+    return 0 if failures == 0 else 1
 
 
 def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:

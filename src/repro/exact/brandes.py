@@ -30,7 +30,14 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.errors import ConfigurationError
-from repro.execution import ExecutionPlan, merge_ordered, resolve_plan, run_sharded, split_shards
+from repro.execution import (
+    ExecutionPlan,
+    interned_payload,
+    merge_ordered,
+    resolve_plan,
+    run_sharded,
+    split_shards,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.shortest_paths.dependencies import (
@@ -165,7 +172,15 @@ def _betweenness_centrality_planned(
                 dependency_sum_shard_csr,
                 split_shards(source_indices),
                 n_jobs=plan.n_jobs,
-                shared=(csr, plan.batch_size),
+                plan=plan,
+                # Interning keeps one payload object per (snapshot, batch)
+                # across calls, so a persistent pool ships the CSR arrays to
+                # its workers once per session instead of once per request.
+                shared=interned_payload(
+                    plan,
+                    ("dep-sum-csr", id(csr), plan.batch_size),
+                    lambda: (csr, plan.batch_size),
+                ),
             )
         )
         return csr.array_to_vertex_map(totals * factor)
@@ -179,6 +194,7 @@ def _betweenness_centrality_planned(
             dependency_sum_shard_dict,
             split_shards(source_list),
             n_jobs=plan.n_jobs,
+            plan=plan,
             shared=graph,
         )
     )

@@ -264,6 +264,7 @@ def _group_betweenness_planned(
                 _group_shard_csr,
                 split_shards(source_indices),
                 n_jobs=plan.n_jobs,
+                plan=plan,
                 shared=(csr, plan.batch_size, member_mask),
             )
         )
@@ -275,6 +276,7 @@ def _group_betweenness_planned(
             _group_shard_dict,
             split_shards(sources),
             n_jobs=plan.n_jobs,
+            plan=plan,
             shared=(graph, members),
         )
     )

@@ -53,16 +53,17 @@ def betweenness_of_vertex(
     backend: str = "auto",
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    plan: Optional["ExecutionPlan"] = None,
 ) -> float:
     """Return the exact betweenness score of vertex *r*.
 
     Equivalent to ``betweenness_centrality(graph)[r]`` but phrased as the
     sum the sampling algorithms approximate, so the tests can compare both
-    routes.  ``batch_size`` / ``n_jobs`` engage the execution engine for
-    the |V| dependency passes.
+    routes.  ``batch_size`` / ``n_jobs`` / ``plan`` engage the execution
+    engine for the |V| dependency passes.
     """
     deltas = dependency_vector(
-        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs
+        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs, plan=plan
     )
     raw = sum(deltas.values())
     factor = normalization_factor(

@@ -26,6 +26,12 @@ passes and accumulate".  This package owns *how* those passes are executed:
   drivers publish into so a Brandes pass paid by one worker process is a
   cache hit for every other (the ``shared_cache`` plan knob /
   ``REPRO_SHARED_CACHE`` override).
+* :mod:`~repro.execution.runtime` provides the *persistent* execution
+  path: :class:`~repro.execution.runtime.ExecutionContext` owns a reusable
+  worker pool (payloads installed once, referenced by token afterwards), a
+  payload memo and a cross-request dependency arena guarded by a
+  graph-version stamp — the warm state behind the
+  :class:`~repro.centrality.session.BetweennessSession` serving API.
 """
 
 from repro.execution.autotune import (
@@ -36,8 +42,14 @@ from repro.execution.autotune import (
 from repro.execution.plan import (
     DEFAULT_SHARD_SIZE,
     ExecutionPlan,
+    resolve_mp_context,
     resolve_plan,
     resolve_shared_cache,
+)
+from repro.execution.runtime import (
+    ExecutionContext,
+    PersistentWorkerPool,
+    interned_payload,
 )
 from repro.execution.scheduler import (
     merge_ordered,
@@ -56,6 +68,10 @@ __all__ = [
     "ExecutionPlan",
     "resolve_plan",
     "resolve_shared_cache",
+    "resolve_mp_context",
+    "ExecutionContext",
+    "PersistentWorkerPool",
+    "interned_payload",
     "DEFAULT_SHARD_SIZE",
     "DEFAULT_BATCH_CANDIDATES",
     "calibrate_batch_size",

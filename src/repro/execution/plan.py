@@ -43,6 +43,7 @@ sums), which is why the legacy path is preserved when no knob is set.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from dataclasses import dataclass
 from typing import Optional
@@ -54,6 +55,7 @@ __all__ = [
     "ExecutionPlan",
     "resolve_plan",
     "resolve_shared_cache",
+    "resolve_mp_context",
     "DEFAULT_SHARD_SIZE",
 ]
 
@@ -84,12 +86,31 @@ class ExecutionPlan:
         dependency-vector arena across their workers (CSR-only; ignored by
         every other workload).  Never changes a result — only which process
         pays each Brandes pass.
+    mp_context:
+        Multiprocessing start method for the scheduler's pools (``"fork"`` /
+        ``"spawn"`` / ``"forkserver"``; ``None`` keeps the interpreter
+        default).  :mod:`repro.execution.shared_cache` already accepted a
+        context knob, so exposing the same knob here lets spawn deployments
+        configure the pool and the shared arena consistently.  Never changes
+        a result — the scheduler's determinism contract is start-method
+        independent.
+    runtime:
+        Optional :class:`~repro.execution.runtime.ExecutionContext` the
+        scheduler routes its pool work through — a *persistent* worker pool
+        plus warm payload/arena state reused across calls instead of a
+        per-call pool.  Never changes a result; like ``shared_cache`` it
+        only moves where (and how often) work is paid for.  The context
+        deliberately pickles to ``None`` so a plan or sampler captured
+        inside a worker payload can never smuggle pool handles across
+        process boundaries.
     """
 
     backend: str = "auto"
     batch_size: int = 1
     n_jobs: int = 1
     shared_cache: bool = False
+    mp_context: Optional[str] = None
+    runtime: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -108,6 +129,8 @@ class ExecutionPlan:
             raise ConfigurationError(
                 f"shared_cache must be a boolean, got {self.shared_cache!r}"
             )
+        if self.mp_context is not None:
+            _validate_mp_context(self.mp_context)
 
 
 def _env_int(name: str) -> Optional[int]:
@@ -135,6 +158,16 @@ def _env_flag(name: str) -> Optional[bool]:
     raise ConfigurationError(f"{name} must be a boolean flag (0/1), got {raw!r}")
 
 
+def _validate_mp_context(value: str) -> str:
+    methods = multiprocessing.get_all_start_methods()
+    if value not in methods:
+        raise ConfigurationError(
+            f"unknown multiprocessing start method {value!r}; expected one of "
+            f"{methods}"
+        )
+    return value
+
+
 def resolve_plan(
     plan: Optional[ExecutionPlan] = None,
     *,
@@ -142,6 +175,8 @@ def resolve_plan(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     shared_cache: Optional[bool] = None,
+    mp_context: Optional[str] = None,
+    runtime: Optional[object] = None,
 ) -> Optional[ExecutionPlan]:
     """Resolve the execution knobs of one estimator call.
 
@@ -170,12 +205,13 @@ def resolve_plan(
         batch_size = _env_int("REPRO_BATCH")
     if n_jobs is None:
         n_jobs = _env_int("REPRO_JOBS")
-    # shared_cache deliberately does NOT engage the engine: an engaged plan
-    # switches estimators onto the sharded/prefetch disciplines (different
-    # rng consumption, different — though equally valid — estimates), and
-    # the cache knob is documented to never change a result.  It only fills
-    # the field of a plan the other knobs engaged; standalone consumers (the
-    # multi-chain drivers) read it through resolve_shared_cache().
+    # shared_cache / mp_context / runtime deliberately do NOT engage the
+    # engine: an engaged plan switches estimators onto the sharded/prefetch
+    # disciplines (different rng consumption, different — though equally
+    # valid — estimates), and all three knobs are documented to never change
+    # a result.  They only fill the fields of a plan the other knobs
+    # engaged; standalone consumers (the multi-chain drivers) read them
+    # through resolve_shared_cache() / resolve_mp_context().
     if batch_size is None and n_jobs is None:
         return None
     return ExecutionPlan(
@@ -183,6 +219,8 @@ def resolve_plan(
         batch_size=batch_size if batch_size is not None else 1,
         n_jobs=n_jobs if n_jobs is not None else 1,
         shared_cache=resolve_shared_cache(shared_cache),
+        mp_context=resolve_mp_context(mp_context),
+        runtime=runtime,
     )
 
 
@@ -199,3 +237,22 @@ def resolve_shared_cache(shared_cache: Optional[bool] = None) -> bool:
     if shared_cache is not None:
         return shared_cache
     return bool(_env_flag("REPRO_SHARED_CACHE"))
+
+
+def resolve_mp_context(mp_context: Optional[str] = None) -> Optional[str]:
+    """Resolve the multiprocessing start-method knob on its own.
+
+    An explicit name wins; ``None`` consults the ``REPRO_MP_CONTEXT``
+    environment override (unset means the interpreter default).  Like
+    ``shared_cache`` this never engages the execution engine by itself —
+    it configures *how* pools that already exist are started, which is why
+    the scheduler and :func:`~repro.execution.shared_cache.create_shared_store`
+    both accept the resolved value (spawn deployments must configure the
+    two consistently: a fork-context lock cannot enter a spawn-context
+    process).
+    """
+    if mp_context is None:
+        mp_context = os.environ.get("REPRO_MP_CONTEXT") or None
+    if mp_context is None:
+        return None
+    return _validate_mp_context(mp_context)

@@ -12,15 +12,21 @@ deterministic parallel computation:
    :func:`repro._rng.spawn_rng`), so stochastic per-sample workers consume
    per-shard streams that do not depend on which process runs the shard.
 3. :func:`run_sharded` executes the worker over every shard — inline when
-   ``n_jobs == 1``, else on a :mod:`multiprocessing` pool.  The large
-   read-only payload (graph or CSR snapshot) is shipped once per worker
-   process through the pool initializer instead of once per shard.
+   ``n_jobs == 1``, else on a worker pool.  Pools are pluggable: the
+   default provider creates an ephemeral :mod:`multiprocessing` pool per
+   call (the large read-only payload — graph or CSR snapshot — shipped once
+   per worker process through the pool initializer instead of once per
+   shard), while a
+   :class:`~repro.execution.runtime.ExecutionContext` passed as *runtime*
+   routes the shards through its **persistent** pool, whose workers and
+   installed payloads survive across calls.
 4. :func:`merge_ordered` folds the per-shard buffers together strictly in
    shard order (numpy buffers, vertex-keyed dicts, lists or scalars).
 
 Steps 1 + 4 are what make results bit-identical for any ``n_jobs``: every
 float lands in the accumulator through the same sequence of additions no
-matter how many processes computed the shards.
+matter how many processes computed the shards.  Which pool provider ran
+them — inline, ephemeral or persistent — never enters the reduction.
 """
 
 from __future__ import annotations
@@ -104,6 +110,9 @@ def run_sharded(
     *,
     n_jobs: int = 1,
     shared: Any = None,
+    plan: Any = None,
+    mp_context: Optional[str] = None,
+    runtime: Any = None,
 ) -> List[Any]:
     """Run ``fn(shared, shard)`` for every shard and return results in shard order.
 
@@ -116,27 +125,53 @@ def run_sharded(
         a per-process cache on the payload, as the multi-chain driver does
         with its oracle — is fine, but remember the inline path shares one
         payload instance across every shard and call, while pool workers
-        each hold their own copy.)
+        each hold their own copy — which on the persistent provider lives
+        across *calls*, so warm caches carry over between requests.)
     shards:
         The shard list from :func:`split_shards` (any per-shard value works;
         stochastic workers typically get ``(sources, shard_rng)`` tuples).
     n_jobs:
         Worker processes.  ``1`` (or a single shard) runs inline with no
         multiprocessing import cost; larger values use a pool of
-        ``min(n_jobs, len(shards))`` processes.
+        ``min(n_jobs, len(shards))`` processes (the persistent provider
+        uses its own fixed process count — results are provider-invariant
+        by the ordered-merge contract).
     shared:
         Read-only payload shipped once per worker process (the graph or CSR
         snapshot plus the per-call constants).
+    plan:
+        Optional :class:`~repro.execution.plan.ExecutionPlan` supplying the
+        ``mp_context`` / ``runtime`` fields below when the caller has one in
+        hand (the explicit keyword arguments win over the plan's fields).
+    mp_context:
+        Start-method name for the ephemeral pool (``None`` = interpreter
+        default), from :attr:`ExecutionPlan.mp_context` — spawn deployments
+        configure the pool and the shared-cache arena consistently with it.
+    runtime:
+        Optional :class:`~repro.execution.runtime.ExecutionContext`.  When
+        it has a usable persistent pool, the shards run there — same worker
+        signature, same ordered results — and the per-call pool below is
+        never created; otherwise (inline context, pool-creation failure)
+        the call falls through to the ephemeral paths.
 
     Results arrive in shard order on every path, so downstream merges are
     deterministic.  If the platform cannot spawn processes (sandboxes,
     restricted containers), the scheduler falls back to the inline path with
     a warning — results are identical by construction, only slower.
     """
+    if plan is not None:
+        if mp_context is None:
+            mp_context = getattr(plan, "mp_context", None)
+        if runtime is None:
+            runtime = getattr(plan, "runtime", None)
     if n_jobs <= 1 or len(shards) <= 1:
         return [fn(shared, shard) for shard in shards]
+    if runtime is not None:
+        results = runtime.map_sharded(fn, shards, shared)
+        if results is not None:
+            return results
     try:
-        with multiprocessing.get_context().Pool(
+        with multiprocessing.get_context(mp_context).Pool(
             processes=min(n_jobs, len(shards)),
             initializer=_init_worker,
             initargs=(shared,),

@@ -74,16 +74,33 @@ __all__ = [
 #: next-free-row counter).
 _HEADER_SLOTS = 1
 
+#: Memoized result of the :func:`shared_memory_available` allocation probe.
+#: The probe allocates, closes and unlinks a real shm segment — three
+#: syscalls plus a resource-tracker round-trip — and its answer cannot
+#: change within a process lifetime, so paying it once per process (instead
+#: of once per store creation) is free accuracy.
+_PROBE_RESULT: Optional[bool] = None
 
-def shared_memory_available() -> bool:
+
+def shared_memory_available(*, refresh: bool = False) -> bool:
     """Return whether this platform can allocate shared-memory segments.
 
     Probes with a minimal allocation: the module importing is not enough —
     sandboxed containers routinely expose :mod:`multiprocessing.shared_memory`
-    while refusing the underlying ``shm_open``.
+    while refusing the underlying ``shm_open``.  The probe result is
+    memoized at module level (pass ``refresh=True`` to force a re-probe);
+    the cheap numpy/module preconditions are re-checked on every call so a
+    monkeypatched test environment is still honoured.
     """
+    global _PROBE_RESULT
     if np is None or _shared_memory is None:
         return False
+    if _PROBE_RESULT is None or refresh:
+        _PROBE_RESULT = _probe_shared_memory()
+    return _PROBE_RESULT
+
+
+def _probe_shared_memory() -> bool:
     try:
         probe = _shared_memory.SharedMemory(create=True, size=8)
     except (OSError, PermissionError):  # pragma: no cover - platform dependent
@@ -143,14 +160,28 @@ class SharedDependencyStore:
         shipped to (Python refuses to move a fork-context lock into a
         spawn-context process); the default — the interpreter's default
         context — is what :func:`repro.execution.scheduler.run_sharded`
-        pools use, so drivers never need to pass it.
+        pools use, so drivers never need to pass it.  Callers that
+        configure the pool start method through
+        :attr:`repro.execution.plan.ExecutionPlan.mp_context` pass the same
+        resolved context here.
+    lock:
+        Optional pre-existing process-shared lock to guard the arena with
+        instead of creating a fresh one.  The persistent runtime
+        (:mod:`repro.execution.runtime`) owns exactly one lock per
+        :class:`~repro.execution.runtime.ExecutionContext` and shares it
+        between its worker pool and its arena, so store handles can travel
+        to long-lived workers by segment name with the lock substituted on
+        arrival rather than pickled (a process-shared lock may only cross
+        at worker setup).
 
     The creating process owns the segment: it must call :meth:`destroy`
     (or :meth:`close` + :meth:`unlink`) when the run is over.  Workers that
     attach through pickling only ever :meth:`close`.
     """
 
-    def __init__(self, num_vertices: int, capacity: int, *, context=None) -> None:
+    def __init__(
+        self, num_vertices: int, capacity: int, *, context=None, lock=None
+    ) -> None:
         if np is None or _shared_memory is None:
             raise ConfigurationError(
                 "SharedDependencyStore requires numpy and multiprocessing.shared_memory"
@@ -165,7 +196,10 @@ class SharedDependencyStore:
             )
         self.num_vertices = num_vertices
         self.capacity = capacity
-        self._lock = (context if context is not None else multiprocessing).Lock()
+        if lock is not None:
+            self._lock = lock
+        else:
+            self._lock = (context if context is not None else multiprocessing).Lock()
         self._owner = True
         self._shm = _shared_memory.SharedMemory(create=True, size=self._nbytes())
         self._map_views()
@@ -304,14 +338,15 @@ class SharedDependencyStore:
 
 
 def create_shared_store(
-    num_vertices: int, capacity: int
+    num_vertices: int, capacity: int, *, context=None, lock=None
 ) -> Optional[SharedDependencyStore]:
     """Build a :class:`SharedDependencyStore`, or ``None`` where unsupported.
 
     The graceful-fallback factory the multi-chain drivers use: on platforms
     without working shared memory (or without numpy) it warns once and
     returns ``None``, and the caller runs with private per-worker caches —
-    exactly the pre-shared-cache behaviour, just slower.
+    exactly the pre-shared-cache behaviour, just slower.  *context* / *lock*
+    are forwarded to the constructor (see there).
     """
     if np is None or _shared_memory is None:
         warnings.warn(
@@ -323,7 +358,7 @@ def create_shared_store(
         )
         return None
     try:
-        return SharedDependencyStore(num_vertices, capacity)
+        return SharedDependencyStore(num_vertices, capacity, context=context, lock=lock)
     except (OSError, PermissionError) as exc:  # pragma: no cover - platform dependent
         warnings.warn(
             f"could not allocate the shared dependency arena ({exc}); falling "

@@ -69,7 +69,7 @@ class Graph:
     (3, 2)
     """
 
-    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges", "_csr")
+    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges", "_csr", "_version")
 
     def __init__(self, *, directed: bool = False, weighted: bool = False) -> None:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
@@ -79,6 +79,7 @@ class Graph:
         self._weighted = bool(weighted)
         self._num_edges = 0
         self._csr: Optional["CSRGraph"] = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -92,6 +93,23 @@ class Graph:
     def weighted(self) -> bool:
         """Whether the graph carries meaningful positive edge weights."""
         return self._weighted
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every mutating operation).
+
+        Derived caches that outlive a single call — the persistent
+        dependency arena and worker payloads of
+        :mod:`repro.execution.runtime` — stamp the version they were built
+        against and treat any change as an invalidation signal, the
+        cross-call analogue of the CSR snapshot being dropped on mutation.
+        """
+        return self._version
+
+    def _invalidate_views(self) -> None:
+        """Drop the CSR snapshot and advance the mutation stamp."""
+        self._csr = None
+        self._version += 1
 
     def number_of_vertices(self) -> int:
         """Return ``|V(G)|``."""
@@ -127,7 +145,7 @@ class Graph:
             self._adj[vertex] = {}
             if self._pred is not None:
                 self._pred[vertex] = {}
-            self._csr = None
+            self._invalidate_views()
 
     def add_vertices_from(self, vertices: Iterable[Vertex]) -> None:
         """Add every vertex in *vertices*."""
@@ -157,8 +175,13 @@ class Graph:
             weight = 1.0
         self.add_vertex(u)
         self.add_vertex(v)
-        self._csr = None
         is_new = v not in self._adj[u]
+        if is_new or self._adj[u][v] != weight:
+            # Only a structural change invalidates derived views: an
+            # idempotent upsert (same edge, same weight) must not drop the
+            # CSR snapshot or bump the version stamp that session-scoped
+            # warm state (arena, worker payloads) is keyed on.
+            self._invalidate_views()
         self._adj[u][v] = weight
         if self._directed:
             assert self._pred is not None
@@ -221,7 +244,7 @@ class Graph:
         """
         if u not in self._adj or v not in self._adj[u]:
             raise EdgeNotFoundError(u, v)
-        self._csr = None
+        self._invalidate_views()
         del self._adj[u][v]
         if self._directed:
             assert self._pred is not None
@@ -240,7 +263,7 @@ class Graph:
         """
         if vertex not in self._adj:
             raise VertexNotFoundError(vertex)
-        self._csr = None
+        self._invalidate_views()
         if self._directed:
             assert self._pred is not None
             out_neighbors = list(self._adj[vertex])

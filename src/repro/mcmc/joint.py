@@ -310,6 +310,7 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
                 raise ConfigurationError("the initial r-component must belong to the reference set")
             graph.validate_vertex(current_v)
 
+        evaluations_before = oracle.evaluations
         current_deps = self._restricted_dependencies(oracle, current_v, members)
         states: List[JointChainState] = [
             JointChainState(
@@ -346,12 +347,15 @@ class JointSpaceMHSampler(ExecutionPlanMixin):
                     accepted=accepted,
                 )
             )
+        # This run's own pass delta (not the oracle's lifetime total), so a
+        # warm session oracle never inflates a fresh chain's bill; equal to
+        # the total for a fresh oracle.
         return JointChainResult(
             reference_set=members,
             states=states,
             num_vertices=graph.number_of_vertices(),
             burn_in=self.burn_in,
-            evaluations=oracle.evaluations,
+            evaluations=oracle.evaluations - evaluations_before,
         )
 
     @staticmethod

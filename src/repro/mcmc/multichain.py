@@ -57,6 +57,7 @@ while the pooled estimate stays bit-identical to the private-cache path.
 from __future__ import annotations
 
 import copy
+import multiprocessing
 import warnings
 from dataclasses import dataclass
 from random import Random
@@ -66,6 +67,7 @@ from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.errors import ConfigurationError, EdgeNotFoundError, SamplingError
 from repro.execution import (
     create_shared_store,
+    resolve_mp_context,
     resolve_plan,
     resolve_shared_cache,
     run_sharded,
@@ -128,23 +130,32 @@ def split_budget(num_samples: int, n_chains: int) -> List[int]:
 class _ChainPayload:
     """Read-only payload shipped once per worker process.
 
-    Bundles the graph, the configured base sampler and the chain target, and
-    lazily builds the dependency oracle every chain assigned to that process
-    shares.  The oracle is dropped from the pickled state — each worker
-    rebuilds it on first use (cheap next to the chains' Brandes passes) and
-    the rebuild cannot change any chain: dependency vectors are
-    deterministic regardless of the oracle instance or its cache history.
+    Bundles the graph and the configured base sampler, and lazily builds the
+    dependency oracle every chain assigned to that process shares.  The
+    oracle is dropped from the pickled state — each worker rebuilds it on
+    first use (cheap next to the chains' Brandes passes) and the rebuild
+    cannot change any chain: dependency vectors are deterministic regardless
+    of the oracle instance or its cache history.
+
+    The chain *target* travels with the tasks, not the payload, for the
+    single and joint kinds: the payload is then a pure function of
+    ``(sampler, graph, store)`` and one installed payload serves every
+    request of a session whatever vertex it asks about — which is what lets
+    the persistent pool ship the graph snapshot once and keep each worker's
+    oracle cache warm across requests.  The edge kind keeps its target here
+    because its oracle is built *per edge*.
 
     *shared_store* optionally carries the run's cross-process
-    :class:`~repro.execution.shared_cache.SharedDependencyStore`.  The
-    payload travels through :func:`repro.execution.run_sharded`'s pool
-    **initializer** — the only channel a process-shared lock may cross — so
-    every worker's rebuilt oracle attaches to the same arena and a Brandes
-    pass paid anywhere is a cache hit everywhere.
+    :class:`~repro.execution.shared_cache.SharedDependencyStore`.  On the
+    per-call pool the payload travels through
+    :func:`repro.execution.run_sharded`'s **initializer** — the only channel
+    a process-shared lock may cross; on a persistent pool the install
+    broadcast substitutes the context's lock by persistent id (see
+    :mod:`repro.execution.runtime`).
     """
 
     def __init__(
-        self, kind: str, graph: Graph, sampler, target, shared_store=None
+        self, kind: str, graph: Graph, sampler, target=None, shared_store=None
     ) -> None:
         self.kind = kind
         self.graph = graph
@@ -172,24 +183,22 @@ class _ChainPayload:
 def _run_single_shard(payload: _ChainPayload, shard):
     """Worker: run/extend the single-space chains of one shard in order.
 
-    Each chain record is re-billed with *its own* Brandes-pass delta — the
-    sampler stamps the shared oracle's cumulative counter, which would
-    charge a chain for its shard neighbours' work.  (:meth:`extend_chain`
-    already accumulates deltas, so only fresh chains need the correction.)
+    Each chain record is billed with *its own* Brandes-pass delta (the
+    sampler already bills deltas against whatever oracle it is handed, and
+    :meth:`extend_chain` accumulates them), so a shared — possibly warm —
+    per-process oracle never charges one chain for another's work.
     """
     oracle = payload.oracle()
     before = oracle.evaluations
     out = []
-    for index, rng, chain, count in shard:
-        chain_before = oracle.evaluations
+    for index, rng, chain, count, target in shard:
         if chain is None:
             chain = payload.sampler.run_chain(
-                payload.graph, payload.target, count, seed=rng, oracle=oracle
+                payload.graph, target, count, seed=rng, oracle=oracle
             )
-            chain.evaluations = oracle.evaluations - chain_before
         else:
             chain = payload.sampler.extend_chain(
-                payload.graph, payload.target, chain, count, rng=rng, oracle=oracle
+                payload.graph, target, chain, count, rng=rng, oracle=oracle
             )
         out.append((index, rng, chain))
     return out, oracle.evaluations - before
@@ -205,15 +214,10 @@ def _run_fixed_shard(payload: _ChainPayload, shard):
     oracle = payload.oracle()
     before = oracle.evaluations
     out = []
-    for index, rng, count in shard:
-        chain_before = oracle.evaluations
+    for index, rng, count, target in shard:
         chain = payload.sampler.run_chain(
-            payload.graph, payload.target, count, seed=rng, oracle=oracle
+            payload.graph, target, count, seed=rng, oracle=oracle
         )
-        if hasattr(chain, "evaluations"):
-            # Re-bill the record with this chain's own pass delta (edge
-            # chains are plain state lists and carry no counter).
-            chain.evaluations = oracle.evaluations - chain_before
         out.append((index, rng, chain))
     return out, oracle.evaluations - before
 
@@ -228,6 +232,8 @@ class _MultiChainBase:
         n_jobs: Optional[int],
         shared_cache: Optional[bool] = None,
         shared_cache_capacity: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        runtime: Optional[object] = None,
     ) -> None:
         if not isinstance(n_chains, int) or isinstance(n_chains, bool) or n_chains < 1:
             raise ConfigurationError(
@@ -246,10 +252,25 @@ class _MultiChainBase:
                 "shared_cache_capacity must be a positive integer or None, "
                 f"got {shared_cache_capacity!r}"
             )
+        if mp_context is not None:
+            resolve_mp_context(mp_context)  # validate eagerly
         self.n_chains = n_chains
         self.n_jobs = n_jobs
         self.shared_cache = shared_cache
         self.shared_cache_capacity = shared_cache_capacity
+        #: Multiprocessing start method of the chain scheduler's pools and of
+        #: the shared arena's lock (``None`` consults ``REPRO_MP_CONTEXT``,
+        #: then the interpreter default) — the two must agree, which is why
+        #: one knob configures both.
+        self.mp_context = mp_context
+        #: Optional persistent :class:`~repro.execution.runtime.ExecutionContext`.
+        #: With a runtime attached the driver runs its chains on the
+        #: context's long-lived pool and reads/publishes dependency vectors
+        #: through the context's *persistent* arena (unless ``shared_cache``
+        #: is explicitly ``False``), so Brandes passes paid by earlier
+        #: requests are cache hits here.  Results are bit-identical either
+        #: way — the runtime only moves where work is paid.
+        self.runtime = runtime
         #: ``SharedDependencyStore.stats()`` of the last run (``None`` when
         #: the run used private caches) — the drivers' estimate methods stamp
         #: it into their diagnostics.
@@ -274,6 +295,10 @@ class _MultiChainBase:
         """Worker processes for the chain scheduler (``REPRO_JOBS`` honoured)."""
         plan = resolve_plan(None, n_jobs=self.n_jobs)
         return plan.n_jobs if plan is not None else 1
+
+    def _resolved_mp_context(self) -> Optional[str]:
+        """Pool start method (explicit knob, else ``REPRO_MP_CONTEXT``)."""
+        return resolve_mp_context(self.mp_context)
 
     def _resolved_shared_cache(self) -> bool:
         """Whether this run shares one dependency arena across its workers.
@@ -312,7 +337,60 @@ class _MultiChainBase:
         capacity = self.shared_cache_capacity
         if capacity is None:
             capacity = max(min(n, num_samples + self.n_chains), 1)
-        return create_shared_store(n, capacity)
+        mp_context = self._resolved_mp_context()
+        if mp_context is None:
+            return create_shared_store(n, capacity)
+        # A configured start method must govern the arena's lock too: a
+        # fork-context lock cannot enter a spawn-context worker.
+        return create_shared_store(
+            n, capacity, context=multiprocessing.get_context(mp_context)
+        )
+
+    def _acquire_store(self, graph: Graph, num_samples: int):
+        """Return ``(store, owned)`` — the run's dependency arena, if any.
+
+        With a runtime attached the store is the context's *persistent*
+        arena (created on first use, surviving this run, invalidated by
+        graph mutation) and the driver must not destroy it; ``shared_cache``
+        defaults to *on* there — the warm arena is the point of a runtime —
+        with explicit ``False`` opting out.  Without a runtime the legacy
+        per-run lifecycle applies: the knob (or ``REPRO_SHARED_CACHE``)
+        must ask for the store, and the driver owns and destroys it.
+        """
+        if self.runtime is not None:
+            if self.shared_cache is False:
+                return None, False
+            if resolve_backend(self.base.backend) != "csr":
+                return None, False
+            return (
+                self.runtime.dependency_arena(
+                    graph, capacity=self.shared_cache_capacity
+                ),
+                False,
+            )
+        return self._build_shared_store(graph, num_samples), True
+
+    def _chain_payload(self, kind: str, graph: Graph, sampler, store):
+        """Build (or recall from the runtime memo) the shared worker payload.
+
+        One payload per ``(kind, sampler, graph version, arena)`` — the
+        memo hands back the same object across requests, so a persistent
+        pool installs it (and ships the graph snapshot) once and its
+        workers keep their rebuilt oracles warm between requests.
+        """
+        if self.runtime is None:
+            return _ChainPayload(kind, graph, sampler, shared_store=store)
+        key = (
+            "multichain",
+            kind,
+            id(sampler),
+            id(graph),
+            graph.version,
+            store.name if store is not None else None,
+        )
+        return self.runtime.cached_payload(
+            key, lambda: _ChainPayload(kind, graph, sampler, shared_store=store)
+        )
 
     def _chain_rngs(self, rng: Random) -> List[Random]:
         """One stream per chain; ``K = 1`` keeps the parent stream itself.
@@ -325,11 +403,17 @@ class _MultiChainBase:
             return [rng]
         return [spawn_rng(rng, i) for i in range(self.n_chains)]
 
-    @staticmethod
-    def _run_round(payload, tasks, worker, jobs, chains, rngs):
+    def _run_round(self, payload, tasks, worker, jobs, chains, rngs):
         """Run one scheduler round; merge results back strictly by chain index."""
         shards = [[task] for task in tasks]
-        results = run_sharded(worker, shards, n_jobs=jobs, shared=payload)
+        results = run_sharded(
+            worker,
+            shards,
+            n_jobs=jobs,
+            shared=payload,
+            mp_context=self._resolved_mp_context(),
+            runtime=self.runtime,
+        )
         chains = list(chains)
         rngs = list(rngs)
         evaluations = 0
@@ -441,6 +525,8 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         n_jobs: Optional[int] = None,
         shared_cache: Optional[bool] = None,
         shared_cache_capacity: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        runtime: Optional[object] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(
@@ -448,6 +534,8 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
             n_jobs=n_jobs,
             shared_cache=shared_cache,
             shared_cache_capacity=shared_cache_capacity,
+            mp_context=mp_context,
+            runtime=runtime,
         )
         base = self._resolve_base(base, SingleSpaceMHSampler, base_kwargs)
         if not base.record_states:
@@ -463,6 +551,29 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         self.base = base
         self.rhat_target = rhat_target
         self.check_interval = check_interval
+        self._segment_cache = None
+
+    def _segment_sampler(self) -> SingleSpaceMHSampler:
+        """Return the burn-in-stripped copy of the base the adaptive segments run.
+
+        Segments run with ``burn_in=0``: the driver owns warm-up in adaptive
+        mode (a configured burn_in would otherwise be validated against each
+        short segment rather than the eventual chain) and applies the base's
+        setting only as the not-converged fallback.  Memoized against the
+        base's identity and burn-in so warm sessions hand the payload memo
+        one stable sampler object across requests.
+        """
+        cached = self._segment_cache
+        if (
+            cached is not None
+            and cached[0] is self.base
+            and cached[1] == self.base.burn_in
+        ):
+            return cached[2]
+        sampler = copy.copy(self.base)
+        sampler.burn_in = 0
+        self._segment_cache = (self.base, self.base.burn_in, sampler)
+        return sampler
 
     # ------------------------------------------------------------------
     def run_chains(
@@ -473,25 +584,25 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         rng = ensure_rng(seed)
         rngs = self._chain_rngs(rng)
         budgets = split_budget(num_samples, self.n_chains)
-        store = self._build_shared_store(graph, num_samples)
+        store, owned = self._acquire_store(graph, num_samples)
         self._shared_cache_stats = None
         try:
             return self._run_chain_rounds(graph, r, rngs, budgets, store)
         finally:
-            if store is not None:
+            if owned and store is not None:
                 store.destroy()
 
     def _run_chain_rounds(
         self, graph: Graph, r: Vertex, rngs, budgets, store
     ) -> MultiChainResult:
         """The scheduling body of :meth:`run_chains` (store lifecycle handled there)."""
-        payload = _ChainPayload("single", graph, self.base, r, shared_store=store)
+        payload = self._chain_payload("single", graph, self.base, store)
         jobs = self._resolved_jobs()
         chains: List[Optional[ChainResult]] = [None] * self.n_chains
         evaluations = 0
         if self.rhat_target is None:
             tasks = [
-                (i, rngs[i], None, budgets[i]) for i in range(self.n_chains)
+                (i, rngs[i], None, budgets[i], r) for i in range(self.n_chains)
             ]
             chains, rngs, evaluations = self._run_round(
                 payload, tasks, _run_single_shard, jobs, chains, rngs
@@ -505,22 +616,15 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
                     "per-chain budget (it is the fallback when the R-hat "
                     "target is never reached)"
                 )
-            # Segments run a burn-in-stripped copy of the base sampler: the
-            # driver owns warm-up in adaptive mode (a configured burn_in
-            # would otherwise be validated against each short segment rather
-            # than the eventual chain) and applies the base's setting only
-            # as the not-converged fallback below.
-            segment_sampler = copy.copy(self.base)
-            segment_sampler.burn_in = 0
-            payload = _ChainPayload(
-                "single", graph, segment_sampler, r, shared_store=store
+            payload = self._chain_payload(
+                "single", graph, self._segment_sampler(), store
             )
             converged = False
             rounds = 0
             remaining = list(budgets)
             while True:
                 tasks = [
-                    (i, rngs[i], chains[i], min(self.check_interval, remaining[i]))
+                    (i, rngs[i], chains[i], min(self.check_interval, remaining[i]), r)
                     for i in range(self.n_chains)
                     if remaining[i] > 0
                 ]
@@ -664,6 +768,8 @@ class MultiChainJointSampler(_MultiChainBase):
         n_jobs: Optional[int] = None,
         shared_cache: Optional[bool] = None,
         shared_cache_capacity: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        runtime: Optional[object] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(
@@ -671,6 +777,8 @@ class MultiChainJointSampler(_MultiChainBase):
             n_jobs=n_jobs,
             shared_cache=shared_cache,
             shared_cache_capacity=shared_cache_capacity,
+            mp_context=mp_context,
+            runtime=runtime,
         )
         self.base = self._resolve_base(base, JointSpaceMHSampler, base_kwargs)
 
@@ -687,13 +795,11 @@ class MultiChainJointSampler(_MultiChainBase):
         rng = ensure_rng(seed)
         rngs = self._chain_rngs(rng)
         budgets = split_budget(num_samples, self.n_chains)
-        store = self._build_shared_store(graph, num_samples)
+        store, owned = self._acquire_store(graph, num_samples)
         self._shared_cache_stats = None
         try:
-            payload = _ChainPayload(
-                "joint", graph, self.base, members, shared_store=store
-            )
-            tasks = [(i, rngs[i], budgets[i]) for i in range(self.n_chains)]
+            payload = self._chain_payload("joint", graph, self.base, store)
+            tasks = [(i, rngs[i], budgets[i], members) for i in range(self.n_chains)]
             chains, _, evaluations = self._run_round(
                 payload, tasks, _run_fixed_shard, self._resolved_jobs(),
                 [None] * self.n_chains, rngs,
@@ -702,7 +808,7 @@ class MultiChainJointSampler(_MultiChainBase):
                 self._shared_cache_stats = store.stats()
             return list(chains), evaluations
         finally:
-            if store is not None:
+            if owned and store is not None:
                 store.destroy()
 
     def estimate_relative(
@@ -784,9 +890,13 @@ class MultiChainEdgeSampler(_MultiChainBase):
         *,
         n_chains: int = 4,
         n_jobs: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        runtime: Optional[object] = None,
         **base_kwargs,
     ) -> None:
-        super().__init__(n_chains=n_chains, n_jobs=n_jobs)
+        super().__init__(
+            n_chains=n_chains, n_jobs=n_jobs, mp_context=mp_context, runtime=runtime
+        )
         self.base = self._resolve_base(base, EdgeMHSampler, base_kwargs)
 
     def run_chains(
@@ -804,8 +914,17 @@ class MultiChainEdgeSampler(_MultiChainBase):
         rng = ensure_rng(seed)
         rngs = self._chain_rngs(rng)
         budgets = split_budget(num_samples, self.n_chains)
-        payload = _ChainPayload("edge", graph, self.base, (a, b))
-        tasks = [(i, rngs[i], budgets[i]) for i in range(self.n_chains)]
+        # The edge oracle is built per edge, so the target stays in the
+        # payload here (one payload per edge; still memoized under a
+        # runtime so repeated queries about one edge reuse it).
+        if self.runtime is None:
+            payload = _ChainPayload("edge", graph, self.base, (a, b))
+        else:
+            payload = self.runtime.cached_payload(
+                ("multichain", "edge", id(self.base), id(graph), graph.version, (a, b)),
+                lambda: _ChainPayload("edge", graph, self.base, (a, b)),
+            )
+        tasks = [(i, rngs[i], budgets[i], (a, b)) for i in range(self.n_chains)]
         chains, _, evaluations = self._run_round(
             payload, tasks, _run_fixed_shard, self._resolved_jobs(),
             [None] * self.n_chains, rngs,

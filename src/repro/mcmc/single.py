@@ -399,6 +399,7 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
             # acceptance draws) and handed to the oracle in blocks.
             proposals = self._draw_proposals(graph, vertices, rng, num_iterations)
 
+        evaluations_before = oracle.evaluations
         if initial_state is None:
             current = vertices[rng.randrange(len(vertices))]
         else:
@@ -426,12 +427,16 @@ class SingleSpaceMHSampler(ExecutionPlanMixin, SingleVertexEstimator):
                 ChainState(s.iteration, r, s.dependency, s.accepted, s.proposal_dependency)
                 for s in states
             ]
+        # Bill this run's own Brandes passes, not the oracle's lifetime
+        # total: a warm oracle reused across requests (the session API, the
+        # E8 ablation) would otherwise charge every past request's work to
+        # the newest chain.  For a fresh oracle the delta equals the total.
         return ChainResult(
             target=r,
             states=states,
             num_vertices=graph.number_of_vertices(),
             burn_in=self.burn_in,
-            evaluations=oracle.evaluations,
+            evaluations=oracle.evaluations - evaluations_before,
         )
 
     def _iterate(

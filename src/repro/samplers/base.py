@@ -37,15 +37,31 @@ class ExecutionPlanMixin:
     ``None`` plan means "no knob set" and the estimator must take its
     original sequential path.  Centralised here so a change to plan
     resolution (a new env knob, say) lands in every sampler at once.
+
+    ``mp_context`` and ``runtime`` are class-level defaults rather than
+    constructor parameters: they configure *how* pools run (start method;
+    per-call ephemeral vs a session's persistent
+    :class:`~repro.execution.runtime.ExecutionContext`), never what is
+    computed, so the session layer attaches them to an existing sampler
+    (``sampler.runtime = ctx``) instead of every constructor growing two
+    pass-through arguments.  Samplers that ship themselves inside worker
+    payloads stay safe: a runtime context pickles to ``None``.
     """
 
     backend: str = "auto"
     batch_size: Optional[int] = None
     n_jobs: Optional[int] = None
+    mp_context: Optional[str] = None
+    runtime: Optional[object] = None
 
     def _plan(self) -> Optional[ExecutionPlan]:
         return resolve_plan(
-            None, backend=self.backend, batch_size=self.batch_size, n_jobs=self.n_jobs
+            None,
+            backend=self.backend,
+            batch_size=self.batch_size,
+            n_jobs=self.n_jobs,
+            mp_context=self.mp_context,
+            runtime=self.runtime,
         )
 
 

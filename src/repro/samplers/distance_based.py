@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, SamplingError
-from repro.execution import merge_ordered, run_sharded, split_shards
+from repro.execution import interned_payload, merge_ordered, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.samplers.base import ExecutionPlanMixin, SingleEstimate, SingleVertexEstimator, timed
@@ -125,7 +125,12 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
                             dependency_at_target_shard_csr,
                             split_shards([csr.index_of(s) for s in sources]),
                             n_jobs=plan.n_jobs,
-                            shared=(csr, plan.batch_size, r_index),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("dep-at-target-csr", id(csr), plan.batch_size, r_index),
+                                lambda: (csr, plan.batch_size, r_index),
+                            ),
                         )
                     )
                 else:
@@ -134,7 +139,12 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
                             dependency_at_target_shard_dict,
                             split_shards(sources),
                             n_jobs=plan.n_jobs,
-                            shared=(graph, r),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("dep-at-target-dict", id(graph), graph.version, r),
+                                lambda: (graph, r),
+                            ),
                         )
                     )
                 for s, delta in zip(sources, values):

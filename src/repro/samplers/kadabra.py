@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
-from repro.execution import run_sharded, sample_shards
+from repro.execution import interned_payload, run_sharded, sample_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
@@ -244,7 +244,15 @@ class KadabraSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstim
                 if backend == "csr":
                     csr = graph.csr()
                     results = run_sharded(
-                        _kadabra_all_shard_csr, shards, n_jobs=plan.n_jobs, shared=(self, csr)
+                        _kadabra_all_shard_csr,
+                        shards,
+                        n_jobs=plan.n_jobs,
+                        plan=plan,
+                        shared=interned_payload(
+                            plan,
+                            ("kadabra-all-csr", id(self), id(csr)),
+                            lambda: (self, csr),
+                        ),
                     )
                     buffer = np.zeros(csr.number_of_vertices())
                     for shard_buffer, shard_touched in results:
@@ -253,7 +261,15 @@ class KadabraSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstim
                     estimates = vertex_keyed(csr, buffer / num_samples)
                 else:
                     results = run_sharded(
-                        _kadabra_all_shard_dict, shards, n_jobs=plan.n_jobs, shared=(self, graph)
+                        _kadabra_all_shard_dict,
+                        shards,
+                        n_jobs=plan.n_jobs,
+                        plan=plan,
+                        shared=interned_payload(
+                            plan,
+                            ("kadabra-all-dict", id(self), id(graph), graph.version),
+                            lambda: (self, graph),
+                        ),
                     )
                     counts = {v: 0.0 for v in graph.vertices()}
                     for shard_counts, shard_touched in results:
@@ -318,14 +334,24 @@ class KadabraSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVerticesEstim
                         _kadabra_hits_shard_csr,
                         shards,
                         n_jobs=plan.n_jobs,
-                        shared=(self, csr, csr.index_of(r)),
+                        plan=plan,
+                        shared=interned_payload(
+                            plan,
+                            ("kadabra-hits-csr", id(self), id(csr), csr.index_of(r)),
+                            lambda: (self, csr, csr.index_of(r)),
+                        ),
                     )
                 else:
                     results = run_sharded(
                         _kadabra_hits_shard_dict,
                         shards,
                         n_jobs=plan.n_jobs,
-                        shared=(self, graph, r),
+                        plan=plan,
+                        shared=interned_payload(
+                            plan,
+                            ("kadabra-hits-dict", id(self), id(graph), graph.version, r),
+                            lambda: (self, graph, r),
+                        ),
                     )
                 for shard_hits, shard_touched in results:
                     hits += shard_hits

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
-from repro.execution import merge_ordered, run_sharded, sample_shards
+from repro.execution import interned_payload, merge_ordered, run_sharded, sample_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
@@ -186,7 +186,7 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
                     csr = graph.csr()
                     buffer = merge_ordered(
                         run_sharded(
-                            _rk_all_shard_csr, shards, n_jobs=plan.n_jobs, shared=csr
+                            _rk_all_shard_csr, shards, n_jobs=plan.n_jobs, plan=plan, shared=csr
                         )
                     )
                     estimates = vertex_keyed(csr, buffer / num_samples)
@@ -196,7 +196,12 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
                             _rk_all_shard_dict,
                             shards,
                             n_jobs=plan.n_jobs,
-                            shared=(self, graph),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("rk-all-dict", id(self), id(graph), graph.version),
+                                lambda: (self, graph),
+                            ),
                         )
                     )
                     estimates = {v: counts.get(v, 0.0) / num_samples for v in graph.vertices()}
@@ -252,7 +257,12 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
                             _rk_hits_shard_csr,
                             shards,
                             n_jobs=plan.n_jobs,
-                            shared=(csr, csr.index_of(r)),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("rk-hits-csr", id(csr), csr.index_of(r)),
+                                lambda: (csr, csr.index_of(r)),
+                            ),
                         )
                     )
                 else:
@@ -261,7 +271,12 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
                             _rk_hits_shard_dict,
                             shards,
                             n_jobs=plan.n_jobs,
-                            shared=(self, graph, r),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("rk-hits-dict", id(self), id(graph), graph.version, r),
+                                lambda: (self, graph, r),
+                            ),
                         )
                     )
             diagnostics.update(n_jobs=plan.n_jobs, batch_size=plan.batch_size)

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
-from repro.execution import merge_ordered, run_sharded, split_shards
+from repro.execution import interned_payload, merge_ordered, run_sharded, split_shards
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
@@ -121,7 +121,12 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             dependency_sum_shard_csr,
                             split_shards([csr.index_of(s) for s in sources]),
                             n_jobs=plan.n_jobs,
-                            shared=(csr, plan.batch_size),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("dep-sum-csr", id(csr), plan.batch_size),
+                                lambda: (csr, plan.batch_size),
+                            ),
                         )
                     )
                     estimates = vertex_keyed(csr, buffer * scale)
@@ -131,6 +136,7 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             dependency_sum_shard_dict,
                             split_shards(sources),
                             n_jobs=plan.n_jobs,
+                            plan=plan,
                             shared=graph,
                         )
                     )
@@ -211,7 +217,17 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             dependency_at_target_shard_csr,
                             split_shards([csr.index_of(s) for s in sources]),
                             n_jobs=plan.n_jobs,
-                            shared=(csr, plan.batch_size, csr.index_of(r)),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                (
+                                    "dep-at-target-csr",
+                                    id(csr),
+                                    plan.batch_size,
+                                    csr.index_of(r),
+                                ),
+                                lambda: (csr, plan.batch_size, csr.index_of(r)),
+                            ),
                         )
                     )
                 else:
@@ -220,7 +236,12 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             dependency_at_target_shard_dict,
                             split_shards(sources),
                             n_jobs=plan.n_jobs,
-                            shared=(graph, r),
+                            plan=plan,
+                            shared=interned_payload(
+                                plan,
+                                ("dep-at-target-dict", id(graph), graph.version, r),
+                                lambda: (graph, r),
+                            ),
                         )
                     )
                 for value in values:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.execution.plan import ExecutionPlan, resolve_plan
+from repro.execution.runtime import interned_payload
 from repro.execution.scheduler import merge_ordered, run_sharded, split_shards
 from repro.shortest_paths.bfs import bfs_spd, bfs_spd_csr
 from repro.shortest_paths.dijkstra import dijkstra_spd, dijkstra_spd_csr
@@ -188,12 +189,20 @@ def _all_dependencies_on_target_planned(
     if resolve_backend(plan.backend) == "csr":
         csr = graph.csr()
         shards = split_shards(list(range(csr.number_of_vertices())))
+        target_index = csr.index_of(target)
         values = merge_ordered(
             run_sharded(
                 dependency_at_target_shard_csr,
                 shards,
                 n_jobs=plan.n_jobs,
-                shared=(csr, plan.batch_size, csr.index_of(target)),
+                plan=plan,
+                # One interned payload per (snapshot, batch, target): a
+                # persistent pool re-ships nothing for repeated targets.
+                shared=interned_payload(
+                    plan,
+                    ("dep-at-target-csr", id(csr), plan.batch_size, target_index),
+                    lambda: (csr, plan.batch_size, target_index),
+                ),
             )
         )
         return dict(zip(csr.vertices, values))
@@ -203,7 +212,12 @@ def _all_dependencies_on_target_planned(
             dependency_at_target_shard_dict,
             shards,
             n_jobs=plan.n_jobs,
-            shared=(graph, target),
+            plan=plan,
+            shared=interned_payload(
+                plan,
+                ("dep-at-target-dict", id(graph), graph.version, target),
+                lambda: (graph, target),
+            ),
         )
     )
     return dict(zip(vertices, values))

@@ -299,3 +299,120 @@ class TestDatasetsCommand:
         rows = json.loads(output)
         assert code == 0
         assert any(row["name"] == "road" for row in rows)
+
+
+class TestBatchCommand:
+    """The warm-session JSONL streaming command."""
+
+    def _write_queries(self, tmp_path, queries):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("".join(json.dumps(q) + "\n" for q in queries))
+        return str(path)
+
+    def test_streams_one_json_result_per_line(self, barbell_file, tmp_path):
+        queries = [
+            {"id": "a", "op": "estimate", "vertex": 5, "samples": 80, "seed": 1},
+            {"op": "relative", "vertices": [5, 6, 4], "samples": 100, "seed": 2},
+            {"op": "ranking", "k": 2, "samples": 100, "seed": 3},
+            {"op": "exact", "top": 2},
+        ]
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file,
+             "--queries", self._write_queries(tmp_path, queries)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in output.splitlines()]
+        assert [r["op"] for r in records] == ["estimate", "relative", "ranking", "exact"]
+        assert records[0]["id"] == "a"
+        assert records[0]["vertex"] == "5"
+        assert records[0]["estimate"] >= 0.0
+        assert "5/6" in records[1]["ratios"]
+        assert len(records[2]["ranking"]) == 2
+        assert len(records[3]["scores"]) == 2
+
+    def test_batch_results_match_one_shot_commands(self, barbell_file, tmp_path):
+        """One warm session answers exactly what the cold commands answer."""
+        code_cold, cold_out = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "80", "--seed", "1", "--jobs", "2"]
+        )
+        queries = [
+            {"op": "estimate", "vertex": 5, "samples": 80, "seed": 1},
+            {"op": "estimate", "vertex": 5, "samples": 80, "seed": 1},
+        ]
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file, "--jobs", "2",
+             "--queries", self._write_queries(tmp_path, queries)]
+        )
+        assert code_cold == 0 and code == 0
+        cold = json.loads(cold_out)
+        first, second = [json.loads(line) for line in output.splitlines()]
+        assert first["estimate"] == cold["estimate"]
+        assert second["estimate"] == cold["estimate"]
+
+    def test_failing_query_reports_error_and_continues(self, barbell_file, tmp_path):
+        queries = [
+            {"op": "estimate", "vertex": 5, "samples": 40, "seed": 1},
+            {"op": "nope"},
+            {"op": "estimate", "vertex": 5, "samples": 40, "seed": 1},
+        ]
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file,
+             "--queries", self._write_queries(tmp_path, queries)]
+        )
+        assert code == 1  # something failed...
+        records = [json.loads(line) for line in output.splitlines()]
+        assert len(records) == 3  # ...but the stream completed
+        assert "error" in records[1]
+        assert records[0]["estimate"] == records[2]["estimate"]
+
+    def test_default_chains_apply_to_mcmc_queries_only(self, barbell_file, tmp_path):
+        queries = [
+            {"op": "estimate", "vertex": 5, "samples": 64, "seed": 1},
+            {"op": "estimate", "vertex": 5, "method": "rk", "samples": 30, "seed": 1},
+        ]
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file, "--chains", "2",
+             "--queries", self._write_queries(tmp_path, queries)]
+        )
+        assert code == 0
+        mh, rk = [json.loads(line) for line in output.splitlines()]
+        assert mh["chains"] == 2
+        assert rk["chains"] is None  # baseline untouched by the default
+
+    def test_backend_flag_honoured_without_engaging_the_engine(
+        self, barbell_file, tmp_path
+    ):
+        """--backend dict with no --jobs/--batch-size must run (and stamp)
+        the dict backend, bit-identical to the cold sequential command."""
+        code_cold, cold_out = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5",
+             "--samples", "60", "--seed", "1", "--backend", "dict"]
+        )
+        queries = [{"op": "estimate", "vertex": 5, "samples": 60, "seed": 1}]
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file, "--backend", "dict",
+             "--queries", self._write_queries(tmp_path, queries)]
+        )
+        assert code_cold == 0 and code == 0
+        cold = json.loads(cold_out)
+        warm = json.loads(output)
+        assert warm["backend"] == "dict"
+        assert warm["estimate"] == cold["estimate"]
+
+    def test_missing_query_file_is_a_clean_cli_error(self, barbell_file, capsys):
+        code, _ = run_cli(
+            ["batch", "--graph", barbell_file, "--queries", "/nonexistent.jsonl"]
+        )
+        assert code == 2
+        assert "cannot read the query file" in capsys.readouterr().err
+
+    def test_malformed_json_line_reported(self, barbell_file, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        path.write_text('{"op": "estimate", "vertex": 5}\nnot json\n')
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file, "--queries", str(path)]
+        )
+        assert code == 1
+        records = [json.loads(line) for line in output.splitlines()]
+        assert "error" in records[1]

@@ -464,3 +464,19 @@ def test_shared_cache_env_override_rejects_garbage(monkeypatch):
     monkeypatch.setenv("REPRO_SHARED_CACHE", "maybe")
     with pytest.raises(ConfigurationError):
         resolve_shared_cache(None)
+
+
+def test_runtime_arena_honours_shared_cache_capacity(graph):
+    """A driver's explicit shared_cache_capacity must size the runtime's
+    persistent arena, not be silently dropped in favour of the default."""
+    from repro.execution import ExecutionContext
+
+    r = graph.vertices()[0]
+    with ExecutionContext() as ctx:
+        sampler = MultiChainMHSampler(
+            n_chains=2, backend="csr", shared_cache_capacity=7, runtime=ctx
+        )
+        estimate = sampler.estimate(graph, r, 32, seed=1)
+        stats = estimate.diagnostics["shared_cache_stats"]
+    assert stats is not None
+    assert stats["capacity"] == 7
