@@ -30,6 +30,12 @@ Environment knobs
     inside the ``bench_e*`` modules runs under the requested parallelism;
     the value is stamped as a ``jobs:`` line in every emitted table, next
     to the backend, for the same trajectory-attribution reason.
+``REPRO_BENCH_SHARED_GRAPH``
+    Whether CSR snapshots ship to workers as zero-copy shared-memory
+    handles (default ``0``, pickled shipping).  Exported as
+    ``REPRO_SHARED_GRAPH`` so every planned estimator in the ``bench_e*``
+    modules honours it, and stamped as a ``shared_graph:`` line in every
+    emitted table.
 (``n_chains`` is deliberately *not* an env knob: it is an explicit API
 argument, and the multi-chain benchmark — ``bench_e12_multichain.py`` —
 sweeps chain counts itself, recording the count plus the cross-chain
@@ -69,6 +75,18 @@ def bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def bench_shared_graph() -> bool:
+    """Return whether ``REPRO_BENCH_SHARED_GRAPH`` asks for shared snapshots."""
+    raw = os.environ.get("REPRO_BENCH_SHARED_GRAPH", "0").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off", ""):
+        return False
+    raise ValueError(
+        f"REPRO_BENCH_SHARED_GRAPH must be a boolean flag (0/1), got {raw!r}"
+    )
+
+
 # Export the bench knob as the library-wide "auto" override so the
 # estimators constructed inside the bench_e* modules (which all default to
 # backend="auto") genuinely run the requested backend.  Validated here so a
@@ -87,6 +105,12 @@ if bench_jobs() != 1:
     if bench_jobs() < 1:
         raise ValueError(f"REPRO_BENCH_JOBS must be a positive integer, got {bench_jobs()!r}")
     os.environ["REPRO_JOBS"] = str(bench_jobs())
+
+# And for the snapshot-shipping knob: REPRO_SHARED_GRAPH fills the
+# shared_graph field of every plan the other knobs engage (it never engages
+# the engine by itself — see repro.execution.plan.resolve_shared_graph).
+if bench_shared_graph():
+    os.environ["REPRO_SHARED_GRAPH"] = "1"
 
 
 def resolved_bench_backend() -> str:
@@ -125,9 +149,10 @@ def emit_table(
 ) -> str:
     """Print the experiment table and persist it under ``benchmarks/results/``.
 
-    ``backend: <dict|csr>`` and ``jobs: <n>`` lines are stamped under the
-    title so every stored result records which traversal backend and degree
-    of parallelism produced it.
+    ``backend: <dict|csr>``, ``jobs: <n>`` and ``shared_graph: <bool>``
+    lines are stamped under the title so every stored result records which
+    traversal backend, degree of parallelism and snapshot-shipping mode
+    produced it.
     """
     table = format_table(rows, columns)
     text = (
@@ -135,6 +160,7 @@ def emit_table(
         f"{'=' * (len(experiment) + 2 + len(title))}\n"
         f"backend: {resolved_bench_backend()}\n"
         f"jobs: {bench_jobs()}\n"
+        f"shared_graph: {bench_shared_graph()}\n"
         f"{table}\n"
     )
     print("\n" + text)

@@ -166,6 +166,9 @@ class BetweennessSession:
         """Point a sampler's pool work at the session's persistent context."""
         sampler.mp_context = self.plan.mp_context if self.plan is not None else None
         sampler.runtime = self._context
+        sampler.shared_graph = (
+            self.plan.shared_graph if self.plan is not None else None
+        )
         return sampler
 
     def _sampler(self, method: str):
@@ -208,6 +211,7 @@ class BetweennessSession:
                 n_jobs=self.plan.n_jobs if self.plan is not None else None,
                 mp_context=self.plan.mp_context if self.plan is not None else None,
                 runtime=self._context,
+                shared_graph=self.plan.shared_graph if self.plan is not None else None,
             )
             self._estimators[key] = driver
         return driver
@@ -235,6 +239,7 @@ class BetweennessSession:
                 n_jobs=self.plan.n_jobs if self.plan is not None else None,
                 mp_context=self.plan.mp_context if self.plan is not None else None,
                 runtime=self._context,
+                shared_graph=self.plan.shared_graph if self.plan is not None else None,
             )
             self._estimators[key] = driver
         return driver

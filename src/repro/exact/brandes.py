@@ -34,6 +34,7 @@ from repro.execution import (
     ExecutionPlan,
     interned_payload,
     merge_ordered,
+    plan_snapshot,
     resolve_plan,
     run_sharded,
     split_shards,
@@ -160,7 +161,7 @@ def _betweenness_centrality_planned(
 ) -> Dict[Vertex, float]:
     """Sharded/batched Brandes: the execution-engine twin of the loops above."""
     if resolve_backend(plan.backend) == "csr":
-        csr = graph.csr()
+        csr = plan_snapshot(graph, plan)
         if sources is None:
             source_indices = list(range(csr.number_of_vertices()))
         else:

@@ -18,7 +18,14 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError
-from repro.execution import ExecutionPlan, merge_ordered, resolve_plan, run_sharded, split_shards
+from repro.execution import (
+    ExecutionPlan,
+    merge_ordered,
+    plan_snapshot,
+    resolve_plan,
+    run_sharded,
+    split_shards,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.shortest_paths.batch import BatchedSPD, bfs_spd_batch_csr
@@ -250,7 +257,7 @@ def _group_betweenness_planned(
 ) -> float:
     """Sharded/batched raw group-betweenness sum (pre-normalisation)."""
     if resolve_backend(plan.backend) == "csr":
-        csr = graph.csr()
+        csr = plan_snapshot(graph, plan)
         member_mask = np.zeros(csr.number_of_vertices(), dtype=bool)
         for m in members:
             member_mask[csr.index_of(m)] = True

@@ -45,11 +45,14 @@ from repro.execution.plan import (
     resolve_mp_context,
     resolve_plan,
     resolve_shared_cache,
+    resolve_shared_graph,
 )
 from repro.execution.runtime import (
     ExecutionContext,
     PersistentWorkerPool,
+    graph_snapshot,
     interned_payload,
+    plan_snapshot,
 )
 from repro.execution.scheduler import (
     merge_ordered,
@@ -68,10 +71,13 @@ __all__ = [
     "ExecutionPlan",
     "resolve_plan",
     "resolve_shared_cache",
+    "resolve_shared_graph",
     "resolve_mp_context",
     "ExecutionContext",
     "PersistentWorkerPool",
     "interned_payload",
+    "graph_snapshot",
+    "plan_snapshot",
     "DEFAULT_SHARD_SIZE",
     "DEFAULT_BATCH_CANDIDATES",
     "calibrate_batch_size",

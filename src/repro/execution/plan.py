@@ -55,6 +55,7 @@ __all__ = [
     "ExecutionPlan",
     "resolve_plan",
     "resolve_shared_cache",
+    "resolve_shared_graph",
     "resolve_mp_context",
     "DEFAULT_SHARD_SIZE",
 ]
@@ -86,6 +87,13 @@ class ExecutionPlan:
         dependency-vector arena across their workers (CSR-only; ignored by
         every other workload).  Never changes a result — only which process
         pays each Brandes pass.
+    shared_graph:
+        Whether CSR snapshots travel to workers as zero-copy shared-memory
+        handles (:class:`~repro.graphs.shared.SharedCSRGraph`) instead of
+        being pickled — O(1) per-worker ship cost and memory instead of
+        O(m).  CSR-only (the dict backend has no flat arrays to share) and
+        warn-and-fallback where shared memory is unsupported.  Never changes
+        a result: the attached arrays are byte-equal to the pickled ones.
     mp_context:
         Multiprocessing start method for the scheduler's pools (``"fork"`` /
         ``"spawn"`` / ``"forkserver"``; ``None`` keeps the interpreter
@@ -109,6 +117,7 @@ class ExecutionPlan:
     batch_size: int = 1
     n_jobs: int = 1
     shared_cache: bool = False
+    shared_graph: bool = False
     mp_context: Optional[str] = None
     runtime: Optional[object] = None
 
@@ -128,6 +137,10 @@ class ExecutionPlan:
         if not isinstance(self.shared_cache, bool):
             raise ConfigurationError(
                 f"shared_cache must be a boolean, got {self.shared_cache!r}"
+            )
+        if not isinstance(self.shared_graph, bool):
+            raise ConfigurationError(
+                f"shared_graph must be a boolean, got {self.shared_graph!r}"
             )
         if self.mp_context is not None:
             _validate_mp_context(self.mp_context)
@@ -175,6 +188,7 @@ def resolve_plan(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     shared_cache: Optional[bool] = None,
+    shared_graph: Optional[bool] = None,
     mp_context: Optional[str] = None,
     runtime: Optional[object] = None,
 ) -> Optional[ExecutionPlan]:
@@ -205,13 +219,14 @@ def resolve_plan(
         batch_size = _env_int("REPRO_BATCH")
     if n_jobs is None:
         n_jobs = _env_int("REPRO_JOBS")
-    # shared_cache / mp_context / runtime deliberately do NOT engage the
-    # engine: an engaged plan switches estimators onto the sharded/prefetch
-    # disciplines (different rng consumption, different — though equally
-    # valid — estimates), and all three knobs are documented to never change
-    # a result.  They only fill the fields of a plan the other knobs
-    # engaged; standalone consumers (the multi-chain drivers) read them
-    # through resolve_shared_cache() / resolve_mp_context().
+    # shared_cache / shared_graph / mp_context / runtime deliberately do NOT
+    # engage the engine: an engaged plan switches estimators onto the
+    # sharded/prefetch disciplines (different rng consumption, different —
+    # though equally valid — estimates), and all four knobs are documented
+    # to never change a result.  They only fill the fields of a plan the
+    # other knobs engaged; standalone consumers (the multi-chain drivers)
+    # read them through resolve_shared_cache() / resolve_shared_graph() /
+    # resolve_mp_context().
     if batch_size is None and n_jobs is None:
         return None
     return ExecutionPlan(
@@ -219,6 +234,7 @@ def resolve_plan(
         batch_size=batch_size if batch_size is not None else 1,
         n_jobs=n_jobs if n_jobs is not None else 1,
         shared_cache=resolve_shared_cache(shared_cache),
+        shared_graph=resolve_shared_graph(shared_graph),
         mp_context=resolve_mp_context(mp_context),
         runtime=runtime,
     )
@@ -237,6 +253,21 @@ def resolve_shared_cache(shared_cache: Optional[bool] = None) -> bool:
     if shared_cache is not None:
         return shared_cache
     return bool(_env_flag("REPRO_SHARED_CACHE"))
+
+
+def resolve_shared_graph(shared_graph: Optional[bool] = None) -> bool:
+    """Resolve the ``shared_graph`` knob on its own.
+
+    Explicit ``True`` / ``False`` wins; ``None`` consults the
+    ``REPRO_SHARED_GRAPH`` environment override (unset means off).  Like
+    ``shared_cache`` this never engages the execution engine by itself: it
+    selects how CSR snapshots travel to workers that already exist, never
+    whether an estimator parallelises — so the flag can never move an
+    estimator off its legacy sequential code path.
+    """
+    if shared_graph is not None:
+        return shared_graph
+    return bool(_env_flag("REPRO_SHARED_GRAPH"))
 
 
 def resolve_mp_context(mp_context: Optional[str] = None) -> Optional[str]:

@@ -69,7 +69,19 @@ class Graph:
     (3, 2)
     """
 
-    __slots__ = ("_adj", "_pred", "_directed", "_weighted", "_num_edges", "_csr", "_version")
+    # __weakref__ lets the shared-snapshot registry of
+    # :mod:`repro.graphs.shared` key segments by a weak reference, so a
+    # garbage-collected graph tears its segment down instead of leaking it.
+    __slots__ = (
+        "_adj",
+        "_pred",
+        "_directed",
+        "_weighted",
+        "_num_edges",
+        "_csr",
+        "_version",
+        "__weakref__",
+    )
 
     def __init__(self, *, directed: bool = False, weighted: bool = False) -> None:
         self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
@@ -110,6 +122,43 @@ class Graph:
         """Drop the CSR snapshot and advance the mutation stamp."""
         self._csr = None
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the adjacency only — never the cached CSR snapshot.
+
+        Default ``__slots__`` pickling would ship ``_csr`` (three O(m)
+        arrays) alongside the dict adjacency, doubling every worker
+        payload that carries a graph.  Payloads that need the snapshot in
+        the worker ship it explicitly — as a plain array bundle or a
+        zero-copy :class:`~repro.graphs.shared.SharedCSRGraph` handle —
+        and prime the unpickled graph via :meth:`adopt_csr`.
+        """
+        return {
+            slot: getattr(self, slot)
+            for slot in Graph.__slots__
+            if slot not in ("_csr", "__weakref__")
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._csr = None
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def adopt_csr(self, snapshot: "CSRGraph") -> None:
+        """Adopt *snapshot* as the cached CSR view when none is cached yet.
+
+        Worker-side priming: a payload that ships ``(graph, snapshot)``
+        separately (the snapshot possibly attached zero-copy from shared
+        memory) reunites them so a subsequent :meth:`csr` call returns the
+        shipped view instead of rebuilding O(m) arrays.  The caller asserts
+        the snapshot describes this graph at its current version; a no-op
+        when a cached view already exists.
+        """
+        if self._csr is None:
+            self._csr = snapshot
 
     def number_of_vertices(self) -> int:
         """Return ``|V(G)|``."""

@@ -43,7 +43,7 @@ module still imports (``np is None``) and :func:`resolve_backend` degrades
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, VertexNotFoundError
 
@@ -160,18 +160,27 @@ class CSRGraph:
         vertices = graph.vertices()
         index = {v: i for i, v in enumerate(vertices)}
         n = len(vertices)
+        # Preallocate from degree counts instead of growing Python lists and
+        # converting at the end: one O(m) fill pass, no list reallocation
+        # churn and no transient second copy of the edge arrays.  The
+        # per-vertex fill visits neighbours in dict iteration order, so the
+        # arrays are byte-identical to the appending builder's.
         indptr = np.zeros(n + 1, dtype=np.int64)
-        flat_indices: List[int] = []
-        flat_weights: List[float] = []
+        if n:
+            np.cumsum([graph.degree(v) for v in vertices], out=indptr[1:])
+        m = int(indptr[n]) if n else 0
+        flat_indices = np.empty(m, dtype=np.int64)
+        flat_weights = np.empty(m, dtype=np.float64)
         for i, v in enumerate(vertices):
-            for u, w in graph.adjacency(v).items():
-                flat_indices.append(index[u])
-                flat_weights.append(w)
-            indptr[i + 1] = len(flat_indices)
+            adj = graph.adjacency(v)
+            if adj:
+                start, stop = indptr[i], indptr[i + 1]
+                flat_indices[start:stop] = [index[u] for u in adj]
+                flat_weights[start:stop] = list(adj.values())
         return cls(
             indptr,
-            np.asarray(flat_indices, dtype=np.int64),
-            np.asarray(flat_weights, dtype=np.float64),
+            flat_indices,
+            flat_weights,
             vertices,
             directed=graph.directed,
             weighted=graph.weighted,
@@ -262,7 +271,7 @@ class CSRGraph:
         from scipy.sparse import csr_matrix
 
         if self._scipy_forward is None:
-            n = len(self._vertices)
+            n = self.number_of_vertices()
             self._scipy_forward = csr_matrix(
                 (self.weights, self.indices, self.indptr), shape=(n, n)
             )

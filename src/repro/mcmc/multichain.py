@@ -67,9 +67,11 @@ from repro._rng import RandomState, ensure_rng, spawn_rng
 from repro.errors import ConfigurationError, EdgeNotFoundError, SamplingError
 from repro.execution import (
     create_shared_store,
+    graph_snapshot,
     resolve_mp_context,
     resolve_plan,
     resolve_shared_cache,
+    resolve_shared_graph,
     run_sharded,
 )
 from repro.graphs.core import Graph, Vertex
@@ -152,16 +154,31 @@ class _ChainPayload:
     a process-shared lock may cross; on a persistent pool the install
     broadcast substitutes the context's lock by persistent id (see
     :mod:`repro.execution.runtime`).
+
+    *snapshot* optionally carries the graph's CSR snapshot explicitly —
+    either the plain cached arrays or a
+    :class:`~repro.graphs.shared.SharedCSRGraph` handle that re-attaches
+    zero-copy in the worker.  :class:`~repro.graphs.core.Graph` itself
+    pickles *without* its cached snapshot, so :meth:`oracle` primes the
+    worker-side graph via :meth:`~repro.graphs.core.Graph.adopt_csr` before
+    building the oracle; inline (same process) the adoption is a no-op.
     """
 
     def __init__(
-        self, kind: str, graph: Graph, sampler, target=None, shared_store=None
+        self,
+        kind: str,
+        graph: Graph,
+        sampler,
+        target=None,
+        shared_store=None,
+        snapshot=None,
     ) -> None:
         self.kind = kind
         self.graph = graph
         self.sampler = sampler
         self.target = target
         self.shared_store = shared_store
+        self.snapshot = snapshot
         self._oracle = None
 
     def __getstate__(self):
@@ -171,6 +188,8 @@ class _ChainPayload:
 
     def oracle(self):
         if self._oracle is None:
+            if self.snapshot is not None:
+                self.graph.adopt_csr(self.snapshot)
             if self.kind == "edge":
                 self._oracle = self.sampler.build_oracle(self.graph, self.target)
             else:
@@ -234,6 +253,7 @@ class _MultiChainBase:
         shared_cache_capacity: Optional[int] = None,
         mp_context: Optional[str] = None,
         runtime: Optional[object] = None,
+        shared_graph: Optional[bool] = None,
     ) -> None:
         if not isinstance(n_chains, int) or isinstance(n_chains, bool) or n_chains < 1:
             raise ConfigurationError(
@@ -242,6 +262,10 @@ class _MultiChainBase:
         if shared_cache is not None and not isinstance(shared_cache, bool):
             raise ConfigurationError(
                 f"shared_cache must be a boolean or None, got {shared_cache!r}"
+            )
+        if shared_graph is not None and not isinstance(shared_graph, bool):
+            raise ConfigurationError(
+                f"shared_graph must be a boolean or None, got {shared_graph!r}"
             )
         if shared_cache_capacity is not None and (
             not isinstance(shared_cache_capacity, int)
@@ -271,6 +295,11 @@ class _MultiChainBase:
         #: requests are cache hits here.  Results are bit-identical either
         #: way — the runtime only moves where work is paid.
         self.runtime = runtime
+        #: Whether the graph's CSR snapshot ships to workers as a
+        #: shared-memory handle (:mod:`repro.graphs.shared`) instead of
+        #: pickled arrays (``None`` consults ``REPRO_SHARED_GRAPH``).
+        #: Never changes an estimate — only how the snapshot travels.
+        self.shared_graph = shared_graph
         #: ``SharedDependencyStore.stats()`` of the last run (``None`` when
         #: the run used private caches) — the drivers' estimate methods stamp
         #: it into their diagnostics.
@@ -310,6 +339,28 @@ class _MultiChainBase:
         engine code path by itself.
         """
         return resolve_shared_cache(self.shared_cache)
+
+    def _resolved_shared_graph(self) -> bool:
+        """Whether snapshots ship as shared-memory handles (env override honoured)."""
+        return resolve_shared_graph(self.shared_graph)
+
+    def _graph_snapshot(self, graph: Graph):
+        """The CSR snapshot shipped explicitly in the worker payload, if any.
+
+        ``None`` on the dict backend (there is nothing to snapshot); the
+        plain cached arrays otherwise — :class:`~repro.graphs.core.Graph`
+        pickles without its snapshot, so the payload carries it — and a
+        zero-copy :class:`~repro.graphs.shared.SharedCSRGraph` handle when
+        the ``shared_graph`` knob is on (warn-and-fallback to the plain
+        arrays where shared memory is unsupported).
+        """
+        if resolve_backend(self.base.backend) != "csr":
+            return None
+        return graph_snapshot(
+            graph,
+            shared_graph=self._resolved_shared_graph(),
+            runtime=self.runtime,
+        )
 
     def _build_shared_store(self, graph: Graph, num_samples: int):
         """Create the run's cross-process arena, or ``None`` when not applicable.
@@ -370,16 +421,18 @@ class _MultiChainBase:
             )
         return self._build_shared_store(graph, num_samples), True
 
-    def _chain_payload(self, kind: str, graph: Graph, sampler, store):
+    def _chain_payload(self, kind: str, graph: Graph, sampler, store, snapshot):
         """Build (or recall from the runtime memo) the shared worker payload.
 
-        One payload per ``(kind, sampler, graph version, arena)`` — the
-        memo hands back the same object across requests, so a persistent
-        pool installs it (and ships the graph snapshot) once and its
-        workers keep their rebuilt oracles warm between requests.
+        One payload per ``(kind, sampler, graph version, arena, snapshot)``
+        — the memo hands back the same object across requests, so a
+        persistent pool installs it (and ships the graph snapshot) once and
+        its workers keep their rebuilt oracles warm between requests.
         """
         if self.runtime is None:
-            return _ChainPayload(kind, graph, sampler, shared_store=store)
+            return _ChainPayload(
+                kind, graph, sampler, shared_store=store, snapshot=snapshot
+            )
         key = (
             "multichain",
             kind,
@@ -387,9 +440,13 @@ class _MultiChainBase:
             id(graph),
             graph.version,
             store.name if store is not None else None,
+            id(snapshot) if snapshot is not None else None,
         )
         return self.runtime.cached_payload(
-            key, lambda: _ChainPayload(kind, graph, sampler, shared_store=store)
+            key,
+            lambda: _ChainPayload(
+                kind, graph, sampler, shared_store=store, snapshot=snapshot
+            ),
         )
 
     def _chain_rngs(self, rng: Random) -> List[Random]:
@@ -511,6 +568,12 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         Arena rows of the shared store (``None`` sizes it so overflow is
         impossible for the run's budget).  A smaller arena stays correct
         and simply stops absorbing vectors once full.
+    shared_graph:
+        ``None`` (default) consults the ``REPRO_SHARED_GRAPH`` environment
+        override; ``True`` ships the graph's CSR snapshot to workers as one
+        shared-memory segment (:mod:`repro.graphs.shared`) that every
+        worker attaches zero-copy, instead of each unpickling its own copy
+        of the arrays.  CSR-only; never changes the pooled estimate.
     """
 
     name = "mh-multichain"
@@ -527,6 +590,7 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         shared_cache_capacity: Optional[int] = None,
         mp_context: Optional[str] = None,
         runtime: Optional[object] = None,
+        shared_graph: Optional[bool] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(
@@ -536,6 +600,7 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
             shared_cache_capacity=shared_cache_capacity,
             mp_context=mp_context,
             runtime=runtime,
+            shared_graph=shared_graph,
         )
         base = self._resolve_base(base, SingleSpaceMHSampler, base_kwargs)
         if not base.record_states:
@@ -596,7 +661,8 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
         self, graph: Graph, r: Vertex, rngs, budgets, store
     ) -> MultiChainResult:
         """The scheduling body of :meth:`run_chains` (store lifecycle handled there)."""
-        payload = self._chain_payload("single", graph, self.base, store)
+        snapshot = self._graph_snapshot(graph)
+        payload = self._chain_payload("single", graph, self.base, store, snapshot)
         jobs = self._resolved_jobs()
         chains: List[Optional[ChainResult]] = [None] * self.n_chains
         evaluations = 0
@@ -617,7 +683,7 @@ class MultiChainMHSampler(_MultiChainBase, SingleVertexEstimator):
                     "target is never reached)"
                 )
             payload = self._chain_payload(
-                "single", graph, self._segment_sampler(), store
+                "single", graph, self._segment_sampler(), store, snapshot
             )
             converged = False
             rounds = 0
@@ -770,6 +836,7 @@ class MultiChainJointSampler(_MultiChainBase):
         shared_cache_capacity: Optional[int] = None,
         mp_context: Optional[str] = None,
         runtime: Optional[object] = None,
+        shared_graph: Optional[bool] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(
@@ -779,6 +846,7 @@ class MultiChainJointSampler(_MultiChainBase):
             shared_cache_capacity=shared_cache_capacity,
             mp_context=mp_context,
             runtime=runtime,
+            shared_graph=shared_graph,
         )
         self.base = self._resolve_base(base, JointSpaceMHSampler, base_kwargs)
 
@@ -798,7 +866,9 @@ class MultiChainJointSampler(_MultiChainBase):
         store, owned = self._acquire_store(graph, num_samples)
         self._shared_cache_stats = None
         try:
-            payload = self._chain_payload("joint", graph, self.base, store)
+            payload = self._chain_payload(
+                "joint", graph, self.base, store, self._graph_snapshot(graph)
+            )
             tasks = [(i, rngs[i], budgets[i], members) for i in range(self.n_chains)]
             chains, _, evaluations = self._run_round(
                 payload, tasks, _run_fixed_shard, self._resolved_jobs(),
@@ -892,10 +962,15 @@ class MultiChainEdgeSampler(_MultiChainBase):
         n_jobs: Optional[int] = None,
         mp_context: Optional[str] = None,
         runtime: Optional[object] = None,
+        shared_graph: Optional[bool] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(
-            n_chains=n_chains, n_jobs=n_jobs, mp_context=mp_context, runtime=runtime
+            n_chains=n_chains,
+            n_jobs=n_jobs,
+            mp_context=mp_context,
+            runtime=runtime,
+            shared_graph=shared_graph,
         )
         self.base = self._resolve_base(base, EdgeMHSampler, base_kwargs)
 
@@ -917,12 +992,23 @@ class MultiChainEdgeSampler(_MultiChainBase):
         # The edge oracle is built per edge, so the target stays in the
         # payload here (one payload per edge; still memoized under a
         # runtime so repeated queries about one edge reuse it).
+        snapshot = self._graph_snapshot(graph)
         if self.runtime is None:
-            payload = _ChainPayload("edge", graph, self.base, (a, b))
+            payload = _ChainPayload("edge", graph, self.base, (a, b), snapshot=snapshot)
         else:
             payload = self.runtime.cached_payload(
-                ("multichain", "edge", id(self.base), id(graph), graph.version, (a, b)),
-                lambda: _ChainPayload("edge", graph, self.base, (a, b)),
+                (
+                    "multichain",
+                    "edge",
+                    id(self.base),
+                    id(graph),
+                    graph.version,
+                    (a, b),
+                    id(snapshot) if snapshot is not None else None,
+                ),
+                lambda: _ChainPayload(
+                    "edge", graph, self.base, (a, b), snapshot=snapshot
+                ),
             )
         tasks = [(i, rngs[i], budgets[i], (a, b)) for i in range(self.n_chains)]
         chains, _, evaluations = self._run_round(

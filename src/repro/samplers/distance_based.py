@@ -24,7 +24,13 @@ from typing import Callable, Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError, SamplingError
-from repro.execution import interned_payload, merge_ordered, run_sharded, split_shards
+from repro.execution import (
+    interned_payload,
+    merge_ordered,
+    plan_snapshot,
+    run_sharded,
+    split_shards,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.samplers.base import ExecutionPlanMixin, SingleEstimate, SingleVertexEstimator, timed
@@ -95,8 +101,12 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
         rng = ensure_rng(seed)
         n = graph.number_of_vertices()
         backend = resolve_backend(self.backend)
+        plan = self._plan()
         with timed() as clock:
-            csr = graph.csr() if backend == "csr" else None
+            # plan_snapshot returns the plain cached snapshot when no plan
+            # is engaged, so the sequential path is untouched; with the
+            # shared_graph knob on, the payload below ships as a handle.
+            csr = plan_snapshot(graph, plan) if backend == "csr" else None
             masses = self._mass_function(graph, r)
             masses = {v: m for v, m in masses.items() if m > 0.0 and v != r}
             total_mass = sum(masses.values())
@@ -110,7 +120,6 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
             probabilities = {v: w / total_mass for v, w in zip(vertices, weights)}
             r_index = csr.index_of(r) if csr is not None else None
             total = 0.0
-            plan = self._plan()
             if plan is not None:
                 # Draw the whole source sequence upfront — the exact rng
                 # calls the sequential loop makes — then run the passes

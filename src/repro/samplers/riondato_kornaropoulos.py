@@ -23,7 +23,13 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
-from repro.execution import interned_payload, merge_ordered, run_sharded, sample_shards
+from repro.execution import (
+    interned_payload,
+    merge_ordered,
+    plan_snapshot,
+    run_sharded,
+    sample_shards,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
@@ -183,7 +189,7 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
             with timed() as clock:
                 shards = sample_shards(num_samples, rng)
                 if backend == "csr":
-                    csr = graph.csr()
+                    csr = plan_snapshot(graph, plan)
                     buffer = merge_ordered(
                         run_sharded(
                             _rk_all_shard_csr, shards, n_jobs=plan.n_jobs, plan=plan, shared=csr
@@ -251,7 +257,7 @@ class RiondatoKornaropoulosSampler(ExecutionPlanMixin, SingleVertexEstimator, Al
             with timed() as clock:
                 shards = sample_shards(num_samples, rng)
                 if backend == "csr":
-                    csr = graph.csr()
+                    csr = plan_snapshot(graph, plan)
                     hits = merge_ordered(
                         run_sharded(
                             _rk_hits_shard_csr,

@@ -14,7 +14,13 @@ from typing import Dict, Optional
 
 from repro._rng import RandomState, ensure_rng
 from repro.errors import ConfigurationError
-from repro.execution import interned_payload, merge_ordered, run_sharded, split_shards
+from repro.execution import (
+    interned_payload,
+    merge_ordered,
+    plan_snapshot,
+    run_sharded,
+    split_shards,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.samplers.base import (
@@ -115,7 +121,7 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
             with timed() as clock:
                 sources = self._sample_sources(graph, num_samples, rng)
                 if backend == "csr":
-                    csr = graph.csr()
+                    csr = plan_snapshot(graph, plan)
                     buffer = merge_ordered(
                         run_sharded(
                             dependency_sum_shard_csr,
@@ -211,7 +217,7 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
             with timed() as clock:
                 sources = self._sample_sources(graph, num_samples, rng)
                 if backend == "csr":
-                    csr = graph.csr()
+                    csr = plan_snapshot(graph, plan)
                     values = merge_ordered(
                         run_sharded(
                             dependency_at_target_shard_csr,

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.execution.plan import ExecutionPlan, resolve_plan
-from repro.execution.runtime import interned_payload
+from repro.execution.runtime import interned_payload, plan_snapshot
 from repro.execution.scheduler import merge_ordered, run_sharded, split_shards
 from repro.shortest_paths.bfs import bfs_spd, bfs_spd_csr
 from repro.shortest_paths.dijkstra import dijkstra_spd, dijkstra_spd_csr
@@ -187,7 +187,7 @@ def _all_dependencies_on_target_planned(
     if not vertices:
         return {}
     if resolve_backend(plan.backend) == "csr":
-        csr = graph.csr()
+        csr = plan_snapshot(graph, plan)
         shards = split_shards(list(range(csr.number_of_vertices())))
         target_index = csr.index_of(target)
         values = merge_ordered(

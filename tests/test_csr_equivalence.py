@@ -325,3 +325,104 @@ def test_from_edges_builds_the_same_graph_as_add_edge_loops():
     weighted = Graph.from_edges([(0, 1, 2.5), (1, 2, 0.5)], weighted=True)
     assert weighted.edge_weight(0, 1) == 2.5
     assert weighted.edge_weight(1, 2) == 0.5
+
+
+# ----------------------------------------------------------------------
+# Vectorised snapshot builder + scipy adjacency caching
+# ----------------------------------------------------------------------
+
+
+def _reference_from_graph(graph):
+    """The original per-edge Python loop, kept as the byte-identity oracle
+    for the vectorised ``CSRGraph.from_graph``."""
+    vertices = graph.vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+    flat_indices = []
+    flat_weights = []
+    for i, v in enumerate(vertices):
+        adj = graph.adjacency(v)
+        flat_indices.extend(index[u] for u in adj)
+        flat_weights.extend(adj.values())
+        indptr[i + 1] = len(flat_indices)
+    return (
+        indptr,
+        np.asarray(flat_indices, dtype=np.int64),
+        np.asarray(flat_weights, dtype=np.float64),
+    )
+
+
+def _isolated_vertex_graph():
+    g = Graph()
+    g.add_vertex(9)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    return g
+
+
+def _directed_weighted_graph():
+    g = Graph(directed=True, weighted=True)
+    g.add_edge("a", "b", 2.0)
+    g.add_edge("b", "c", 0.5)
+    g.add_edge("c", "a", 1.5)
+    g.add_edge("a", "c", 3.0)
+    return g
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda: barabasi_albert_graph(25, 2, seed=3),
+        lambda: erdos_renyi_graph(20, 0.2, seed=8),
+        lambda: _random_weighted_graph(5),
+        _isolated_vertex_graph,
+        _directed_weighted_graph,
+        Graph,  # empty graph
+    ],
+)
+def test_vectorized_from_graph_is_byte_identical_to_the_loop(builder):
+    from repro.graphs.csr import CSRGraph
+
+    graph = builder()
+    csr = CSRGraph.from_graph(graph)
+    indptr, indices, weights = _reference_from_graph(graph)
+    assert np.array_equal(csr.indptr, indptr)
+    assert np.array_equal(csr.indices, indices)
+    assert np.array_equal(csr.weights, weights)
+    assert csr.indptr.dtype == indptr.dtype
+    assert csr.indices.dtype == indices.dtype
+    assert csr.weights.dtype == weights.dtype
+    assert csr.vertices == tuple(graph.vertices())
+
+
+def test_scipy_adjacency_directed_builds_a_cached_transpose():
+    pytest.importorskip("scipy")
+    from scipy.sparse import csr_matrix
+
+    g = Graph(directed=True, weighted=True)
+    g.add_edge(0, 1, 2.0)
+    g.add_edge(1, 2, 0.5)
+    g.add_edge(2, 0, 1.5)
+    g.add_edge(0, 2, 3.0)
+    csr = g.csr()
+    forward = csr.scipy_adjacency()
+    backward = csr.scipy_adjacency(transpose=True)
+    # Built once, cached: repeated calls return the same objects.
+    assert csr.scipy_adjacency() is forward
+    assert csr.scipy_adjacency(transpose=True) is backward
+    assert isinstance(backward, csr_matrix)
+    assert backward is not forward
+    # Consistency: the backward view is exactly the forward transpose.
+    assert (backward.toarray() == forward.toarray().T).all()
+    n = csr.number_of_vertices()
+    dense = np.zeros((n, n))
+    for u, v, w in g.edges(data=True):
+        dense[csr.index_of(u), csr.index_of(v)] = w
+    assert (forward.toarray() == dense).all()
+
+
+def test_scipy_adjacency_undirected_backward_is_forward():
+    pytest.importorskip("scipy")
+    g = barbell_graph(3, 1)
+    csr = g.csr()
+    assert csr.scipy_adjacency(transpose=True) is csr.scipy_adjacency()
