@@ -36,6 +36,13 @@ Environment knobs
     ``REPRO_SHARED_GRAPH`` so every planned estimator in the ``bench_e*``
     modules honours it, and stamped as a ``shared_graph:`` line in every
     emitted table.
+``REPRO_BENCH_KERNEL``
+    CSR kernel rung the benchmarks run: ``auto`` (default; the compiled
+    numba twins when numba is importable), ``csr`` (numpy) or
+    ``compiled``.  Exported as ``REPRO_KERNEL`` so every ``kernel="auto"``
+    call site resolves it, and the *resolved* rung is stamped as a
+    ``kernel:`` line in every emitted table — the rungs are bit-identical,
+    so the stamp attributes wall-clock only, never result drift.
 (``n_chains`` is deliberately *not* an env knob: it is an explicit API
 argument, and the multi-chain benchmark — ``bench_e12_multichain.py`` —
 sweeps chain counts itself, recording the count plus the cross-chain
@@ -75,6 +82,11 @@ def bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def bench_kernel() -> str:
+    """Return the requested CSR kernel rung (``REPRO_BENCH_KERNEL``)."""
+    return os.environ.get("REPRO_BENCH_KERNEL", "auto")
+
+
 def bench_shared_graph() -> bool:
     """Return whether ``REPRO_BENCH_SHARED_GRAPH`` asks for shared snapshots."""
     raw = os.environ.get("REPRO_BENCH_SHARED_GRAPH", "0").strip().lower()
@@ -112,12 +124,36 @@ if bench_jobs() != 1:
 if bench_shared_graph():
     os.environ["REPRO_SHARED_GRAPH"] = "1"
 
+# And for the kernel rung: REPRO_KERNEL steers every kernel="auto" call
+# site through repro.graphs.csr.resolve_kernel (requesting "compiled"
+# without numba warn-and-falls-back to the numpy rung, results unchanged).
+if bench_kernel() != "auto":
+    if bench_kernel() not in ("csr", "compiled"):
+        raise ValueError(
+            f"REPRO_BENCH_KERNEL must be 'auto', 'csr' or 'compiled', "
+            f"got {bench_kernel()!r}"
+        )
+    os.environ["REPRO_KERNEL"] = bench_kernel()
+
 
 def resolved_bench_backend() -> str:
     """Return the backend the benchmarks actually run (``dict`` or ``csr``)."""
     from repro.graphs.csr import resolve_backend
 
     return resolve_backend(bench_backend())
+
+
+def resolved_bench_kernel() -> str:
+    """Return the kernel rung the benchmarks actually run (``csr`` or ``compiled``)."""
+    import warnings
+
+    from repro.graphs.csr import resolve_kernel
+
+    with warnings.catch_warnings():
+        # The fallback warning is already the bench's explicit receipt (the
+        # kernel: stamp); no need to repeat it once per emitted table.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return resolve_kernel(bench_kernel())
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -149,10 +185,10 @@ def emit_table(
 ) -> str:
     """Print the experiment table and persist it under ``benchmarks/results/``.
 
-    ``backend: <dict|csr>``, ``jobs: <n>`` and ``shared_graph: <bool>``
-    lines are stamped under the title so every stored result records which
-    traversal backend, degree of parallelism and snapshot-shipping mode
-    produced it.
+    ``backend: <dict|csr>``, ``jobs: <n>``, ``shared_graph: <bool>`` and
+    ``kernel: <csr|compiled>`` lines are stamped under the title so every
+    stored result records which traversal backend, degree of parallelism,
+    snapshot-shipping mode and kernel rung produced it.
     """
     table = format_table(rows, columns)
     text = (
@@ -161,6 +197,7 @@ def emit_table(
         f"backend: {resolved_bench_backend()}\n"
         f"jobs: {bench_jobs()}\n"
         f"shared_graph: {bench_shared_graph()}\n"
+        f"kernel: {resolved_bench_kernel()}\n"
         f"{table}\n"
     )
     print("\n" + text)

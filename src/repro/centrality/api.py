@@ -27,7 +27,7 @@ from repro.exact.single_vertex import (
     betweenness_of_vertex,
     exact_relative_betweenness,
 )
-from repro.execution.autotune import calibrate_batch_size
+from repro.execution.autotune import calibrate_batch_size, calibrate_n_jobs
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.graphs.utils import ensure_connected
@@ -71,6 +71,10 @@ DEFAULT_CHAINS = 4
 #: ``"auto"`` (calibrated from a timed probe, :mod:`repro.execution.autotune`).
 BatchSize = Union[int, str, None]
 
+#: Worker-count specification: an int, ``None`` (no parallelism requested)
+#: or ``"auto"`` (calibrated from a timed probe over real pool spin-ups).
+Jobs = Union[int, str, None]
+
 
 def _resolve_batch_size(
     graph: Graph, batch_size: BatchSize, backend: str, workload: Optional[int] = None
@@ -93,6 +97,31 @@ def _resolve_batch_size(
             graph, backend=backend, probe_sources=probe_sources
         )
     return batch_size
+
+
+def _resolve_n_jobs(
+    graph: Graph, n_jobs: Jobs, backend: str, workload: Optional[int] = None
+):
+    """Resolve ``"auto"`` to a calibrated worker count at the point the graph is known.
+
+    Unlike an unset ``n_jobs``, the calibrated count **always engages** the
+    execution engine — even when the probe picks 1 worker.  The engine's
+    sharded discipline is what makes results n_jobs-invariant; resolving to
+    ``None`` (the legacy sequential path, whose accumulation order and rng
+    consumption differ for the stochastic samplers) would let wall-clock
+    noise pick between two differently-ordered computations, breaking the
+    "timing can never change an estimate" contract.  On the dict backend
+    the sharded path exists too, but there are no batch kernels to amortise
+    pool traffic against, so ``"auto"`` resolves to an engaged 1 without
+    probing.  *workload* scales the probe down for small jobs, like
+    :func:`_resolve_batch_size`.
+    """
+    if n_jobs == "auto":
+        if resolve_backend(backend) != "csr":
+            return 1
+        probe_sources = 64 if workload is None else max(8, min(64, workload // 8))
+        return calibrate_n_jobs(graph, backend=backend, probe_sources=probe_sources)
+    return n_jobs
 
 #: Estimator registry for :func:`betweenness_single`.  Every factory accepts
 #: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``) plus the
@@ -143,10 +172,11 @@ def betweenness_single(
     check_connected: bool = True,
     backend: str = "auto",
     batch_size: BatchSize = None,
-    n_jobs: Optional[int] = None,
+    n_jobs: Jobs = None,
     n_chains: Optional[int] = None,
     rhat_target: Optional[float] = None,
     shared_cache: Optional[bool] = None,
+    kernel: str = "auto",
 ) -> SingleEstimate:
     """Estimate the betweenness of one vertex with the chosen *method*.
 
@@ -181,6 +211,15 @@ def betweenness_single(
         a short timed probe on *graph*
         (:func:`repro.execution.calibrate_batch_size`), which changes
         wall-clock only, never the estimate for a given resolved size.
+        ``n_jobs`` likewise accepts ``"auto"``
+        (:func:`repro.execution.calibrate_n_jobs`): the worker count is
+        probed with real pool spin-ups and always engages the execution
+        engine, whose sharded discipline is n_jobs-invariant — so the
+        timing-chosen count can never change the estimate either.
+    kernel:
+        CSR kernel rung (``"auto"`` / ``"csr"`` / ``"compiled"``, see
+        :func:`~repro.graphs.csr.resolve_kernel`); the compiled rung is
+        bit-identical to the numpy rung, so this only changes speed.
     n_chains, rhat_target:
         Engage the multi-chain MCMC driver
         (:class:`repro.mcmc.multichain.MultiChainMHSampler`) for the MH
@@ -222,17 +261,25 @@ def betweenness_single(
     batch_size = _resolve_batch_size(graph, batch_size, backend, workload=samples)
     if multichain:
         # The driver owns n_jobs (chains are the unit of parallel work); the
-        # base sampler keeps batch-prefetching its own proposals.
+        # base sampler keeps batch-prefetching its own proposals.  An "auto"
+        # worker count is capped at the chain count — extra workers would
+        # idle, and the probe times per-source sharding, not chain fan-out.
+        chains = n_chains if n_chains is not None else DEFAULT_CHAINS
+        if n_jobs == "auto":
+            n_jobs = min(_resolve_n_jobs(graph, n_jobs, backend, workload=samples), chains)
         base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
+        base.kernel = kernel
         driver = MultiChainMHSampler(
             base,
-            n_chains=n_chains if n_chains is not None else DEFAULT_CHAINS,
+            n_chains=chains,
             rhat_target=rhat_target,
             n_jobs=n_jobs,
             shared_cache=shared_cache,
         )
         return driver.estimate(graph, r, samples, seed=seed)
+    n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=samples)
     estimator = SINGLE_VERTEX_METHODS[method](backend, batch_size, n_jobs)
+    estimator.kernel = kernel
     return estimator.estimate(graph, r, samples, seed=seed)
 
 
@@ -243,16 +290,20 @@ def betweenness_exact(
     normalization: str = "paper",
     backend: str = "auto",
     batch_size: BatchSize = None,
-    n_jobs: Optional[int] = None,
+    n_jobs: Jobs = None,
+    kernel: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return exact betweenness scores (all vertices, or just the requested ones).
 
     ``batch_size`` / ``n_jobs`` engage the sharded execution engine for the
     per-source Brandes passes (see :mod:`repro.execution`); ``"auto"``
-    calibrates the batch size from a timed probe.
+    calibrates either knob from a timed probe (bit-identical results for
+    any resolved value).  ``kernel`` selects the CSR kernel rung — numpy or
+    the bit-identical numba-compiled twins.
     """
     passes = graph.number_of_vertices() if vertices is None else None
     batch_size = _resolve_batch_size(graph, batch_size, backend, workload=passes)
+    n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=passes)
     if vertices is None:
         return betweenness_centrality(
             graph,
@@ -260,6 +311,7 @@ def betweenness_exact(
             backend=backend,
             batch_size=batch_size,
             n_jobs=n_jobs,
+            kernel=kernel,
         )
     return {
         v: betweenness_of_vertex(
@@ -269,6 +321,7 @@ def betweenness_exact(
             backend=backend,
             batch_size=batch_size,
             n_jobs=n_jobs,
+            kernel=kernel,
         )
         for v in vertices
     }
@@ -283,9 +336,10 @@ def relative_betweenness(
     check_connected: bool = True,
     backend: str = "auto",
     batch_size: BatchSize = None,
-    n_jobs: Optional[int] = None,
+    n_jobs: Jobs = None,
     n_chains: Optional[int] = None,
     shared_cache: Optional[bool] = None,
+    kernel: str = "auto",
 ) -> RelativeBetweennessEstimate:
     """Estimate all pairwise relative betweenness scores of *reference_set*.
 
@@ -310,14 +364,22 @@ def relative_betweenness(
         ensure_connected(graph)
     batch_size = _resolve_batch_size(graph, batch_size, backend, workload=samples)
     if n_chains is not None:
+        if n_jobs == "auto":
+            n_jobs = min(
+                _resolve_n_jobs(graph, n_jobs, backend, workload=samples), n_chains
+            )
+        base = JointSpaceMHSampler(backend=backend, batch_size=batch_size)
+        base.kernel = kernel
         driver = MultiChainJointSampler(
-            JointSpaceMHSampler(backend=backend, batch_size=batch_size),
+            base,
             n_chains=n_chains,
             n_jobs=n_jobs,
             shared_cache=shared_cache,
         )
         return driver.estimate_relative(graph, reference_set, samples, seed=seed)
+    n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=samples)
     sampler = JointSpaceMHSampler(backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    sampler.kernel = kernel
     return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
 
 

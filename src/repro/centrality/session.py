@@ -169,6 +169,7 @@ class BetweennessSession:
         sampler.shared_graph = (
             self.plan.shared_graph if self.plan is not None else None
         )
+        sampler.kernel = self.plan.kernel if self.plan is not None else "auto"
         return sampler
 
     def _sampler(self, method: str):
@@ -204,6 +205,7 @@ class BetweennessSession:
             # Mirrors the cold API: the driver owns n_jobs (chains are the
             # unit of parallel work); the base keeps batch-prefetching.
             base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
+            base.kernel = self.plan.kernel if self.plan is not None else "auto"
             driver = MultiChainMHSampler(
                 base,
                 n_chains=n_chains if n_chains is not None else DEFAULT_CHAINS,
@@ -233,8 +235,10 @@ class BetweennessSession:
         driver = self._estimators.get(key)
         if driver is None:
             backend, batch_size, _ = self._knobs()
+            joint_base = JointSpaceMHSampler(backend=backend, batch_size=batch_size)
+            joint_base.kernel = self.plan.kernel if self.plan is not None else "auto"
             driver = MultiChainJointSampler(
-                JointSpaceMHSampler(backend=backend, batch_size=batch_size),
+                joint_base,
                 n_chains=n_chains,
                 n_jobs=self.plan.n_jobs if self.plan is not None else None,
                 mp_context=self.plan.mp_context if self.plan is not None else None,

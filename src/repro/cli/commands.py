@@ -32,6 +32,7 @@ from repro.centrality.api import (
     MCMC_SINGLE_METHODS,
     SINGLE_VERTEX_METHODS,
     _resolve_batch_size,
+    _resolve_n_jobs,
     betweenness_exact,
     betweenness_single,
     relative_betweenness,
@@ -39,7 +40,7 @@ from repro.centrality.api import (
 from repro.centrality.session import BetweennessSession
 from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
 from repro.execution import resolve_plan
-from repro.graphs.csr import BACKENDS
+from repro.graphs.csr import BACKENDS, KERNELS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.io import read_edge_list
@@ -166,9 +167,10 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=_positive_int,
+        type=_jobs,
         default=None,
-        help="worker processes for the sharded source loop (default: sequential)",
+        help="worker processes for the sharded source loop, or 'auto' to "
+        "calibrate the count from a short timed probe (default: sequential)",
     )
     parser.add_argument(
         "--batch-size",
@@ -176,6 +178,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="sources per batched CSR traversal, or 'auto' to calibrate the "
         "size from a short timed probe (default: per-source kernels)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNELS,
+        help="CSR kernel rung: 'csr' (numpy) or 'compiled' (numba-jitted, "
+        "bit-identical results; default: auto = compiled when numba imports)",
     )
 
 
@@ -199,6 +208,12 @@ def _positive_int(raw: str) -> int:
 
 
 def _batch_size(raw: str):
+    if raw == "auto":
+        return "auto"
+    return _positive_int(raw)
+
+
+def _jobs(raw: str):
     if raw == "auto":
         return "auto"
     return _positive_int(raw)
@@ -247,18 +262,35 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
         return 2
 
 
-def _execution_stamp(diagnostics) -> dict:
+def _resolved_kernel(kernel: str) -> str:
+    """Resolve the ``--kernel`` argument for the payload stamp.
+
+    Quietly: when ``compiled`` degrades to ``csr`` without numba, the run
+    itself already warned once; the stamp just records what actually ran.
+    """
+    import warnings
+
+    from repro.graphs.csr import resolve_kernel
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return resolve_kernel(kernel)
+
+
+def _execution_stamp(diagnostics, kernel: Optional[str] = None) -> dict:
     """The execution stamp every estimating payload shares.
 
     Same semantics everywhere: null ``jobs`` / ``batch_size`` = engine not
     engaged, null ``chains`` / ``rhat`` / ``ess`` = the multi-chain driver
     did not run.  One assembly point instead of each command re-listing the
     keys (``estimate`` / ``relative`` previously kept diverging copies).
+    ``kernel`` is the resolved CSR kernel rung the command ran.
     """
     return {
         "backend": diagnostics.get("backend"),
         "jobs": diagnostics.get("n_jobs"),
         "batch_size": diagnostics.get("batch_size"),
+        "kernel": kernel,
         "chains": diagnostics.get("n_chains"),
         "rhat": diagnostics.get("rhat"),
         "ess": diagnostics.get("ess"),
@@ -266,7 +298,7 @@ def _execution_stamp(diagnostics) -> dict:
     }
 
 
-def _estimate_payload(vertex, result) -> dict:
+def _estimate_payload(vertex, result, kernel: Optional[str] = None) -> dict:
     """JSON payload of one single-vertex estimate (shared with ``batch``)."""
     return {
         "vertex": str(vertex),
@@ -275,16 +307,16 @@ def _estimate_payload(vertex, result) -> dict:
         "samples": result.samples,
         "elapsed_seconds": result.elapsed_seconds,
         "acceptance_rate": result.diagnostics.get("acceptance_rate"),
-        **_execution_stamp(result.diagnostics),
+        **_execution_stamp(result.diagnostics, kernel),
         # Multi-chain extras: null unless the chains/rhat driver ran.
         "converged": result.diagnostics.get("converged"),
     }
 
 
-def _relative_payload(estimate) -> dict:
+def _relative_payload(estimate, kernel: Optional[str] = None) -> dict:
     """JSON payload of one relative-betweenness estimate (shared with ``batch``)."""
     return {
-        **_execution_stamp(estimate.diagnostics),
+        **_execution_stamp(estimate.diagnostics, kernel),
         "reference_set": [str(v) for v in estimate.reference_set],
         "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
         "acceptance_rate": estimate.acceptance_rate,
@@ -311,8 +343,10 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         n_chains=args.chains,
         rhat_target=args.rhat,
         shared_cache=args.shared_cache,
+        kernel=args.kernel,
     )
-    print(json.dumps(_estimate_payload(vertex, result), indent=2), file=out)
+    payload = _estimate_payload(vertex, result, kernel=_resolved_kernel(args.kernel))
+    print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
@@ -328,12 +362,19 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         n_jobs=args.jobs,
         n_chains=args.chains,
         shared_cache=args.shared_cache,
+        kernel=args.kernel,
     )
-    print(json.dumps(_relative_payload(estimate), indent=2), file=out)
+    payload = _relative_payload(estimate, kernel=_resolved_kernel(args.kernel))
+    print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
-def _batch_result(session: BetweennessSession, query: dict, default_chains) -> dict:
+def _batch_result(
+    session: BetweennessSession,
+    query: dict,
+    default_chains,
+    kernel: Optional[str] = None,
+) -> dict:
     """Execute one parsed batch query against the warm session."""
     op = query.get("op", "estimate")
     seed = query.get("seed")
@@ -349,14 +390,14 @@ def _batch_result(session: BetweennessSession, query: dict, default_chains) -> d
             n_chains=chains,
             rhat_target=query.get("rhat"),
         )
-        return _estimate_payload(vertex, result)
+        return _estimate_payload(vertex, result, kernel=kernel)
     chains = query.get("chains", default_chains)
     if op == "relative":
         vertices = [_parse_vertex(str(v)) for v in query["vertices"]]
         estimate = session.relative(
             vertices, samples=int(query.get("samples", 1000)), seed=seed, n_chains=chains
         )
-        return _relative_payload(estimate)
+        return _relative_payload(estimate, kernel=kernel)
     if op == "ranking":
         vertices = query.get("vertices")
         members = (
@@ -395,8 +436,13 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
     per-query marginal cost is the estimator work alone.
     """
     batch_size = _resolve_batch_size(graph, args.batch_size, args.backend)
+    n_jobs = _resolve_n_jobs(graph, args.jobs, args.backend)
     plan = resolve_plan(
-        None, backend=args.backend, batch_size=batch_size, n_jobs=args.jobs
+        None,
+        backend=args.backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        kernel=args.kernel,
     )
     if args.queries == "-":
         lines = sys.stdin
@@ -424,7 +470,12 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
                     if "id" in query:
                         record["id"] = query["id"]
                     record["op"] = query.get("op", "estimate")
-                    record.update(_batch_result(session, query, args.chains))
+                    record.update(
+                        _batch_result(
+                            session, query, args.chains,
+                            kernel=_resolved_kernel(args.kernel),
+                        )
+                    )
                 except (ReproError, ValueError, KeyError, TypeError) as exc:
                     failures += 1
                     record["error"] = str(exc) or type(exc).__name__
@@ -445,6 +496,7 @@ def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
         n_jobs=args.jobs,
+        kernel=args.kernel,
     )
     items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
     if args.top is not None:

@@ -43,8 +43,7 @@ from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import np, resolve_backend
 from repro.shortest_paths.dependencies import (
     accumulate_dependencies,
-    accumulate_dependencies_csr,
-    csr_spd_builder,
+    csr_source_dependencies,
     dependency_sum_shard_csr,
     dependency_sum_shard_dict,
     spd_builder,
@@ -88,6 +87,7 @@ def betweenness_centrality(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     plan: Optional[ExecutionPlan] = None,
+    kernel: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return the exact betweenness centrality of every vertex.
 
@@ -114,6 +114,11 @@ def betweenness_centrality(
         CSR traversal, shards spread over ``n_jobs`` processes, buffers
         merged in deterministic shard order, so the result is bit-identical
         for any ``n_jobs`` / ``batch_size``.
+    kernel:
+        CSR kernel rung (``"auto"`` / ``"csr"`` / ``"compiled"``, see
+        :func:`~repro.graphs.csr.resolve_kernel`).  The compiled rung is
+        bit-identical to the numpy rung, so this knob never changes the
+        returned scores — only how fast each Brandes pass runs.
 
     Returns
     -------
@@ -124,12 +129,13 @@ def betweenness_centrality(
     factor = normalization_factor(
         graph.number_of_vertices(), normalization, directed=graph.directed
     )
-    resolved_plan = resolve_plan(plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    resolved_plan = resolve_plan(
+        plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs, kernel=kernel
+    )
     if resolved_plan is not None:
         return _betweenness_centrality_planned(graph, factor, sources, resolved_plan)
     if resolve_backend(backend) == "csr":
         csr = graph.csr()
-        build = csr_spd_builder(csr)
         totals = np.zeros(csr.number_of_vertices())
         if sources is None:
             source_indices = range(csr.number_of_vertices())
@@ -138,7 +144,7 @@ def betweenness_centrality(
         for i in source_indices:
             # delta[i] == 0 by construction, so plain array addition matches
             # the dict loop's "skip v == s" rule.
-            totals += accumulate_dependencies_csr(build(csr, i))
+            totals += csr_source_dependencies(csr, i, kernel=kernel)
         return csr.array_to_vertex_map(totals * factor)
     build = spd_builder(graph)
     scores: Dict[Vertex, float] = {v: 0.0 for v in graph.vertices()}
@@ -174,13 +180,13 @@ def _betweenness_centrality_planned(
                 split_shards(source_indices),
                 n_jobs=plan.n_jobs,
                 plan=plan,
-                # Interning keeps one payload object per (snapshot, batch)
-                # across calls, so a persistent pool ships the CSR arrays to
-                # its workers once per session instead of once per request.
+                # Interning keeps one payload object per (snapshot, batch,
+                # kernel) across calls, so a persistent pool ships the CSR
+                # arrays to its workers once per session, not per request.
                 shared=interned_payload(
                     plan,
-                    ("dep-sum-csr", id(csr), plan.batch_size),
-                    lambda: (csr, plan.batch_size),
+                    ("dep-sum-csr", id(csr), plan.batch_size, plan.kernel),
+                    lambda: (csr, plan.batch_size, plan.kernel),
                 ),
             )
         )

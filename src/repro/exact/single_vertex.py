@@ -34,14 +34,22 @@ def dependency_vector(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     plan: Optional["ExecutionPlan"] = None,
+    kernel: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(r)}`` — the unnormalised MH target distribution of Eq. 5.
 
     ``batch_size`` / ``n_jobs`` / ``plan`` engage the sharded execution
-    engine for the |V| Brandes passes (see :mod:`repro.execution`).
+    engine for the |V| Brandes passes (see :mod:`repro.execution`);
+    ``kernel`` selects the bit-identical CSR kernel rung.
     """
     return all_dependencies_on_target(
-        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs, plan=plan
+        graph,
+        r,
+        backend=backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        plan=plan,
+        kernel=kernel,
     )
 
 
@@ -54,6 +62,7 @@ def betweenness_of_vertex(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     plan: Optional["ExecutionPlan"] = None,
+    kernel: str = "auto",
 ) -> float:
     """Return the exact betweenness score of vertex *r*.
 
@@ -63,7 +72,13 @@ def betweenness_of_vertex(
     engine for the |V| dependency passes.
     """
     deltas = dependency_vector(
-        graph, r, backend=backend, batch_size=batch_size, n_jobs=n_jobs, plan=plan
+        graph,
+        r,
+        backend=backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        plan=plan,
+        kernel=kernel,
     )
     raw = sum(deltas.values())
     factor = normalization_factor(

@@ -17,9 +17,13 @@ passes and accumulate".  This package owns *how* those passes are executed:
   shards inline or on a multiprocessing pool, and merges per-shard buffers
   in deterministic shard order — so results are identical for any
   ``n_jobs`` given a fixed seed.
-* :mod:`~repro.execution.autotune` calibrates ``batch_size`` from a short
-  timed probe (what ``batch_size="auto"`` resolves to); safe because the
-  batch kernels are bit-identical per source row at any block size.
+* :mod:`~repro.execution.autotune` calibrates ``batch_size`` and
+  ``n_jobs`` from short timed probes (what ``batch_size="auto"`` /
+  ``n_jobs="auto"`` resolve to); safe because the batch kernels are
+  bit-identical per source row at any block size and the shard scheduler
+  is n_jobs-invariant — timing can never change an estimate.  A shard-size
+  probe ships as a diagnostic only (the shard size is part of the
+  determinism contract, never a knob).
 * :mod:`~repro.execution.shared_cache` provides the cross-process
   :class:`~repro.execution.shared_cache.SharedDependencyStore` — a
   shared-memory arena of per-source dependency vectors the multi-chain MCMC
@@ -37,7 +41,11 @@ passes and accumulate".  This package owns *how* those passes are executed:
 from repro.execution.autotune import (
     DEFAULT_BATCH_CANDIDATES,
     calibrate_batch_size,
+    calibrate_n_jobs,
+    default_jobs_candidates,
     probe_batch_sizes,
+    probe_n_jobs,
+    probe_shard_sizes,
 )
 from repro.execution.plan import (
     DEFAULT_SHARD_SIZE,
@@ -82,6 +90,10 @@ __all__ = [
     "DEFAULT_BATCH_CANDIDATES",
     "calibrate_batch_size",
     "probe_batch_sizes",
+    "default_jobs_candidates",
+    "calibrate_n_jobs",
+    "probe_n_jobs",
+    "probe_shard_sizes",
     "split_shards",
     "shard_rngs",
     "sample_shards",

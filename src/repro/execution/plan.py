@@ -5,6 +5,11 @@ A plan answers three independent questions for a per-source workload:
 * ``backend`` — which traversal kernels run each pass (``"auto"`` /
   ``"dict"`` / ``"csr"``, resolved through
   :func:`~repro.graphs.csr.resolve_backend` at the point of use);
+* ``kernel`` — which rung of the CSR kernels runs each pass (``"auto"`` /
+  ``"csr"`` / ``"compiled"``, resolved through
+  :func:`~repro.graphs.csr.resolve_kernel` at the point of use; the
+  compiled rung is bit-identical to the numpy rung, so this knob never
+  changes a result);
 * ``batch_size`` — how many sources each call into the batched CSR kernels
   (:mod:`repro.shortest_paths.batch`) traverses at once;
 * ``n_jobs`` — how many worker processes the shard scheduler spreads the
@@ -49,7 +54,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
-from repro.graphs.csr import BACKENDS
+from repro.graphs.csr import BACKENDS, KERNELS
 
 __all__ = [
     "ExecutionPlan",
@@ -111,6 +116,14 @@ class ExecutionPlan:
         deliberately pickles to ``None`` so a plan or sampler captured
         inside a worker payload can never smuggle pool handles across
         process boundaries.
+    kernel:
+        CSR kernel rung (``"auto"`` / ``"csr"`` / ``"compiled"``); kept
+        unresolved so each call site resolves it exactly once
+        (:func:`~repro.graphs.csr.resolve_kernel` — ``"auto"`` honours the
+        ``REPRO_KERNEL`` env override, then picks the compiled rung when
+        numba imports).  The compiled twins replay the numpy rung's exact
+        float summation order, so the knob never changes a result — only
+        how fast each pass runs.  Ignored by the dict backend.
     """
 
     backend: str = "auto"
@@ -120,11 +133,16 @@ class ExecutionPlan:
     shared_graph: bool = False
     mp_context: Optional[str] = None
     runtime: Optional[object] = None
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
             )
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
             raise ConfigurationError(
@@ -191,6 +209,7 @@ def resolve_plan(
     shared_graph: Optional[bool] = None,
     mp_context: Optional[str] = None,
     runtime: Optional[object] = None,
+    kernel: str = "auto",
 ) -> Optional[ExecutionPlan]:
     """Resolve the execution knobs of one estimator call.
 
@@ -204,6 +223,13 @@ def resolve_plan(
         ``n_jobs`` / ``shared_cache`` means "not requested", in which case
         the ``REPRO_BATCH`` / ``REPRO_JOBS`` / ``REPRO_SHARED_CACHE``
         environment variables are consulted.
+    kernel:
+        CSR kernel rung, carried into the plan like ``backend``: left
+        unresolved here (``REPRO_KERNEL`` is honoured by
+        :func:`~repro.graphs.csr.resolve_kernel` at each point of use) and
+        — like ``shared_cache`` — never engages the engine by itself, since
+        the rungs are bit-identical and the legacy sequential paths resolve
+        the same knob on their own.
 
     Returns
     -------
@@ -237,6 +263,7 @@ def resolve_plan(
         shared_graph=resolve_shared_graph(shared_graph),
         mp_context=resolve_mp_context(mp_context),
         runtime=runtime,
+        kernel=kernel,
     )
 
 

@@ -38,13 +38,14 @@ class ExecutionPlanMixin:
     original sequential path.  Centralised here so a change to plan
     resolution (a new env knob, say) lands in every sampler at once.
 
-    ``mp_context``, ``runtime`` and ``shared_graph`` are class-level
-    defaults rather than constructor parameters: they configure *how* pools
-    run (start method; per-call ephemeral vs a session's persistent
-    :class:`~repro.execution.runtime.ExecutionContext`; whether the CSR
-    snapshot ships as a shared-memory handle), never what is computed, so
-    the session layer attaches them to an existing sampler
-    (``sampler.runtime = ctx``) instead of every constructor growing
+    ``mp_context``, ``runtime``, ``shared_graph`` and ``kernel`` are
+    class-level defaults rather than constructor parameters: they configure
+    *how* pools run (start method; per-call ephemeral vs a session's
+    persistent :class:`~repro.execution.runtime.ExecutionContext`; whether
+    the CSR snapshot ships as a shared-memory handle; which bit-identical
+    CSR kernel rung runs each pass), never what is computed, so the session
+    layer attaches them to an existing sampler (``sampler.runtime = ctx``,
+    ``sampler.kernel = "compiled"``) instead of every constructor growing
     pass-through arguments.  Samplers that ship themselves inside worker
     payloads stay safe: a runtime context pickles to ``None``.
     """
@@ -55,6 +56,7 @@ class ExecutionPlanMixin:
     mp_context: Optional[str] = None
     runtime: Optional[object] = None
     shared_graph: Optional[bool] = None
+    kernel: str = "auto"
 
     def _plan(self) -> Optional[ExecutionPlan]:
         return resolve_plan(
@@ -65,6 +67,7 @@ class ExecutionPlanMixin:
             mp_context=self.mp_context,
             runtime=self.runtime,
             shared_graph=self.shared_graph,
+            kernel=self.kernel,
         )
 
 

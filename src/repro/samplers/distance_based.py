@@ -137,8 +137,14 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
                             plan=plan,
                             shared=interned_payload(
                                 plan,
-                                ("dep-at-target-csr", id(csr), plan.batch_size, r_index),
-                                lambda: (csr, plan.batch_size, r_index),
+                                (
+                                    "dep-at-target-csr",
+                                    id(csr),
+                                    plan.batch_size,
+                                    r_index,
+                                    plan.kernel,
+                                ),
+                                lambda: (csr, plan.batch_size, r_index, plan.kernel),
                             ),
                         )
                     )

@@ -130,8 +130,8 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             plan=plan,
                             shared=interned_payload(
                                 plan,
-                                ("dep-sum-csr", id(csr), plan.batch_size),
-                                lambda: (csr, plan.batch_size),
+                                ("dep-sum-csr", id(csr), plan.batch_size, plan.kernel),
+                                lambda: (csr, plan.batch_size, plan.kernel),
                             ),
                         )
                     )
@@ -169,7 +169,9 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                 for s in sources:
                     # delta[s] == 0 by construction: array addition matches
                     # the dict loop's "skip v == s" rule.
-                    buffer += csr_source_dependencies(csr, csr.index_of(s))
+                    buffer += csr_source_dependencies(
+                        csr, csr.index_of(s), kernel=self.kernel
+                    )
             estimates = vertex_keyed(csr, buffer * scale)
         else:
             build = spd_builder(graph)
@@ -231,8 +233,9 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                                     id(csr),
                                     plan.batch_size,
                                     csr.index_of(r),
+                                    plan.kernel,
                                 ),
-                                lambda: (csr, plan.batch_size, csr.index_of(r)),
+                                lambda: (csr, plan.batch_size, csr.index_of(r), plan.kernel),
                             ),
                         )
                     )
@@ -273,7 +276,11 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                 for s in sources:
                     if s == r:
                         continue
-                    total += float(csr_source_dependencies(csr, csr.index_of(s))[r_index])
+                    total += float(
+                        csr_source_dependencies(csr, csr.index_of(s), kernel=self.kernel)[
+                            r_index
+                        ]
+                    )
         else:
             build = spd_builder(graph)
             with timed() as clock:

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence
 
-from repro.graphs.csr import np
+from repro.graphs.csr import np, resolve_kernel
 from repro.shortest_paths.dijkstra import dijkstra_spd_csr
 
 try:  # pragma: no cover - exercised implicitly on scipy-less installs
@@ -423,13 +423,15 @@ def _batch_dependencies_spmm(csr: "CSRGraph", src, out):
     return delta.T
 
 
-def batch_source_dependencies(csr: "CSRGraph", sources: Sequence[int], out=None):
+def batch_source_dependencies(
+    csr: "CSRGraph", sources: Sequence[int], out=None, kernel: str = "auto"
+):
     """Return the ``(K, n)`` dependency matrix of *sources* (build + accumulate).
 
     The batched twin of
     :func:`~repro.shortest_paths.dependencies.csr_source_dependencies`, and
     the entry point every execution-engine shard worker funnels through.
-    Three paths share the signature and the *out* contract (sequential
+    The paths share the signature and the *out* contract (sequential
     per-source accumulation in source order):
 
     * unweighted + scipy importable + small-diameter snapshot
@@ -437,13 +439,21 @@ def batch_source_dependencies(csr: "CSRGraph", sources: Sequence[int], out=None)
       :func:`_batch_dependencies_spmm` (fastest; delta values may differ
       from the single-source kernel in the last ulp);
     * unweighted otherwise (no scipy, or a deep graph where per-level
-      spmm would cost ``O(diameter × m × K)``) — the pure-numpy batched
-      wave (:func:`bfs_spd_batch_csr` +
-      :func:`accumulate_dependencies_batch_csr`), bit-identical to the
-      single-source kernels per row;
+      spmm would cost ``O(diameter × m × K)``) — the batched wave, on the
+      rung ``kernel`` resolves to: the numba batch kernel
+      (:func:`~repro.shortest_paths.compiled.batch_dependencies_compiled`)
+      or the pure-numpy wave (:func:`bfs_spd_batch_csr` +
+      :func:`accumulate_dependencies_batch_csr`).  Both rungs are
+      bit-identical to the single-source kernels per row;
     * weighted — a per-source Dijkstra loop (no BFS levels to share).
 
-    All three compute each row independently of the batch composition, so
+    The spmm sweep deliberately keeps precedence over *both* wave rungs:
+    it is the fastest path where it applies, and keeping one dispatch
+    order for every ``kernel`` value guarantees the knob can never change
+    a result — ``kernel="csr"`` and ``kernel="compiled"`` take the same
+    branch everywhere except the (bit-identical) wave pair.
+
+    All paths compute each row independently of the batch composition, so
     results never depend on ``batch_size``.
     """
     if not csr.weighted:
@@ -468,6 +478,10 @@ def batch_source_dependencies(csr: "CSRGraph", sources: Sequence[int], out=None)
                     csr, src[begin : begin + block], out
                 )
             return delta
+        if resolve_kernel(kernel) == "compiled":
+            from repro.shortest_paths.compiled import batch_dependencies_compiled
+
+            return batch_dependencies_compiled(csr, sources, out=out)
         return accumulate_dependencies_batch_csr(
             bfs_spd_batch_csr(csr, sources), out=out
         )

@@ -33,7 +33,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.graphs.core import Graph, Vertex
-from repro.graphs.csr import np
+from repro.graphs.csr import np, resolve_kernel
 from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -152,7 +152,7 @@ def _gather_neighbors(csr: "CSRGraph", frontier):
 
 
 def bfs_spd_csr(
-    csr: "CSRGraph", source: int, *, cutoff: Optional[float] = None
+    csr: "CSRGraph", source: int, *, cutoff: Optional[float] = None, kernel: str = "auto"
 ) -> CSRShortestPathDAG:
     """Return the array-backed SPD rooted at vertex index *source*.
 
@@ -160,7 +160,16 @@ def bfs_spd_csr(
     level with numpy primitives.  Distances, path counts, traversal order and
     predecessor ordering are identical to :func:`bfs_spd` on the same graph
     (``cutoff`` is inclusive, as documented in the module docstring).
+
+    ``kernel`` selects the rung that runs the wave
+    (:func:`~repro.graphs.csr.resolve_kernel`): ``"compiled"`` routes to
+    the numba twin in :mod:`repro.shortest_paths.compiled`, which returns
+    a bit-identical DAG — the knob never changes a result.
     """
+    if resolve_kernel(kernel) == "compiled":
+        from repro.shortest_paths.compiled import bfs_spd_compiled
+
+        return bfs_spd_compiled(csr, source, cutoff=cutoff)
     n = csr.number_of_vertices()
     if not 0 <= source < n:
         raise IndexError(f"source index {source} out of range for {n} vertices")

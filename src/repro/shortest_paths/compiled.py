@@ -1,0 +1,470 @@
+"""Compiled (numba-jitted) twins of the CSR traversal kernels.
+
+The third and fastest rung of the backend ladder (``dict`` → ``csr`` →
+``compiled``): scalar re-implementations of the two hot loops every
+estimator bottoms out in — the level-synchronous BFS wave of
+:func:`repro.shortest_paths.bfs.bfs_spd_csr` and the per-level Brandes
+back-propagation of
+:func:`repro.shortest_paths.dependencies.accumulate_dependencies_csr` —
+written against flat CSR ``indptr``/``indices`` arrays in the numba
+``@njit`` subset and compiled to machine code on first call
+(``cache=True``: later processes load the compiled artifact from the
+on-disk cache instead of recompiling).
+
+Selection is owned by :func:`repro.graphs.csr.resolve_kernel` (the
+``kernel=`` twin of ``resolve_backend``): ``"auto"`` resolves to
+``"compiled"`` exactly when numba is importable, the ``REPRO_KERNEL``
+environment variable overrides it process-wide, and an explicit
+``kernel="compiled"`` without numba warns and falls back to the numpy
+rung.  Every function in this module is also runnable *without* numba —
+the kernels are plain Python functions that only gain a ``@njit`` wrapper
+when the import succeeds — which is what lets the equivalence test-suite
+pin the compiled rung's arithmetic on numba-less installs.
+
+Bit-identity contract
+---------------------
+The scalar loops replay the numpy kernels' floating-point work in the
+exact same order, so every result is **bit-identical** to the CSR rung:
+
+* sigma: ``np.bincount`` accumulates equal keys in input order starting
+  from ``0.0``, and a child's path count starts at exactly ``0.0`` when
+  its level is expanded — so the scalar ``sig[v] += sig[u]`` over edges in
+  frontier-then-adjacency order produces the identical sequence of
+  partial sums (``x + 0.0 == x`` bitwise for the non-negative values
+  involved).
+* delta: a vertex appears as a parent in exactly one level record, so its
+  dependency starts at exactly ``0.0`` when that record is processed; the
+  scalar ``delta[p] += sig[p] / sig[c] * (1.0 + delta[c])`` over the
+  record's edges in order replays the bincount accumulation term for
+  term, with the same division-first element order.
+
+The sparse-matmul sweep of :mod:`repro.shortest_paths.batch` keeps
+precedence over these kernels in :func:`~repro.shortest_paths.batch.
+batch_source_dependencies` — it already runs at C speed and its (fixed,
+column-local) summation order differs from the wave kernels in the last
+ulp, so letting the kernel knob swap it out would make ``kernel=`` able
+to change a result.  With spmm shared by both rungs, ``kernel="csr"`` and
+``kernel="compiled"`` are bitwise identical on **every** path.
+
+Scratch buffers
+---------------
+The per-source state (distances, path counts, traversal order, flat DAG
+edges, level offsets) lives in preallocated per-process scratch arrays
+keyed by the snapshot's ``(n, m)`` shape, so a Brandes sweep allocates
+nothing per source.  Functions that *return* arrays (the SPD builder, the
+dependency vectors) copy out of the scratch — callers may hold results
+across subsequent calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.graphs.csr import np
+
+try:  # pragma: no cover - exercised implicitly on numba-less installs
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _njit = None
+    NUMBA_AVAILABLE = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.csr import CSRGraph
+    from repro.shortest_paths.spd import CSRShortestPathDAG
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "warm_up",
+    "maybe_warm_up",
+    "bfs_spd_compiled",
+    "accumulate_dependencies_compiled",
+    "source_dependencies_compiled",
+    "batch_dependencies_compiled",
+]
+
+
+def _jit(fn):
+    """Wrap *fn* with ``@njit(cache=True)`` when numba is importable.
+
+    Without numba the plain Python function is returned unchanged — slow,
+    but arithmetically identical, which keeps this module importable and
+    testable everywhere.
+    """
+    if _njit is None:
+        return fn
+    return _njit(cache=True)(fn)
+
+
+# ----------------------------------------------------------------------
+# Kernels (njit-compatible subset; module-level so numba caches them)
+# ----------------------------------------------------------------------
+def _bfs_wave_py(
+    indptr, indices, source, cutoff, dist, sig, order, level_start, edge_p, edge_c, edge_start
+):
+    """Scalar twin of the ``bfs_spd_csr`` level loop (see module docstring).
+
+    Fills the scratch arrays in place and returns ``(n_order, n_levels)``:
+    ``order[:n_order]`` is the traversal order, level ``L``'s frontier is
+    ``order[level_start[L]:level_start[L + 1]]`` and its DAG edges (children
+    at distance ``L + 1``) are ``edge_p/edge_c[edge_start[L]:edge_start[L +
+    1]]`` — the flat-array form of the numpy kernel's ``level_edges``.
+    ``cutoff`` is the inclusive distance bound (``inf`` = unbounded).
+    """
+    n = dist.shape[0]
+    inf = np.inf
+    for i in range(n):
+        dist[i] = inf
+        sig[i] = 0.0
+    dist[source] = 0.0
+    sig[source] = 1.0
+    order[0] = source
+    n_order = 1
+    level_start[0] = 0
+    level_start[1] = 1
+    edge_start[0] = 0
+    n_edges = 0
+    n_levels = 0
+    frontier_lo = 0
+    frontier_hi = 1
+    level = 0.0
+    while frontier_hi > frontier_lo:
+        if level + 1.0 > cutoff:
+            break
+        next_d = level + 1.0
+        for fi in range(frontier_lo, frontier_hi):
+            u = order[fi]
+            su = sig[u]
+            for ei in range(indptr[u], indptr[u + 1]):
+                v = indices[ei]
+                dv = dist[v]
+                if dv == inf:
+                    # First touch: the numpy kernel's isinf mask holds for
+                    # every edge into this level's children because dist is
+                    # only written after the level's gather — which is
+                    # exactly first-touch OR already-at-next_d here.
+                    dist[v] = next_d
+                    order[n_order] = v
+                    n_order += 1
+                    edge_p[n_edges] = u
+                    edge_c[n_edges] = v
+                    n_edges += 1
+                    sig[v] += su
+                elif dv == next_d:
+                    edge_p[n_edges] = u
+                    edge_c[n_edges] = v
+                    n_edges += 1
+                    sig[v] += su
+        if n_order == frontier_hi:
+            break
+        n_levels += 1
+        edge_start[n_levels] = n_edges
+        level_start[n_levels + 1] = n_order
+        frontier_lo = frontier_hi
+        frontier_hi = n_order
+        level = next_d
+    return n_order, n_levels
+
+
+_bfs_wave = _jit(_bfs_wave_py)
+
+
+def _accumulate_py(sig, delta, edge_p, edge_c, edge_start, n_levels, source):
+    """Scalar twin of the level loop of ``accumulate_dependencies_csr``.
+
+    Processes the level records deepest-first; a parent's delta is exactly
+    ``0.0`` when its (single) record is reached, so the in-order scalar
+    accumulation replays the bincount sums bit for bit.
+    """
+    n = delta.shape[0]
+    for i in range(n):
+        delta[i] = 0.0
+    for lev in range(n_levels - 1, -1, -1):
+        for e in range(edge_start[lev], edge_start[lev + 1]):
+            p = edge_p[e]
+            c = edge_c[e]
+            delta[p] += sig[p] / sig[c] * (1.0 + delta[c])
+    delta[source] = 0.0
+
+
+_accumulate = _jit(_accumulate_py)
+
+
+def _source_delta_py(
+    indptr, indices, source, dist, sig, delta, order, level_start, edge_p, edge_c, edge_start
+):
+    """Fused per-source pass: BFS wave + dependency accumulation, one call."""
+    n_order, n_levels = _bfs_wave(
+        indptr, indices, source, np.inf, dist, sig, order, level_start, edge_p, edge_c, edge_start
+    )
+    _accumulate(sig, delta, edge_p, edge_c, edge_start, n_levels, source)
+    return n_order
+
+
+_source_delta = _jit(_source_delta_py)
+
+
+def _batch_delta_py(
+    indptr, indices, sources, delta, dist, sig, order, level_start, edge_p, edge_c, edge_start
+):
+    """Batched ``(K, n)`` twin: one fused pass per row, written into ``delta[k]``."""
+    for k in range(sources.shape[0]):
+        _source_delta(
+            indptr,
+            indices,
+            sources[k],
+            dist,
+            sig,
+            delta[k],
+            order,
+            level_start,
+            edge_p,
+            edge_c,
+            edge_start,
+        )
+
+
+_batch_delta = _jit(_batch_delta_py)
+
+
+# ----------------------------------------------------------------------
+# Per-process scratch (one set of buffers per snapshot shape)
+# ----------------------------------------------------------------------
+#: Scratch sets kept alive at once; enough for a handful of graphs without
+#: letting a long session accumulate buffers for every snapshot it ever saw.
+_SCRATCH_LIMIT = 4
+
+_SCRATCH: dict = {}
+
+
+def _scratch_for(n: int, m: int) -> dict:
+    key = (n, m)
+    arrays = _SCRATCH.pop(key, None)
+    if arrays is None:
+        if len(_SCRATCH) >= _SCRATCH_LIMIT:
+            _SCRATCH.pop(next(iter(_SCRATCH)))
+        arrays = {
+            "dist": np.empty(n),
+            "sig": np.empty(n),
+            "delta": np.empty(n),
+            "order": np.empty(n, dtype=np.int64),
+            # A BFS has at most n - 1 levels; +2 gives the kernels one slot
+            # of slack for the trailing offset they write per level.
+            "level_start": np.empty(n + 2, dtype=np.int64),
+            "edge_p": np.empty(m, dtype=np.int64),
+            "edge_c": np.empty(m, dtype=np.int64),
+            "edge_start": np.empty(n + 2, dtype=np.int64),
+        }
+    _SCRATCH[key] = arrays  # re-insert: plain dict preserves LRU order
+    return arrays
+
+
+def _check_source(csr: "CSRGraph", source: int) -> int:
+    n = csr.number_of_vertices()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} vertices")
+    return n
+
+
+# ----------------------------------------------------------------------
+# Public entry points (the dispatch shims in bfs/dependencies/batch call
+# these when resolve_kernel picks the compiled rung)
+# ----------------------------------------------------------------------
+def bfs_spd_compiled(
+    csr: "CSRGraph", source: int, *, cutoff: Optional[float] = None
+) -> "CSRShortestPathDAG":
+    """Compiled twin of :func:`~repro.shortest_paths.bfs.bfs_spd_csr`.
+
+    Returns a regular :class:`~repro.shortest_paths.spd.CSRShortestPathDAG`
+    whose ``dist`` / ``sig`` / ``order_indices`` / ``level_edges`` arrays
+    are bit-identical (and shape-identical) to the numpy kernel's, so every
+    downstream consumer — accumulation, predecessor construction, sampler
+    backtracking — behaves exactly as on the CSR rung.
+    """
+    from repro.shortest_paths.spd import CSRShortestPathDAG
+
+    n = _check_source(csr, source)
+    scratch = _scratch_for(n, int(csr.indices.shape[0]))
+    bound = np.inf if cutoff is None else float(cutoff)
+    n_order, n_levels = _bfs_wave(
+        csr.indptr,
+        csr.indices,
+        source,
+        bound,
+        scratch["dist"],
+        scratch["sig"],
+        scratch["order"],
+        scratch["level_start"],
+        scratch["edge_p"],
+        scratch["edge_c"],
+        scratch["edge_start"],
+    )
+    edge_start = scratch["edge_start"]
+    level_edges: List[Tuple] = [
+        (
+            scratch["edge_p"][edge_start[lev] : edge_start[lev + 1]].copy(),
+            scratch["edge_c"][edge_start[lev] : edge_start[lev + 1]].copy(),
+        )
+        for lev in range(n_levels)
+    ]
+    return CSRShortestPathDAG(
+        csr,
+        source,
+        scratch["dist"].copy(),
+        scratch["sig"].copy(),
+        scratch["order"][:n_order].copy(),
+        level_edges=level_edges,
+    )
+
+
+def accumulate_dependencies_compiled(spd: "CSRShortestPathDAG"):
+    """Compiled twin of the level loop of ``accumulate_dependencies_csr``.
+
+    Requires a BFS-built DAG (``level_edges`` recorded); the per-level edge
+    arrays are flattened once and the scalar kernel replays the bincount
+    accumulation bit for bit.  Prefer :func:`source_dependencies_compiled`
+    when the DAG itself is not needed — the fused kernel skips the
+    level-edge materialisation entirely.
+    """
+    if spd.level_edges is None:
+        raise ValueError(
+            "the compiled accumulation needs a BFS-built DAG with recorded "
+            "level_edges; Dijkstra-built DAGs take the numpy sweep"
+        )
+    n = spd.csr.number_of_vertices()
+    n_levels = len(spd.level_edges)
+    edge_start = np.zeros(n_levels + 1, dtype=np.int64)
+    for lev, (parents, _) in enumerate(spd.level_edges):
+        edge_start[lev + 1] = edge_start[lev] + parents.shape[0]
+    if n_levels:
+        edge_p = np.concatenate([p for p, _ in spd.level_edges])
+        edge_c = np.concatenate([c for _, c in spd.level_edges])
+    else:
+        edge_p = np.empty(0, dtype=np.int64)
+        edge_c = np.empty(0, dtype=np.int64)
+    delta = np.empty(n)
+    _accumulate(spd.sig, delta, edge_p, edge_c, edge_start, n_levels, spd.source_index)
+    return delta
+
+
+def source_dependencies_compiled(csr: "CSRGraph", source: int):
+    """Fused compiled per-source pass: the dependency array of *source*.
+
+    The compiled twin of
+    :func:`~repro.shortest_paths.dependencies.csr_source_dependencies` for
+    unweighted snapshots — one kernel call, no Python-level DAG.
+    """
+    n = _check_source(csr, source)
+    scratch = _scratch_for(n, int(csr.indices.shape[0]))
+    delta = np.empty(n)
+    _source_delta(
+        csr.indptr,
+        csr.indices,
+        source,
+        scratch["dist"],
+        scratch["sig"],
+        delta,
+        scratch["order"],
+        scratch["level_start"],
+        scratch["edge_p"],
+        scratch["edge_c"],
+        scratch["edge_start"],
+    )
+    return delta
+
+
+def batch_dependencies_compiled(csr: "CSRGraph", sources: Sequence[int], out=None):
+    """Batched ``(K, n)`` compiled twin of ``batch_source_dependencies``.
+
+    Validation, result shape and the *out* contract (sequential per-row
+    accumulation in source order) mirror the numpy batch kernels; each row
+    is the fused per-source kernel's output, so the matrix is bit-identical
+    to the wave kernels row for row.
+    """
+    n = csr.number_of_vertices()
+    src = np.asarray(sources, dtype=np.int64)
+    if src.ndim != 1 or src.size == 0:
+        raise ValueError("sources must be a non-empty 1-D sequence of vertex indices")
+    if src.min() < 0 or src.max() >= n:
+        raise IndexError(f"source indices out of range for {n} vertices")
+    scratch = _scratch_for(n, int(csr.indices.shape[0]))
+    delta = np.empty((int(src.size), n))
+    _batch_delta(
+        csr.indptr,
+        csr.indices,
+        src,
+        delta,
+        scratch["dist"],
+        scratch["sig"],
+        scratch["order"],
+        scratch["level_start"],
+        scratch["edge_p"],
+        scratch["edge_c"],
+        scratch["edge_start"],
+    )
+    if out is not None:
+        for row in delta:
+            out += row
+    return delta
+
+
+# ----------------------------------------------------------------------
+# JIT warm-up (pool initializers call this so compile cost is paid once
+# per worker process, not once per shard)
+# ----------------------------------------------------------------------
+_WARMED = False
+
+
+def warm_up() -> bool:
+    """Compile (or load from the on-disk cache) every kernel on a tiny graph.
+
+    Returns ``True`` when the compiled kernels are ready, ``False`` when
+    numba (or numpy) is unavailable.  Idempotent and cheap after the first
+    call; with ``NUMBA_CACHE_DIR`` shared across processes the per-process
+    cost drops to a cache load.
+    """
+    global _WARMED
+    if not NUMBA_AVAILABLE or np is None:
+        return False
+    if _WARMED:
+        return True
+    # A 3-vertex path exercises every branch worth compiling: a fresh
+    # child, a second level and a non-trivial back-propagation.
+    indptr = np.array([0, 1, 3, 4], dtype=np.int64)
+    indices = np.array([1, 0, 2, 1], dtype=np.int64)
+    n, m = 3, 4
+    dist = np.empty(n)
+    sig = np.empty(n)
+    delta = np.empty((1, n))
+    order = np.empty(n, dtype=np.int64)
+    level_start = np.empty(n + 2, dtype=np.int64)
+    edge_p = np.empty(m, dtype=np.int64)
+    edge_c = np.empty(m, dtype=np.int64)
+    edge_start = np.empty(n + 2, dtype=np.int64)
+    _bfs_wave(indptr, indices, 0, np.inf, dist, sig, order, level_start, edge_p, edge_c, edge_start)
+    src = np.zeros(1, dtype=np.int64)
+    _batch_delta(
+        indptr, indices, src, delta, dist, sig, order, level_start, edge_p, edge_c, edge_start
+    )
+    _WARMED = True
+    return True
+
+
+def maybe_warm_up() -> None:
+    """Warm the JIT exactly when a worker will actually run the compiled rung.
+
+    Called from the pool initializers of :mod:`repro.execution.scheduler`
+    and :mod:`repro.execution.runtime`; never raises (a warm-up failure
+    must not kill a worker — the first kernel call would just pay the
+    compile itself).
+    """
+    if not NUMBA_AVAILABLE:
+        return
+    try:
+        from repro.graphs.csr import resolve_kernel
+
+        if resolve_kernel("auto") == "compiled":
+            warm_up()
+    except Exception:  # pragma: no cover - defensive: never break a worker
+        pass

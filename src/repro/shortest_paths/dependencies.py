@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.graphs.core import Graph, Vertex
-from repro.graphs.csr import np, resolve_backend
+from repro.graphs.csr import np, resolve_backend, resolve_kernel
 from repro.execution.plan import ExecutionPlan, resolve_plan
 from repro.execution.runtime import interned_payload, plan_snapshot
 from repro.execution.scheduler import merge_ordered, run_sharded, split_shards
@@ -136,6 +136,7 @@ def all_dependencies_on_target(
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
     plan: Optional[ExecutionPlan] = None,
+    kernel: str = "auto",
 ) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(target)}`` for every vertex *v* of *graph*.
 
@@ -152,22 +153,24 @@ def all_dependencies_on_target(
     (``batch_size`` sources per traversal on the CSR backend) on up to
     ``n_jobs`` worker processes, and the per-source values are merged in
     source order — so the result is identical for any ``n_jobs`` and
-    ``batch_size``.
+    ``batch_size``.  ``kernel`` selects the (bit-identical) CSR kernel rung
+    for the passes (:func:`~repro.graphs.csr.resolve_kernel`).
     """
     graph.validate_vertex(target)
-    plan = resolve_plan(plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs)
+    plan = resolve_plan(
+        plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs, kernel=kernel
+    )
     if plan is not None:
         return _all_dependencies_on_target_planned(graph, target, plan)
     if resolve_backend(backend) == "csr":
         csr = graph.csr()
         r = csr.index_of(target)
-        build = csr_spd_builder(csr)
         result = {}
         for i, v in enumerate(csr.vertices):
             if i == r:
                 result[v] = 0.0
                 continue
-            delta = accumulate_dependencies_csr(build(csr, i))
+            delta = csr_source_dependencies(csr, i, kernel=kernel)
             result[v] = float(delta[r])
         return result
     result: Dict[Vertex, float] = {}
@@ -196,12 +199,18 @@ def _all_dependencies_on_target_planned(
                 shards,
                 n_jobs=plan.n_jobs,
                 plan=plan,
-                # One interned payload per (snapshot, batch, target): a
-                # persistent pool re-ships nothing for repeated targets.
+                # One interned payload per (snapshot, batch, target, kernel):
+                # a persistent pool re-ships nothing for repeated targets.
                 shared=interned_payload(
                     plan,
-                    ("dep-at-target-csr", id(csr), plan.batch_size, target_index),
-                    lambda: (csr, plan.batch_size, target_index),
+                    (
+                        "dep-at-target-csr",
+                        id(csr),
+                        plan.batch_size,
+                        target_index,
+                        plan.kernel,
+                    ),
+                    lambda: (csr, plan.batch_size, target_index, plan.kernel),
                 ),
             )
         )
@@ -235,16 +244,21 @@ def iter_batches(items: Sequence, batch_size: int):
 def dependency_sum_shard_csr(shared, shard):
     """Shard worker: sum the dependency vectors of the shard's source indices.
 
-    ``shared`` is ``(csr, batch_size)``; the sum follows the canonical
+    ``shared`` is ``(csr, batch_size)`` or ``(csr, batch_size, kernel)`` —
+    the optional third element threads an :class:`~repro.execution.plan.
+    ExecutionPlan`'s kernel rung into the worker process (older two-element
+    payloads resolve ``"auto"``).  The sum follows the canonical
     accumulation order (one vector addition per source, in shard order), so
-    the buffer is bit-identical however the sources are batched.
+    the buffer is bit-identical however the sources are batched — and
+    whichever kernel rung runs the passes.
     """
-    csr, batch_size = shared
+    csr, batch_size = shared[0], shared[1]
+    kernel = shared[2] if len(shared) > 2 else "auto"
     from repro.shortest_paths.batch import batch_source_dependencies
 
     out = np.zeros(csr.number_of_vertices())
     for batch in iter_batches(shard, batch_size):
-        batch_source_dependencies(csr, batch, out=out)
+        batch_source_dependencies(csr, batch, out=out, kernel=kernel)
     return out
 
 
@@ -263,17 +277,19 @@ def dependency_sum_shard_dict(shared, shard):
 def dependency_at_target_shard_csr(shared, shard) -> List[float]:
     """Shard worker: per-source dependency on one target index.
 
-    ``shared`` is ``(csr, batch_size, target_index)``; returns one float per
-    shard source, in shard order.  A source equal to the target reads its
-    own delta entry, which is 0 by construction — matching the dict
-    backend's explicit skip.
+    ``shared`` is ``(csr, batch_size, target_index)``, optionally extended
+    with a fourth ``kernel`` element (see :func:`dependency_sum_shard_csr`);
+    returns one float per shard source, in shard order.  A source equal to
+    the target reads its own delta entry, which is 0 by construction —
+    matching the dict backend's explicit skip.
     """
-    csr, batch_size, target_index = shared
+    csr, batch_size, target_index = shared[0], shared[1], shared[2]
+    kernel = shared[3] if len(shared) > 3 else "auto"
     from repro.shortest_paths.batch import batch_source_dependencies
 
     values: List[float] = []
     for batch in iter_batches(shard, batch_size):
-        deltas = batch_source_dependencies(csr, batch)
+        deltas = batch_source_dependencies(csr, batch, kernel=kernel)
         values.extend(float(deltas[k, target_index]) for k in range(len(batch)))
     return values
 
@@ -294,7 +310,7 @@ def dependency_at_target_shard_dict(shared, shard) -> List[float]:
 # ----------------------------------------------------------------------
 # CSR kernels
 # ----------------------------------------------------------------------
-def accumulate_dependencies_csr(spd: CSRShortestPathDAG):
+def accumulate_dependencies_csr(spd: CSRShortestPathDAG, *, kernel: str = "auto"):
     """Return the dependency array ``delta`` for the source of *spd*.
 
     ``delta[i]`` is :math:`\\delta_{s\\bullet}(v_i)` with ``delta[source] =
@@ -304,7 +320,16 @@ def accumulate_dependencies_csr(spd: CSRShortestPathDAG):
     delta before the level-``L`` edges are processed).  Dijkstra-built DAGs
     have no levels and fall back to a per-vertex sweep in reverse settle
     order over the CSR predecessor arrays.
+
+    ``kernel`` selects the rung for the level path
+    (:func:`~repro.graphs.csr.resolve_kernel`); the compiled twin replays
+    the exact per-level, edge-order summation, so the knob never changes a
+    result.  Dijkstra-built DAGs always use the numpy sweep.
     """
+    if spd.level_edges is not None and resolve_kernel(kernel) == "compiled":
+        from repro.shortest_paths.compiled import accumulate_dependencies_compiled
+
+        return accumulate_dependencies_compiled(spd)
     n = spd.csr.number_of_vertices()
     sig = spd.sig
     delta = np.zeros(n)
@@ -323,8 +348,17 @@ def accumulate_dependencies_csr(spd: CSRShortestPathDAG):
     return delta
 
 
-def csr_source_dependencies(csr: "CSRGraph", source: int):
-    """Return the dependency array of vertex index *source* (build + accumulate)."""
+def csr_source_dependencies(csr: "CSRGraph", source: int, *, kernel: str = "auto"):
+    """Return the dependency array of vertex index *source* (build + accumulate).
+
+    On the compiled rung the whole pass runs as one fused kernel (BFS wave +
+    back-propagation without materialising the DAG); the result is bitwise
+    identical to the numpy rung's build-then-accumulate.
+    """
+    if not csr.weighted and resolve_kernel(kernel) == "compiled":
+        from repro.shortest_paths.compiled import source_dependencies_compiled
+
+        return source_dependencies_compiled(csr, source)
     return accumulate_dependencies_csr(csr_spd_builder(csr)(csr, source))
 
 

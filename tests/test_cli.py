@@ -416,3 +416,80 @@ class TestBatchCommand:
         assert code == 1
         records = [json.loads(line) for line in output.splitlines()]
         assert "error" in records[1]
+
+
+class TestKernelAndAutoJobs:
+    """--kernel wiring and n_jobs='auto' calibration at the CLI."""
+
+    def test_estimate_stamps_the_resolved_kernel(self, barbell_file):
+        code, output = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+             "uniform-source", "--samples", "40", "--seed", "1",
+             "--backend", "csr", "--kernel", "csr"]
+        )
+        assert code == 0
+        assert json.loads(output)["kernel"] == "csr"
+
+    def test_kernel_never_changes_the_estimate(self, barbell_file):
+        estimates = {}
+        for kernel in ("auto", "csr", "compiled"):
+            code, output = run_cli(
+                ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+                 "uniform-source", "--samples", "40", "--seed", "7",
+                 "--backend", "csr", "--kernel", kernel]
+            )
+            assert code == 0
+            payload = json.loads(output)
+            estimates[kernel] = payload["estimate"]
+            # Whatever was requested, the stamp records a concrete rung.
+            assert payload["kernel"] in ("csr", "compiled")
+        assert len(set(estimates.values())) == 1
+
+    def test_rejects_unknown_kernel(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["exact", "--graph", barbell_file, "--kernel", "fpga"]
+            )
+
+    def test_exact_accepts_the_kernel_flag(self, barbell_file):
+        code_csr, out_csr = run_cli(
+            ["exact", "--graph", barbell_file, "--kernel", "csr"]
+        )
+        code_auto, out_auto = run_cli(["exact", "--graph", barbell_file])
+        assert code_csr == code_auto == 0
+        assert json.loads(out_csr) == json.loads(out_auto)
+
+    def test_jobs_auto_calibrates_without_changing_the_estimate(self, barbell_file):
+        code_auto, out_auto = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+             "uniform-source", "--samples", "40", "--seed", "7",
+             "--backend", "csr", "--jobs", "auto"]
+        )
+        code_one, out_one = run_cli(
+            ["estimate", "--graph", barbell_file, "--vertex", "5", "--method",
+             "uniform-source", "--samples", "40", "--seed", "7",
+             "--backend", "csr", "--jobs", "1"]
+        )
+        assert code_auto == code_one == 0
+        auto, one = json.loads(out_auto), json.loads(out_one)
+        assert auto["estimate"] == one["estimate"]
+        # 'auto' must resolve to a concrete engaged worker count.
+        assert auto["jobs"] >= 1
+
+    def test_batch_jobs_auto(self, barbell_file, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        path.write_text('{"op": "estimate", "vertex": 5, "samples": 40, "seed": 7}\n')
+        code, output = run_cli(
+            ["batch", "--graph", barbell_file, "--queries", str(path),
+             "--jobs", "auto", "--kernel", "csr"]
+        )
+        assert code == 0
+        payload = json.loads(output.splitlines()[0])
+        assert payload["kernel"] == "csr"
+        assert "error" not in payload
+
+    def test_rejects_bad_jobs_string(self, barbell_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["exact", "--graph", barbell_file, "--jobs", "fast"]
+            )

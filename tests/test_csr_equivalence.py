@@ -32,15 +32,24 @@ from repro.graphs.components import largest_connected_component
 from repro.graphs.csr import np
 from repro.shortest_paths import (
     accumulate_dependencies,
+    accumulate_dependencies_batch_csr,
     accumulate_dependencies_csr,
     bfs_distances,
     bfs_distances_csr,
     bfs_spd,
+    bfs_spd_batch_csr,
     bfs_spd_csr,
     bidirectional_shortest_path_info,
     bidirectional_shortest_path_info_csr,
+    csr_source_dependencies,
     dijkstra_spd,
     dijkstra_spd_csr,
+)
+from repro.shortest_paths.compiled import (
+    accumulate_dependencies_compiled,
+    batch_dependencies_compiled,
+    bfs_spd_compiled,
+    source_dependencies_compiled,
 )
 
 pytestmark = pytest.mark.skipif(np is None, reason="the CSR backend requires numpy")
@@ -426,3 +435,162 @@ def test_scipy_adjacency_undirected_backward_is_forward():
     g = barbell_graph(3, 1)
     csr = g.csr()
     assert csr.scipy_adjacency(transpose=True) is csr.scipy_adjacency()
+
+
+# ----------------------------------------------------------------------
+# Compiled kernel rung: bit-identity with the numpy kernels
+# ----------------------------------------------------------------------
+#
+# The compiled twins in repro.shortest_paths.compiled are plain-Python
+# bodies wrapped by @njit only when numba imports, so this suite exercises
+# the exact code the jit compiles even on hosts without numba — the
+# bit-identity promise it checks is the one that makes the kernel knob
+# result-neutral everywhere.
+
+unweighted_cases = graph_cases.filter(lambda g: not g.weighted)
+
+
+@given(unweighted_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_bfs_spd_is_bitwise_identical_to_numpy(graph, source_seed):
+    """The compiled BFS wave reproduces dist/sig/order and the level-grouped
+    DAG edges of the numpy kernel exactly (array_equal, not isclose)."""
+    csr = graph.csr()
+    source = source_seed % csr.number_of_vertices()
+    numpy_spd = bfs_spd_csr(csr, source, kernel="csr")
+    compiled_spd = bfs_spd_compiled(csr, source)
+    assert np.array_equal(compiled_spd.dist, numpy_spd.dist)
+    assert np.array_equal(compiled_spd.sig, numpy_spd.sig)
+    assert np.array_equal(compiled_spd.order_indices, numpy_spd.order_indices)
+    assert len(compiled_spd.level_edges) == len(numpy_spd.level_edges)
+    for (cp, cc), (rp, rc) in zip(compiled_spd.level_edges, numpy_spd.level_edges):
+        assert np.array_equal(cp, rp)
+        assert np.array_equal(cc, rc)
+
+
+@given(
+    unweighted_cases,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_cutoff_truncation_matches_numpy(graph, source_seed, cutoff):
+    """The inclusive distance cutoff truncates both rungs identically."""
+    csr = graph.csr()
+    source = source_seed % csr.number_of_vertices()
+    numpy_spd = bfs_spd_csr(csr, source, cutoff=float(cutoff), kernel="csr")
+    compiled_spd = bfs_spd_compiled(csr, source, cutoff=float(cutoff))
+    assert np.array_equal(compiled_spd.dist, numpy_spd.dist)
+    assert np.array_equal(compiled_spd.sig, numpy_spd.sig)
+    assert np.array_equal(compiled_spd.order_indices, numpy_spd.order_indices)
+
+
+@given(unweighted_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_dependency_accumulation_is_bitwise_identical(graph, source_seed):
+    """Both the accumulate-from-SPD and fused single-pass entry points
+    reproduce the numpy delta vector bit for bit."""
+    csr = graph.csr()
+    source = source_seed % csr.number_of_vertices()
+    reference = accumulate_dependencies_csr(bfs_spd_csr(csr, source, kernel="csr"))
+    via_spd = accumulate_dependencies_compiled(bfs_spd_compiled(csr, source))
+    fused = source_dependencies_compiled(csr, source)
+    assert np.array_equal(via_spd, reference)
+    assert np.array_equal(fused, reference)
+
+
+@given(unweighted_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_batch_is_bitwise_identical_to_the_wave_pair(graph, seed):
+    """The batched compiled kernel equals the numpy (K, n) wave kernels,
+    including the out-accumulation path."""
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    rng = random.Random(seed)
+    sources = [rng.randrange(n) for _ in range(min(6, n))]
+    reference = accumulate_dependencies_batch_csr(bfs_spd_batch_csr(csr, sources))
+    assert np.array_equal(batch_dependencies_compiled(csr, sources), reference)
+    out_numpy = np.ones(n)
+    accumulate_dependencies_batch_csr(bfs_spd_batch_csr(csr, sources), out=out_numpy)
+    out_compiled = np.ones(n)
+    batch_dependencies_compiled(csr, sources, out=out_compiled)
+    assert np.array_equal(out_compiled, out_numpy)
+
+
+def test_compiled_dispatch_is_result_neutral(monkeypatch):
+    """With availability forced on, kernel='compiled' drives the whole stack
+    through the compiled bodies and every public result stays bitwise equal."""
+    from repro.graphs import csr as csr_module
+
+    graph = barabasi_albert_graph(30, 2, seed=11)
+    target = graph.vertices()[2]
+    reference_exact = betweenness_centrality(graph, backend="csr", kernel="csr")
+    reference_single = betweenness_single(
+        graph, target, method="uniform-source", samples=40, seed=5,
+        backend="csr", kernel="csr",
+    )
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", True)
+    compiled_exact = betweenness_centrality(graph, backend="csr", kernel="compiled")
+    compiled_single = betweenness_single(
+        graph, target, method="uniform-source", samples=40, seed=5,
+        backend="csr", kernel="compiled",
+    )
+    assert compiled_exact == reference_exact
+    assert compiled_single.estimate == reference_single.estimate
+    # Per-source entry point too, through the kernel= dispatch itself.
+    csr = graph.csr()
+    assert np.array_equal(
+        csr_source_dependencies(csr, 0, kernel="compiled"),
+        csr_source_dependencies(csr, 0, kernel="csr"),
+    )
+
+
+# ----------------------------------------------------------------------
+# resolve_kernel: env override, explicit wins, warn-and-fallback
+# ----------------------------------------------------------------------
+
+
+def test_resolve_kernel_env_override(monkeypatch):
+    from repro.errors import ConfigurationError
+    from repro.graphs import csr as csr_module
+    from repro.graphs.csr import resolve_kernel
+
+    monkeypatch.setenv("REPRO_KERNEL", "csr")
+    assert resolve_kernel("auto") == "csr"
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", True)
+    assert resolve_kernel("auto") == "csr", "env override beats availability"
+    monkeypatch.setenv("REPRO_KERNEL", "compiled")
+    assert resolve_kernel("auto") == "compiled"
+    assert resolve_kernel("csr") == "csr", "explicit kernel wins over the env var"
+    monkeypatch.setenv("REPRO_KERNEL", "fpga")
+    with pytest.raises(ConfigurationError):
+        resolve_kernel("auto")
+    with pytest.raises(ConfigurationError):
+        resolve_kernel("jit")  # unknown kernel name, env var notwithstanding
+
+
+def test_resolve_kernel_auto_follows_availability(monkeypatch):
+    from repro.graphs import csr as csr_module
+    from repro.graphs.csr import resolve_kernel
+
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", True)
+    assert resolve_kernel("auto") == "compiled"
+    assert resolve_kernel("compiled") == "compiled"
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", False)
+    assert resolve_kernel("auto") == "csr"
+
+
+def test_resolve_kernel_explicit_compiled_warns_and_falls_back(monkeypatch):
+    from repro.graphs import csr as csr_module
+    from repro.graphs.csr import resolve_kernel
+
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", False)
+    with pytest.warns(RuntimeWarning, match="falling back to the numpy CSR kernels"):
+        assert resolve_kernel("compiled") == "csr"
+    # ... and the fallback changes no result: a compiled-requested exact run
+    # equals the csr run even though the rung silently degraded.
+    graph = barabasi_albert_graph(18, 2, seed=3)
+    with pytest.warns(RuntimeWarning):
+        degraded = betweenness_centrality(graph, backend="csr", kernel="compiled")
+    assert degraded == betweenness_centrality(graph, backend="csr", kernel="csr")

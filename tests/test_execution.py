@@ -737,3 +737,169 @@ def test_mh_prefetch_reduces_passes_without_changing_the_chain():
     big = SingleSpaceMHSampler(batch_size=16).estimate(graph, r, 60, seed=11)
     assert one.estimate == big.estimate
     assert big.diagnostics["evaluations"] == one.diagnostics["evaluations"]
+
+
+# ----------------------------------------------------------------------
+# Kernel knob threading + worker-count autotuning (ISSUE 7)
+# ----------------------------------------------------------------------
+
+
+def test_execution_plan_validates_and_carries_the_kernel():
+    with pytest.raises(ConfigurationError):
+        ExecutionPlan(kernel="fpga")
+    assert ExecutionPlan().kernel == "auto"
+    assert ExecutionPlan(kernel="compiled").kernel == "compiled"
+    # Like shared_cache, the kernel never engages the engine by itself...
+    assert resolve_plan(None, kernel="compiled") is None
+    # ... but it fills the field of a plan another knob engaged.
+    plan = resolve_plan(None, batch_size=8, kernel="compiled")
+    assert plan.kernel == "compiled" and plan.batch_size == 8
+
+
+def test_shard_worker_payloads_accept_the_kernel_element():
+    """Shard workers read the optional kernel payload element; old-style
+    payloads without it keep working (the cross-version cache contract)."""
+    from repro.shortest_paths.dependencies import (
+        dependency_at_target_shard_csr,
+        dependency_sum_shard_csr,
+    )
+
+    csr = barabasi_albert_graph(24, 2, seed=9).csr()
+    shard = list(range(8))
+    legacy = dependency_sum_shard_csr((csr, 4), shard)
+    tagged = dependency_sum_shard_csr((csr, 4, "csr"), shard)
+    assert np.array_equal(legacy, tagged)
+    legacy_t = dependency_at_target_shard_csr((csr, 4, 3), shard)
+    tagged_t = dependency_at_target_shard_csr((csr, 4, 3, "csr"), shard)
+    assert legacy_t == tagged_t
+
+
+def test_kernel_knob_never_changes_engine_results(monkeypatch):
+    """kernel ∈ {csr, compiled} × n_jobs grid: identical estimates (the
+    compiled rung is driven through its pure-Python bodies here)."""
+    from repro.graphs import csr as csr_module
+
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", True)
+    graph = _random_unweighted(21)
+    r = graph.vertices()[3]
+    estimates = {
+        (kernel, jobs): betweenness_single(
+            graph, r, method="uniform-source", samples=40, seed=13,
+            backend="csr", batch_size=8, n_jobs=jobs, kernel=kernel,
+        ).estimate
+        for kernel in ("csr", "compiled")
+        for jobs in JOBS_GRID
+    }
+    assert len(set(estimates.values())) == 1
+
+
+def test_default_jobs_candidates_shape():
+    from repro.execution import default_jobs_candidates
+
+    candidates = default_jobs_candidates()
+    assert candidates[0] == 1
+    assert all(a < b for a, b in zip(candidates, candidates[1:]))
+    assert all(isinstance(c, int) and c >= 1 for c in candidates)
+
+
+def test_probe_n_jobs_times_every_candidate():
+    from repro.execution import probe_n_jobs
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    timings = probe_n_jobs(graph, candidates=(1, 2), probe_sources=8)
+    assert [jobs for jobs, _ in timings] == [1, 2]
+    assert all(seconds >= 0.0 for _, seconds in timings)
+
+
+def test_probe_n_jobs_fast_paths():
+    from repro.execution import probe_n_jobs
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    # dict backend: parallel sharding never applies.
+    assert probe_n_jobs(graph, backend="dict", candidates=(1, 2)) == [(1, 0.0)]
+    # nothing beyond one worker to sweep: no pools spun up.
+    assert probe_n_jobs(graph, candidates=(1,)) == [(1, 0.0)]
+
+
+def test_probe_n_jobs_validates_its_knobs():
+    from repro.execution import probe_n_jobs
+
+    graph = barabasi_albert_graph(20, 2, seed=1)
+    with pytest.raises(ConfigurationError):
+        probe_n_jobs(graph, candidates=(0,))
+    with pytest.raises(ConfigurationError):
+        probe_n_jobs(graph, probe_sources=0)
+    with pytest.raises(ConfigurationError):
+        probe_n_jobs(graph, repeats=0)
+    with pytest.raises(ConfigurationError):
+        probe_n_jobs(graph, batch_size=0)
+
+
+def test_calibrate_n_jobs_returns_a_candidate_and_breaks_ties_down(monkeypatch):
+    from repro.execution import autotune, calibrate_n_jobs
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    assert calibrate_n_jobs(graph, candidates=(1, 2), probe_sources=8) in (1, 2)
+    # Deterministic tie: the smaller worker count must win.
+    monkeypatch.setattr(
+        autotune, "probe_n_jobs", lambda *a, **k: [(4, 1.0), (2, 1.0), (1, 2.0)]
+    )
+    assert calibrate_n_jobs(graph) == 2
+
+
+def test_calibrated_jobs_never_change_the_estimate():
+    """The n_jobs twin of the batch-size contract: whatever count the noisy
+    probe picks, the sharded engine's merge order is n_jobs-invariant."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    estimates = {
+        jobs: betweenness_single(
+            graph, r, method="uniform-source", samples=40, seed=99,
+            backend="csr", batch_size=8, n_jobs=jobs,
+        ).estimate
+        for jobs in JOBS_GRID
+    }
+    assert len(set(estimates.values())) == 1
+
+
+def test_n_jobs_auto_resolves_and_engages_the_engine():
+    """n_jobs='auto' at the API resolves to a concrete count (never None —
+    the engine must engage so results stay n_jobs-invariant) and returns
+    the same estimate as the explicit counts."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    auto = betweenness_single(
+        graph, r, method="uniform-source", samples=40, seed=99,
+        backend="csr", batch_size=8, n_jobs="auto",
+    )
+    explicit = betweenness_single(
+        graph, r, method="uniform-source", samples=40, seed=99,
+        backend="csr", batch_size=8, n_jobs=1,
+    )
+    assert auto.estimate == explicit.estimate
+
+
+def test_n_jobs_auto_on_dict_backend_skips_the_probe():
+    from repro.centrality.api import _resolve_n_jobs
+
+    graph = barabasi_albert_graph(20, 2, seed=3)
+    assert _resolve_n_jobs(graph, "auto", "dict") == 1
+    assert _resolve_n_jobs(graph, 3, "csr") == 3  # explicit ints pass through
+    assert _resolve_n_jobs(graph, None, "csr") is None
+
+
+def test_probe_shard_sizes_is_a_diagnostic_only():
+    """Times every candidate; the library deliberately exposes no
+    calibrate_shard_size (the constant is part of the determinism contract)."""
+    import repro.execution as execution
+    from repro.execution import probe_shard_sizes
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    timings = probe_shard_sizes(graph, candidates=(8, 16), probe_sources=8)
+    assert [size for size, _ in timings] == [8, 16]
+    assert all(seconds >= 0.0 for _, seconds in timings)
+    assert not hasattr(execution, "calibrate_shard_size")
+    with pytest.raises(ConfigurationError):
+        probe_shard_sizes(graph, candidates=())
+    with pytest.raises(ConfigurationError):
+        probe_shard_sizes(graph, candidates=(0,))
