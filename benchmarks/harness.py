@@ -145,15 +145,11 @@ def resolved_bench_backend() -> str:
 
 def resolved_bench_kernel() -> str:
     """Return the kernel rung the benchmarks actually run (``csr`` or ``compiled``)."""
-    import warnings
+    from repro.execution.stamp import resolve_kernel_quiet
 
-    from repro.graphs.csr import resolve_kernel
-
-    with warnings.catch_warnings():
-        # The fallback warning is already the bench's explicit receipt (the
-        # kernel: stamp); no need to repeat it once per emitted table.
-        warnings.simplefilter("ignore", RuntimeWarning)
-        return resolve_kernel(bench_kernel())
+    # Quiet: the fallback warning is already the bench's explicit receipt
+    # (the kernel: stamp); no need to repeat it once per emitted table.
+    return resolve_kernel_quiet(bench_kernel())
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -190,14 +186,21 @@ def emit_table(
     stored result records which traversal backend, degree of parallelism,
     snapshot-shipping mode and kernel rung produced it.
     """
+    from repro.execution.stamp import format_stamp_lines
+
     table = format_table(rows, columns)
+    stamp = format_stamp_lines(
+        {
+            "backend": resolved_bench_backend(),
+            "jobs": bench_jobs(),
+            "shared_graph": bench_shared_graph(),
+            "kernel": resolved_bench_kernel(),
+        }
+    )
     text = (
         f"{experiment}: {title}\n"
         f"{'=' * (len(experiment) + 2 + len(title))}\n"
-        f"backend: {resolved_bench_backend()}\n"
-        f"jobs: {bench_jobs()}\n"
-        f"shared_graph: {bench_shared_graph()}\n"
-        f"kernel: {resolved_bench_kernel()}\n"
+        f"{stamp}\n"
         f"{table}\n"
     )
     print("\n" + text)

@@ -10,13 +10,14 @@ from repro.centrality.api import (
     relative_betweenness,
     suggested_chain_length,
 )
-from repro.centrality.session import BetweennessSession
+from repro.centrality.session import BetweennessSession, ThreadSafeSession
 
 __all__ = [
     "SINGLE_VERTEX_METHODS",
     "MCMC_SINGLE_METHODS",
     "DEFAULT_CHAINS",
     "BetweennessSession",
+    "ThreadSafeSession",
     "betweenness_single",
     "betweenness_exact",
     "relative_betweenness",

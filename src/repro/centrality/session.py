@@ -39,6 +39,7 @@ bit-identical to a cold call on the mutated graph.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro._rng import RandomState
@@ -58,7 +59,7 @@ from repro.mcmc.joint import JointSpaceMHSampler, RelativeBetweennessEstimate
 from repro.mcmc.multichain import MultiChainJointSampler, MultiChainMHSampler
 from repro.samplers.base import SingleEstimate
 
-__all__ = ["BetweennessSession"]
+__all__ = ["BetweennessSession", "ThreadSafeSession"]
 
 
 class BetweennessSession:
@@ -155,6 +156,11 @@ class BetweennessSession:
             self._stamped_graph = self.graph
             self._version = self.graph.version
         self._queries += 1
+
+    def _record_passes(self, count) -> None:
+        """Report a query's Brandes-pass count into the context's counter."""
+        if isinstance(count, (int, float)) and not isinstance(count, bool):
+            self._context.record_passes(int(count))
 
     def _knobs(self):
         """The (backend, batch_size, n_jobs) triple the cold API would use."""
@@ -283,12 +289,18 @@ class BetweennessSession:
         self._begin()
         if multichain:
             driver = self._multichain_driver(method, n_chains, rhat_target)
-            return driver.estimate(self.graph, r, samples, seed=seed)
-        sampler = self._sampler(method)
-        if method in MCMC_SINGLE_METHODS:
-            oracle = self._oracle("single", sampler)
-            return sampler.estimate(self.graph, r, samples, seed=seed, oracle=oracle)
-        return sampler.estimate(self.graph, r, samples, seed=seed)
+            result = driver.estimate(self.graph, r, samples, seed=seed)
+        else:
+            sampler = self._sampler(method)
+            if method in MCMC_SINGLE_METHODS:
+                oracle = self._oracle("single", sampler)
+                result = sampler.estimate(
+                    self.graph, r, samples, seed=seed, oracle=oracle
+                )
+            else:
+                result = sampler.estimate(self.graph, r, samples, seed=seed)
+        self._record_passes(result.diagnostics.get("evaluations"))
+        return result
 
     def relative(
         self,
@@ -303,14 +315,17 @@ class BetweennessSession:
         self._begin()
         if n_chains is not None:
             driver = self._joint_driver(n_chains)
-            return driver.estimate_relative(
+            estimate = driver.estimate_relative(
                 self.graph, reference_set, samples, seed=seed
             )
-        sampler = self._joint_sampler()
-        oracle = self._oracle("joint", sampler)
-        return sampler.estimate_relative(
-            self.graph, reference_set, samples, seed=seed, oracle=oracle
-        )
+        else:
+            sampler = self._joint_sampler()
+            oracle = self._oracle("joint", sampler)
+            estimate = sampler.estimate_relative(
+                self.graph, reference_set, samples, seed=seed, oracle=oracle
+            )
+        self._record_passes(estimate.diagnostics.get("evaluations"))
+        return estimate
 
     def ranking(
         self,
@@ -351,11 +366,15 @@ class BetweennessSession:
         self._begin()
         backend, batch_size, n_jobs = self._knobs()
         plan = self._plan_with_runtime
+        n = self.graph.number_of_vertices()
         if vertices is None:
-            return betweenness_centrality(
+            scores = betweenness_centrality(
                 self.graph, normalization=normalization, backend=backend, plan=plan
             )
-        return {
+            # Brandes runs one pass per source.
+            self._record_passes(n)
+            return scores
+        scores = {
             v: betweenness_of_vertex(
                 self.graph,
                 v,
@@ -365,13 +384,32 @@ class BetweennessSession:
             )
             for v in vertices
         }
+        # Each single-vertex query accumulates every source's dependency on
+        # its target: n passes per requested vertex.
+        self._record_passes(n * len(scores))
+        return scores
 
     # ------------------------------------------------------------------
     # Lifecycle + diagnostics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Warm-state diagnostics: query count plus the context's stamp."""
-        return {"queries": self._queries, "context": self._context.stats()}
+        """Warm-state diagnostics: query counters plus the context's stamp.
+
+        ``brandes_passes`` is the lifetime pass count of the session's
+        queries (the context's :meth:`~repro.execution.runtime
+        .ExecutionContext.record_passes` counter — monotone, surviving
+        graph mutation), which is what the serving layer's Prometheus
+        exporter scrapes.
+        """
+        context = self._context.stats()
+        return {
+            "queries": self._queries,
+            "graph_version": self.graph.version,
+            "brandes_passes": context.get("brandes_passes", 0),
+            "warm_oracles": len(self._oracles),
+            "warm_estimators": len(self._estimators),
+            "context": context,
+        }
 
     def close(self) -> None:
         """Release the pool and the arena (idempotent)."""
@@ -385,6 +423,90 @@ class BetweennessSession:
     def __enter__(self) -> "BetweennessSession":
         if self._closed:
             raise ConfigurationError("the session has been closed")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadSafeSession:
+    """Serialise every operation of a :class:`BetweennessSession` behind one lock.
+
+    A :class:`BetweennessSession` is single-threaded by design: its warm
+    state (estimator memos, oracles, the context's payload memo and arena
+    bookkeeping) is mutated on the query path without synchronisation, and
+    the determinism contract assumes queries observe the graph one at a
+    time.  Multi-threaded callers — the HTTP daemon of
+    :mod:`repro.serving`, where every request runs on its own handler
+    thread — wrap the session in this proxy instead: one reentrant lock
+    serialises queries, mutations and stats reads, so each query sees a
+    consistent graph version and the receipts it stamps can never interleave
+    with a mutation.
+
+    Serialising queries does not serialise the *work*: an engaged plan still
+    fans each query out over the session's persistent worker pool.  The lock
+    orders queries, the pool parallelises within one.
+
+    ``mutate(fn)`` is the one write entry point: it runs ``fn(graph)`` under
+    the lock and returns the graph's new version, so a registry can apply
+    edge upserts without racing an in-flight query.
+    """
+
+    def __init__(self, session: BetweennessSession) -> None:
+        self._session = session
+        self._lock = threading.RLock()
+
+    @property
+    def session(self) -> BetweennessSession:
+        """The wrapped session (lock yourself before touching its state)."""
+        return self._session
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The serialising lock (reentrant; exposed for compound operations)."""
+        return self._lock
+
+    @property
+    def graph(self) -> Graph:
+        return self._session.graph
+
+    def estimate(self, *args, **kwargs) -> SingleEstimate:
+        with self._lock:
+            return self._session.estimate(*args, **kwargs)
+
+    def relative(self, *args, **kwargs) -> RelativeBetweennessEstimate:
+        with self._lock:
+            return self._session.relative(*args, **kwargs)
+
+    def ranking(self, *args, **kwargs) -> List[Vertex]:
+        with self._lock:
+            return self._session.ranking(*args, **kwargs)
+
+    def exact(self, *args, **kwargs) -> Dict[Vertex, float]:
+        with self._lock:
+            return self._session.exact(*args, **kwargs)
+
+    def mutate(self, fn) -> int:
+        """Run ``fn(graph)`` under the lock; return the new graph version.
+
+        The next query (also under the lock) observes the bumped version and
+        rebuilds the session's warm state before answering — the ordering
+        guarantee that makes "a response never carries a stale graph
+        version" checkable at the serving layer.
+        """
+        with self._lock:
+            fn(self._session.graph)
+            return self._session.graph.version
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return self._session.stats()
+
+    def close(self) -> None:
+        with self._lock:
+            self._session.close()
+
+    def __enter__(self) -> "ThreadSafeSession":
         return self
 
     def __exit__(self, *exc_info) -> None:

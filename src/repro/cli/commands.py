@@ -14,11 +14,22 @@ Five sub-commands, mirroring the public Python API:
     :class:`~repro.centrality.session.BetweennessSession`: read a JSONL
     query file (or stdin), stream one JSON result per line.  The graph is
     loaded once, the worker pool / dependency arena persist across queries.
+``serve``
+    Run the long-lived HTTP/JSON daemon of :mod:`repro.serving`: a session
+    registry of named warm graphs, request coalescing, admission control,
+    and a Prometheus-text ``/metrics`` endpoint.  Accepts the same query
+    objects as ``batch``, one endpoint per op.
 ``datasets``
     List the built-in synthetic datasets.
 
 Graphs are loaded either from an edge-list file (``--graph PATH``) or from a
-named dataset (``--dataset NAME [--size SIZE]``).
+named dataset (``--dataset NAME [--size SIZE]``); ``serve`` can also start
+empty and load graphs over HTTP.
+
+The payload builders and execution stamp shared by ``estimate`` /
+``relative`` / ``batch`` / ``serve`` live in :mod:`repro.serving.queries`
+and :mod:`repro.execution.stamp` — one implementation, so the surfaces
+cannot drift.
 """
 
 from __future__ import annotations
@@ -29,7 +40,6 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.centrality.api import (
-    MCMC_SINGLE_METHODS,
     SINGLE_VERTEX_METHODS,
     _resolve_batch_size,
     _resolve_n_jobs,
@@ -40,10 +50,17 @@ from repro.centrality.api import (
 from repro.centrality.session import BetweennessSession
 from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
 from repro.execution import resolve_plan
+from repro.execution.stamp import resolve_kernel_quiet
 from repro.graphs.csr import BACKENDS, KERNELS
 from repro.errors import ReproError
 from repro.graphs.core import Graph
 from repro.graphs.io import read_edge_list
+from repro.serving.queries import (
+    estimate_payload,
+    execute_query,
+    parse_vertex,
+    relative_payload,
+)
 
 __all__ = ["build_parser", "run", "main_with_args"]
 
@@ -131,6 +148,63 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: byte-budget heuristic)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP/JSON daemon: named warm graphs, request "
+        "coalescing, /metrics (see repro.serving)",
+    )
+    _add_graph_arguments(serve, required=False)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8035, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--name",
+        default="default",
+        help="registry name of the graph preloaded from --graph/--dataset",
+    )
+    _add_execution_arguments(serve)
+    serve.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=None,
+        help="default chain count applied to MCMC queries that do not set "
+        '"chains" themselves',
+    )
+    serve.add_argument(
+        "--arena-capacity",
+        type=_positive_int,
+        default=None,
+        help="rows of each session's persistent dependency arena",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=8,
+        help="bound on simultaneously loaded graphs (each owns workers and "
+        "shared memory)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=16,
+        help="bound on concurrently running distinct computations; over-limit "
+        "requests get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-request wait deadline in seconds (expired requests get a "
+        "structured 504; the computation finishes in the background)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="Retry-After hint (seconds) on 429 responses",
+    )
+
     exact = subparsers.add_parser("exact", help="exact betweenness with Brandes's algorithm")
     _add_graph_arguments(exact)
     exact.add_argument(
@@ -147,8 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
-    source = parser.add_mutually_exclusive_group(required=True)
+def _add_graph_arguments(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    source = parser.add_mutually_exclusive_group(required=required)
     source.add_argument("--graph", help="path to an edge-list file (two integers per line)")
     source.add_argument("--dataset", choices=dataset_names(), help="built-in dataset name")
     parser.add_argument("--size", default="small", choices=SIZES, help="built-in dataset size")
@@ -228,18 +302,12 @@ def _rhat_threshold(raw: str) -> float:
     return value
 
 
-def _load_graph(args: argparse.Namespace) -> Graph:
+def _load_graph(args: argparse.Namespace) -> Optional[Graph]:
     if args.graph:
         return read_edge_list(args.graph, weighted=args.weighted)
-    return load_dataset(args.dataset, size=args.size)
-
-
-def _parse_vertex(label: str) -> object:
-    """Interpret a vertex label as an int when possible, else as a string."""
-    try:
-        return int(label)
-    except ValueError:
-        return label
+    if args.dataset:
+        return load_dataset(args.dataset, size=args.size)
+    return None
 
 
 def run(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -248,6 +316,10 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
         if args.command == "datasets":
             return _run_datasets(args, out)
         graph = _load_graph(args)
+        if args.command == "serve":
+            return _run_serve(args, graph, out)
+        if graph is None:
+            raise ReproError("a graph source (--graph or --dataset) is required")
         if args.command == "estimate":
             return _run_estimate(args, graph, out)
         if args.command == "relative":
@@ -262,75 +334,8 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
         return 2
 
 
-def _resolved_kernel(kernel: str) -> str:
-    """Resolve the ``--kernel`` argument for the payload stamp.
-
-    Quietly: when ``compiled`` degrades to ``csr`` without numba, the run
-    itself already warned once; the stamp just records what actually ran.
-    """
-    import warnings
-
-    from repro.graphs.csr import resolve_kernel
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
-        return resolve_kernel(kernel)
-
-
-def _execution_stamp(diagnostics, kernel: Optional[str] = None) -> dict:
-    """The execution stamp every estimating payload shares.
-
-    Same semantics everywhere: null ``jobs`` / ``batch_size`` = engine not
-    engaged, null ``chains`` / ``rhat`` / ``ess`` = the multi-chain driver
-    did not run.  One assembly point instead of each command re-listing the
-    keys (``estimate`` / ``relative`` previously kept diverging copies).
-    ``kernel`` is the resolved CSR kernel rung the command ran.
-    """
-    return {
-        "backend": diagnostics.get("backend"),
-        "jobs": diagnostics.get("n_jobs"),
-        "batch_size": diagnostics.get("batch_size"),
-        "kernel": kernel,
-        "chains": diagnostics.get("n_chains"),
-        "rhat": diagnostics.get("rhat"),
-        "ess": diagnostics.get("ess"),
-        "shared_cache": diagnostics.get("shared_cache"),
-    }
-
-
-def _estimate_payload(vertex, result, kernel: Optional[str] = None) -> dict:
-    """JSON payload of one single-vertex estimate (shared with ``batch``)."""
-    return {
-        "vertex": str(vertex),
-        "method": result.method,
-        "estimate": result.estimate,
-        "samples": result.samples,
-        "elapsed_seconds": result.elapsed_seconds,
-        "acceptance_rate": result.diagnostics.get("acceptance_rate"),
-        **_execution_stamp(result.diagnostics, kernel),
-        # Multi-chain extras: null unless the chains/rhat driver ran.
-        "converged": result.diagnostics.get("converged"),
-    }
-
-
-def _relative_payload(estimate, kernel: Optional[str] = None) -> dict:
-    """JSON payload of one relative-betweenness estimate (shared with ``batch``)."""
-    return {
-        **_execution_stamp(estimate.diagnostics, kernel),
-        "reference_set": [str(v) for v in estimate.reference_set],
-        "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
-        "acceptance_rate": estimate.acceptance_rate,
-        "ranking": [str(v) for v in estimate.ranking()],
-        "relative": {
-            str(ri): {str(rj): value for rj, value in row.items()}
-            for ri, row in estimate.relative.items()
-        },
-        "ratios": {f"{ri}/{rj}": value for (ri, rj), value in estimate.ratios.items()},
-    }
-
-
 def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
-    vertex = _parse_vertex(args.vertex)
+    vertex = parse_vertex(args.vertex)
     result = betweenness_single(
         graph,
         vertex,
@@ -345,13 +350,13 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         shared_cache=args.shared_cache,
         kernel=args.kernel,
     )
-    payload = _estimate_payload(vertex, result, kernel=_resolved_kernel(args.kernel))
+    payload = estimate_payload(vertex, result, kernel=resolve_kernel_quiet(args.kernel))
     print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
 def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
-    vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
+    vertices = [parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
     estimate = relative_betweenness(
         graph,
         vertices,
@@ -364,66 +369,9 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         shared_cache=args.shared_cache,
         kernel=args.kernel,
     )
-    payload = _relative_payload(estimate, kernel=_resolved_kernel(args.kernel))
+    payload = relative_payload(estimate, kernel=resolve_kernel_quiet(args.kernel))
     print(json.dumps(payload, indent=2), file=out)
     return 0
-
-
-def _batch_result(
-    session: BetweennessSession,
-    query: dict,
-    default_chains,
-    kernel: Optional[str] = None,
-) -> dict:
-    """Execute one parsed batch query against the warm session."""
-    op = query.get("op", "estimate")
-    seed = query.get("seed")
-    if op == "estimate":
-        method = query.get("method", "mh")
-        chains = query.get("chains", default_chains if method in MCMC_SINGLE_METHODS else None)
-        vertex = _parse_vertex(str(query["vertex"]))
-        result = session.estimate(
-            vertex,
-            method=method,
-            samples=int(query.get("samples", 200)),
-            seed=seed,
-            n_chains=chains,
-            rhat_target=query.get("rhat"),
-        )
-        return _estimate_payload(vertex, result, kernel=kernel)
-    chains = query.get("chains", default_chains)
-    if op == "relative":
-        vertices = [_parse_vertex(str(v)) for v in query["vertices"]]
-        estimate = session.relative(
-            vertices, samples=int(query.get("samples", 1000)), seed=seed, n_chains=chains
-        )
-        return _relative_payload(estimate, kernel=kernel)
-    if op == "ranking":
-        vertices = query.get("vertices")
-        members = (
-            [_parse_vertex(str(v)) for v in vertices] if vertices is not None else None
-        )
-        ranked = session.ranking(
-            members,
-            k=query.get("k"),
-            samples=int(query.get("samples", 1000)),
-            seed=seed,
-            n_chains=chains,
-        )
-        return {"ranking": [str(v) for v in ranked]}
-    if op == "exact":
-        vertices = query.get("vertices")
-        members = (
-            [_parse_vertex(str(v)) for v in vertices] if vertices is not None else None
-        )
-        scores = session.exact(members)
-        items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
-        if query.get("top") is not None:
-            items = items[: int(query["top"])]
-        return {"scores": {str(v): score for v, score in items}}
-    raise ReproError(
-        f"unknown batch op {op!r}; expected estimate/relative/ranking/exact"
-    )
 
 
 def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
@@ -471,9 +419,9 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
                         record["id"] = query["id"]
                     record["op"] = query.get("op", "estimate")
                     record.update(
-                        _batch_result(
-                            session, query, args.chains,
-                            kernel=_resolved_kernel(args.kernel),
+                        execute_query(
+                            session, query, default_chains=args.chains,
+                            kernel=resolve_kernel_quiet(args.kernel),
                         )
                     )
                 except (ReproError, ValueError, KeyError, TypeError) as exc:
@@ -486,10 +434,70 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
     return 0 if failures == 0 else 1
 
 
+def _run_serve(args: argparse.Namespace, graph: Optional[Graph], out) -> int:
+    """Run the HTTP daemon until interrupted.
+
+    With ``--graph``/``--dataset`` the named graph is preloaded (warm before
+    the first request); without one the daemon starts empty and graphs
+    arrive over ``PUT /graphs/<name>``.  Auto-calibrated ``--jobs`` /
+    ``--batch-size`` probes run against the preloaded graph; with no graph
+    to probe they fall back to the sequential defaults.
+    """
+    from repro.serving import ServingApp, ServingConfig, create_server
+
+    if graph is not None:
+        batch_size = _resolve_batch_size(graph, args.batch_size, args.backend)
+        n_jobs = _resolve_n_jobs(graph, args.jobs, args.backend)
+    else:
+        batch_size = None if args.batch_size == "auto" else args.batch_size
+        n_jobs = None if args.jobs == "auto" else args.jobs
+    plan = resolve_plan(
+        None,
+        backend=args.backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        kernel=args.kernel,
+    )
+    config = ServingConfig(
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        retry_after=args.retry_after,
+        default_chains=args.chains,
+        max_sessions=args.max_sessions,
+        backend=args.backend,
+        kernel=args.kernel,
+        arena_capacity=args.arena_capacity,
+    )
+    app = ServingApp(plan=plan, config=config)
+    server = create_server(args.host, args.port, app=app)
+    try:
+        if graph is not None:
+            app.registry.load(args.name, graph)
+        host, port = server.server_address[:2]
+        print(
+            json.dumps(
+                {
+                    "serving": f"http://{host}:{port}",
+                    "graphs": app.registry.names(),
+                    "max_inflight": args.max_inflight,
+                    "timeout_seconds": args.timeout,
+                }
+            ),
+            file=out,
+            flush=True,
+        )
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:
     vertices: Optional[List[object]] = None
     if args.vertices:
-        vertices = [_parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
+        vertices = [parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
     scores = betweenness_exact(
         graph,
         vertices,

@@ -74,6 +74,12 @@ from repro.execution.shared_cache import (
     create_shared_store,
     shared_memory_available,
 )
+from repro.execution.stamp import (
+    EXECUTION_STAMP_KEYS,
+    execution_stamp,
+    format_stamp_lines,
+    resolve_kernel_quiet,
+)
 
 __all__ = [
     "ExecutionPlan",
@@ -102,4 +108,8 @@ __all__ = [
     "SharedDependencyStore",
     "create_shared_store",
     "shared_memory_available",
+    "EXECUTION_STAMP_KEYS",
+    "execution_stamp",
+    "format_stamp_lines",
+    "resolve_kernel_quiet",
 ]

@@ -429,6 +429,11 @@ class ExecutionContext:
         self._stamped_graph: Optional[Graph] = None
         self._stamped_version: Optional[int] = None
         self._payloads: "OrderedDict[Any, Any]" = OrderedDict()
+        #: Lifetime Brandes-pass count reported through :meth:`record_passes`
+        #: by whoever drives the context (the session layer after each
+        #: query).  Survives graph mutation — it is work accounting, not
+        #: graph state — so observability counters built on it are monotone.
+        self._brandes_passes = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -609,15 +614,34 @@ class ExecutionContext:
     # ------------------------------------------------------------------
     # Lifecycle + diagnostics
     # ------------------------------------------------------------------
+    def record_passes(self, count: int) -> None:
+        """Add *count* Brandes passes to the context's lifetime work counter.
+
+        The serving layer's observability hook: the session reports each
+        query's evaluation count here, and :meth:`stats` exposes the running
+        total, so a metrics exporter can read pass counters and arena
+        occupancy from one place.  Monotone by construction (negative or
+        bogus counts are ignored rather than corrupting the series).
+        """
+        if isinstance(count, int) and not isinstance(count, bool) and count > 0:
+            self._brandes_passes += count
+
     def stats(self) -> Dict[str, object]:
         """Return a diagnostics stamp of the warm state (for result payloads)."""
+        arena = self._arena.stats() if self._arena is not None else None
+        occupancy = None
+        if arena is not None and arena.get("capacity"):
+            occupancy = arena["published"] / arena["capacity"]
         return {
             "n_jobs": self.n_jobs,
             "mp_context": self.mp_context,
             "pool_active": self._pool is not None,
+            "pool_processes": self._pool.processes if self._pool is not None else 0,
             "payload_installs": self._pool.installs if self._pool is not None else 0,
             "cached_payloads": len(self._payloads),
-            "arena": self._arena.stats() if self._arena is not None else None,
+            "brandes_passes": self._brandes_passes,
+            "arena": arena,
+            "arena_occupancy": occupancy,
             "shared_graph": (
                 self._shared_graph.segment_name if self._shared_graph is not None else None
             ),

@@ -1,0 +1,42 @@
+"""HTTP serving tier: session registry, request coalescing, metrics.
+
+``repro-bc serve`` (:mod:`repro.serving.server`) puts a long-running
+HTTP/JSON daemon in front of the warm
+:class:`~repro.centrality.session.BetweennessSession` layer:
+
+* :mod:`repro.serving.registry` — many named graphs, one thread-safe warm
+  session each, with load / evict / mutate lifecycle and graph-version
+  stamps on every answer;
+* :mod:`repro.serving.coalesce` — in-flight coalescing of byte-identical
+  request bodies (the ``interned_payload`` idiom lifted to the request
+  layer) plus bounded-admission overload control;
+* :mod:`repro.serving.metrics` — a dependency-free Prometheus-text metrics
+  registry (counters, gauges, histograms with quantile export);
+* :mod:`repro.serving.queries` — the one query-to-JSON-payload mapping the
+  HTTP daemon and the ``repro-bc batch`` stream share, so their receipts
+  cannot drift.
+
+Everything is standard library only (``http.server`` underneath); the
+daemon adds no dependencies to the library.
+"""
+
+from repro.serving.coalesce import CoalesceTimeout, OverloadedError, RequestCoalescer
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.registry import GraphNotLoaded, ManagedSession, SessionRegistry
+from repro.serving.server import ServingApp, ServingConfig, create_server
+
+__all__ = [
+    "RequestCoalescer",
+    "OverloadedError",
+    "CoalesceTimeout",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SessionRegistry",
+    "ManagedSession",
+    "GraphNotLoaded",
+    "ServingApp",
+    "ServingConfig",
+    "create_server",
+]

@@ -1,0 +1,188 @@
+"""In-flight request coalescing and bounded admission.
+
+The ``interned_payload`` idiom of :mod:`repro.execution.runtime` — hand the
+pool the *same object* so work is paid once — lifted to the request layer:
+byte-identical concurrent requests share **one** computation and one
+rendered response.  The serving daemon keys computations on
+``(graph name, graph version, endpoint, raw body bytes)``, so a dashboard
+fan-out of identical queries costs one estimator run, and a request
+admitted after a graph mutation can never join a pre-mutation computation
+(the version is part of the key).
+
+Two control planes ride along:
+
+* **Admission** — at most ``max_inflight`` *distinct* computations run at
+  once; an over-limit leader is refused with :class:`OverloadedError`
+  (mapped to HTTP 429 + ``Retry-After`` upstream).  Followers joining an
+  in-flight computation are always admitted: they add waiting, not work.
+* **Deadlines** — every request waits on its computation with a timeout
+  (:class:`CoalesceTimeout` → HTTP 504).  Computations run on their own
+  daemon thread, so a timed-out request abandons the *response*, never the
+  work: the computation finishes, stays joinable for late duplicates until
+  it completes, and leaves the session's caches warm.  That is the
+  "graceful cancellation" contract — Python threads cannot be killed, so
+  the daemon guarantees it never hangs a client instead of pretending to
+  abort the estimator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["RequestCoalescer", "OverloadedError", "CoalesceTimeout"]
+
+
+class OverloadedError(ReproError):
+    """Raised when admission control refuses a new computation."""
+
+    def __init__(self, inflight: int, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"server overloaded: {inflight} computations in flight "
+            f"(limit {limit}); retry after {retry_after:g}s"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class CoalesceTimeout(ReproError):
+    """Raised when a request's wait deadline expires before its computation."""
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(
+            f"request deadline of {timeout:g}s exceeded; the computation "
+            "continues in the background and its result is discarded"
+        )
+        self.timeout = timeout
+
+
+class _Computation:
+    """One in-flight computation: result slot + completion event."""
+
+    __slots__ = ("key", "event", "value", "error", "followers")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+    def finish(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self.value = value
+        self.error = error
+        self.event.set()
+
+
+class RequestCoalescer:
+    """Deduplicate identical in-flight computations behind one result.
+
+    Parameters
+    ----------
+    max_inflight:
+        Upper bound on concurrently running *distinct* computations
+        (``None`` = unbounded).  The admission bound of the daemon.
+    retry_after:
+        The hint (seconds) carried by :class:`OverloadedError` and exported
+        as the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, max_inflight: Optional[int] = None, retry_after: float = 1.0
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1 or None, got {max_inflight!r}")
+        self.max_inflight = max_inflight
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _Computation] = {}
+        self.coalesce_hits = 0  #: lifetime follower count (joined an in-flight run)
+        self.computations = 0  #: lifetime leader count (started a fresh run)
+        self.rejections = 0  #: lifetime admission refusals
+
+    # ------------------------------------------------------------------
+    def inflight_count(self) -> int:
+        """Number of computations currently running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def waiters(self, key: Hashable) -> int:
+        """Follower count of the in-flight computation under *key* (0 if none)."""
+        with self._lock:
+            computation = self._inflight.get(key)
+            return computation.followers if computation is not None else 0
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        key: Hashable,
+        fn: Callable[[], Any],
+        timeout: Optional[float] = None,
+    ) -> Tuple[Any, bool]:
+        """Run *fn* under *key*, coalescing onto an identical in-flight run.
+
+        Returns ``(result, coalesced)`` — ``coalesced`` is ``True`` when
+        this request joined a computation another request started.  Raises
+        :class:`OverloadedError` when starting a fresh computation would
+        exceed the admission bound, :class:`CoalesceTimeout` when the wait
+        deadline expires, and re-raises the computation's own exception for
+        every request sharing it (each sharer reports the same failure —
+        one broken computation never strands its followers).
+        """
+        with self._lock:
+            computation = self._inflight.get(key)
+            if computation is not None:
+                computation.followers += 1
+                self.coalesce_hits += 1
+                coalesced = True
+            else:
+                if (
+                    self.max_inflight is not None
+                    and len(self._inflight) >= self.max_inflight
+                ):
+                    self.rejections += 1
+                    raise OverloadedError(
+                        len(self._inflight), self.max_inflight, self.retry_after
+                    )
+                computation = _Computation(key)
+                self._inflight[key] = computation
+                self.computations += 1
+                coalesced = False
+                worker = threading.Thread(
+                    target=self._run,
+                    args=(computation, fn),
+                    name=f"repro-serve-compute-{self.computations}",
+                    daemon=True,
+                )
+                worker.start()
+        if not computation.event.wait(timeout):
+            raise CoalesceTimeout(timeout if timeout is not None else 0.0)
+        if computation.error is not None:
+            raise computation.error
+        return computation.value, coalesced
+
+    def _run(self, computation: _Computation, fn: Callable[[], Any]) -> None:
+        try:
+            value = fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to every waiter
+            self._finish(computation, error=exc)
+        else:
+            self._finish(computation, value=value)
+
+    def _finish(
+        self,
+        computation: _Computation,
+        value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # Remove from the in-flight table *before* signalling: a request
+        # arriving after completion must start (or queue) a fresh
+        # computation, never read a completed one — results may embed
+        # time-dependent receipts, and "in-flight" is the whole contract.
+        with self._lock:
+            if self._inflight.get(computation.key) is computation:
+                del self._inflight[computation.key]
+        computation.finish(value=value, error=error)

@@ -1,0 +1,385 @@
+"""A dependency-free Prometheus-text metrics registry.
+
+The serving daemon exports its observability through the Prometheus text
+exposition format (``GET /metrics``), but the library takes no dependency
+on ``prometheus_client`` — the subset the daemon needs (labelled counters,
+gauges with optional callbacks, cumulative histograms) is small and fully
+specified, so it lives here in ~200 lines of stdlib Python.
+
+Contracts the test-suite pins (``tests/test_serving.py``):
+
+* ``render()`` output is well-formed exposition text: every line is a
+  ``# HELP`` / ``# TYPE`` comment or a ``name{labels} value`` sample.
+* Histogram bucket counts are cumulative and therefore monotone
+  non-decreasing in ``le``, ending at the ``+Inf`` bucket == ``_count``.
+* Counter samples never decrease across any sequence of operations
+  (negative increments are rejected).
+
+All metric operations are thread-safe (one lock per metric), because the
+daemon observes them from concurrent handler threads.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds), tuned for a local
+#: estimation service: sub-millisecond cache hits up to multi-second
+#: exact/MCMC queries.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_sample(
+    name: str, labels: Sequence[Tuple[str, str]], value: float
+) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"' for key, val in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Metric:
+    """Shared plumbing: name/help/labels validation and the child table."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help_text = " ".join(str(help_text).split())
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _labelvalues(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def header_lines(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def sample_lines(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically non-decreasing sum, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add *amount* (>= 0) to the child selected by *labels*."""
+        if amount < 0:
+            raise ValueError(f"counters can only increase, got {amount!r}")
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the child selected by *labels* (0 if untouched)."""
+        key = self._labelvalues(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+    def total(self) -> float:
+        """Sum over every child (handy for assertions across label sets)."""
+        with self._lock:
+            return float(sum(self._children.values()))
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._children.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            _format_sample(self.name, list(zip(self.labelnames, key)), value)
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; optionally computed at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        if fn is not None and labelnames:
+            raise ValueError("callback gauges cannot be labelled")
+        self._fn = fn
+
+    def set(self, value: float, **labels) -> None:
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        key = self._labelvalues(labels)
+        with self._lock:
+            return float(self._children.get(key, 0.0))
+
+    def sample_lines(self) -> List[str]:
+        if self._fn is not None:
+            try:
+                value = float(self._fn())
+            except Exception:
+                # A scrape must never take the daemon down with it; a
+                # broken callback reads as NaN, which Prometheus accepts.
+                value = math.nan
+            return [_format_sample(self.name, [], value)]
+        with self._lock:
+            items = sorted(self._children.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            _format_sample(self.name, list(zip(self.labelnames, key)), value)
+            for key, value in items
+        ]
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * nbuckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with quantile estimation.
+
+    Buckets are recorded per-bucket internally and rendered cumulatively
+    (the Prometheus ``le`` convention).  :meth:`quantile` interpolates a
+    quantile from the bucket boundaries — which is how the daemon exports
+    P50/P95 latency gauges without keeping raw samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        edges = sorted(float(edge) for edge in buckets)
+        if len(set(edges)) != len(edges):
+            raise ValueError("histogram bucket edges must be distinct")
+        if not edges:
+            raise ValueError("histograms need at least one finite bucket")
+        self.edges = tuple(edges)
+
+    def _child(self, key: Tuple[str, ...]) -> _HistogramChild:
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild(len(self.edges))
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation."""
+        value = float(value)
+        key = self._labelvalues(labels)
+        with self._lock:
+            child = self._child(key)
+            child.total += value
+            child.count += 1
+            for index, edge in enumerate(self.edges):
+                if value <= edge:
+                    child.counts[index] += 1
+                    break
+
+    def count(self, **labels) -> int:
+        key = self._labelvalues(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0  # type: ignore[union-attr]
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Estimate the *q*-quantile (0..1) by linear bucket interpolation.
+
+        ``None`` with no observations.  Observations beyond the last finite
+        bucket edge clamp to that edge (the same information loss any
+        Prometheus-side ``histogram_quantile`` has).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        key = self._labelvalues(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None or child.count == 0:
+                return None
+            counts = list(child.counts)  # type: ignore[union-attr]
+            total = child.count  # type: ignore[union-attr]
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                lower = 0.0 if index == 0 else self.edges[index - 1]
+                upper = self.edges[index]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.edges[-1]
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = [
+                (key, list(child.counts), child.total, child.count)  # type: ignore[union-attr]
+                for key, child in sorted(self._children.items())
+            ]
+        if not items and not self.labelnames:
+            items = [((), [0] * len(self.edges), 0.0, 0)]
+        lines: List[str] = []
+        for key, counts, total, count in items:
+            labels = list(zip(self.labelnames, key))
+            cumulative = 0
+            for edge, bucket_count in zip(self.edges, counts):
+                cumulative += bucket_count
+                lines.append(
+                    _format_sample(
+                        f"{self.name}_bucket",
+                        labels + [("le", _format_value(edge))],
+                        cumulative,
+                    )
+                )
+            lines.append(
+                _format_sample(f"{self.name}_bucket", labels + [("le", "+Inf")], count)
+            )
+            lines.append(_format_sample(f"{self.name}_sum", labels, total))
+            lines.append(_format_sample(f"{self.name}_count", labels, count))
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics rendering to exposition text."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    def register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered with a "
+                        f"different type"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self.register(Counter(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self.register(Gauge(name, help_text, labelnames, fn))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self.register(Histogram(name, help_text, labelnames, buckets))  # type: ignore[return-value]
+
+    def metrics(self) -> Iterable[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render(self) -> str:
+        """Render every registered metric as Prometheus exposition text."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.header_lines())
+            lines.extend(metric.sample_lines())
+        return "\n".join(lines) + "\n"
