@@ -43,6 +43,13 @@ Environment knobs
     call site resolves it, and the *resolved* rung is stamped as a
     ``kernel:`` line in every emitted table — the rungs are bit-identical,
     so the stamp attributes wall-clock only, never result drift.
+``REPRO_BENCH_INVALIDATION``
+    Mutation invalidation scoping the benchmarks run under: ``delta``
+    (default; journal-proved affected-region retention) or ``full``
+    (destroy-everything on every mutation).  Exported as
+    ``REPRO_INVALIDATION`` and stamped as an ``invalidation:`` line in
+    every emitted table — the modes are result-identical by contract, so
+    the stamp attributes warm-start wall-clock, never result drift.
 (``n_chains`` is deliberately *not* an env knob: it is an explicit API
 argument, and the multi-chain benchmark — ``bench_e12_multichain.py`` —
 sweeps chain counts itself, recording the count plus the cross-chain
@@ -85,6 +92,11 @@ def bench_jobs() -> int:
 def bench_kernel() -> str:
     """Return the requested CSR kernel rung (``REPRO_BENCH_KERNEL``)."""
     return os.environ.get("REPRO_BENCH_KERNEL", "auto")
+
+
+def bench_invalidation() -> str:
+    """Return the requested invalidation mode (``REPRO_BENCH_INVALIDATION``)."""
+    return os.environ.get("REPRO_BENCH_INVALIDATION", "delta")
 
 
 def bench_shared_graph() -> bool:
@@ -135,6 +147,18 @@ if bench_kernel() != "auto":
         )
     os.environ["REPRO_KERNEL"] = bench_kernel()
 
+# And for the invalidation mode: REPRO_INVALIDATION steers how every
+# session scopes mutation invalidation (repro.incremental
+# .resolve_invalidation); both modes answer identically, only warm-start
+# cost differs.
+if bench_invalidation() != "delta":
+    if bench_invalidation() != "full":
+        raise ValueError(
+            f"REPRO_BENCH_INVALIDATION must be 'delta' or 'full', "
+            f"got {bench_invalidation()!r}"
+        )
+    os.environ["REPRO_INVALIDATION"] = bench_invalidation()
+
 
 def resolved_bench_backend() -> str:
     """Return the backend the benchmarks actually run (``dict`` or ``csr``)."""
@@ -181,10 +205,11 @@ def emit_table(
 ) -> str:
     """Print the experiment table and persist it under ``benchmarks/results/``.
 
-    ``backend: <dict|csr>``, ``jobs: <n>``, ``shared_graph: <bool>`` and
-    ``kernel: <csr|compiled>`` lines are stamped under the title so every
-    stored result records which traversal backend, degree of parallelism,
-    snapshot-shipping mode and kernel rung produced it.
+    ``backend: <dict|csr>``, ``jobs: <n>``, ``shared_graph: <bool>``,
+    ``kernel: <csr|compiled>`` and ``invalidation: <delta|full>`` lines are
+    stamped under the title so every stored result records which traversal
+    backend, degree of parallelism, snapshot-shipping mode, kernel rung and
+    invalidation scoping produced it.
     """
     from repro.execution.stamp import format_stamp_lines
 
@@ -195,6 +220,7 @@ def emit_table(
             "jobs": bench_jobs(),
             "shared_graph": bench_shared_graph(),
             "kernel": resolved_bench_kernel(),
+            "invalidation": bench_invalidation(),
         }
     )
     text = (

@@ -31,9 +31,16 @@ contract of :mod:`repro.shortest_paths.batch`).  Only work counters
 is the receipt.
 
 Mutating the session's graph between queries is allowed: the next query
-notices the version stamp, drops the arena, the interned payloads and the
-warm oracles, re-checks connectivity, and answers against the new graph —
-bit-identical to a cold call on the mutated graph.
+notices the version stamp and re-syncs the warm state before answering —
+bit-identical to a cold call on the mutated graph.  The sync is
+*delta-scoped* when the graph's change journal proves an affected-source
+region (:mod:`repro.incremental`): only affected arena rows and oracle
+vectors are evicted, the rest keep serving, and the
+:class:`~repro.incremental.InvalidationReceipt` returned by
+:meth:`BetweennessSession.refresh_warm_state` itemises what survived.
+Retention never changes an answer — the affected region over-approximates
+every source whose dependency vector could differ, so retained vectors
+are bit-identical to a cold recompute on the mutated graph.
 """
 
 from __future__ import annotations
@@ -42,13 +49,14 @@ import dataclasses
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro._rng import RandomState
+from repro._rng import RandomState, ensure_rng
 from repro.centrality.api import (
     DEFAULT_CHAINS,
     MCMC_SINGLE_METHODS,
     SINGLE_VERTEX_METHODS,
 )
 from repro.errors import ConfigurationError
+from repro.incremental import InvalidationReceipt
 from repro.exact.brandes import betweenness_centrality
 from repro.exact.single_vertex import betweenness_of_vertex
 from repro.execution import ExecutionContext, ExecutionPlan, resolve_plan
@@ -59,7 +67,7 @@ from repro.mcmc.joint import JointSpaceMHSampler, RelativeBetweennessEstimate
 from repro.mcmc.multichain import MultiChainJointSampler, MultiChainMHSampler
 from repro.samplers.base import SingleEstimate
 
-__all__ = ["BetweennessSession", "ThreadSafeSession"]
+__all__ = ["BetweennessSession", "SessionChain", "ThreadSafeSession"]
 
 
 class BetweennessSession:
@@ -88,6 +96,10 @@ class BetweennessSession:
     arena_capacity:
         Rows of the persistent dependency arena (``None`` = byte-budget
         heuristic, see :func:`repro.execution.runtime.default_arena_rows`).
+    invalidation:
+        ``"delta"`` (default; overridable via ``REPRO_INVALIDATION``)
+        scopes mutation invalidation to the journal-proved affected
+        region; ``"full"`` forces the legacy destroy-everything path.
     check_connected:
         Verify connectivity at session start and again after any mutation.
 
@@ -102,6 +114,7 @@ class BetweennessSession:
         *,
         backend: str = "auto",
         arena_capacity: Optional[int] = None,
+        invalidation: Optional[str] = None,
         check_connected: bool = True,
     ) -> None:
         self.graph = graph
@@ -112,9 +125,11 @@ class BetweennessSession:
             n_jobs=self.plan.n_jobs if self.plan is not None else None,
             mp_context=self.plan.mp_context if self.plan is not None else None,
             arena_capacity=arena_capacity,
+            invalidation=invalidation,
         )
         self._estimators: Dict[object, object] = {}
         self._oracles: Dict[object, object] = {}
+        self._chains: List["SessionChain"] = []
         self._plan_with_runtime: Optional[ExecutionPlan] = (
             dataclasses.replace(self.plan, runtime=self._context)
             if self.plan is not None
@@ -143,19 +158,67 @@ class BetweennessSession:
         """Per-query entry: closed-check and graph-change handling."""
         if self._closed:
             raise ConfigurationError("the session has been closed")
-        if self.graph is not self._stamped_graph or self.graph.version != self._version:
-            # The graph changed since the last query (mutated, or the
-            # ``graph`` attribute was rebound to another object): every
-            # piece of warm state keyed to the old snapshot is now invalid.
-            # The context drops its arena and interned payloads; the warm
-            # oracles are ours to drop.
-            self._context.refresh(self.graph)
-            self._oracles.clear()
-            if self.check_connected:
-                ensure_connected(self.graph)
-            self._stamped_graph = self.graph
-            self._version = self.graph.version
+        self._sync_graph()
         self._queries += 1
+
+    def _sync_graph(self) -> Optional[InvalidationReceipt]:
+        """Reconcile warm state with the graph; return the receipt (``None`` if in sync).
+
+        The graph changed since the last query (mutated, or the ``graph``
+        attribute was rebound to another object) exactly when the stamp
+        below mismatches.  The context scopes its own invalidation (arena
+        rows, payload memo) through the change journal; this method extends
+        the same receipt over the state the session owns — warm oracle
+        vectors and open :class:`SessionChain` continuations — using the
+        identical affected-source mask, so every layer retains or evicts
+        the same region.
+        """
+        if self.graph is self._stamped_graph and self.graph.version == self._version:
+            return None
+        receipt = self._context.refresh(self.graph)
+        if receipt.mode == "delta":
+            mask = self._context.last_affected_mask()
+            for oracle in self._oracles.values():
+                evicted, retained = oracle.apply_delta(mask)
+                receipt.oracle_vectors_evicted += evicted
+                receipt.oracle_vectors_retained += retained
+        else:
+            # Full invalidation destroyed the arena: cached oracles hold
+            # handles into the dead shared store and must be rebuilt.
+            for oracle in self._oracles.values():
+                receipt.oracle_vectors_evicted += len(
+                    getattr(oracle, "_cache", ()) or ()
+                )
+            self._oracles.clear()
+        for chain in self._chains:
+            chain._note_invalidation(receipt)
+        if self.check_connected:
+            ensure_connected(self.graph)
+        self._stamped_graph = self.graph
+        self._version = self.graph.version
+        return receipt
+
+    def refresh_warm_state(self) -> InvalidationReceipt:
+        """Eagerly reconcile warm state after a mutation; return the receipt.
+
+        Normally the next query pays the sync; calling this right after
+        mutating moves that work off the query path and hands back the
+        :class:`~repro.incremental.InvalidationReceipt` saying what was
+        evicted and what survived — the serving layer calls it under its
+        write lock so every mutate response can carry the receipt.  With
+        no pending change the receipt is mode ``"noop"`` (the
+        idempotent-mutate signal: warm keys stay valid).
+        """
+        if self._closed:
+            raise ConfigurationError("the session has been closed")
+        receipt = self._sync_graph()
+        if receipt is None:
+            receipt = InvalidationReceipt(
+                mode="noop",
+                version_from=self.graph.version,
+                version_to=self.graph.version,
+            )
+        return receipt
 
     def _record_passes(self, count) -> None:
         """Report a query's Brandes-pass count into the context's counter."""
@@ -190,8 +253,16 @@ class BetweennessSession:
         return sampler
 
     def _oracle(self, kind: str, sampler):
-        """Memoized warm dependency oracle (arena-attached on CSR)."""
-        key = (kind, self.graph.version)
+        """Memoized warm dependency oracle (arena-attached on CSR).
+
+        Keyed by *kind* alone — not the graph version: a mutation no longer
+        retires a warm oracle wholesale.  :meth:`_sync_graph` either evicts
+        only its affected vectors (delta mode, via
+        :meth:`~repro.mcmc.estimates.DependencyOracle.apply_delta`) or
+        clears the memo (full mode), so an entry found here is always bound
+        to the current snapshot.
+        """
+        key = kind
         oracle = self._oracles.get(key)
         if oracle is None:
             store = None
@@ -389,6 +460,30 @@ class BetweennessSession:
         self._record_passes(n * len(scores))
         return scores
 
+    def open_chain(
+        self, r: Vertex, *, method: str = "mh", seed: RandomState = None
+    ) -> "SessionChain":
+        """Open a persistent MH chain targeting ``BC(r)`` that survives mutations.
+
+        The returned :class:`SessionChain` is advanced in segments; between
+        segments the session may mutate its graph, and the chain *continues*
+        from its last state whenever the mutation's affected region excludes
+        that state — restarting only when the region (or a full
+        invalidation) touches it.  Close the chain (or the session) when
+        done.
+        """
+        if self._closed:
+            raise ConfigurationError("the session has been closed")
+        if method not in MCMC_SINGLE_METHODS:
+            raise ConfigurationError(
+                f"open_chain supports the MCMC methods "
+                f"{sorted(MCMC_SINGLE_METHODS)} only; got {method!r}"
+            )
+        self.graph.validate_vertex(r)
+        chain = SessionChain(self, r, method=method, seed=seed)
+        self._chains.append(chain)
+        return chain
+
     # ------------------------------------------------------------------
     # Lifecycle + diagnostics
     # ------------------------------------------------------------------
@@ -408,6 +503,7 @@ class BetweennessSession:
             "brandes_passes": context.get("brandes_passes", 0),
             "warm_oracles": len(self._oracles),
             "warm_estimators": len(self._estimators),
+            "open_chains": len(self._chains),
             "context": context,
         }
 
@@ -419,6 +515,8 @@ class BetweennessSession:
         self._context.close()
         self._estimators.clear()
         self._oracles.clear()
+        for chain in list(self._chains):
+            chain.close()
 
     def __enter__(self) -> "BetweennessSession":
         if self._closed:
@@ -427,6 +525,120 @@ class BetweennessSession:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class SessionChain:
+    """One Metropolis-Hastings chain pinned to a session, surviving mutations.
+
+    Created through :meth:`BetweennessSession.open_chain`.  Each
+    :meth:`advance` call runs another segment through the session's warm
+    sampler and oracle (:meth:`~repro.mcmc.single.SingleSpaceMHSampler
+    .extend_chain` — one rng stream, one growing
+    :class:`~repro.mcmc.single.ChainResult`).  When the session's graph
+    mutates, the session pushes the invalidation receipt here: the chain
+    keeps its trajectory when the affected-source region excludes its
+    current state — the stored ``states[-1].dependency`` is then still the
+    correct score on the mutated graph, so the continuation is a valid MH
+    chain — and schedules a restart otherwise.  ``receipt
+    .chains_continued`` / ``chains_restarted`` record the verdicts.
+
+    Note the scope of the determinism contract: a continued chain is a
+    valid chain on the mutated graph, but it is *not* the trajectory a
+    fresh cold chain would walk — chains are stateful by design, unlike
+    the session's query methods.
+    """
+
+    def __init__(
+        self,
+        session: BetweennessSession,
+        r: Vertex,
+        *,
+        method: str = "mh",
+        seed: RandomState = None,
+    ) -> None:
+        self._session = session
+        self.target = r
+        self.method = method
+        self._rng = ensure_rng(seed)
+        self._result = None
+        self._needs_restart = False
+        self.continuations = 0
+        self.restarts = 0
+        self._closed = False
+
+    @property
+    def result(self):
+        """The accumulated :class:`~repro.mcmc.single.ChainResult` (``None`` before the first segment)."""
+        return self._result
+
+    def _note_invalidation(self, receipt: InvalidationReceipt) -> None:
+        """Session push on mutation: decide continue-vs-restart, bill the receipt."""
+        if self._result is None or self._closed:
+            return
+        if receipt.mode == "delta":
+            mask = self._session._context.last_affected_mask()
+            index = self._session.graph.csr().find_index(self._result.states[-1].vertex)
+            unsafe = index is None or bool(mask[index])
+        else:
+            unsafe = True
+        # A pending restart from an earlier un-advanced mutation sticks:
+        # a later safe mutation cannot resurrect the stale trajectory.
+        self._needs_restart = self._needs_restart or unsafe
+        if self._needs_restart:
+            receipt.chains_restarted += 1
+        else:
+            receipt.chains_continued += 1
+
+    def advance(self, num_iterations: int):
+        """Run *num_iterations* more chain steps; return the accumulated result."""
+        if self._closed:
+            raise ConfigurationError("the chain has been closed")
+        session = self._session
+        session._begin()
+        sampler = session._sampler(self.method)
+        oracle = session._oracle("single", sampler)
+        if self._result is not None and not self._needs_restart:
+            evaluations_before = self._result.evaluations
+            self._result = sampler.extend_chain(
+                session.graph,
+                self.target,
+                self._result,
+                num_iterations,
+                rng=self._rng,
+                oracle=oracle,
+            )
+            self.continuations += 1
+        else:
+            evaluations_before = 0
+            if self._result is not None:
+                self.restarts += 1
+            self._needs_restart = False
+            self._result = sampler.run_chain(
+                session.graph,
+                self.target,
+                num_iterations,
+                seed=self._rng,
+                oracle=oracle,
+            )
+        # ``evaluations`` accumulates across segments; bill only this one.
+        session._record_passes(self._result.evaluations - evaluations_before)
+        return self._result
+
+    def estimate(self, estimator: str = "chain") -> float:
+        """The running betweenness estimate of the accumulated chain."""
+        if self._result is None:
+            raise ConfigurationError("advance the chain before reading an estimate")
+        return self._result.estimate(estimator)
+
+    def close(self) -> None:
+        """Detach from the session (idempotent); the result stays readable."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._session._chains.remove(self)
+        except ValueError:
+            pass
 
 
 class ThreadSafeSession:
@@ -486,17 +698,21 @@ class ThreadSafeSession:
         with self._lock:
             return self._session.exact(*args, **kwargs)
 
-    def mutate(self, fn) -> int:
-        """Run ``fn(graph)`` under the lock; return the new graph version.
+    def mutate(self, fn) -> InvalidationReceipt:
+        """Run ``fn(graph)`` under the lock; return the invalidation receipt.
 
-        The next query (also under the lock) observes the bumped version and
-        rebuilds the session's warm state before answering — the ordering
-        guarantee that makes "a response never carries a stale graph
-        version" checkable at the serving layer.
+        The warm-state sync runs eagerly (still under the lock) via
+        :meth:`BetweennessSession.refresh_warm_state`, so the returned
+        :class:`~repro.incremental.InvalidationReceipt` tells the caller
+        exactly what the mutation cost — mode ``"noop"`` when every op
+        no-opped (warm keys stay valid), ``"delta"`` with retention
+        counts, or ``"full"`` with the fallback reason.  Queries are
+        serialised behind the same lock, so a response can never carry a
+        stale graph version.
         """
         with self._lock:
             fn(self._session.graph)
-            return self._session.graph.version
+            return self._session.refresh_warm_state()
 
     def stats(self) -> Dict[str, object]:
         with self._lock:

@@ -178,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows of each session's persistent dependency arena",
     )
     serve.add_argument(
+        "--invalidation",
+        choices=("delta", "full"),
+        default=None,
+        help="mutation invalidation scoping: 'delta' retains warm state "
+        "outside the journal-proved affected region, 'full' destroys "
+        "everything (default: REPRO_INVALIDATION, else delta)",
+    )
+    serve.add_argument(
         "--max-sessions",
         type=_positive_int,
         default=8,
@@ -467,6 +475,7 @@ def _run_serve(args: argparse.Namespace, graph: Optional[Graph], out) -> int:
         backend=args.backend,
         kernel=args.kernel,
         arena_capacity=args.arena_capacity,
+        invalidation=args.invalidation,
     )
     app = ServingApp(plan=plan, config=config)
     server = create_server(args.host, args.port, app=app)

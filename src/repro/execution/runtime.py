@@ -402,10 +402,18 @@ class ExecutionContext:
         n_jobs: Optional[int] = None,
         mp_context: Optional[str] = None,
         arena_capacity: Optional[int] = None,
+        invalidation: Optional[str] = None,
     ) -> None:
+        from repro.incremental import resolve_invalidation
+
         plan = resolve_plan(None, n_jobs=n_jobs)
         self.n_jobs = plan.n_jobs if plan is not None else 1
         self.mp_context = resolve_mp_context(mp_context)
+        #: How graph mutations are consumed: ``"delta"`` reads the change
+        #: journal and retains unaffected arena rows, ``"full"`` keeps the
+        #: legacy destroy-everything protocol (``None`` consults
+        #: ``REPRO_INVALIDATION``; result-identical either way).
+        self.invalidation = resolve_invalidation(invalidation)
         if arena_capacity is not None and (
             not isinstance(arena_capacity, int)
             or isinstance(arena_capacity, bool)
@@ -429,6 +437,10 @@ class ExecutionContext:
         self._stamped_graph: Optional[Graph] = None
         self._stamped_version: Optional[int] = None
         self._payloads: "OrderedDict[Any, Any]" = OrderedDict()
+        # Receipt + affected mask of the most recent invalidation (read by
+        # the session layer to scope its own oracle/chain eviction).
+        self._last_receipt = None
+        self._last_affected = None
         #: Lifetime Brandes-pass count reported through :meth:`record_passes`
         #: by whoever drives the context (the session layer after each
         #: query).  Survives graph mutation — it is work accounting, not
@@ -527,26 +539,149 @@ class ExecutionContext:
     # ------------------------------------------------------------------
     # Graph-version tracking + persistent arena
     # ------------------------------------------------------------------
-    def refresh(self, graph: Graph) -> None:
+    def refresh(self, graph: Graph):
         """Re-stamp the context against *graph*, invalidating warm state on change.
 
         Called at the top of every request (the session API does it; direct
-        users should too when the graph may have been mutated).  A changed
-        ``(identity, version)`` stamp destroys the arena and clears the
-        payload memo — the cross-request analogue of ``Graph.csr()``
-        dropping its snapshot on mutation.  The worker pool survives: its
-        processes hold no graph state beyond the payloads, which the memo
-        clearing guarantees are rebuilt (under fresh tokens) for the new
-        stamp.
+        users should too when the graph may have been mutated).  Returns the
+        :class:`~repro.incremental.InvalidationReceipt` describing what the
+        call did:
+
+        * ``noop`` — same graph, same version: nothing touched.
+        * ``delta`` — same graph, version advanced, and the change journal
+          proved an affected-source region: only the affected arena rows
+          are tombstoned (:meth:`SharedDependencyStore.invalidate_sources`)
+          while the rest keep serving; the payload memo and worker installs
+          are still cleared (payloads embed whole-graph snapshots) and the
+          shared-graph segment is rebuilt lazily.
+        * ``full`` — a different graph object, journal overflow, a fallback
+          case of :func:`~repro.incremental.affected_sources`, or
+          ``invalidation="full"``: the legacy path, destroying the arena and
+          every interned payload (``receipt.reason`` says why).
+
+        The worker pool survives in every mode: its processes hold no graph
+        state beyond the payloads, which the memo clearing guarantees are
+        rebuilt (under fresh tokens) for the new stamp.  Either way the
+        over-approximation contract of :mod:`repro.incremental` holds, so
+        the mode can never change a result — only how warm the next request
+        starts.
         """
+        from repro.incremental import InvalidationReceipt
+
         self._require_open()
-        if self._stamped_graph is not None and (
-            self._stamped_graph is not graph
-            or self._stamped_version != graph.version
-        ):
+        old_graph = self._stamped_graph
+        old_version = self._stamped_version
+        if old_graph is None or (old_graph is graph and old_version == graph.version):
+            receipt = InvalidationReceipt(
+                mode="noop", version_from=graph.version, version_to=graph.version
+            )
+        elif old_graph is not graph:
             self._invalidate_graph_state()
+            self._last_affected = None
+            receipt = InvalidationReceipt(
+                mode="full",
+                reason="graph-replaced",
+                version_from=old_version if old_version is not None else -1,
+                version_to=graph.version,
+            )
+        else:
+            receipt = self._consume_delta(graph, old_version)
         self._stamped_graph = graph
         self._stamped_version = graph.version
+        self._last_receipt = receipt
+        return receipt
+
+    def _consume_delta(self, graph: Graph, old_version: int):
+        """Scope the invalidation of a same-graph version change via the journal."""
+        from repro.incremental import InvalidationReceipt, affected_sources
+
+        receipt = InvalidationReceipt(
+            mode="full", version_from=old_version, version_to=graph.version
+        )
+        region = None
+        new_csr = None
+        if self.invalidation != "delta":
+            receipt.reason = "disabled"
+        else:
+            deltas = graph.journal_since(old_version)
+            if deltas is None:
+                receipt.reason = "journal-overflow"
+            else:
+                # The pre-mutation snapshot (for the kernel-path guard
+                # below) must be captured before graph.csr() consumes it.
+                stale = graph._stale_csr
+                old_csr = (
+                    stale[0]
+                    if stale is not None and stale[1] == old_version
+                    else None
+                )
+                try:
+                    new_csr = graph.csr()
+                except ConfigurationError:
+                    receipt.reason = "no-numpy"
+                if new_csr is not None:
+                    region = affected_sources(new_csr, deltas)
+                    if region.everything:
+                        receipt.reason = region.reason
+                        region = None
+                    else:
+                        # The batch kernels pick the sparse-matmul sweep
+                        # per snapshot, and the sweep's rows can differ
+                        # from the wave kernels in the last ulp.  Rows
+                        # retained across a verdict flip would therefore
+                        # not be bit-identical to a cold run on the new
+                        # snapshot — so a flip (or an unknown pre-mutation
+                        # verdict) forces the full path.
+                        from repro.shortest_paths.batch import _spmm_suitable
+
+                        if old_csr is None:
+                            receipt.reason = "no-prior-snapshot"
+                            region = None
+                        elif _spmm_suitable(old_csr) != _spmm_suitable(new_csr):
+                            receipt.reason = "kernel-path-change"
+                            region = None
+        if region is None:
+            self._invalidate_graph_state()
+            self._last_affected = None
+            return receipt
+        receipt.mode = "delta"
+        receipt.affected_sources = region.count()
+        receipt.total_sources = new_csr.number_of_vertices()
+        receipt.touched_endpoints = len(region.endpoints)
+        receipt.payload_entries_evicted = len(self._payloads)
+        if self._arena is not None:
+            receipt.arena_rows_evicted = self._arena.invalidate_sources(
+                region.indices()
+            )
+            receipt.arena_rows_retained = self._arena.published()
+        # Payloads embed whole-graph snapshots (and worker-side installs
+        # mirror them), so they are always rebuilt; the shared-graph
+        # segment likewise packs the old CSR arrays and is re-created
+        # lazily from the patched/rebuilt snapshot.
+        self._payloads.clear()
+        if self._pool is not None:
+            self._pool.invalidate_payloads()
+        if self._shared_graph is not None:
+            self._shared_graph.destroy()
+        self._shared_graph = None
+        self._shared_graph_attempted = False
+        self._last_affected = region.mask
+        return receipt
+
+    @property
+    def last_invalidation(self):
+        """The receipt of the most recent :meth:`refresh` (``None`` before any)."""
+        return self._last_receipt
+
+    def last_affected_mask(self):
+        """Boolean per-source mask of the last delta-mode invalidation.
+
+        ``None`` unless the most recent refresh took the delta path; the
+        session layer reads it (immediately after :meth:`refresh`, under
+        its own serialization) to scope oracle-cache eviction and MH-chain
+        continuation to the same region the arena eviction used.
+        """
+        return self._last_affected
 
     def _invalidate_graph_state(self) -> None:
         if self._arena is not None:
@@ -640,6 +775,10 @@ class ExecutionContext:
             "payload_installs": self._pool.installs if self._pool is not None else 0,
             "cached_payloads": len(self._payloads),
             "brandes_passes": self._brandes_passes,
+            "invalidation": self.invalidation,
+            "last_invalidation": (
+                self._last_receipt.as_dict() if self._last_receipt is not None else None
+            ),
             "arena": arena,
             "arena_occupancy": occupancy,
             "shared_graph": (

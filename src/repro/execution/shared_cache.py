@@ -70,9 +70,10 @@ __all__ = [
     "shared_memory_available",
 ]
 
-#: int64 header slots preceding the claim table (currently just the
-#: next-free-row counter).
-_HEADER_SLOTS = 1
+#: int64 header slots preceding the claim table: the next-free-row counter
+#: and the tombstoned-row counter (rows evicted by delta-scoped
+#: invalidation; their arena space is spent but they no longer serve reads).
+_HEADER_SLOTS = 2
 
 #: Memoized result of the :func:`shared_memory_available` allocation probe.
 #: The probe allocates, closes and unlinks a real shm segment — three
@@ -204,6 +205,7 @@ class SharedDependencyStore:
         self._shm = _shared_memory.SharedMemory(create=True, size=self._nbytes())
         self._map_views()
         self._meta[0] = 0
+        self._meta[1] = 0
         self._slots[:] = -1
 
     # ------------------------------------------------------------------
@@ -298,18 +300,47 @@ class SharedDependencyStore:
             self._meta[0] = slot + 1
             return True
 
-    def published(self) -> int:
-        """Return the number of vectors currently published."""
+    def invalidate_sources(self, indices) -> int:
+        """Tombstone the rows of the given CSR source *indices*; return evicted count.
+
+        The delta-scoped eviction primitive: a mutation's affected-source
+        region maps to claim-table entries reset to ``-1`` under the lock,
+        so every process sees the rows disappear atomically — eviction
+        stays a broadcast, exactly like publication, with no per-reader
+        coherence protocol.  The arena space of a tombstoned row is spent
+        (rows are write-once; a re-publish of the source claims a fresh
+        row), which keeps concurrent readers of the old row safe: the row
+        bytes are never rewritten under them.
+        """
         with self._lock:
-            return int(self._meta[0])
+            evicted = 0
+            for index in indices:
+                if self._slots[index] >= 0:
+                    self._slots[index] = -1
+                    evicted += 1
+            self._meta[1] += evicted
+            return evicted
+
+    def published(self) -> int:
+        """Return the number of vectors currently published (live rows)."""
+        with self._lock:
+            return int(self._meta[0]) - int(self._meta[1])
+
+    def tombstoned(self) -> int:
+        """Return the number of rows spent by delta-scoped eviction."""
+        with self._lock:
+            return int(self._meta[1])
 
     def stats(self) -> dict:
-        """Return ``{capacity, published, full}`` for diagnostics stamps."""
-        published = self.published()
+        """Return ``{capacity, published, tombstoned, full}`` for diagnostics stamps."""
+        with self._lock:
+            claimed = int(self._meta[0])
+            tombstoned = int(self._meta[1])
         return {
             "capacity": self.capacity,
-            "published": published,
-            "full": published >= self.capacity,
+            "published": claimed - tombstoned,
+            "tombstoned": tombstoned,
+            "full": claimed >= self.capacity,
         }
 
     # ------------------------------------------------------------------

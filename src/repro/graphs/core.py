@@ -24,7 +24,21 @@ Design notes
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+import contextlib
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import (
     EdgeNotFoundError,
@@ -36,12 +50,55 @@ from repro.errors import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.graphs.csr import CSRGraph
 
-__all__ = ["Vertex", "Edge", "Graph"]
+__all__ = ["Vertex", "Edge", "Graph", "GraphDelta", "DELTA_KINDS", "JOURNAL_LIMIT"]
 
 #: Type alias for vertices; anything hashable is accepted.
 Vertex = Hashable
 #: Type alias for an edge as a pair of endpoints.
 Edge = Tuple[Vertex, Vertex]
+
+#: The typed mutation kinds a :class:`GraphDelta` can record.
+DELTA_KINDS = (
+    "edge-added",
+    "edge-removed",
+    "weight-changed",
+    "vertex-added",
+    "vertex-removed",
+)
+
+#: Maximum number of delta records the change journal retains.  Readers that
+#: fall behind by more than this many mutations get ``None`` from
+#: :meth:`Graph.journal_since` and must fall back to full invalidation —
+#: the scalar ``version`` stamp remains the compatibility signal.
+JOURNAL_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One typed mutation record in a graph's change journal.
+
+    ``kind`` is one of :data:`DELTA_KINDS`.  Edge records carry both
+    endpoints; ``weight-changed`` additionally carries the old and new
+    weight so a weight-only CSR patch can be validated; vertex records
+    carry the vertex in ``u``.  Deltas are immutable and picklable, so a
+    journal travels with a pickled graph.
+    """
+
+    kind: str
+    u: Optional[Vertex] = None
+    v: Optional[Vertex] = None
+    weight: Optional[float] = None
+    old_weight: Optional[float] = None
+
+    @property
+    def structural(self) -> bool:
+        """Whether the delta changes the vertex/edge *set* (not just a weight)."""
+        return self.kind != "weight-changed"
+
+    @property
+    def touches_vertices(self) -> bool:
+        """Whether the delta adds or removes a vertex (index space changes)."""
+        return self.kind in ("vertex-added", "vertex-removed")
 
 
 class Graph:
@@ -79,7 +136,12 @@ class Graph:
         "_weighted",
         "_num_edges",
         "_csr",
+        "_stale_csr",
         "_version",
+        "_journal",
+        "_journal_floor",
+        "_batch_depth",
+        "_batch_bumped",
         "__weakref__",
     )
 
@@ -91,7 +153,19 @@ class Graph:
         self._weighted = bool(weighted)
         self._num_edges = 0
         self._csr: Optional["CSRGraph"] = None
+        # Last built CSR snapshot retained across a mutation, with the
+        # version it was built at, so a weight-only delta can patch it in
+        # place instead of paying a full O(m) rebuild (see :meth:`csr`).
+        self._stale_csr: Optional[Tuple["CSRGraph", int]] = None
         self._version = 0
+        # Bounded change journal: (version_after, GraphDelta) records, the
+        # structured companion to the scalar version stamp.  The journal
+        # covers the version interval (_journal_floor, _version]; readers
+        # behind the floor must fall back to full invalidation.
+        self._journal: Deque[Tuple[int, GraphDelta]] = deque()
+        self._journal_floor = 0
+        self._batch_depth = 0
+        self._batch_bumped = False
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -118,10 +192,77 @@ class Graph:
         """
         return self._version
 
-    def _invalidate_views(self) -> None:
-        """Drop the CSR snapshot and advance the mutation stamp."""
-        self._csr = None
-        self._version += 1
+    def _record(self, delta: GraphDelta) -> None:
+        """Drop the CSR snapshot, advance the stamp and journal *delta*.
+
+        Inside a :meth:`batch_mutations` block the version is bumped once
+        (on the first recorded delta) while every delta still lands in the
+        journal under that single new version — one observable invalidation
+        per batch, full per-edge detail for delta-scoped consumers.
+        """
+        if self._csr is not None:
+            self._stale_csr = (self._csr, self._version)
+            self._csr = None
+        if self._batch_depth > 0:
+            if not self._batch_bumped:
+                self._version += 1
+                self._batch_bumped = True
+        else:
+            self._version += 1
+        self._journal.append((self._version, delta))
+        if len(self._journal) > JOURNAL_LIMIT:
+            dropped_version, _ = self._journal.popleft()
+            self._journal_floor = dropped_version
+            # A batch shares one version across its deltas: returning a
+            # partial batch would under-report the change set, so every
+            # record at or below the floor is dropped with it.
+            while self._journal and self._journal[0][0] <= self._journal_floor:
+                self._journal.popleft()
+
+    @contextlib.contextmanager
+    def batch_mutations(self) -> Iterator["Graph"]:
+        """Group several mutations under one version bump.
+
+        An N-edge bulk load through :meth:`add_edges_from` used to bump the
+        version (and drop the CSR snapshot) once per edge, so every warm
+        consumer saw N invalidation signals for one logical change.  Inside
+        this context the first mutation bumps the version once; subsequent
+        mutations journal their deltas under the same new version.  Nesting
+        is allowed (only the outermost block owns the bump), and a block
+        that performs no mutation leaves the version untouched.
+
+        Examples
+        --------
+        >>> g = Graph.from_edges([(0, 1)])
+        >>> before = g.version
+        >>> with g.batch_mutations():
+        ...     g.add_edge(1, 2)
+        ...     g.add_edge(2, 3)
+        >>> g.version == before + 1
+        True
+        """
+        if self._batch_depth == 0:
+            self._batch_bumped = False
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+
+    def journal_since(self, version: int) -> Optional[Tuple[GraphDelta, ...]]:
+        """Return the deltas applied after *version*, oldest first.
+
+        Returns ``()`` when the graph is unchanged since *version*, and
+        ``None`` when the journal cannot answer — *version* predates the
+        bounded journal's floor (overflow) or postdates the current stamp
+        (a different graph's stamp) — in which case the caller must treat
+        everything as changed, exactly as the scalar-version protocol did.
+        """
+        if version == self._version:
+            return ()
+        if version < self._journal_floor or version > self._version:
+            return None
+        return tuple(delta for stamped, delta in self._journal if stamped > version)
 
     # ------------------------------------------------------------------
     # Pickling
@@ -139,11 +280,12 @@ class Graph:
         return {
             slot: getattr(self, slot)
             for slot in Graph.__slots__
-            if slot not in ("_csr", "__weakref__")
+            if slot not in ("_csr", "_stale_csr", "__weakref__")
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self._csr = None
+        self._stale_csr = None
         for slot, value in state.items():
             setattr(self, slot, value)
 
@@ -194,12 +336,13 @@ class Graph:
             self._adj[vertex] = {}
             if self._pred is not None:
                 self._pred[vertex] = {}
-            self._invalidate_views()
+            self._record(GraphDelta("vertex-added", u=vertex))
 
     def add_vertices_from(self, vertices: Iterable[Vertex]) -> None:
-        """Add every vertex in *vertices*."""
-        for vertex in vertices:
-            self.add_vertex(vertex)
+        """Add every vertex in *vertices* (one version bump for the batch)."""
+        with self.batch_mutations():
+            for vertex in vertices:
+                self.add_vertex(vertex)
 
     def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
         """Add the edge ``(u, v)`` with the given *weight*.
@@ -225,12 +368,21 @@ class Graph:
         self.add_vertex(u)
         self.add_vertex(v)
         is_new = v not in self._adj[u]
-        if is_new or self._adj[u][v] != weight:
-            # Only a structural change invalidates derived views: an
-            # idempotent upsert (same edge, same weight) must not drop the
-            # CSR snapshot or bump the version stamp that session-scoped
-            # warm state (arena, worker payloads) is keyed on.
-            self._invalidate_views()
+        if is_new:
+            self._record(GraphDelta("edge-added", u=u, v=v, weight=weight))
+        elif self._adj[u][v] != weight:
+            self._record(
+                GraphDelta(
+                    "weight-changed",
+                    u=u,
+                    v=v,
+                    weight=weight,
+                    old_weight=self._adj[u][v],
+                )
+            )
+        # An idempotent upsert (same edge, same weight) records nothing: it
+        # must not drop the CSR snapshot or bump the version stamp that
+        # session-scoped warm state (arena, worker payloads) is keyed on.
         self._adj[u][v] = weight
         if self._directed:
             assert self._pred is not None
@@ -248,15 +400,18 @@ class Graph:
         Each element may be a pair ``(u, v)`` (using the default *weight*) or
         a triple ``(u, v, w)``.
         """
-        for edge in edges:
-            if len(edge) == 2:
-                u, v = edge
-                self.add_edge(u, v, weight)
-            elif len(edge) == 3:
-                u, v, w = edge
-                self.add_edge(u, v, w)
-            else:
-                raise ValueError(f"edge tuples must have 2 or 3 elements, got {edge!r}")
+        with self.batch_mutations():
+            for edge in edges:
+                if len(edge) == 2:
+                    u, v = edge
+                    self.add_edge(u, v, weight)
+                elif len(edge) == 3:
+                    u, v, w = edge
+                    self.add_edge(u, v, w)
+                else:
+                    raise ValueError(
+                        f"edge tuples must have 2 or 3 elements, got {edge!r}"
+                    )
 
     @classmethod
     def from_edges(
@@ -293,7 +448,7 @@ class Graph:
         """
         if u not in self._adj or v not in self._adj[u]:
             raise EdgeNotFoundError(u, v)
-        self._invalidate_views()
+        self._record(GraphDelta("edge-removed", u=u, v=v, old_weight=self._adj[u][v]))
         del self._adj[u][v]
         if self._directed:
             assert self._pred is not None
@@ -312,7 +467,10 @@ class Graph:
         """
         if vertex not in self._adj:
             raise VertexNotFoundError(vertex)
-        self._invalidate_views()
+        # One journal record for the vertex and all incident edges: delta
+        # consumers treat any vertex removal as a full-invalidation signal
+        # (the CSR index space changes), so per-edge detail is not needed.
+        self._record(GraphDelta("vertex-removed", u=vertex))
         if self._directed:
             assert self._pred is not None
             out_neighbors = list(self._adj[vertex])
@@ -432,7 +590,22 @@ class Graph:
         if self._csr is None:
             from repro.graphs.csr import CSRGraph
 
-            self._csr = CSRGraph.from_graph(self)
+            snapshot: Optional["CSRGraph"] = None
+            if self._stale_csr is not None:
+                base, base_version = self._stale_csr
+                deltas = self.journal_since(base_version)
+                if deltas and all(d.kind == "weight-changed" for d in deltas):
+                    # Weight-only drift: the structure (and therefore the
+                    # indptr/indices arrays) is unchanged since the retained
+                    # snapshot, so patch the weights in place of a full
+                    # O(m) rebuild.  Equivalent bit-for-bit to from_graph:
+                    # updating an existing dict key preserves adjacency
+                    # order, so a rebuild would produce the same arrays.
+                    snapshot = base.patched((d.u, d.v, d.weight) for d in deltas)
+            self._stale_csr = None
+            if snapshot is None:
+                snapshot = CSRGraph.from_graph(self)
+            self._csr = snapshot
         return self._csr
 
     # ------------------------------------------------------------------

@@ -279,6 +279,57 @@ class CSRGraph:
             weighted=graph.weighted,
         )
 
+    def patched(self, updates) -> "CSRGraph":
+        """Return a new snapshot with the given weight-only *updates* applied.
+
+        *updates* yields ``(u, v, weight)`` triples over existing edges
+        (vertex labels, not indices).  The structure is untouched, so the
+        returned snapshot **shares** this snapshot's ``indptr`` / ``indices``
+        arrays and vertex mapping and only copies the O(m) weights array —
+        the delta-scoped alternative to the full :meth:`from_graph` rebuild
+        when a mutation journal shows nothing but weight changes.  Both
+        directions of an undirected edge are patched.  The result is
+        byte-identical to a fresh ``from_graph`` on the mutated graph
+        (updating an existing adjacency key preserves dict order).
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If an update names an edge absent from the snapshot.
+        """
+        from repro.errors import EdgeNotFoundError
+
+        weights = self.weights.copy()
+        for u, v, weight in updates:
+            patched_any = False
+            ui = self._index_of.get(u)
+            vi = self._index_of.get(v)
+            if ui is not None and vi is not None:
+                start, stop = int(self.indptr[ui]), int(self.indptr[ui + 1])
+                hits = np.nonzero(self.indices[start:stop] == vi)[0]
+                if hits.size:
+                    weights[start + hits] = float(weight)
+                    patched_any = True
+                if not self.directed:
+                    start, stop = int(self.indptr[vi]), int(self.indptr[vi + 1])
+                    back = np.nonzero(self.indices[start:stop] == ui)[0]
+                    if back.size:
+                        weights[start + back] = float(weight)
+            if not patched_any:
+                raise EdgeNotFoundError(u, v)
+        clone = CSRGraph.__new__(CSRGraph)
+        clone.indptr = self.indptr
+        clone.indices = self.indices
+        clone.weights = weights
+        clone.directed = self.directed
+        clone.weighted = self.weighted
+        clone._vertices = self._vertices
+        clone._index_of = self._index_of
+        clone._scipy_forward = None
+        clone._scipy_backward = None
+        clone._spmm_ok = self._spmm_ok
+        return clone
+
     # ------------------------------------------------------------------
     # Sizes and mapping
     # ------------------------------------------------------------------

@@ -1,0 +1,201 @@
+"""Affected-source detection: which per-source rows can a mutation change?
+
+The unit of warm state everywhere in this library is the *per-source
+dependency vector* ``delta_s(.)`` (one Brandes pass from source ``s``).
+After a mutation, a cached vector for ``s`` may be retained exactly when
+the whole single-source shortest-path structure from ``s`` — distances,
+path counts and the DAG — is unchanged, because then the kernels replay
+the identical float operations and the vector is bit-identical to a cold
+recompute.
+
+The detection rule
+------------------
+For every touched endpoint pair ``(u, v)`` (the endpoints of each edge
+the journal recorded), flag every source ``s`` with
+``d(s, u) != d(s, v)`` on the **post-mutation** graph.  The union over
+all touched pairs is the affected region; everything else is provably
+retained:
+
+* *Insertion* of ``(u, v)``: a strictly shorter ``s``-path must cross the
+  new edge, so its prefix gives ``d(s, v) = d(s, u) + 1`` (or vice
+  versa); equal distances rule that out.  The new edge also never joins
+  the DAG of an unflagged source (a DAG edge needs
+  ``d(s, v) = d(s, u) + 1``), so path counts and accumulation order are
+  untouched.
+* *Removal* of ``(u, v)``: the first removed edge on a lost shortest path
+  would exhibit ``d(s, u) != d(s, v)`` on the new graph; unflagged
+  sources keep every old shortest path, and the removed edge was never in
+  their DAG (same equal-distance argument on the old graph, whose
+  distances coincide with the new ones for unflagged sources).
+* *Composites* (one journal window with several deltas): reorder as
+  removals-then-insertions; the same first-changed-edge arguments apply
+  pairwise on the final graph, so testing every touched pair on the final
+  snapshot covers the whole window.
+
+``inf == inf`` counts as equal — a source that cannot reach either
+endpoint in the final graph is unaffected by that pair — which also makes
+connected-component containment a corollary of the rule.
+
+Why this instead of biconnected-component containment: iCentral's BCC
+argument bounds *pair-dependency* changes for the aggregate BC score, but
+per-source dependency *vectors* of sources outside the mutated BCC do
+change whenever distances through an articulation point shift, so raw BCC
+containment would under-approximate — the one direction the contract
+forbids.  The distance rule is strictly tighter and costs one BFS per
+unique touched endpoint.  :mod:`repro.incremental.biconnected` keeps the
+structural machinery for diagnostics and for independent superset checks
+in the test-suite.
+
+Safe fallbacks (``AffectedRegion.everything``): vertex additions or
+removals (the CSR index space itself changes), directed graphs, weighted
+graphs (float distance equality is only provably conservative for the
+integral BFS metric), journal overflow and over-budget endpoint sets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.core import GraphDelta
+    from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "AffectedRegion",
+    "affected_sources",
+    "resolve_invalidation",
+    "DEFAULT_MAX_BFS",
+    "INVALIDATION_MODES",
+]
+
+#: Default cap on the number of BFS passes :func:`affected_sources` will
+#: spend before declaring the detection over budget and falling back to
+#: full invalidation (one pass per unique touched endpoint; a Brandes
+#: recompute of a single retained row already costs a few passes, so a
+#: large touched set quickly stops being worth scoping).
+DEFAULT_MAX_BFS = 32
+
+#: Accepted values of the invalidation-mode knob: ``"delta"`` consumes the
+#: change journal and retains unaffected warm state, ``"full"`` keeps the
+#: legacy destroy-everything protocol (the benchmark baseline).
+INVALIDATION_MODES = ("delta", "full")
+
+
+def resolve_invalidation(mode: Optional[str] = None) -> str:
+    """Resolve the invalidation-mode knob to ``"delta"`` or ``"full"``.
+
+    Explicit arguments win; otherwise the ``REPRO_INVALIDATION``
+    environment variable decides, defaulting to ``"delta"``.  The twin of
+    :func:`repro.graphs.csr.resolve_backend` for the mutation path — the
+    two modes are result-identical by the over-approximation contract, so
+    the knob can only change wall-clock and eviction accounting.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_INVALIDATION") or "delta"
+    if mode not in INVALIDATION_MODES:
+        raise ConfigurationError(
+            f"unknown invalidation mode {mode!r}; expected one of {INVALIDATION_MODES}"
+        )
+    return mode
+
+
+@dataclass
+class AffectedRegion:
+    """The outcome of affected-source detection for one journal window.
+
+    ``mask`` is a boolean per-source-index array over the post-mutation
+    snapshot (``True`` = the cached row for that source must be evicted),
+    or ``None`` when detection fell back to "everything changed" —
+    ``reason`` then names why.  ``endpoints`` records the unique touched
+    endpoint indices the BFS passes ran from (receipt diagnostics).
+    """
+
+    mask: Optional["np.ndarray"]
+    reason: Optional[str] = None
+    endpoints: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def everything(self) -> bool:
+        """Whether detection fell back to full invalidation."""
+        return self.mask is None
+
+    def count(self) -> Optional[int]:
+        """Number of affected sources, or ``None`` on full fallback."""
+        return None if self.mask is None else int(self.mask.sum())
+
+    def indices(self) -> "np.ndarray":
+        """The affected source indices (requires a concrete mask)."""
+        if self.mask is None:
+            raise ValueError("full-fallback region has no index set")
+        return np.nonzero(self.mask)[0]
+
+
+def _everything(reason: str) -> AffectedRegion:
+    return AffectedRegion(mask=None, reason=reason)
+
+
+def affected_sources(
+    csr: "CSRGraph",
+    deltas: Optional[Iterable["GraphDelta"]],
+    *,
+    max_bfs: int = DEFAULT_MAX_BFS,
+) -> AffectedRegion:
+    """Compute the affected-source region of a journal window.
+
+    *csr* is the **post-mutation** snapshot; *deltas* the journal records
+    since the consumer's stamped version (``None`` signals journal
+    overflow).  Returns an :class:`AffectedRegion` whose mask over-
+    approximates the set of sources whose dependency vectors differ from
+    the pre-mutation graph — see the module docstring for the rule and
+    its proof obligations.  Detection never under-approximates; every
+    case it cannot prove falls back to ``everything``.
+    """
+    if np is None:
+        return _everything("no-numpy")
+    if deltas is None:
+        return _everything("journal-overflow")
+    deltas = tuple(deltas)
+    n = csr.number_of_vertices()
+    mask = np.zeros(n, dtype=bool)
+    if not deltas:
+        return AffectedRegion(mask=mask)
+    if any(d.touches_vertices for d in deltas):
+        return _everything("vertex-change")
+    if csr.directed:
+        return _everything("directed")
+    if csr.weighted:
+        return _everything("weighted")
+
+    pairs = []
+    for delta in deltas:
+        ui = csr.find_index(delta.u)
+        vi = csr.find_index(delta.v)
+        if ui is None or vi is None:
+            # An endpoint the final snapshot does not know (e.g. the
+            # journal mixed edge ops with a removal of the endpoint that
+            # the vertex-change gate somehow missed): not provable, so
+            # not retained.
+            return _everything("unknown-endpoint")
+        pairs.append((ui, vi))
+
+    unique = sorted({i for pair in pairs for i in pair})
+    if len(unique) > max_bfs:
+        return _everything("over-budget")
+
+    from repro.shortest_paths.bfs import bfs_distances_csr
+
+    dist = {endpoint: bfs_distances_csr(csr, endpoint)[0] for endpoint in unique}
+    for ui, vi in pairs:
+        # inf != inf is False: sources reaching neither endpoint are
+        # provably unaffected by this pair.
+        mask |= dist[ui] != dist[vi]
+    return AffectedRegion(mask=mask, endpoints=tuple(unique))

@@ -343,6 +343,47 @@ class DependencyOracle:
         return {t: (0.0 if t == source else vector.get(t, 0.0)) for t in targets}
 
     # ------------------------------------------------------------------
+    def apply_delta(self, affected_mask) -> tuple:
+        """Re-bind to the mutated graph, evicting only affected cached vectors.
+
+        The delta-scoped alternative to discarding the oracle on mutation:
+        *affected_mask* is the boolean per-CSR-index mask (over the
+        post-mutation snapshot) that
+        :meth:`repro.execution.runtime.ExecutionContext.refresh` computed
+        for the same journal window.  Cached vectors of unaffected sources
+        are bit-identical on the mutated graph — the over-approximation
+        contract of :mod:`repro.incremental` — so retaining them can never
+        change a result; affected ones are dropped and re-snapshotting the
+        CSR view re-binds future evaluations to the new structure.  The
+        caller guarantees the vertex set is unchanged (vertex ops force the
+        full path upstream).  Returns ``(evicted, retained)`` counts.
+        Counters survive: they are lifetime work accounting, not graph
+        state.
+        """
+        if self._backend == "csr":
+            new_csr = self._graph.csr()
+            if (
+                self._shared is not None
+                and self._shared.num_vertices != new_csr.number_of_vertices()
+            ):
+                raise ConfigurationError(
+                    "apply_delta across a vertex-count change; the caller must "
+                    "rebuild the oracle instead"
+                )
+            self._csr = new_csr
+            index_of = new_csr.find_index
+        else:
+            self._build = spd_builder(self._graph)
+            order = {v: i for i, v in enumerate(self._graph.vertices())}
+            index_of = order.get
+        evicted = 0
+        for source in list(self._cache):
+            index = index_of(source)
+            if index is None or bool(affected_mask[index]):
+                del self._cache[source]
+                evicted += 1
+        return evicted, len(self._cache)
+
     def clear(self) -> None:
         """Drop every *private* cached vector and reset the counters.
 

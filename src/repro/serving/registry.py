@@ -9,9 +9,10 @@ entry (:class:`ManagedSession`) pairs a mutable
 * loading a graph pays session cold-start once, and every later query
   against that name is warm (persistent pool, arena, oracles);
 * mutating a graph goes through the session's lock
-  (:meth:`ManagedSession.mutate`), bumps ``graph.version``, and the next
-  query rebuilds warm state before answering — a response can never carry
-  a stale version receipt;
+  (:meth:`ManagedSession.mutate`) as one batched journal window, and the
+  warm state is re-synced eagerly — delta-scoped when the journal proves
+  an affected region — so the mutate response itself carries the
+  invalidation receipt and a query can never see a stale version;
 * evicting (or replacing) a name closes its session, releasing worker
   processes and shared-memory segments.
 
@@ -64,6 +65,7 @@ class ManagedSession:
         plan: Optional[ExecutionPlan] = None,
         backend: str = "auto",
         arena_capacity: Optional[int] = None,
+        invalidation: Optional[str] = None,
         check_connected: bool = True,
     ) -> None:
         self.name = name
@@ -74,6 +76,7 @@ class ManagedSession:
                 plan,
                 backend=backend,
                 arena_capacity=arena_capacity,
+                invalidation=invalidation,
                 check_connected=check_connected,
             )
         )
@@ -93,37 +96,44 @@ class ManagedSession:
         """Apply edge upserts/removals under the session lock.
 
         Each *add_edges* element is ``(u, v)`` or ``(u, v, weight)``; each
-        *remove_edges* element is ``(u, v)``.  Returns the old/new version
-        stamps.  The next query rebuilds the session's warm state against
-        the new version (connectivity re-checked there when enabled).
+        *remove_edges* element is ``(u, v)``.  The whole request is one
+        :meth:`~repro.graphs.core.Graph.batch_mutations` window — one
+        journal entry, at most one version bump — and the session's warm
+        state is re-synced eagerly, so the returned summary carries the
+        invalidation receipt: ``version_changed`` is ``False`` when every
+        op no-opped (clients and the coalescer keep their warm keys), and
+        ``invalidation`` itemises what was evicted versus retained.
         """
         old_version = self.graph.version
 
         def apply(graph: Graph) -> None:
-            for edge in add_edges:
-                if len(edge) == 2:
-                    graph.add_edge(edge[0], edge[1])
-                elif len(edge) == 3:
-                    graph.add_edge(edge[0], edge[1], weight=float(edge[2]))
-                else:
-                    raise ReproError(
-                        f"each added edge must be (u, v) or (u, v, weight), "
-                        f"got {list(edge)!r}"
-                    )
-            for edge in remove_edges:
-                if len(edge) != 2:
-                    raise ReproError(
-                        f"each removed edge must be (u, v), got {list(edge)!r}"
-                    )
-                graph.remove_edge(edge[0], edge[1])
+            with graph.batch_mutations():
+                for edge in add_edges:
+                    if len(edge) == 2:
+                        graph.add_edge(edge[0], edge[1])
+                    elif len(edge) == 3:
+                        graph.add_edge(edge[0], edge[1], weight=float(edge[2]))
+                    else:
+                        raise ReproError(
+                            f"each added edge must be (u, v) or (u, v, weight), "
+                            f"got {list(edge)!r}"
+                        )
+                for edge in remove_edges:
+                    if len(edge) != 2:
+                        raise ReproError(
+                            f"each removed edge must be (u, v), got {list(edge)!r}"
+                        )
+                    graph.remove_edge(edge[0], edge[1])
 
-        new_version = self.session.mutate(apply)
+        receipt = self.session.mutate(apply)
         return {
             "graph": self.name,
             "old_version": old_version,
-            "graph_version": new_version,
+            "graph_version": self.graph.version,
+            "version_changed": receipt.version_changed,
             "edges_added": len(add_edges),
             "edges_removed": len(remove_edges),
+            "invalidation": receipt.as_dict(),
         }
 
     def describe(self) -> Dict[str, object]:
@@ -158,7 +168,7 @@ class SessionRegistry:
     plan:
         Default :class:`~repro.execution.ExecutionPlan` every loaded
         session runs under (per-load overrides may replace it later).
-    backend / arena_capacity / check_connected:
+    backend / arena_capacity / invalidation / check_connected:
         Forwarded to each :class:`BetweennessSession`.
     max_sessions:
         Hard bound on simultaneously loaded graphs — each session owns
@@ -173,6 +183,7 @@ class SessionRegistry:
         plan: Optional[ExecutionPlan] = None,
         backend: str = "auto",
         arena_capacity: Optional[int] = None,
+        invalidation: Optional[str] = None,
         check_connected: bool = True,
         max_sessions: int = 8,
     ) -> None:
@@ -183,6 +194,7 @@ class SessionRegistry:
         self._plan = plan
         self._backend = backend
         self._arena_capacity = arena_capacity
+        self._invalidation = invalidation
         self._check_connected = check_connected
         self.max_sessions = max_sessions
         self._lock = threading.Lock()
@@ -229,6 +241,7 @@ class SessionRegistry:
             plan=self._plan,
             backend=self._backend,
             arena_capacity=self._arena_capacity,
+            invalidation=self._invalidation,
             check_connected=self._check_connected,
         )
         with self._lock:

@@ -17,7 +17,10 @@ Routes
 ``PUT  /graphs/<name>``                      load/replace a graph (dataset or edges)
 ``GET  /graphs/<name>``                      describe one graph
 ``DELETE /graphs/<name>``                    evict a graph (closes its session)
-``POST /graphs/<name>/mutate``               edge upserts/removals (version bump)
+``POST /graphs/<name>/mutate``               batched edge upserts/removals; the
+                                             response carries the invalidation
+                                             receipt (rows evicted vs retained,
+                                             ``version_changed``)
 ``POST /graphs/<name>/<op>``                 query: estimate/relative/ranking/exact
 ===========================================  =====================================
 
@@ -94,6 +97,10 @@ class ServingConfig:
     kernel: str = "auto"
     #: Rows of each session's persistent dependency arena.
     arena_capacity: Optional[int] = None
+    #: Mutation invalidation scoping: ``None`` resolves from
+    #: ``REPRO_INVALIDATION`` (default ``"delta"``); ``"full"`` forces the
+    #: legacy destroy-everything path.
+    invalidation: Optional[str] = None
     #: Verify connectivity on load and after mutation.
     check_connected: bool = True
 
@@ -144,6 +151,7 @@ class ServingApp:
                 plan=plan,
                 backend=self.config.backend,
                 arena_capacity=self.config.arena_capacity,
+                invalidation=self.config.invalidation,
                 check_connected=self.config.check_connected,
                 max_sessions=self.config.max_sessions,
             )
@@ -228,6 +236,37 @@ class ServingApp:
         self.arena_occupancy = m.gauge(
             "repro_arena_occupancy",
             "Dependency-arena fill fraction (published / capacity), by graph.",
+            ("graph",),
+        )
+        self.invalidations = m.counter(
+            "repro_invalidations_total",
+            "Warm-state invalidations applied by mutate requests, by graph "
+            'and mode ("noop" idempotent, "delta" affected-region scoped, '
+            '"full" destroy-everything).',
+            ("graph", "mode"),
+        )
+        self.invalidation_rows_evicted = m.counter(
+            "repro_invalidation_arena_rows_evicted_total",
+            "Dependency-arena rows tombstoned by delta-scoped invalidations, "
+            "by graph.",
+            ("graph",),
+        )
+        self.invalidation_rows_retained = m.gauge(
+            "repro_invalidation_arena_rows_retained",
+            "Arena rows that survived the most recent mutation of each graph "
+            "(0 after a full invalidation).",
+            ("graph",),
+        )
+        self.invalidation_sources_affected = m.gauge(
+            "repro_invalidation_sources_affected",
+            "Affected-source count of the most recent delta-scoped "
+            "invalidation, by graph.",
+            ("graph",),
+        )
+        self.invalidation_oracle_retained = m.gauge(
+            "repro_invalidation_oracle_vectors_retained",
+            "Warm oracle vectors that survived the most recent mutation of "
+            "each graph.",
             ("graph",),
         )
 
@@ -406,6 +445,22 @@ class ServingApp:
             raise ReproError("a mutation names at least one edge to add or remove")
         entry = self.registry.get(name)
         summary = entry.mutate(add_edges=add_edges, remove_edges=remove_edges)
+        receipt = summary.get("invalidation") or {}
+        mode = str(receipt.get("mode", "full"))
+        self.invalidations.inc(graph=name, mode=mode)
+        if mode != "noop":
+            self.invalidation_rows_evicted.inc(
+                int(receipt.get("arena_rows_evicted", 0) or 0), graph=name
+            )
+            self.invalidation_rows_retained.set(
+                int(receipt.get("arena_rows_retained", 0) or 0), graph=name
+            )
+            self.invalidation_sources_affected.set(
+                int(receipt.get("affected_sources", 0) or 0), graph=name
+            )
+            self.invalidation_oracle_retained.set(
+                int(receipt.get("oracle_vectors_retained", 0) or 0), graph=name
+            )
         return _json_response(200, {"mutated": summary})
 
     # ------------------------------------------------------------------

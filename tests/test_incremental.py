@@ -1,0 +1,542 @@
+"""Delta-scoped invalidation: journal, affected regions, retention, bit-identity.
+
+Covers the mutation path end to end:
+
+* the typed change journal of :class:`repro.graphs.core.Graph` (records,
+  batching, overflow, pickling);
+* :meth:`repro.graphs.csr.CSRGraph.patched` (weight-only snapshot patching);
+* :mod:`repro.incremental` — the affected-source rule, its fallbacks, and
+  the biconnected helpers;
+* the hypothesis property that the affected region is a **superset** of
+  the truly-changed dependency rows over random mutation sequences;
+* warm-vs-cold bit-identity of session answers across the execution grid
+  (backend x kernel rung x n_jobs) and across journal overflow;
+* the runtime's delta-scoped arena eviction and the session's oracle /
+  chain retention.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.centrality import BetweennessSession, betweenness_single
+from repro.errors import ConfigurationError, EdgeNotFoundError
+from repro.execution import ExecutionContext, ExecutionPlan
+from repro.execution.shared_cache import shared_memory_available
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+from repro.graphs.core import JOURNAL_LIMIT, GraphDelta
+from repro.graphs.csr import CSRGraph
+from repro.incremental import (
+    affected_sources,
+    articulation_points,
+    bridges,
+    resolve_invalidation,
+)
+from repro.shortest_paths.batch import batch_source_dependencies
+
+
+# ----------------------------------------------------------------------
+# The change journal
+# ----------------------------------------------------------------------
+class TestChangeJournal:
+    def test_mutations_append_typed_deltas(self):
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, weight=1.0)
+        v0 = g.version
+        g.add_edge(1, 2, weight=2.0)
+        g.add_edge(0, 1, weight=3.0)  # weight change of an existing edge
+        g.remove_edge(1, 2)
+        deltas = g.journal_since(v0)
+        kinds = [d.kind for d in deltas]
+        assert "edge-added" in kinds
+        assert "weight-changed" in kinds
+        assert "edge-removed" in kinds
+        weight_change = next(d for d in deltas if d.kind == "weight-changed")
+        assert weight_change.old_weight == 1.0
+        assert weight_change.weight == 3.0
+        removed = next(d for d in deltas if d.kind == "edge-removed")
+        assert removed.old_weight == 2.0
+
+    def test_journal_since_sentinels(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        assert g.journal_since(g.version) == ()
+        assert g.journal_since(g.version + 5) is None
+
+    def test_idempotent_upsert_is_invisible(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        v = g.version
+        g.add_edge(0, 1)  # same edge, same (default) weight: no-op
+        assert g.version == v
+        assert g.journal_since(v) == ()
+
+    def test_batch_is_one_version_bump_one_window(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        v0 = g.version
+        with g.batch_mutations():
+            g.add_edge(1, 2)
+            g.add_edge(2, 3)
+            g.remove_edge(0, 1)
+        assert g.version == v0 + 1
+        deltas = g.journal_since(v0)
+        assert len(deltas) >= 3
+        g2 = Graph()
+        g2.add_edge(0, 1)
+        v1 = g2.version
+        g2.add_edges_from([(1, 2), (2, 3), (3, 4)])
+        assert g2.version == v1 + 1
+
+    def test_vertex_ops_recorded(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        v0 = g.version
+        g.remove_vertex(2)
+        deltas = g.journal_since(v0)
+        assert any(d.kind == "vertex-removed" for d in deltas)
+        assert all(isinstance(d, GraphDelta) for d in deltas)
+
+    def test_overflow_forgets_old_versions(self):
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, weight=1.0)
+        v0 = g.version
+        for i in range(JOURNAL_LIMIT + 10):
+            g.add_edge(0, 1, weight=2.0 + (i % 2))
+        assert g.journal_since(v0) is None, "overflowed window must be refused"
+        assert g.journal_since(g.version) == ()
+
+    def test_pickle_roundtrip_preserves_journal(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        v0 = g.version
+        g.add_edge(1, 2)
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone.version == g.version
+        assert [d.kind for d in clone.journal_since(v0)] == [
+            d.kind for d in g.journal_since(v0)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Weight-only snapshot patching
+# ----------------------------------------------------------------------
+class TestPatchedSnapshot:
+    def _weighted_path(self):
+        g = Graph(weighted=True)
+        for i in range(8):
+            g.add_edge(i, i + 1, weight=1.0 + i)
+        return g
+
+    def test_weight_only_mutation_patches_in_place(self):
+        g = self._weighted_path()
+        before = g.csr()
+        g.add_edge(3, 4, weight=42.0)
+        after = g.csr()
+        assert after.indptr is before.indptr
+        assert after.indices is before.indices
+        assert after.weights is not before.weights
+        rebuilt = CSRGraph.from_graph(g)
+        assert np.array_equal(after.weights, rebuilt.weights)
+
+    def test_structural_mutation_rebuilds(self):
+        g = self._weighted_path()
+        before = g.csr()
+        g.add_edge(0, 8, weight=5.0)
+        after = g.csr()
+        assert after.indices is not before.indices
+        assert after.number_of_edges() == before.number_of_edges() + 1
+
+    def test_patched_rejects_absent_edge(self):
+        csr = self._weighted_path().csr()
+        with pytest.raises(EdgeNotFoundError):
+            csr.patched([(0, 7, 1.0)])
+
+
+# ----------------------------------------------------------------------
+# Biconnected helpers
+# ----------------------------------------------------------------------
+class TestBiconnected:
+    def test_path_graph(self):
+        csr = path_graph(6).csr()
+        aps = articulation_points(csr)
+        assert list(np.nonzero(aps)[0]) == [1, 2, 3, 4]
+        assert len(bridges(csr)) == 5
+
+    def test_cycle_graph_has_none(self):
+        csr = cycle_graph(6).csr()
+        assert not articulation_points(csr).any()
+        assert bridges(csr) == set()
+
+    def test_star_center_is_articulation(self):
+        g = star_graph(5)
+        csr = g.csr()
+        aps = articulation_points(csr)
+        center_index = csr.find_index(g.vertices()[0])
+        assert aps[center_index]
+        assert int(aps.sum()) == 1
+        assert len(bridges(csr)) == 5
+
+
+# ----------------------------------------------------------------------
+# The affected-source rule and its fallbacks
+# ----------------------------------------------------------------------
+class TestAffectedSources:
+    def test_empty_window_affects_nothing(self):
+        csr = star_graph(4).csr()
+        region = affected_sources(csr, ())
+        assert not region.everything
+        assert region.count() == 0
+
+    def test_overflow_falls_back_to_everything(self):
+        csr = star_graph(4).csr()
+        region = affected_sources(csr, None)
+        assert region.everything
+        assert region.reason == "journal-overflow"
+
+    def test_vertex_change_falls_back(self):
+        csr = star_graph(4).csr()
+        region = affected_sources(csr, (GraphDelta("vertex-added", u=9),))
+        assert region.everything
+        assert region.reason == "vertex-change"
+
+    def test_weighted_falls_back(self):
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, weight=2.0)
+        g.add_edge(1, 2, weight=3.0)
+        region = affected_sources(
+            g.csr(), (GraphDelta("weight-changed", u=0, v=1, weight=4.0),)
+        )
+        assert region.everything
+        assert region.reason == "weighted"
+
+    def test_star_leaf_edge_affects_only_its_endpoints(self):
+        # Every other source reaches both new endpoints through the
+        # center at distance 2, so d(s,u) == d(s,v) and its whole SSSP
+        # structure is untouched.
+        g = star_graph(6)
+        leaves = g.vertices()[1:]
+        u, v = leaves[0], leaves[3]
+        version = g.version
+        g.add_edge(u, v)
+        csr = g.csr()
+        region = affected_sources(csr, g.journal_since(version))
+        assert not region.everything
+        affected = {int(i) for i in region.indices()}
+        assert affected == {csr.find_index(u), csr.find_index(v)}
+
+    def test_resolve_invalidation(self, monkeypatch):
+        assert resolve_invalidation(None) == "delta"
+        assert resolve_invalidation("full") == "full"
+        monkeypatch.setenv("REPRO_INVALIDATION", "full")
+        assert resolve_invalidation(None) == "full"
+        with pytest.raises(ConfigurationError):
+            resolve_invalidation("sometimes")
+
+
+# ----------------------------------------------------------------------
+# Property: the affected region is a superset of the truly-changed rows
+# ----------------------------------------------------------------------
+#: Candidate edges over a 10-vertex universe; each drawn pair is toggled
+#: (removed when present, inserted when absent), so sequences exercise
+#: insertions, removals and composites in one journal window.
+_pairs = st.tuples(
+    st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=9)
+).filter(lambda p: p[0] != p[1])
+
+
+class TestSupersetProperty:
+    @given(
+        base=st.lists(_pairs, min_size=3, max_size=25),
+        ops=st.lists(_pairs, min_size=1, max_size=8),
+    )
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_unaffected_rows_are_bit_identical(self, base, ops):
+        g = Graph()
+        for i in range(10):
+            g.add_vertex(i)
+        for u, v in base:
+            g.add_edge(u, v)
+        csr_before = g.csr()
+        dep_before = batch_source_dependencies(csr_before, list(range(10)))
+        version = g.version
+        for u, v in ops:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+            else:
+                g.add_edge(u, v)
+        deltas = g.journal_since(version)
+        assert deltas is not None, "short windows never overflow the journal"
+        csr_after = CSRGraph.from_graph(g)
+        region = affected_sources(csr_after, deltas)
+        if region.everything:
+            return  # the safe fallback is trivially a superset
+        dep_after = batch_source_dependencies(csr_after, list(range(10)))
+        mask = region.mask
+        for i in range(10):
+            if not mask[i]:
+                assert np.array_equal(dep_before[i], dep_after[i]), (
+                    f"source {i} outside the affected region changed: "
+                    f"ops={ops!r} base={base!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Warm-vs-cold bit-identity across the execution grid
+# ----------------------------------------------------------------------
+#: One deterministic mutate-heavy scenario replayed per grid cell.
+_GRID = (
+    ("dict", "auto", None),
+    ("csr", "csr", None),
+    ("csr", "compiled", None),
+    ("csr", "csr", 2),
+    ("csr", "compiled", 4),
+)
+
+
+def _scripted_graph():
+    g = Graph()
+    rng = random.Random(7)
+    for i in range(18):
+        g.add_edge(i, i + 1)
+    for _ in range(12):
+        u, v = rng.sample(range(19), 2)
+        g.add_edge(u, v)
+    return g
+
+
+def _scripted_ops():
+    rng = random.Random(11)
+    return [tuple(rng.sample(range(19), 2)) for _ in range(6)]
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="requires working shared memory"
+)
+class TestWarmColdGrid:
+    @pytest.mark.parametrize("backend,kernel,n_jobs", _GRID)
+    def test_session_matches_cold_across_mutations(self, backend, kernel, n_jobs):
+        warm_graph = _scripted_graph()
+        cold_graph = _scripted_graph()
+        plan = (
+            ExecutionPlan(backend=backend, batch_size=8, n_jobs=n_jobs, kernel=kernel)
+            if n_jobs is not None
+            else None
+        )
+        with BetweennessSession(
+            warm_graph, plan, backend=backend, check_connected=False
+        ) as session:
+            for step, (u, v) in enumerate(_scripted_ops()):
+                for graph in (warm_graph, cold_graph):
+                    if graph.has_edge(u, v):
+                        graph.remove_edge(u, v)
+                    else:
+                        graph.add_edge(u, v)
+                warm = session.estimate(5, samples=24, seed=40 + step)
+                cold = betweenness_single(
+                    cold_graph,
+                    5,
+                    samples=24,
+                    seed=40 + step,
+                    backend=backend,
+                    batch_size=8 if n_jobs is not None else None,
+                    n_jobs=n_jobs,
+                    kernel=kernel,
+                    check_connected=False,
+                )
+                assert warm.estimate == cold.estimate, (
+                    f"step {step} diverged under (backend={backend}, "
+                    f"kernel={kernel}, n_jobs={n_jobs})"
+                )
+
+
+# ----------------------------------------------------------------------
+# Journal overflow: full fallback, unchanged answers
+# ----------------------------------------------------------------------
+class TestOverflowFallback:
+    def test_overflowed_session_falls_back_and_stays_correct(self):
+        g = star_graph(8)
+        leaves = g.vertices()[1:]
+        with BetweennessSession(g, backend="csr") as session:
+            session.estimate(g.vertices()[0], samples=24, seed=3)
+            for i in range(JOURNAL_LIMIT + 8):
+                u, v = leaves[i % 4], leaves[4 + i % 4]
+                if g.has_edge(u, v):
+                    g.remove_edge(u, v)
+                else:
+                    g.add_edge(u, v)
+            receipt = session.refresh_warm_state()
+            assert receipt.mode == "full"
+            assert receipt.reason == "journal-overflow"
+            warm = session.estimate(g.vertices()[0], samples=24, seed=3)
+        cold = betweenness_single(
+            Graph.from_edges(list(g.edges())), g.vertices()[0],
+            samples=24, seed=3, backend="csr",
+        )
+        assert warm.estimate == cold.estimate
+
+
+# ----------------------------------------------------------------------
+# Runtime: delta-scoped arena eviction
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="requires working shared memory"
+)
+class TestRuntimeDeltaScoping:
+    def test_delta_refresh_retains_unaffected_arena_rows(self):
+        g = star_graph(8)
+        g.csr()  # the pre-mutation snapshot the kernel-path guard needs
+        n = g.number_of_vertices()
+        with ExecutionContext() as ctx:
+            ctx.refresh(g)
+            arena = ctx.dependency_arena(g)
+            for i in range(n):
+                arena.put(i, np.full(n, float(i)))
+            leaves = g.vertices()[1:]
+            u, v = leaves[0], leaves[5]
+            g.add_edge(u, v)
+            receipt = ctx.refresh(g)
+            assert receipt.mode == "delta"
+            assert receipt.affected_sources == 2
+            assert receipt.arena_rows_evicted == 2
+            assert receipt.arena_rows_retained == n - 2
+            assert ctx.dependency_arena(g) is arena, "arena object survives"
+            csr = g.csr()
+            assert arena.get(csr.find_index(u)) is None
+            assert arena.get(csr.find_index(v)) is None
+            keep = csr.find_index(g.vertices()[0])
+            assert arena.get(keep) is not None
+
+    def test_no_prior_snapshot_falls_back_to_full(self):
+        g = star_graph(6)
+        with ExecutionContext() as ctx:
+            ctx.refresh(g)
+            arena = ctx.dependency_arena(g)
+            arena.put(0, np.zeros(g.number_of_vertices()))
+            g.add_edge(g.vertices()[1], g.vertices()[2])  # no csr() taken
+            receipt = ctx.refresh(g)
+            assert receipt.mode == "full"
+            assert receipt.reason == "no-prior-snapshot"
+            assert ctx.dependency_arena(g) is not arena
+
+    def test_full_mode_disables_delta_scoping(self):
+        g = star_graph(6)
+        g.csr()
+        with ExecutionContext(invalidation="full") as ctx:
+            ctx.refresh(g)
+            ctx.dependency_arena(g).put(0, np.zeros(g.number_of_vertices()))
+            g.add_edge(g.vertices()[1], g.vertices()[2])
+            receipt = ctx.refresh(g)
+            assert receipt.mode == "full"
+            assert receipt.reason == "disabled"
+
+    def test_shared_store_tombstones(self):
+        from repro.execution.shared_cache import SharedDependencyStore
+
+        store = SharedDependencyStore(5, 4)
+        try:
+            for i in range(3):
+                store.put(i, np.full(5, float(i)))
+            assert store.invalidate_sources([0, 2, 4]) == 2  # 4 was never put
+            assert store.published() == 1
+            assert store.tombstoned() == 2
+            assert store.get(0) is None
+            assert store.get(1) is not None
+            assert store.stats()["tombstoned"] == 2
+        finally:
+            store.destroy()
+
+
+# ----------------------------------------------------------------------
+# Session: oracle retention and chain continuation
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="requires working shared memory"
+)
+class TestSessionRetention:
+    def test_oracle_vectors_survive_outside_the_region(self):
+        g = star_graph(10)
+        center = g.vertices()[0]
+        leaves = g.vertices()[1:]
+        with BetweennessSession(g, backend="csr") as session:
+            session.estimate(center, samples=40, seed=2)
+            warm_before = session.stats()["warm_oracles"]
+            g.add_edge(leaves[0], leaves[5])
+            receipt = session.refresh_warm_state()
+            assert receipt.mode == "delta"
+            assert receipt.affected_sources == 2
+            assert receipt.oracle_vectors_evicted <= 2
+            assert receipt.oracle_vectors_retained > 0
+            assert session.stats()["warm_oracles"] == warm_before
+
+    def test_full_fallback_clears_oracles(self):
+        g = star_graph(10)
+        leaves = g.vertices()[1:]
+        with BetweennessSession(
+            g, backend="csr", invalidation="full"
+        ) as session:
+            session.estimate(g.vertices()[0], samples=40, seed=2)
+            g.add_edge(leaves[0], leaves[5])
+            receipt = session.refresh_warm_state()
+            assert receipt.mode == "full"
+            assert receipt.reason == "disabled"
+            assert receipt.oracle_vectors_retained == 0
+            assert session.stats()["warm_oracles"] == 0
+
+    def test_chain_continues_when_region_misses_its_state(self):
+        g = star_graph(10)
+        center = g.vertices()[0]
+        leaves = g.vertices()[1:]
+        with BetweennessSession(g, backend="csr") as session:
+            chain = session.open_chain(center, seed=5)
+            chain.advance(30)
+            state = chain.result.states[-1].vertex
+            u, v = [l for l in leaves if l != state][:2]
+            g.add_edge(u, v)
+            receipt = session.refresh_warm_state()
+            assert receipt.mode == "delta"
+            assert receipt.chains_continued == 1
+            assert receipt.chains_restarted == 0
+            before = chain.result.chain_length()
+            chain.advance(30)
+            assert chain.result.chain_length() == before + 30
+            assert chain.continuations == 1
+            assert chain.restarts == 0
+
+    def test_chain_restarts_when_its_state_is_affected(self):
+        g = star_graph(10)
+        center = g.vertices()[0]
+        leaves = g.vertices()[1:]
+        with BetweennessSession(g, backend="csr") as session:
+            chain = session.open_chain(center, seed=5)
+            chain.advance(30)
+            state = chain.result.states[-1].vertex
+            other = next(l for l in leaves if l != state)
+            u = state if state != center else leaves[0]
+            g.add_edge(u, other)
+            receipt = session.refresh_warm_state()
+            assert receipt.chains_restarted + receipt.chains_continued == 1
+            if receipt.chains_restarted:
+                chain.advance(20)
+                assert chain.restarts == 1
+                assert chain.result.chain_length() == 20
+
+    def test_mutate_noop_reports_version_unchanged(self):
+        from repro.centrality.session import ThreadSafeSession
+
+        g = star_graph(6)
+        with BetweennessSession(g, backend="csr") as session:
+            safe = ThreadSafeSession(session)
+            edge = (g.vertices()[0], g.vertices()[1])  # already present
+            receipt = safe.mutate(lambda graph: graph.add_edge(*edge))
+            assert receipt.mode == "noop"
+            assert receipt.version_changed is False

@@ -612,6 +612,93 @@ class TestFaultInjection:
             assert json.loads(raw)["error"]["type"] == "bad_request"
 
 
+class TestMutateReceipts:
+    """Mutate responses carry the invalidation receipt of the warm state."""
+
+    def test_mutate_response_carries_invalidation_receipt(self):
+        app = make_app()
+        try:
+            v0 = load_graph(app)
+            # Warm the session first so the receipt has state to account for.
+            warm = app.dispatch(
+                "POST", "/graphs/g/estimate", b'{"vertex": 0, "samples": 40, "seed": 7}'
+            )
+            assert warm.status == 200
+            mutated = app.dispatch(
+                "POST", "/graphs/g/mutate", b'{"add_edges": [[0, 39]]}'
+            )
+            assert mutated.status == 200
+            summary = body_of(mutated)["mutated"]
+            assert summary["graph_version"] == v0 + 1
+            assert summary["version_changed"] is True
+            receipt = summary["invalidation"]
+            assert receipt["mode"] in ("delta", "full")
+            assert receipt["version_from"] == v0
+            assert receipt["version_to"] == v0 + 1
+        finally:
+            app.close()
+
+    def test_noop_mutation_reports_version_unchanged(self):
+        app = make_app()
+        try:
+            v0 = load_graph(app)
+            first = app.dispatch(
+                "POST", "/graphs/g/mutate", b'{"add_edges": [[0, 39]]}'
+            )
+            assert body_of(first)["mutated"]["version_changed"] is True
+            repeat = app.dispatch(
+                "POST", "/graphs/g/mutate", b'{"add_edges": [[0, 39]]}'
+            )
+            assert repeat.status == 200
+            summary = body_of(repeat)["mutated"]
+            assert summary["version_changed"] is False
+            assert summary["graph_version"] == v0 + 1
+            assert summary["invalidation"]["mode"] == "noop"
+        finally:
+            app.close()
+
+    def test_batched_mutation_is_one_version_bump(self):
+        app = make_app()
+        try:
+            v0 = load_graph(app)
+            mutated = app.dispatch(
+                "POST",
+                "/graphs/g/mutate",
+                b'{"add_edges": [[0, 38], [0, 39], [1, 37]], '
+                b'"remove_edges": [[0, 1]]}',
+            )
+            assert mutated.status == 200
+            summary = body_of(mutated)["mutated"]
+            assert summary["graph_version"] == v0 + 1
+            assert summary["edges_added"] + summary["edges_removed"] >= 2
+        finally:
+            app.close()
+
+    def test_metrics_expose_invalidation_series_after_warm_mutate(self):
+        app = make_app()
+        try:
+            load_graph(app)
+            warm = app.dispatch(
+                "POST", "/graphs/g/estimate", b'{"vertex": 0, "samples": 40, "seed": 7}'
+            )
+            assert warm.status == 200
+            mutated = app.dispatch(
+                "POST", "/graphs/g/mutate", b'{"add_edges": [[0, 39]]}'
+            )
+            assert mutated.status == 200
+            receipt = body_of(mutated)["mutated"]["invalidation"]
+            text = app.dispatch("GET", "/metrics", b"").body.decode()
+            mode = receipt["mode"]
+            assert f'repro_invalidations_total{{graph="g",mode="{mode}"}} 1' in text
+            if mode == "delta":
+                assert (
+                    f'repro_invalidation_arena_rows_retained{{graph="g"}} '
+                    f'{receipt["arena_rows_retained"]}' in text
+                )
+        finally:
+            app.close()
+
+
 # ----------------------------------------------------------------------
 # Satellite 3: Prometheus text properties
 # ----------------------------------------------------------------------

@@ -96,7 +96,12 @@ def test_shared_store_refuses_rows_past_capacity(graph):
         assert store.put(0, vec)
         assert store.put(1, 2 * vec)
         assert not store.put(2, 3 * vec), "a full arena must refuse new rows"
-        assert store.stats() == {"capacity": 2, "published": 2, "full": True}
+        assert store.stats() == {
+            "capacity": 2,
+            "published": 2,
+            "tombstoned": 0,
+            "full": True,
+        }
         # Existing rows stay intact and readable after the refusal.
         assert np.array_equal(store.get(0), vec)
         assert np.array_equal(store.get(1), 2 * vec)
