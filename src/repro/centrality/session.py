@@ -141,9 +141,12 @@ class BetweennessSession:
             ensure_connected(graph)
         # Stamp by reference *and* version: replacing ``session.graph``
         # with a different object must invalidate exactly like a mutation,
-        # even when the two graphs happen to share a version number.
+        # even when the two graphs happen to share a version number.  The
+        # *settled* version is stamped so a session opened (or synced)
+        # inside an open batch_mutations() block keeps the batch window
+        # pending and re-syncs once the batch closes.
         self._stamped_graph = graph
-        self._version = graph.version
+        self._version = graph.settled_version()
         self._context.refresh(graph)
 
     # ------------------------------------------------------------------
@@ -195,7 +198,12 @@ class BetweennessSession:
         if self.check_connected:
             ensure_connected(self.graph)
         self._stamped_graph = self.graph
-        self._version = self.graph.version
+        # Settled stamp: a query issued inside an open batch_mutations()
+        # block must not seal the batch's still-accumulating version, or
+        # the post-batch query would skip the rest of the window and serve
+        # stale warm vectors.  Re-consuming the window on the next sync is
+        # idempotent (eviction of an evicted row is a no-op).
+        self._version = self.graph.settled_version()
         return receipt
 
     def refresh_warm_state(self) -> InvalidationReceipt:
@@ -469,8 +477,10 @@ class BetweennessSession:
         segments the session may mutate its graph, and the chain *continues*
         from its last state whenever the mutation's affected region excludes
         that state — restarting only when the region (or a full
-        invalidation) touches it.  Close the chain (or the session) when
-        done.
+        invalidation) touches it.  A continued chain's historical samples
+        keep their pre-mutation dependency values (see the
+        :class:`SessionChain` docstring for what its running estimate
+        then means).  Close the chain (or the session) when done.
         """
         if self._closed:
             raise ConfigurationError("the session has been closed")
@@ -545,7 +555,13 @@ class SessionChain:
     Note the scope of the determinism contract: a continued chain is a
     valid chain on the mutated graph, but it is *not* the trajectory a
     fresh cold chain would walk — chains are stateful by design, unlike
-    the session's query methods.
+    the session's query methods.  The continuation check covers only the
+    chain's *current* state: historical states keep the dependency values
+    they were scored with at the time, so after a continued mutation the
+    running :meth:`estimate` (which averages over every kept state) may
+    mix pre-mutation and post-mutation dependency values until the chain
+    restarts.  Restart the chain (or open a fresh one) when the estimate
+    must reflect only the mutated graph.
     """
 
     def __init__(
@@ -625,7 +641,15 @@ class SessionChain:
         return self._result
 
     def estimate(self, estimator: str = "chain") -> float:
-        """The running betweenness estimate of the accumulated chain."""
+        """The running betweenness estimate of the accumulated chain.
+
+        Averages over every kept state of the accumulated trajectory.
+        After a mutation the chain continued across, states recorded
+        before the mutation retain their pre-mutation dependency values
+        (only the current state is verified against the affected region),
+        so this estimate can mix old-graph and new-graph values until the
+        chain restarts — see the class docstring.
+        """
         if self._result is None:
             raise ConfigurationError("advance the chain before reading an estimate")
         return self._result.estimate(estimator)

@@ -587,7 +587,13 @@ class ExecutionContext:
         else:
             receipt = self._consume_delta(graph, old_version)
         self._stamped_graph = graph
-        self._stamped_version = graph.version
+        # Stamp the *settled* version: inside an open batch_mutations()
+        # block the batch's version is still accumulating journal records,
+        # and stamping it would make the post-batch refresh see
+        # version == stamp and silently retain warm state the rest of the
+        # batch invalidated.  The settled (pre-batch) stamp keeps the
+        # window pending — each sync re-consumes it, which is idempotent.
+        self._stamped_version = graph.settled_version()
         self._last_receipt = receipt
         return receipt
 
@@ -654,6 +660,21 @@ class ExecutionContext:
                 region.indices()
             )
             receipt.arena_rows_retained = self._arena.published()
+            # Tombstones spend capacity that eviction never returns, so a
+            # long-running serving session under sustained delta-mode
+            # mutations would otherwise grind the arena down to a
+            # permanent "full" while published() stays small.  Compact
+            # once eviction has consumed over half the arena, and also
+            # whenever the arena is full with any tombstones at all — a
+            # full arena refuses re-publication of the rows just evicted,
+            # so without reclamation the same small affected set stays
+            # permanently cold while tombstones never reach the half-way
+            # threshold.
+            stats = self._arena.stats()
+            if stats["tombstoned"] and (
+                stats["full"] or stats["tombstoned"] > self._arena.capacity // 2
+            ):
+                receipt.arena_rows_compacted = self._arena.compact()
         # Payloads embed whole-graph snapshots (and worker-side installs
         # mirror them), so they are always rebuilt; the shared-graph
         # segment likewise packs the old CSR arrays and is re-created

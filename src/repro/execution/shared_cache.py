@@ -20,9 +20,11 @@ vectors, backed by one :mod:`multiprocessing.shared_memory` segment:
 
 A vector computed by *any* worker is published once (:meth:`put`) and read
 by every chain (:meth:`get`), whatever process it runs in.  Rows are
-write-once and never evicted: when the arena fills, :meth:`put` refuses and
-the caller simply keeps the vector in its private per-process cache — the
-store degrades to "whatever fits", it never churns.
+write-once: when the arena fills, :meth:`put` refuses and the caller simply
+keeps the vector in its private per-process cache — the store degrades to
+"whatever fits", it never churns.  Delta-scoped invalidation tombstones
+rows (:meth:`invalidate_sources`), whose spent capacity :meth:`compact`
+reclaims once eviction has consumed enough of the arena.
 
 Determinism
 -----------
@@ -307,10 +309,11 @@ class SharedDependencyStore:
         region maps to claim-table entries reset to ``-1`` under the lock,
         so every process sees the rows disappear atomically — eviction
         stays a broadcast, exactly like publication, with no per-reader
-        coherence protocol.  The arena space of a tombstoned row is spent
-        (rows are write-once; a re-publish of the source claims a fresh
-        row), which keeps concurrent readers of the old row safe: the row
-        bytes are never rewritten under them.
+        coherence protocol.  The arena space of a tombstoned row stays
+        spent (a re-publish of the source claims a fresh row) until
+        :meth:`compact` reclaims it; without compaction, sustained
+        eviction would monotonically exhaust the arena even while
+        :meth:`published` stays small.
         """
         with self._lock:
             evicted = 0
@@ -320,6 +323,37 @@ class SharedDependencyStore:
                     evicted += 1
             self._meta[1] += evicted
             return evicted
+
+    def compact(self) -> int:
+        """Reclaim the arena space of tombstoned rows; return rows reclaimed.
+
+        Live rows are moved down over the tombstoned gaps (ascending row
+        order, so no live row is overwritten before it has moved) and the
+        claim table is rewritten to the new positions — all under the
+        process-shared lock, so the relocation is one atomic broadcast:
+        every reader copies rows under the same lock and can never observe
+        a half-moved arena.  Rows therefore stay write-once *between*
+        compactions; a compaction is a new epoch that every attached
+        process enters together.  Without this, a long-running delta-mode
+        session would grind the write-once arena down to permanently
+        "full" (tombstones spend capacity that eviction never returns).
+        """
+        with self._lock:
+            tombstoned = int(self._meta[1])
+            if tombstoned == 0:
+                return 0
+            live = np.flatnonzero(self._slots >= 0)
+            order = np.argsort(self._slots[live], kind="stable")
+            dest = 0
+            for source in live[order]:
+                row = int(self._slots[source])
+                if row != dest:
+                    self._arena[dest, :] = self._arena[row]
+                    self._slots[source] = dest
+                dest += 1
+            self._meta[0] = dest
+            self._meta[1] = 0
+            return tombstoned
 
     def published(self) -> int:
         """Return the number of vectors currently published (live rows)."""

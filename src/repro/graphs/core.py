@@ -192,6 +192,28 @@ class Graph:
         """
         return self._version
 
+    @property
+    def in_batch(self) -> bool:
+        """Whether a :meth:`batch_mutations` block is currently open."""
+        return self._batch_depth > 0
+
+    def settled_version(self) -> int:
+        """The newest version that can no longer acquire journal records.
+
+        Equal to :attr:`version` except inside an open
+        :meth:`batch_mutations` block that has already bumped: the batch's
+        version is still accumulating deltas, so a warm consumer that
+        stamped it would silently skip every delta journaled after its
+        read.  Consumers therefore stamp ``settled_version()`` — inside a
+        bumped batch that is the *pre-batch* version, which keeps the
+        batch window pending: every sync until the batch closes re-reads
+        the whole window (idempotent for eviction), and the post-batch
+        sync can never mistake the graph for unchanged.
+        """
+        if self._batch_depth > 0 and self._batch_bumped:
+            return self._version - 1
+        return self._version
+
     def _record(self, delta: GraphDelta) -> None:
         """Drop the CSR snapshot, advance the stamp and journal *delta*.
 
@@ -230,6 +252,13 @@ class Graph:
         mutations journal their deltas under the same new version.  Nesting
         is allowed (only the outermost block owns the bump), and a block
         that performs no mutation leaves the version untouched.
+
+        Reading (or even querying a warm session) inside an open block is
+        legal: the batch's version keeps accumulating deltas until the
+        block exits, so warm consumers stamp :meth:`settled_version` —
+        never the in-flight batch version — and a mid-batch read can
+        therefore never seal the window early (see
+        :meth:`settled_version`).
 
         Examples
         --------

@@ -457,7 +457,12 @@ def ensure_shared_graph(graph) -> Optional[SharedCSRGraph]:
     if shared is None:
         return None
     ref = weakref.ref(graph, lambda _ref, _key=key: _registry_drop(_key))
-    _REGISTRY[key] = (ref, graph.version, shared)
+    # Stamp the *settled* version: a snapshot packed inside an open
+    # batch_mutations() block must not be mistaken for the post-batch
+    # graph, whose version it would otherwise share (the batch keeps
+    # journaling under one version).  The pre-batch stamp can never equal
+    # a post-mutation version, so the stale segment is rebuilt.
+    _REGISTRY[key] = (ref, graph.settled_version(), shared)
     return shared
 
 

@@ -34,6 +34,9 @@ class InvalidationReceipt:
     total_sources: Optional[int] = None
     arena_rows_evicted: int = 0
     arena_rows_retained: int = 0
+    #: Tombstoned rows whose arena space this invalidation reclaimed (the
+    #: runtime compacts once eviction has spent over half the capacity).
+    arena_rows_compacted: int = 0
     payload_entries_evicted: int = 0
     oracle_vectors_evicted: int = 0
     oracle_vectors_retained: int = 0

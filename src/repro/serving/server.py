@@ -269,6 +269,12 @@ class ServingApp:
             "each graph.",
             ("graph",),
         )
+        self.invalidation_rows_compacted = m.counter(
+            "repro_invalidation_arena_rows_compacted_total",
+            "Tombstoned dependency-arena rows whose capacity was reclaimed "
+            "by compaction during delta-scoped invalidations, by graph.",
+            ("graph",),
+        )
 
     def _observe_session(self, name: str, stats: Dict[str, object]) -> None:
         """Fold one session-stats snapshot into the exported metrics."""
@@ -460,6 +466,9 @@ class ServingApp:
             )
             self.invalidation_oracle_retained.set(
                 int(receipt.get("oracle_vectors_retained", 0) or 0), graph=name
+            )
+            self.invalidation_rows_compacted.inc(
+                int(receipt.get("arena_rows_compacted", 0) or 0), graph=name
             )
         return _json_response(200, {"mutated": summary})
 

@@ -113,6 +113,23 @@ class TestChangeJournal:
         assert g.journal_since(v0) is None, "overflowed window must be refused"
         assert g.journal_since(g.version) == ()
 
+    def test_settled_version_pends_inside_bumped_batch(self):
+        g = Graph.from_edges([(0, 1)])
+        v = g.version
+        assert not g.in_batch
+        assert g.settled_version() == v
+        with g.batch_mutations():
+            assert g.in_batch
+            # No mutation yet: the batch has not bumped, nothing pends.
+            assert g.settled_version() == g.version == v
+            g.add_edge(1, 2)
+            assert g.version == v + 1
+            assert g.settled_version() == v, "bumped batch version must pend"
+            g.add_edge(2, 3)
+            assert g.settled_version() == v
+        assert not g.in_batch
+        assert g.settled_version() == g.version == v + 1
+
     def test_pickle_roundtrip_preserves_journal(self):
         g = Graph()
         g.add_edge(0, 1)
@@ -439,6 +456,59 @@ class TestRuntimeDeltaScoping:
             assert receipt.mode == "full"
             assert receipt.reason == "disabled"
 
+    def test_refresh_inside_open_batch_keeps_the_window_pending(self):
+        # Regression: a consumer that refreshed inside an open
+        # batch_mutations() block used to stamp the batch's (still
+        # accumulating) version, so the post-batch refresh saw
+        # version == stamp and silently retained state the rest of the
+        # batch had invalidated.
+        g = star_graph(8)
+        g.csr()
+        leaves = g.vertices()[1:]
+        n = g.number_of_vertices()
+        with ExecutionContext() as ctx:
+            ctx.refresh(g)
+            arena = ctx.dependency_arena(g)
+            for i in range(n):
+                arena.put(i, np.full(n, float(i)))
+            with g.batch_mutations():
+                g.add_edge(leaves[0], leaves[3])
+                mid = ctx.refresh(g)  # consumer sync inside the open batch
+                assert mid.mode == "delta"
+                g.add_edge(leaves[1], leaves[4])
+            receipt = ctx.refresh(g)
+            assert receipt.mode != "noop", (
+                "the post-batch sync must consume the rest of the window"
+            )
+
+    def test_sustained_delta_eviction_compacts_the_arena(self):
+        # Regression: tombstoned rows permanently spent arena capacity, so
+        # a long-running delta-mode session ground the write-once arena
+        # down to a permanent "full" while published() stayed small.
+        g = star_graph(10)
+        leaves = g.vertices()[1:]
+        n = g.number_of_vertices()
+        with ExecutionContext() as ctx:
+            ctx.refresh(g)
+            arena = ctx.dependency_arena(g)
+            assert arena.capacity == n
+            compacted = 0
+            for step in range(12):
+                g.csr()  # the prior snapshot the kernel-path guard needs
+                for i in range(n):
+                    arena.put(i, np.full(n, float(step)))
+                u, v = leaves[step % 4], leaves[4 + step % 4]
+                if g.has_edge(u, v):
+                    g.remove_edge(u, v)
+                else:
+                    g.add_edge(u, v)
+                receipt = ctx.refresh(g)
+                assert receipt.mode == "delta", receipt.reason
+                compacted += receipt.arena_rows_compacted
+                assert ctx.dependency_arena(g) is arena, "arena object survives"
+            assert compacted > 0, "sustained eviction must trigger compaction"
+            assert arena.tombstoned() <= arena.capacity // 2
+
     def test_shared_store_tombstones(self):
         from repro.execution.shared_cache import SharedDependencyStore
 
@@ -529,6 +599,37 @@ class TestSessionRetention:
                 chain.advance(20)
                 assert chain.restarts == 1
                 assert chain.result.chain_length() == 20
+
+    def test_query_inside_open_batch_never_serves_stale_state_after(self):
+        # Regression (high): a session query issued inside an open
+        # batch_mutations() block stamped the bumped batch version;
+        # mutations later in the same batch journaled under that same
+        # version, so the post-batch query saw version == stamp, skipped
+        # invalidation, and served stale warm oracle/arena vectors.
+        warm_graph = star_graph(10)
+        center = warm_graph.vertices()[0]
+        leaves = warm_graph.vertices()[1:]
+        with BetweennessSession(warm_graph, backend="csr") as session:
+            session.estimate(center, samples=30, seed=1)  # warm the oracle
+            with warm_graph.batch_mutations():
+                warm_graph.add_edge(leaves[0], leaves[1])
+                mid = session.estimate(center, samples=30, seed=2)
+                warm_graph.add_edge(leaves[2], leaves[3])
+                warm_graph.add_edge(leaves[4], leaves[5])
+            warm = session.estimate(center, samples=30, seed=3)
+        # The mid-batch answer reflects the graph as mutated so far...
+        mid_graph = star_graph(10)
+        mid_graph.add_edge(leaves[0], leaves[1])
+        cold_mid = betweenness_single(
+            mid_graph, center, samples=30, seed=2, backend="csr"
+        )
+        assert mid.estimate == cold_mid.estimate
+        # ...and the post-batch answer the *whole* batch, bit-identically.
+        cold_graph = Graph.from_edges(list(warm_graph.edges()))
+        cold = betweenness_single(
+            cold_graph, center, samples=30, seed=3, backend="csr"
+        )
+        assert warm.estimate == cold.estimate
 
     def test_mutate_noop_reports_version_unchanged(self):
         from repro.centrality.session import ThreadSafeSession

@@ -110,6 +110,35 @@ def test_shared_store_refuses_rows_past_capacity(graph):
         store.destroy()
 
 
+def test_shared_store_compact_reclaims_tombstoned_capacity():
+    store = SharedDependencyStore(6, 4)
+    try:
+        for i in range(4):
+            store.put(i, np.full(6, float(i)))
+        assert not store.put(4, np.zeros(6)), "arena starts full"
+        assert store.invalidate_sources([0, 2]) == 2
+        assert store.compact() == 2
+        assert store.compact() == 0, "a compacted arena has nothing to reclaim"
+        assert store.tombstoned() == 0
+        assert store.published() == 2
+        # Surviving rows keep their bytes and their claims...
+        assert np.array_equal(store.get(1), np.full(6, 1.0))
+        assert np.array_equal(store.get(3), np.full(6, 3.0))
+        assert store.get(0) is None
+        # ...and the reclaimed capacity accepts new rows again.
+        assert store.put(4, np.full(6, 4.0))
+        assert store.put(5, np.full(6, 5.0))
+        assert np.array_equal(store.get(4), np.full(6, 4.0))
+        assert store.stats() == {
+            "capacity": 4,
+            "published": 4,
+            "tombstoned": 0,
+            "full": True,
+        }
+    finally:
+        store.destroy()
+
+
 def _spawned_publisher(store, index: int, value: float) -> None:
     """Child-process body of the spawn test below (must be module-level)."""
     store.put(index, np.full(store.num_vertices, value))
