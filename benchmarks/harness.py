@@ -43,6 +43,14 @@ Environment knobs
     call site resolves it, and the *resolved* rung is stamped as a
     ``kernel:`` line in every emitted table — the rungs are bit-identical,
     so the stamp attributes wall-clock only, never result drift.
+``REPRO_BENCH_KERNEL_THREADS``
+    Thread count of the compiled jit-parallel batch kernels (default ``1``,
+    the sequential kernels).  Exported as ``REPRO_KERNEL_THREADS`` so every
+    plan the other knobs engage fills its ``kernel_threads`` field, and
+    stamped as a ``kernel_threads:`` line in every emitted table — the
+    parallel kernels accumulate per-source rows in source order at any
+    thread count, so the stamp attributes wall-clock only, never result
+    drift.
 ``REPRO_BENCH_INVALIDATION``
     Mutation invalidation scoping the benchmarks run under: ``delta``
     (default; journal-proved affected-region retention) or ``full``
@@ -92,6 +100,11 @@ def bench_jobs() -> int:
 def bench_kernel() -> str:
     """Return the requested CSR kernel rung (``REPRO_BENCH_KERNEL``)."""
     return os.environ.get("REPRO_BENCH_KERNEL", "auto")
+
+
+def bench_kernel_threads() -> int:
+    """Return the compiled-kernel thread count (``REPRO_BENCH_KERNEL_THREADS``)."""
+    return int(os.environ.get("REPRO_BENCH_KERNEL_THREADS", "1"))
 
 
 def bench_invalidation() -> str:
@@ -146,6 +159,18 @@ if bench_kernel() != "auto":
             f"got {bench_kernel()!r}"
         )
     os.environ["REPRO_KERNEL"] = bench_kernel()
+
+# And for the kernel-thread count: REPRO_KERNEL_THREADS fills the
+# kernel_threads field of every plan the other knobs engage (like
+# REPRO_SHARED_GRAPH, it never engages the engine by itself — see
+# repro.execution.plan.resolve_kernel_threads).
+if bench_kernel_threads() != 1:
+    if bench_kernel_threads() < 1:
+        raise ValueError(
+            f"REPRO_BENCH_KERNEL_THREADS must be a positive integer, "
+            f"got {bench_kernel_threads()!r}"
+        )
+    os.environ["REPRO_KERNEL_THREADS"] = str(bench_kernel_threads())
 
 # And for the invalidation mode: REPRO_INVALIDATION steers how every
 # session scopes mutation invalidation (repro.incremental
@@ -206,10 +231,11 @@ def emit_table(
     """Print the experiment table and persist it under ``benchmarks/results/``.
 
     ``backend: <dict|csr>``, ``jobs: <n>``, ``shared_graph: <bool>``,
-    ``kernel: <csr|compiled>`` and ``invalidation: <delta|full>`` lines are
-    stamped under the title so every stored result records which traversal
-    backend, degree of parallelism, snapshot-shipping mode, kernel rung and
-    invalidation scoping produced it.
+    ``kernel: <csr|compiled>``, ``kernel_threads: <n>`` and
+    ``invalidation: <delta|full>`` lines are stamped under the title so
+    every stored result records which traversal backend, degree of
+    parallelism, snapshot-shipping mode, kernel rung, kernel-thread count
+    and invalidation scoping produced it.
     """
     from repro.execution.stamp import format_stamp_lines
 
@@ -220,6 +246,7 @@ def emit_table(
             "jobs": bench_jobs(),
             "shared_graph": bench_shared_graph(),
             "kernel": resolved_bench_kernel(),
+            "kernel_threads": bench_kernel_threads(),
             "invalidation": bench_invalidation(),
         }
     )

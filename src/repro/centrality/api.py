@@ -27,7 +27,11 @@ from repro.exact.single_vertex import (
     betweenness_of_vertex,
     exact_relative_betweenness,
 )
-from repro.execution.autotune import calibrate_batch_size, calibrate_n_jobs
+from repro.execution.autotune import (
+    calibrate_batch_size,
+    calibrate_kernel_threads,
+    calibrate_n_jobs,
+)
 from repro.graphs.core import Graph, Vertex
 from repro.graphs.csr import resolve_backend
 from repro.graphs.utils import ensure_connected
@@ -74,6 +78,11 @@ BatchSize = Union[int, str, None]
 #: Worker-count specification: an int, ``None`` (no parallelism requested)
 #: or ``"auto"`` (calibrated from a timed probe over real pool spin-ups).
 Jobs = Union[int, str, None]
+
+#: Kernel-thread specification: an int, ``None`` (the
+#: ``REPRO_KERNEL_THREADS`` default, 1) or ``"auto"`` (calibrated from a
+#: timed probe over the compiled jit-parallel batch kernels).
+Threads = Union[int, str, None]
 
 
 def _resolve_batch_size(
@@ -122,6 +131,40 @@ def _resolve_n_jobs(
         probe_sources = 64 if workload is None else max(8, min(64, workload // 8))
         return calibrate_n_jobs(graph, backend=backend, probe_sources=probe_sources)
     return n_jobs
+
+
+def _resolve_kernel_threads(
+    graph: Graph,
+    kernel_threads: Threads,
+    backend: str,
+    kernel: str,
+    n_jobs,
+    workload: Optional[int] = None,
+):
+    """Resolve ``"auto"`` to a calibrated thread count at the point the graph is known.
+
+    The knob only engages the compiled jit-parallel batch kernels, so on
+    the dict backend (or when the compiled rung cannot run) ``"auto"``
+    resolves to 1 without probing.  The probe composes with the caller's
+    already-resolved *n_jobs*: candidate thread counts are capped so
+    ``threads × processes`` never oversubscribes the machine.  Like the
+    other two probes, the timed choice is result-neutral — the parallel
+    kernels accumulate per-source rows in source order at any thread
+    count.
+    """
+    if kernel_threads == "auto":
+        if resolve_backend(backend) != "csr":
+            return 1
+        jobs = n_jobs if isinstance(n_jobs, int) and n_jobs >= 1 else 1
+        probe_sources = 32 if workload is None else max(4, min(32, workload // 16))
+        return calibrate_kernel_threads(
+            graph,
+            backend=backend,
+            kernel=kernel,
+            probe_sources=probe_sources,
+            n_jobs=jobs,
+        )
+    return kernel_threads
 
 #: Estimator registry for :func:`betweenness_single`.  Every factory accepts
 #: the traversal ``backend`` (``"auto"`` / ``"dict"`` / ``"csr"``) plus the
@@ -177,6 +220,7 @@ def betweenness_single(
     rhat_target: Optional[float] = None,
     shared_cache: Optional[bool] = None,
     kernel: str = "auto",
+    kernel_threads: Threads = None,
 ) -> SingleEstimate:
     """Estimate the betweenness of one vertex with the chosen *method*.
 
@@ -220,6 +264,12 @@ def betweenness_single(
         CSR kernel rung (``"auto"`` / ``"csr"`` / ``"compiled"``, see
         :func:`~repro.graphs.csr.resolve_kernel`); the compiled rung is
         bit-identical to the numpy rung, so this only changes speed.
+    kernel_threads:
+        Thread count of the compiled jit-parallel batch kernels (``None``
+        consults ``REPRO_KERNEL_THREADS``, default 1; ``"auto"`` calibrates
+        from a timed probe capped so ``threads × n_jobs`` stays within the
+        machine).  Result-neutral at any count — per-source rows are
+        computed independently and accumulated in source order.
     n_chains, rhat_target:
         Engage the multi-chain MCMC driver
         (:class:`repro.mcmc.multichain.MultiChainMHSampler`) for the MH
@@ -269,6 +319,9 @@ def betweenness_single(
             n_jobs = min(_resolve_n_jobs(graph, n_jobs, backend, workload=samples), chains)
         base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
         base.kernel = kernel
+        base.kernel_threads = _resolve_kernel_threads(
+            graph, kernel_threads, backend, kernel, n_jobs, workload=samples
+        )
         driver = MultiChainMHSampler(
             base,
             n_chains=chains,
@@ -280,6 +333,9 @@ def betweenness_single(
     n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=samples)
     estimator = SINGLE_VERTEX_METHODS[method](backend, batch_size, n_jobs)
     estimator.kernel = kernel
+    estimator.kernel_threads = _resolve_kernel_threads(
+        graph, kernel_threads, backend, kernel, n_jobs, workload=samples
+    )
     return estimator.estimate(graph, r, samples, seed=seed)
 
 
@@ -292,6 +348,7 @@ def betweenness_exact(
     batch_size: BatchSize = None,
     n_jobs: Jobs = None,
     kernel: str = "auto",
+    kernel_threads: Threads = None,
 ) -> Dict[Vertex, float]:
     """Return exact betweenness scores (all vertices, or just the requested ones).
 
@@ -299,11 +356,17 @@ def betweenness_exact(
     per-source Brandes passes (see :mod:`repro.execution`); ``"auto"``
     calibrates either knob from a timed probe (bit-identical results for
     any resolved value).  ``kernel`` selects the CSR kernel rung — numpy or
-    the bit-identical numba-compiled twins.
+    the bit-identical numba-compiled twins — and ``kernel_threads`` the
+    thread count of the compiled jit-parallel batch kernels (``"auto"``
+    probes counts capped so ``threads × n_jobs`` stays within the machine;
+    result-neutral at any count).
     """
     passes = graph.number_of_vertices() if vertices is None else None
     batch_size = _resolve_batch_size(graph, batch_size, backend, workload=passes)
     n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=passes)
+    kernel_threads = _resolve_kernel_threads(
+        graph, kernel_threads, backend, kernel, n_jobs, workload=passes
+    )
     if vertices is None:
         return betweenness_centrality(
             graph,
@@ -312,6 +375,7 @@ def betweenness_exact(
             batch_size=batch_size,
             n_jobs=n_jobs,
             kernel=kernel,
+            kernel_threads=kernel_threads,
         )
     return {
         v: betweenness_of_vertex(
@@ -322,6 +386,7 @@ def betweenness_exact(
             batch_size=batch_size,
             n_jobs=n_jobs,
             kernel=kernel,
+            kernel_threads=kernel_threads,
         )
         for v in vertices
     }
@@ -340,6 +405,7 @@ def relative_betweenness(
     n_chains: Optional[int] = None,
     shared_cache: Optional[bool] = None,
     kernel: str = "auto",
+    kernel_threads: Threads = None,
 ) -> RelativeBetweennessEstimate:
     """Estimate all pairwise relative betweenness scores of *reference_set*.
 
@@ -370,6 +436,9 @@ def relative_betweenness(
             )
         base = JointSpaceMHSampler(backend=backend, batch_size=batch_size)
         base.kernel = kernel
+        base.kernel_threads = _resolve_kernel_threads(
+            graph, kernel_threads, backend, kernel, n_jobs, workload=samples
+        )
         driver = MultiChainJointSampler(
             base,
             n_chains=n_chains,
@@ -380,6 +449,9 @@ def relative_betweenness(
     n_jobs = _resolve_n_jobs(graph, n_jobs, backend, workload=samples)
     sampler = JointSpaceMHSampler(backend=backend, batch_size=batch_size, n_jobs=n_jobs)
     sampler.kernel = kernel
+    sampler.kernel_threads = _resolve_kernel_threads(
+        graph, kernel_threads, backend, kernel, n_jobs, workload=samples
+    )
     return sampler.estimate_relative(graph, reference_set, samples, seed=seed)
 
 

@@ -247,6 +247,9 @@ class BetweennessSession:
             self.plan.shared_graph if self.plan is not None else None
         )
         sampler.kernel = self.plan.kernel if self.plan is not None else "auto"
+        sampler.kernel_threads = (
+            self.plan.kernel_threads if self.plan is not None else None
+        )
         return sampler
 
     def _sampler(self, method: str):
@@ -291,6 +294,9 @@ class BetweennessSession:
             # unit of parallel work); the base keeps batch-prefetching.
             base = SINGLE_VERTEX_METHODS[method](backend, batch_size, None)
             base.kernel = self.plan.kernel if self.plan is not None else "auto"
+            base.kernel_threads = (
+                self.plan.kernel_threads if self.plan is not None else None
+            )
             driver = MultiChainMHSampler(
                 base,
                 n_chains=n_chains if n_chains is not None else DEFAULT_CHAINS,
@@ -322,6 +328,9 @@ class BetweennessSession:
             backend, batch_size, _ = self._knobs()
             joint_base = JointSpaceMHSampler(backend=backend, batch_size=batch_size)
             joint_base.kernel = self.plan.kernel if self.plan is not None else "auto"
+            joint_base.kernel_threads = (
+                self.plan.kernel_threads if self.plan is not None else None
+            )
             driver = MultiChainJointSampler(
                 joint_base,
                 n_chains=n_chains,

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 from repro.centrality.api import (
     SINGLE_VERTEX_METHODS,
     _resolve_batch_size,
+    _resolve_kernel_threads,
     _resolve_n_jobs,
     betweenness_exact,
     betweenness_single,
@@ -49,7 +50,7 @@ from repro.centrality.api import (
 )
 from repro.centrality.session import BetweennessSession
 from repro.datasets.registry import SIZES, dataset_names, dataset_table, load_dataset
-from repro.execution import resolve_plan
+from repro.execution import resolve_kernel_threads, resolve_plan
 from repro.execution.stamp import resolve_kernel_quiet
 from repro.graphs.csr import BACKENDS, KERNELS
 from repro.errors import ReproError
@@ -268,6 +269,15 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="CSR kernel rung: 'csr' (numpy) or 'compiled' (numba-jitted, "
         "bit-identical results; default: auto = compiled when numba imports)",
     )
+    parser.add_argument(
+        "--kernel-threads",
+        type=_jobs,
+        default=None,
+        help="threads for the compiled jit-parallel batch kernels, or 'auto' "
+        "to calibrate from a short timed probe capped so threads x jobs "
+        "stays within the machine (default: REPRO_KERNEL_THREADS, else 1; "
+        "result-neutral at any count)",
+    )
 
 
 def _add_shared_cache_argument(parser: argparse.ArgumentParser) -> None:
@@ -344,6 +354,9 @@ def run(args: argparse.Namespace, out=sys.stdout) -> int:
 
 def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
     vertex = parse_vertex(args.vertex)
+    kernel_threads = _resolve_kernel_threads(
+        graph, args.kernel_threads, args.backend, args.kernel, args.jobs
+    )
     result = betweenness_single(
         graph,
         vertex,
@@ -357,14 +370,23 @@ def _run_estimate(args: argparse.Namespace, graph: Graph, out) -> int:
         rhat_target=args.rhat,
         shared_cache=args.shared_cache,
         kernel=args.kernel,
+        kernel_threads=kernel_threads,
     )
-    payload = estimate_payload(vertex, result, kernel=resolve_kernel_quiet(args.kernel))
+    payload = estimate_payload(
+        vertex,
+        result,
+        kernel=resolve_kernel_quiet(args.kernel),
+        kernel_threads=resolve_kernel_threads(kernel_threads),
+    )
     print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
 def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
     vertices = [parse_vertex(v) for v in args.vertices.split(",") if v.strip() != ""]
+    kernel_threads = _resolve_kernel_threads(
+        graph, args.kernel_threads, args.backend, args.kernel, args.jobs
+    )
     estimate = relative_betweenness(
         graph,
         vertices,
@@ -376,8 +398,13 @@ def _run_relative(args: argparse.Namespace, graph: Graph, out) -> int:
         n_chains=args.chains,
         shared_cache=args.shared_cache,
         kernel=args.kernel,
+        kernel_threads=kernel_threads,
     )
-    payload = relative_payload(estimate, kernel=resolve_kernel_quiet(args.kernel))
+    payload = relative_payload(
+        estimate,
+        kernel=resolve_kernel_quiet(args.kernel),
+        kernel_threads=resolve_kernel_threads(kernel_threads),
+    )
     print(json.dumps(payload, indent=2), file=out)
     return 0
 
@@ -393,12 +420,16 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
     """
     batch_size = _resolve_batch_size(graph, args.batch_size, args.backend)
     n_jobs = _resolve_n_jobs(graph, args.jobs, args.backend)
+    kernel_threads = _resolve_kernel_threads(
+        graph, args.kernel_threads, args.backend, args.kernel, n_jobs
+    )
     plan = resolve_plan(
         None,
         backend=args.backend,
         batch_size=batch_size,
         n_jobs=n_jobs,
         kernel=args.kernel,
+        kernel_threads=kernel_threads,
     )
     if args.queries == "-":
         lines = sys.stdin
@@ -430,6 +461,7 @@ def _run_batch(args: argparse.Namespace, graph: Graph, out) -> int:
                         execute_query(
                             session, query, default_chains=args.chains,
                             kernel=resolve_kernel_quiet(args.kernel),
+                            kernel_threads=resolve_kernel_threads(kernel_threads),
                         )
                     )
                 except (ReproError, ValueError, KeyError, TypeError) as exc:
@@ -456,15 +488,20 @@ def _run_serve(args: argparse.Namespace, graph: Optional[Graph], out) -> int:
     if graph is not None:
         batch_size = _resolve_batch_size(graph, args.batch_size, args.backend)
         n_jobs = _resolve_n_jobs(graph, args.jobs, args.backend)
+        kernel_threads = _resolve_kernel_threads(
+            graph, args.kernel_threads, args.backend, args.kernel, n_jobs
+        )
     else:
         batch_size = None if args.batch_size == "auto" else args.batch_size
         n_jobs = None if args.jobs == "auto" else args.jobs
+        kernel_threads = None if args.kernel_threads == "auto" else args.kernel_threads
     plan = resolve_plan(
         None,
         backend=args.backend,
         batch_size=batch_size,
         n_jobs=n_jobs,
         kernel=args.kernel,
+        kernel_threads=kernel_threads,
     )
     config = ServingConfig(
         max_inflight=args.max_inflight,
@@ -474,6 +511,7 @@ def _run_serve(args: argparse.Namespace, graph: Optional[Graph], out) -> int:
         max_sessions=args.max_sessions,
         backend=args.backend,
         kernel=args.kernel,
+        kernel_threads=kernel_threads,
         arena_capacity=args.arena_capacity,
         invalidation=args.invalidation,
     )
@@ -514,6 +552,7 @@ def _run_exact(args: argparse.Namespace, graph: Graph, out) -> int:
         batch_size=args.batch_size,
         n_jobs=args.jobs,
         kernel=args.kernel,
+        kernel_threads=args.kernel_threads,
     )
     items = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
     if args.top is not None:

@@ -88,6 +88,7 @@ def betweenness_centrality(
     n_jobs: Optional[int] = None,
     plan: Optional[ExecutionPlan] = None,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> Dict[Vertex, float]:
     """Return the exact betweenness centrality of every vertex.
 
@@ -119,6 +120,10 @@ def betweenness_centrality(
         :func:`~repro.graphs.csr.resolve_kernel`).  The compiled rung is
         bit-identical to the numpy rung, so this knob never changes the
         returned scores — only how fast each Brandes pass runs.
+    kernel_threads:
+        Thread count of the compiled jit-parallel batch kernels (see
+        :func:`~repro.execution.resolve_kernel_threads`); rows accumulate
+        in source order at any thread count, so this too is result-neutral.
 
     Returns
     -------
@@ -130,7 +135,12 @@ def betweenness_centrality(
         graph.number_of_vertices(), normalization, directed=graph.directed
     )
     resolved_plan = resolve_plan(
-        plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs, kernel=kernel
+        plan,
+        backend=backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        kernel=kernel,
+        kernel_threads=kernel_threads,
     )
     if resolved_plan is not None:
         return _betweenness_centrality_planned(graph, factor, sources, resolved_plan)
@@ -181,12 +191,19 @@ def _betweenness_centrality_planned(
                 n_jobs=plan.n_jobs,
                 plan=plan,
                 # Interning keeps one payload object per (snapshot, batch,
-                # kernel) across calls, so a persistent pool ships the CSR
-                # arrays to its workers once per session, not per request.
+                # kernel, threads) across calls, so a persistent pool ships
+                # the CSR arrays to its workers once per session, not per
+                # request.
                 shared=interned_payload(
                     plan,
-                    ("dep-sum-csr", id(csr), plan.batch_size, plan.kernel),
-                    lambda: (csr, plan.batch_size, plan.kernel),
+                    (
+                        "dep-sum-csr",
+                        id(csr),
+                        plan.batch_size,
+                        plan.kernel,
+                        plan.kernel_threads,
+                    ),
+                    lambda: (csr, plan.batch_size, plan.kernel, plan.kernel_threads),
                 ),
             )
         )

@@ -35,12 +35,14 @@ def dependency_vector(
     n_jobs: Optional[int] = None,
     plan: Optional["ExecutionPlan"] = None,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(r)}`` — the unnormalised MH target distribution of Eq. 5.
 
     ``batch_size`` / ``n_jobs`` / ``plan`` engage the sharded execution
     engine for the |V| Brandes passes (see :mod:`repro.execution`);
-    ``kernel`` selects the bit-identical CSR kernel rung.
+    ``kernel`` selects the bit-identical CSR kernel rung and
+    ``kernel_threads`` its jit-parallel thread count (result-neutral).
     """
     return all_dependencies_on_target(
         graph,
@@ -50,6 +52,7 @@ def dependency_vector(
         n_jobs=n_jobs,
         plan=plan,
         kernel=kernel,
+        kernel_threads=kernel_threads,
     )
 
 
@@ -63,6 +66,7 @@ def betweenness_of_vertex(
     n_jobs: Optional[int] = None,
     plan: Optional["ExecutionPlan"] = None,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> float:
     """Return the exact betweenness score of vertex *r*.
 
@@ -79,6 +83,7 @@ def betweenness_of_vertex(
         n_jobs=n_jobs,
         plan=plan,
         kernel=kernel,
+        kernel_threads=kernel_threads,
     )
     raw = sum(deltas.values())
     factor = normalization_factor(

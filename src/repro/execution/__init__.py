@@ -17,11 +17,14 @@ passes and accumulate".  This package owns *how* those passes are executed:
   shards inline or on a multiprocessing pool, and merges per-shard buffers
   in deterministic shard order — so results are identical for any
   ``n_jobs`` given a fixed seed.
-* :mod:`~repro.execution.autotune` calibrates ``batch_size`` and
-  ``n_jobs`` from short timed probes (what ``batch_size="auto"`` /
-  ``n_jobs="auto"`` resolve to); safe because the batch kernels are
-  bit-identical per source row at any block size and the shard scheduler
-  is n_jobs-invariant — timing can never change an estimate.  A shard-size
+* :mod:`~repro.execution.autotune` calibrates ``batch_size``, ``n_jobs``
+  and ``kernel_threads`` from short timed probes (what the respective
+  ``"auto"`` values resolve to); safe because the batch kernels are
+  bit-identical per source row at any block size, the shard scheduler is
+  n_jobs-invariant and the jit-parallel kernels accumulate rows in source
+  order at any thread count — timing can never change an estimate.  The
+  threads probe composes with ``n_jobs``: candidates are capped so
+  ``threads × processes`` never oversubscribes the machine.  A shard-size
   probe ships as a diagnostic only (the shard size is part of the
   determinism contract, never a knob).
 * :mod:`~repro.execution.shared_cache` provides the cross-process
@@ -41,15 +44,19 @@ passes and accumulate".  This package owns *how* those passes are executed:
 from repro.execution.autotune import (
     DEFAULT_BATCH_CANDIDATES,
     calibrate_batch_size,
+    calibrate_kernel_threads,
     calibrate_n_jobs,
     default_jobs_candidates,
+    default_threads_candidates,
     probe_batch_sizes,
+    probe_kernel_threads,
     probe_n_jobs,
     probe_shard_sizes,
 )
 from repro.execution.plan import (
     DEFAULT_SHARD_SIZE,
     ExecutionPlan,
+    resolve_kernel_threads,
     resolve_mp_context,
     resolve_plan,
     resolve_shared_cache,
@@ -84,6 +91,7 @@ from repro.execution.stamp import (
 __all__ = [
     "ExecutionPlan",
     "resolve_plan",
+    "resolve_kernel_threads",
     "resolve_shared_cache",
     "resolve_shared_graph",
     "resolve_mp_context",
@@ -99,6 +107,9 @@ __all__ = [
     "default_jobs_candidates",
     "calibrate_n_jobs",
     "probe_n_jobs",
+    "default_threads_candidates",
+    "calibrate_kernel_threads",
+    "probe_kernel_threads",
     "probe_shard_sizes",
     "split_shards",
     "shard_rngs",

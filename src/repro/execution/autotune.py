@@ -41,6 +41,9 @@ __all__ = [
     "default_jobs_candidates",
     "probe_n_jobs",
     "calibrate_n_jobs",
+    "default_threads_candidates",
+    "probe_kernel_threads",
+    "calibrate_kernel_threads",
     "probe_shard_sizes",
 ]
 
@@ -263,6 +266,142 @@ def calibrate_n_jobs(
         if seconds < best_seconds or (seconds == best_seconds and jobs < best_jobs):
             best_jobs, best_seconds = jobs, seconds
     return best_jobs
+
+
+def default_threads_candidates(n_jobs: int = 1) -> Tuple[int, ...]:
+    """Return the kernel-thread counts the threads probe sweeps on this machine.
+
+    Powers of two from 1 up to ``cpu_count // n_jobs`` — the thread budget
+    composes with worker processes (each of the ``n_jobs`` workers runs its
+    own prange team), so candidates are capped where ``threads × n_jobs``
+    would oversubscribe the machine.  Always contains at least ``(1,)``.
+    """
+    if not isinstance(n_jobs, int) or isinstance(n_jobs, bool) or n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be a positive integer, got {n_jobs!r}"
+        )
+    try:
+        cores = multiprocessing.cpu_count()
+    except NotImplementedError:  # pragma: no cover - exotic platforms
+        cores = 1
+    budget = max(1, cores // n_jobs)
+    candidates = []
+    threads = 1
+    while threads <= budget:
+        candidates.append(threads)
+        threads *= 2
+    return tuple(candidates)
+
+
+def probe_kernel_threads(
+    graph,
+    *,
+    backend: str = "auto",
+    kernel: str = "auto",
+    candidates: Sequence[int] = (),
+    probe_sources: int = 32,
+    repeats: int = 1,
+    batch_size: int = 32,
+    n_jobs: int = 1,
+) -> List[Tuple[int, float]]:
+    """Time one batched dependency sweep per thread count; return ``[(threads, seconds)]``.
+
+    Kernel threads only engage inside the numba ``prange`` batch kernels,
+    so the probe is skipped — ``[(1, 0.0)]`` — whenever they could not run:
+    dict backend, numpy kernel rung, or numba not importable (where the
+    knob is accepted but inert).  Otherwise each candidate times the real
+    compiled batched sweep; the per-source rows are computed independently
+    and accumulated in source order regardless of the thread count, so the
+    timed choice can never change an estimate — the same contract as the
+    batch-size and n_jobs probes.  *n_jobs* is the worker-process count the
+    caller intends to combine the threads with: the default candidate list
+    is capped so ``threads × n_jobs`` never exceeds the CPU count.
+    """
+    if probe_sources < 1:
+        raise ConfigurationError("probe_sources must be a positive integer")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be a positive integer")
+    if not isinstance(batch_size, int) or isinstance(batch_size, bool) or batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be a positive integer, got {batch_size!r}"
+        )
+    if not candidates:
+        candidates = default_threads_candidates(n_jobs)
+    for candidate in candidates:
+        if not isinstance(candidate, int) or isinstance(candidate, bool) or candidate < 1:
+            raise ConfigurationError(
+                f"kernel-thread candidates must be positive integers, got {candidate!r}"
+            )
+    if resolve_backend(backend) != "csr":
+        return [(1, 0.0)]
+    from repro.execution.stamp import resolve_kernel_quiet
+    from repro.graphs.csr import compiled_kernels_available
+
+    if resolve_kernel_quiet(kernel) != "compiled" or not compiled_kernels_available():
+        return [(1, 0.0)]
+    if max(candidates) == 1:
+        return [(1, 0.0)]
+    from repro.shortest_paths.batch import batch_source_dependencies
+
+    csr = _csr_of(graph)
+    sources = list(range(min(probe_sources, csr.number_of_vertices())))
+    if not sources:
+        return [(1, 0.0)]
+
+    def sweep(threads: int) -> None:
+        for begin in range(0, len(sources), batch_size):
+            batch_source_dependencies(
+                csr,
+                sources[begin : begin + batch_size],
+                kernel="compiled",
+                kernel_threads=threads,
+            )
+
+    sweep(candidates[0])  # warm-up, untimed (jit compilation + snapshot touch)
+    timings: List[Tuple[int, float]] = []
+    for threads in candidates:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            sweep(threads)
+            best = min(best, time.perf_counter() - start)
+        timings.append((threads, best))
+    return timings
+
+
+def calibrate_kernel_threads(
+    graph,
+    *,
+    backend: str = "auto",
+    kernel: str = "auto",
+    candidates: Sequence[int] = (),
+    probe_sources: int = 32,
+    repeats: int = 1,
+    batch_size: int = 32,
+    n_jobs: int = 1,
+) -> int:
+    """Return the candidate thread count whose probe sweep ran fastest.
+
+    Ties go to the smaller count (fewer idle threads for the same speed).
+    This is what ``kernel_threads="auto"`` resolves to at the API and CLI
+    layers; without numba (or on the numpy rung) it resolves to 1 without
+    probing, since the knob could not engage anything.
+    """
+    timings = probe_kernel_threads(
+        graph,
+        backend=backend,
+        kernel=kernel,
+        candidates=candidates,
+        probe_sources=probe_sources,
+        repeats=repeats,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+    )
+    best_threads, best_seconds = timings[0]
+    for threads, seconds in timings[1:]:
+        if seconds < best_seconds or (seconds == best_seconds and threads < best_threads):
+            best_threads, best_seconds = threads, seconds
+    return best_threads
 
 
 def probe_shard_sizes(

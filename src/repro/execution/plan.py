@@ -62,6 +62,7 @@ __all__ = [
     "resolve_shared_cache",
     "resolve_shared_graph",
     "resolve_mp_context",
+    "resolve_kernel_threads",
     "DEFAULT_SHARD_SIZE",
 ]
 
@@ -124,6 +125,16 @@ class ExecutionPlan:
         numba imports).  The compiled twins replay the numpy rung's exact
         float summation order, so the knob never changes a result — only
         how fast each pass runs.  Ignored by the dict backend.
+    kernel_threads:
+        Threads for the ``prange`` variants of the compiled batch kernels
+        (>= 1; 1 keeps the sequential kernels).  Consumed only where a
+        compiled batched wave actually runs — every other path ignores it
+        — and result-neutral by construction: threads stride independent
+        per-source rows, so no row's float summation order can change.
+        Composes with ``n_jobs``: each worker process runs its kernels on
+        this many threads, so keep ``n_jobs × kernel_threads`` within the
+        machine (``"auto"`` calibration in :mod:`repro.execution.autotune`
+        enforces exactly that).
     """
 
     backend: str = "auto"
@@ -134,6 +145,7 @@ class ExecutionPlan:
     mp_context: Optional[str] = None
     runtime: Optional[object] = None
     kernel: str = "auto"
+    kernel_threads: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -151,6 +163,10 @@ class ExecutionPlan:
         if not isinstance(self.n_jobs, int) or self.n_jobs < 1:
             raise ConfigurationError(
                 f"n_jobs must be a positive integer, got {self.n_jobs!r}"
+            )
+        if not isinstance(self.kernel_threads, int) or self.kernel_threads < 1:
+            raise ConfigurationError(
+                f"kernel_threads must be a positive integer, got {self.kernel_threads!r}"
             )
         if not isinstance(self.shared_cache, bool):
             raise ConfigurationError(
@@ -210,6 +226,7 @@ def resolve_plan(
     mp_context: Optional[str] = None,
     runtime: Optional[object] = None,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> Optional[ExecutionPlan]:
     """Resolve the execution knobs of one estimator call.
 
@@ -230,6 +247,12 @@ def resolve_plan(
         — like ``shared_cache`` — never engages the engine by itself, since
         the rungs are bit-identical and the legacy sequential paths resolve
         the same knob on their own.
+    kernel_threads:
+        Compiled-kernel thread count; ``None`` consults
+        ``REPRO_KERNEL_THREADS`` (:func:`resolve_kernel_threads`).  Like
+        ``kernel`` it never engages the engine by itself — it is
+        result-neutral, so it only fills the field of a plan the other
+        knobs engaged.
 
     Returns
     -------
@@ -245,14 +268,15 @@ def resolve_plan(
         batch_size = _env_int("REPRO_BATCH")
     if n_jobs is None:
         n_jobs = _env_int("REPRO_JOBS")
-    # shared_cache / shared_graph / mp_context / runtime deliberately do NOT
-    # engage the engine: an engaged plan switches estimators onto the
-    # sharded/prefetch disciplines (different rng consumption, different —
-    # though equally valid — estimates), and all four knobs are documented
-    # to never change a result.  They only fill the fields of a plan the
-    # other knobs engaged; standalone consumers (the multi-chain drivers)
-    # read them through resolve_shared_cache() / resolve_shared_graph() /
-    # resolve_mp_context().
+    # shared_cache / shared_graph / mp_context / runtime / kernel_threads
+    # deliberately do NOT engage the engine: an engaged plan switches
+    # estimators onto the sharded/prefetch disciplines (different rng
+    # consumption, different — though equally valid — estimates), and all
+    # five knobs are documented to never change a result.  They only fill
+    # the fields of a plan the other knobs engaged; standalone consumers
+    # (the multi-chain drivers) read them through resolve_shared_cache() /
+    # resolve_shared_graph() / resolve_mp_context() /
+    # resolve_kernel_threads().
     if batch_size is None and n_jobs is None:
         return None
     return ExecutionPlan(
@@ -264,6 +288,7 @@ def resolve_plan(
         mp_context=resolve_mp_context(mp_context),
         runtime=runtime,
         kernel=kernel,
+        kernel_threads=resolve_kernel_threads(kernel_threads),
     )
 
 
@@ -295,6 +320,29 @@ def resolve_shared_graph(shared_graph: Optional[bool] = None) -> bool:
     if shared_graph is not None:
         return shared_graph
     return bool(_env_flag("REPRO_SHARED_GRAPH"))
+
+
+def resolve_kernel_threads(kernel_threads: Optional[int] = None) -> int:
+    """Resolve the compiled-kernel thread-count knob on its own.
+
+    An explicit positive integer wins; ``None`` consults the
+    ``REPRO_KERNEL_THREADS`` environment override (unset means 1 —
+    today's sequential kernels).  Like ``shared_cache`` this never
+    engages the execution engine by itself: the knob is result-neutral
+    (threads stride independent per-source rows of the compiled batch
+    kernels), so it only selects how fast batches already running on the
+    compiled rung finish.  ``"auto"`` calibration lives at the API/CLI
+    boundary (:func:`repro.execution.autotune.calibrate_kernel_threads`),
+    not here — resolution must stay cheap and deterministic.
+    """
+    if kernel_threads is None:
+        resolved = _env_int("REPRO_KERNEL_THREADS")
+        return 1 if resolved is None else resolved
+    if not isinstance(kernel_threads, int) or kernel_threads < 1:
+        raise ConfigurationError(
+            f"kernel_threads must be a positive integer, got {kernel_threads!r}"
+        )
+    return kernel_threads
 
 
 def resolve_mp_context(mp_context: Optional[str] = None) -> Optional[str]:

@@ -33,6 +33,7 @@ EXECUTION_STAMP_KEYS = (
     "jobs",
     "batch_size",
     "kernel",
+    "kernel_threads",
     "chains",
     "rhat",
     "ess",
@@ -41,7 +42,9 @@ EXECUTION_STAMP_KEYS = (
 
 
 def execution_stamp(
-    diagnostics: Mapping[str, object], kernel: Optional[str] = None
+    diagnostics: Mapping[str, object],
+    kernel: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
 ) -> dict:
     """Build the execution stamp from a result's ``diagnostics`` mapping.
 
@@ -49,14 +52,16 @@ def execution_stamp(
     (``SingleEstimate.diagnostics`` / ``RelativeBetweennessEstimate
     .diagnostics``); the stamp renames its internal keys (``n_jobs`` →
     ``jobs``, ``n_chains`` → ``chains``) to the stable receipt vocabulary.
-    *kernel* is the resolved CSR kernel rung the caller ran (estimator
-    diagnostics predate the kernel knob, so it travels separately).
+    *kernel* is the resolved CSR kernel rung the caller ran and
+    *kernel_threads* the per-kernel thread count (estimator diagnostics
+    predate both knobs, so they travel separately).
     """
     return {
         "backend": diagnostics.get("backend"),
         "jobs": diagnostics.get("n_jobs"),
         "batch_size": diagnostics.get("batch_size"),
         "kernel": kernel,
+        "kernel_threads": kernel_threads,
         "chains": diagnostics.get("n_chains"),
         "rhat": diagnostics.get("rhat"),
         "ess": diagnostics.get("ess"),

@@ -214,6 +214,7 @@ class CSRGraph:
         "_scipy_forward",
         "_scipy_backward",
         "_spmm_ok",
+        "_dijkstra_adj",
     )
 
     def __init__(
@@ -241,6 +242,24 @@ class CSRGraph:
         # function of batch composition, which would break the engine's
         # batch_size invariance.
         self._spmm_ok = None
+        # Lazily-built list-of-(neighbour, weight) adjacency view for the
+        # interpreter Dijkstra rung (repro.shortest_paths.dijkstra); one
+        # build per snapshot, shared by every source.
+        self._dijkstra_adj = None
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        # Per-process lazy caches are rebuilt on demand; shipping them to
+        # worker processes would multiply the payload size for no benefit.
+        state["_scipy_forward"] = None
+        state["_scipy_backward"] = None
+        state["_dijkstra_adj"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -328,6 +347,8 @@ class CSRGraph:
         clone._scipy_forward = None
         clone._scipy_backward = None
         clone._spmm_ok = self._spmm_ok
+        # The pair view caches weights, which this clone just changed.
+        clone._dijkstra_adj = None
         return clone
 
     # ------------------------------------------------------------------

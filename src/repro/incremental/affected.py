@@ -46,10 +46,21 @@ unique touched endpoint.  :mod:`repro.incremental.biconnected` keeps the
 structural machinery for diagnostics and for independent superset checks
 in the test-suite.
 
+Weighted graphs: float distance *equality* is only provably conservative
+for the integral BFS metric, so weighted windows use a different rule.
+Weight-only windows (every record is ``weight-changed``) run the
+edge-tightness test of :func:`_weight_only_region` over per-endpoint
+Dijkstra distances — a source is flagged when the mutated edge is tight
+or improving from it under either the old or the new weight, within the
+kernel tie tolerance widened by :data:`_TIE_SAFETY`.  Weighted windows
+containing *structural* records (edge additions/removals) keep the full
+fallback: the tightness argument needs the mutated edge present in both
+snapshots.
+
 Safe fallbacks (``AffectedRegion.everything``): vertex additions or
 removals (the CSR index space itself changes), directed graphs, weighted
-graphs (float distance equality is only provably conservative for the
-integral BFS metric), journal overflow and over-budget endpoint sets.
+windows with structural edge records (see above), weight records missing
+either weight, journal overflow and over-budget endpoint sets.
 """
 
 from __future__ import annotations
@@ -77,8 +88,9 @@ __all__ = [
     "INVALIDATION_MODES",
 ]
 
-#: Default cap on the number of BFS passes :func:`affected_sources` will
-#: spend before declaring the detection over budget and falling back to
+#: Default cap on the number of traversal passes (BFS unweighted,
+#: Dijkstra weighted) :func:`affected_sources` will spend before declaring
+#: the detection over budget and falling back to
 #: full invalidation (one pass per unique touched endpoint; a Brandes
 #: recompute of a single retained row already costs a few passes, so a
 #: large touched set quickly stops being worth scoping).
@@ -173,7 +185,9 @@ def affected_sources(
     if csr.directed:
         return _everything("directed")
     if csr.weighted:
-        return _everything("weighted")
+        if any(d.structural for d in deltas):
+            return _everything("weighted")
+        return _weight_only_region(csr, deltas, max_bfs=max_bfs)
 
     pairs = []
     for delta in deltas:
@@ -198,4 +212,103 @@ def affected_sources(
         # inf != inf is False: sources reaching neither endpoint are
         # provably unaffected by this pair.
         mask |= dist[ui] != dist[vi]
+    return AffectedRegion(mask=mask, endpoints=tuple(unique))
+
+
+#: Safety factor applied on top of the Dijkstra relaxation tolerance
+#: (``_EPSILON``) when testing edge tightness: a source whose distances
+#: tie the mutated edge anywhere within this widened band is flagged, so
+#: the retained sources sit strictly outside the band the traversal
+#: kernels use for their own tie comparisons — their relaxation branches
+#: provably cannot flip between the old- and new-weight snapshots.  The
+#: widened band also absorbs the last-ulp asymmetry of float path sums:
+#: the rule evaluates ``d(endpoint, s)`` (one pass per endpoint) where the
+#: kernels from source ``s`` sum the same undirected path in the opposite
+#: order, and the two sums may differ by a few ulps — orders of magnitude
+#: inside this band for any realistic path length.
+_TIE_SAFETY = 4.0
+
+
+def _weight_only_region(
+    csr: "CSRGraph",
+    deltas: Tuple["GraphDelta", ...],
+    *,
+    max_bfs: int,
+) -> AffectedRegion:
+    """The edge-tightness rule for weight-only journal windows.
+
+    Every delta is a ``weight-changed`` record on the undirected weighted
+    *csr* (the caller has already excluded structural, directed and
+    vertex-touching windows).  A source ``s`` is flagged for a mutated
+    edge ``(u, v)`` when the edge is *tight or improving* from ``s`` in
+    either orientation under either the old or the new weight:
+
+    .. math::
+
+       d(s, a) + w \\le d(s, b) + \\text{tol}
+       \\quad (a, b) \\in \\{(u, v), (v, u)\\},\\; w \\in \\{w_{old}, w_{new}\\}
+
+    with ``d`` the **post-mutation** Dijkstra distances and ``tol`` the
+    kernel relaxation tolerance widened by :data:`_TIE_SAFETY`.  Why the
+    four tests cover every change for an unflagged source:
+
+    * tight under ``w_new``: the edge sits in the post-mutation shortest-
+      path DAG of ``s`` (every post DAG membership is exactly post
+      tightness), so path counts or accumulation may involve it — flag.
+    * improving under ``w_old`` (``d(s,a) + w_old < d(s,b)``): the
+      pre-mutation graph contained an ``s``-path strictly shorter than the
+      post distance of ``b``, so distances changed — flag.  (Improving
+      under ``w_new`` is impossible: post distances already satisfy the
+      triangle inequality over the post edge.)
+    * tight under ``w_old``: if distances did *not* change, the edge sat
+      in the pre-mutation DAG — flag.
+
+    For a source failing all four tests (both orientations), the post
+    distance function is also valid for the pre-mutation graph — no post
+    shortest path crosses a mutated edge (a crossing would be tight under
+    ``w_new``), and a strictly shorter pre path would put a first mutated-
+    edge crossing ``(a, b)`` with unaffected prefix at
+    ``d(s,a) + w_old \\le d(s,b)``, i.e. tight-or-improving under
+    ``w_old``.  Distances, DAG membership and tie comparisons (the safety
+    band) are therefore identical, the traversal kernels replay the same
+    float operations, and the cached row is bit-identical — the same
+    retention contract as the unweighted distance rule.
+    """
+    pairs = []
+    for delta in deltas:
+        ui = csr.find_index(delta.u)
+        vi = csr.find_index(delta.v)
+        if ui is None or vi is None:
+            return _everything("unknown-endpoint")
+        if delta.old_weight is None or delta.weight is None:
+            # A weight-changed record without both weights cannot be
+            # validated against the tightness rule: not provable, so not
+            # retained.
+            return _everything("unknown-weight")
+        pairs.append((ui, vi, float(delta.old_weight), float(delta.weight)))
+
+    unique = sorted({i for ui, vi, _, _ in pairs for i in (ui, vi)})
+    if len(unique) > max_bfs:
+        return _everything("over-budget")
+
+    from repro.shortest_paths.dijkstra import _EPSILON, dijkstra_distances_csr
+
+    mask = np.zeros(csr.number_of_vertices(), dtype=bool)
+    # Undirected: d(s, endpoint) == d(endpoint, s), so one Dijkstra pass
+    # per unique endpoint yields the distance of *every* source to it —
+    # the weighted twin of the BFS passes above, same max_bfs budget.
+    dist = {
+        endpoint: dijkstra_distances_csr(csr, endpoint)[0] for endpoint in unique
+    }
+    for ui, vi, old_weight, new_weight in pairs:
+        for a, b in ((ui, vi), (vi, ui)):
+            da, db = dist[a], dist[b]
+            # The mutated edge keeps both endpoints in one component, so
+            # finiteness agrees; the guard keeps inf arithmetic (and the
+            # trivially-true inf <= inf comparison) out of the mask.
+            reachable = np.isfinite(da) & np.isfinite(db)
+            for w in (old_weight, new_weight):
+                candidate = da + w
+                slack = _TIE_SAFETY * _EPSILON * np.maximum(1.0, candidate)
+                mask |= reachable & (candidate <= db + slack)
     return AffectedRegion(mask=mask, endpoints=tuple(unique))

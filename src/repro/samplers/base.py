@@ -38,16 +38,18 @@ class ExecutionPlanMixin:
     original sequential path.  Centralised here so a change to plan
     resolution (a new env knob, say) lands in every sampler at once.
 
-    ``mp_context``, ``runtime``, ``shared_graph`` and ``kernel`` are
-    class-level defaults rather than constructor parameters: they configure
-    *how* pools run (start method; per-call ephemeral vs a session's
-    persistent :class:`~repro.execution.runtime.ExecutionContext`; whether
-    the CSR snapshot ships as a shared-memory handle; which bit-identical
-    CSR kernel rung runs each pass), never what is computed, so the session
-    layer attaches them to an existing sampler (``sampler.runtime = ctx``,
-    ``sampler.kernel = "compiled"``) instead of every constructor growing
-    pass-through arguments.  Samplers that ship themselves inside worker
-    payloads stay safe: a runtime context pickles to ``None``.
+    ``mp_context``, ``runtime``, ``shared_graph``, ``kernel`` and
+    ``kernel_threads`` are class-level defaults rather than constructor
+    parameters: they configure *how* pools run (start method; per-call
+    ephemeral vs a session's persistent
+    :class:`~repro.execution.runtime.ExecutionContext`; whether the CSR
+    snapshot ships as a shared-memory handle; which bit-identical CSR
+    kernel rung runs each pass, on how many threads), never what is
+    computed, so the session layer attaches them to an existing sampler
+    (``sampler.runtime = ctx``, ``sampler.kernel = "compiled"``) instead
+    of every constructor growing pass-through arguments.  Samplers that
+    ship themselves inside worker payloads stay safe: a runtime context
+    pickles to ``None``.
     """
 
     backend: str = "auto"
@@ -57,6 +59,7 @@ class ExecutionPlanMixin:
     runtime: Optional[object] = None
     shared_graph: Optional[bool] = None
     kernel: str = "auto"
+    kernel_threads: Optional[int] = None
 
     def _plan(self) -> Optional[ExecutionPlan]:
         return resolve_plan(
@@ -68,6 +71,7 @@ class ExecutionPlanMixin:
             runtime=self.runtime,
             shared_graph=self.shared_graph,
             kernel=self.kernel,
+            kernel_threads=self.kernel_threads,
         )
 
 

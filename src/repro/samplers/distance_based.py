@@ -41,7 +41,7 @@ from repro.shortest_paths.dependencies import (
     dependency_at_target_shard_dict,
     dependency_on_target,
 )
-from repro.shortest_paths.dijkstra import dijkstra_distances
+from repro.shortest_paths.dijkstra import dijkstra_distances, dijkstra_distances_csr
 
 __all__ = ["DistanceBasedSampler", "ImportanceSamplingEstimator"]
 
@@ -143,8 +143,15 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
                                     plan.batch_size,
                                     r_index,
                                     plan.kernel,
+                                    plan.kernel_threads,
                                 ),
-                                lambda: (csr, plan.batch_size, r_index, plan.kernel),
+                                lambda: (
+                                    csr,
+                                    plan.batch_size,
+                                    r_index,
+                                    plan.kernel,
+                                    plan.kernel_threads,
+                                ),
                             ),
                         )
                     )
@@ -189,11 +196,22 @@ class ImportanceSamplingEstimator(ExecutionPlanMixin, SingleVertexEstimator):
 def _distance_mass(graph: Graph, r: Vertex, *, backend: str = "auto") -> Dict[Vertex, float]:
     """Return the distance-proportional mass function ``q(s) ∝ d(r, s)``.
 
-    Both backends yield the dict in BFS discovery order: ``rng.choices``
-    consumes the same candidate ordering either way, keeping fixed-seed
-    estimates identical across backends.
+    Both backends yield the dict in traversal discovery order — BFS level
+    order when unweighted, Dijkstra settle order when weighted (the dict
+    route's distance map is filled as vertices settle, and the CSR route
+    rebuilds from the settle-order array) — so ``rng.choices`` consumes
+    the same candidate ordering either way, keeping fixed-seed estimates
+    identical across backends.
     """
     if graph.weighted:
+        if resolve_backend(backend) == "csr":
+            csr = graph.csr()
+            r_index = csr.index_of(r)
+            dist, order = dijkstra_distances_csr(csr, r_index)
+            vertex_at = csr.vertex_at
+            return {
+                vertex_at(i): float(dist[i]) for i in order.tolist() if i != r_index
+            }
         distances = dijkstra_distances(graph, r)
         return {v: d for v, d in distances.items() if v != r and d != float("inf")}
     if resolve_backend(backend) == "csr":

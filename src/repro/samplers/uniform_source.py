@@ -130,8 +130,19 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                             plan=plan,
                             shared=interned_payload(
                                 plan,
-                                ("dep-sum-csr", id(csr), plan.batch_size, plan.kernel),
-                                lambda: (csr, plan.batch_size, plan.kernel),
+                                (
+                                    "dep-sum-csr",
+                                    id(csr),
+                                    plan.batch_size,
+                                    plan.kernel,
+                                    plan.kernel_threads,
+                                ),
+                                lambda: (
+                                    csr,
+                                    plan.batch_size,
+                                    plan.kernel,
+                                    plan.kernel_threads,
+                                ),
                             ),
                         )
                     )
@@ -234,8 +245,15 @@ class UniformSourceSampler(ExecutionPlanMixin, SingleVertexEstimator, AllVertice
                                     plan.batch_size,
                                     csr.index_of(r),
                                     plan.kernel,
+                                    plan.kernel_threads,
                                 ),
-                                lambda: (csr, plan.batch_size, csr.index_of(r), plan.kernel),
+                                lambda: (
+                                    csr,
+                                    plan.batch_size,
+                                    csr.index_of(r),
+                                    plan.kernel,
+                                    plan.kernel_threads,
+                                ),
                             ),
                         )
                     )

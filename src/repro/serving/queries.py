@@ -41,7 +41,9 @@ def parse_vertex(label: str) -> object:
         return label
 
 
-def estimate_payload(vertex, result, kernel: Optional[str] = None) -> dict:
+def estimate_payload(
+    vertex, result, kernel: Optional[str] = None, kernel_threads: Optional[int] = None
+) -> dict:
     """JSON payload of one single-vertex estimate (all serving surfaces)."""
     return {
         "vertex": str(vertex),
@@ -50,16 +52,18 @@ def estimate_payload(vertex, result, kernel: Optional[str] = None) -> dict:
         "samples": result.samples,
         "elapsed_seconds": result.elapsed_seconds,
         "acceptance_rate": result.diagnostics.get("acceptance_rate"),
-        **execution_stamp(result.diagnostics, kernel),
+        **execution_stamp(result.diagnostics, kernel, kernel_threads),
         # Multi-chain extras: null unless the chains/rhat driver ran.
         "converged": result.diagnostics.get("converged"),
     }
 
 
-def relative_payload(estimate, kernel: Optional[str] = None) -> dict:
+def relative_payload(
+    estimate, kernel: Optional[str] = None, kernel_threads: Optional[int] = None
+) -> dict:
     """JSON payload of one relative-betweenness estimate (all serving surfaces)."""
     return {
-        **execution_stamp(estimate.diagnostics, kernel),
+        **execution_stamp(estimate.diagnostics, kernel, kernel_threads),
         "reference_set": [str(v) for v in estimate.reference_set],
         "sample_counts": {str(v): c for v, c in estimate.sample_counts.items()},
         "acceptance_rate": estimate.acceptance_rate,
@@ -77,14 +81,16 @@ def execute_query(
     query: dict,
     default_chains: Optional[int] = None,
     kernel: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
 ) -> dict:
     """Execute one parsed query dictionary against a warm session.
 
     *session* is a :class:`~repro.centrality.session.BetweennessSession`
     or its :class:`~repro.centrality.session.ThreadSafeSession` wrapper —
     both expose the same query surface.  *default_chains* applies to MCMC
-    queries that do not set ``"chains"`` themselves; *kernel* is the
-    resolved kernel rung stamped into the payload.
+    queries that do not set ``"chains"`` themselves; *kernel* /
+    *kernel_threads* are the resolved kernel rung and thread count stamped
+    into the payload.
     """
     op = query.get("op", "estimate")
     seed = query.get("seed")
@@ -102,14 +108,16 @@ def execute_query(
             n_chains=chains,
             rhat_target=query.get("rhat"),
         )
-        return estimate_payload(vertex, result, kernel=kernel)
+        return estimate_payload(
+            vertex, result, kernel=kernel, kernel_threads=kernel_threads
+        )
     chains = query.get("chains", default_chains)
     if op == "relative":
         vertices = [parse_vertex(str(v)) for v in query["vertices"]]
         estimate = session.relative(
             vertices, samples=int(query.get("samples", 1000)), seed=seed, n_chains=chains
         )
-        return relative_payload(estimate, kernel=kernel)
+        return relative_payload(estimate, kernel=kernel, kernel_threads=kernel_threads)
     if op == "ranking":
         vertices = query.get("vertices")
         members = (

@@ -34,7 +34,8 @@ identical by construction, and the ``X-Repro-Coalesced`` header (never the
 body) tells a client whether it joined an in-flight run.  Every response
 carries a ``receipt`` — graph name, the graph version the answer was
 computed against (read atomically with the query under the session lock),
-and the execution stamp (backend / jobs / batch size / kernel / chains) —
+and the execution stamp (backend / jobs / batch size / kernel / kernel
+threads / chains) —
 so an answer is auditable back to what actually ran.
 
 Overload and deadlines
@@ -58,7 +59,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
-from repro.execution import ExecutionPlan
+from repro.execution import ExecutionPlan, resolve_kernel_threads
 from repro.execution.stamp import EXECUTION_STAMP_KEYS, execution_stamp, resolve_kernel_quiet
 from repro.graphs.core import Graph
 from repro.graphs.csr import resolve_backend
@@ -95,6 +96,9 @@ class ServingConfig:
     backend: str = "auto"
     #: CSR kernel rung requested (resolved once, stamped in receipts).
     kernel: str = "auto"
+    #: Compiled-kernel thread count (``None`` resolves from
+    #: ``REPRO_KERNEL_THREADS``; result-neutral, stamped in receipts).
+    kernel_threads: Optional[int] = None
     #: Rows of each session's persistent dependency arena.
     arena_capacity: Optional[int] = None
     #: Mutation invalidation scoping: ``None`` resolves from
@@ -161,6 +165,7 @@ class ServingApp:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._kernel = resolve_kernel_quiet(self.config.kernel)
+        self._kernel_threads = resolve_kernel_threads(self.config.kernel_threads)
         self.started_at = time.time()
         #: Fault-injection / test hook: called (with the coalesce key) at
         #: the start of every computation, on the computation thread.  The
@@ -499,6 +504,7 @@ class ServingApp:
                     dict(query, op=op),
                     default_chains=self.config.default_chains,
                     kernel=self._kernel,
+                    kernel_threads=self._kernel_threads,
                 )
                 version = entry.version
             stats = entry.stats()
@@ -549,6 +555,7 @@ class ServingApp:
                     "batch_size": plan.batch_size if plan is not None else None,
                 },
                 kernel=self._kernel,
+                kernel_threads=self._kernel_threads,
             )
         return {
             "graph": name,

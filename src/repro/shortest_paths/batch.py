@@ -39,8 +39,11 @@ execution layer (:mod:`repro.execution`) promise results that do not depend
 on ``batch_size``.
 
 Weighted graphs have no BFS levels to batch; :func:`batch_source_dependencies`
-falls back to a per-source Dijkstra loop so callers get one entry point with
-the same (K, n) result shape either way.
+runs one fused Dijkstra pass per row (:func:`~repro.shortest_paths.dijkstra.
+dijkstra_source_dependencies_csr`, or its compiled twin on that rung) so
+callers get one entry point with the same (K, n) result shape either way,
+and :func:`dijkstra_spd_batch_csr` provides the batch-validated SPD list for
+consumers that need the DAGs themselves.
 """
 
 from __future__ import annotations
@@ -48,7 +51,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence
 
 from repro.graphs.csr import np, resolve_kernel
-from repro.shortest_paths.dijkstra import dijkstra_spd_csr
+from repro.shortest_paths.dijkstra import (
+    dijkstra_source_dependencies_csr,
+    dijkstra_spd_csr,
+)
 
 try:  # pragma: no cover - exercised implicitly on scipy-less installs
     import scipy.sparse as _scipy_sparse
@@ -116,6 +122,7 @@ __all__ = [
     "BatchLevel",
     "BatchedSPD",
     "bfs_spd_batch_csr",
+    "dijkstra_spd_batch_csr",
     "accumulate_dependencies_batch_csr",
     "batch_source_dependencies",
 ]
@@ -423,8 +430,34 @@ def _batch_dependencies_spmm(csr: "CSRGraph", src, out):
     return delta.T
 
 
+def dijkstra_spd_batch_csr(
+    csr: "CSRGraph", sources: Sequence[int], *, kernel: str = "auto"
+):
+    """Build the SPDs of all weighted *sources*; batch-validated, one pass each.
+
+    The weighted counterpart of :func:`bfs_spd_batch_csr` with the same
+    up-front validation and per-row independence guarantee.  A weighted
+    batch shares no level structure across sources (settle orders differ
+    per source), so the batch is a tuple of independent
+    :class:`~repro.shortest_paths.spd.CSRShortestPathDAG` passes — each row
+    bit-identical to :func:`~repro.shortest_paths.dijkstra.dijkstra_spd_csr`
+    run alone, on whichever rung ``kernel`` resolves to.
+    """
+    n = csr.number_of_vertices()
+    src = np.asarray(sources, dtype=np.int64)
+    if src.ndim != 1 or src.size == 0:
+        raise ValueError("sources must be a non-empty 1-D sequence of vertex indices")
+    if src.min() < 0 or src.max() >= n:
+        raise IndexError(f"source indices out of range for {n} vertices")
+    return tuple(dijkstra_spd_csr(csr, s, kernel=kernel) for s in src.tolist())
+
+
 def batch_source_dependencies(
-    csr: "CSRGraph", sources: Sequence[int], out=None, kernel: str = "auto"
+    csr: "CSRGraph",
+    sources: Sequence[int],
+    out=None,
+    kernel: str = "auto",
+    kernel_threads: int = 1,
 ):
     """Return the ``(K, n)`` dependency matrix of *sources* (build + accumulate).
 
@@ -445,13 +478,21 @@ def batch_source_dependencies(
       or the pure-numpy wave (:func:`bfs_spd_batch_csr` +
       :func:`accumulate_dependencies_batch_csr`).  Both rungs are
       bit-identical to the single-source kernels per row;
-    * weighted — a per-source Dijkstra loop (no BFS levels to share).
+    * weighted — one fused Dijkstra pass per row: the compiled batch
+      kernel on that rung, otherwise
+      :func:`~repro.shortest_paths.dijkstra.dijkstra_source_dependencies_csr`
+      (no BFS levels to share across sources).
 
     The spmm sweep deliberately keeps precedence over *both* wave rungs:
     it is the fastest path where it applies, and keeping one dispatch
     order for every ``kernel`` value guarantees the knob can never change
     a result — ``kernel="csr"`` and ``kernel="compiled"`` take the same
     branch everywhere except the (bit-identical) wave pair.
+
+    ``kernel_threads`` engages the ``prange`` variants of the compiled
+    batch kernels (ignored — harmlessly — on every other path); threads
+    stride independent rows, so the count is result-neutral by
+    construction.
 
     All paths compute each row independently of the batch composition, so
     results never depend on ``batch_size``.
@@ -481,19 +522,27 @@ def batch_source_dependencies(
         if resolve_kernel(kernel) == "compiled":
             from repro.shortest_paths.compiled import batch_dependencies_compiled
 
-            return batch_dependencies_compiled(csr, sources, out=out)
+            return batch_dependencies_compiled(
+                csr, sources, out=out, threads=kernel_threads
+            )
         return accumulate_dependencies_batch_csr(
             bfs_spd_batch_csr(csr, sources), out=out
         )
-    # Imported here: dependencies.py imports this module for its shard
-    # workers, so a top-level import would be circular.
-    from repro.shortest_paths.dependencies import accumulate_dependencies_csr
+    if resolve_kernel(kernel) == "compiled":
+        from repro.shortest_paths.compiled import batch_dependencies_compiled
 
+        return batch_dependencies_compiled(
+            csr, sources, out=out, threads=kernel_threads
+        )
     src = np.asarray(sources, dtype=np.int64)
+    if src.ndim != 1 or src.size == 0:
+        raise ValueError("sources must be a non-empty 1-D sequence of vertex indices")
     n = csr.number_of_vertices()
+    if src.min() < 0 or src.max() >= n:
+        raise IndexError(f"source indices out of range for {n} vertices")
     delta = np.empty((int(src.size), n))
     for row, source in enumerate(src.tolist()):
-        delta[row] = accumulate_dependencies_csr(dijkstra_spd_csr(csr, source))
+        delta[row] = dijkstra_source_dependencies_csr(csr, source)
         if out is not None:
             out += delta[row]
     return delta

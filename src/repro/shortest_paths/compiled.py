@@ -1,15 +1,20 @@
 """Compiled (numba-jitted) twins of the CSR traversal kernels.
 
 The third and fastest rung of the backend ladder (``dict`` → ``csr`` →
-``compiled``): scalar re-implementations of the two hot loops every
+``compiled``): scalar re-implementations of the hot loops every
 estimator bottoms out in — the level-synchronous BFS wave of
-:func:`repro.shortest_paths.bfs.bfs_spd_csr` and the per-level Brandes
-back-propagation of
+:func:`repro.shortest_paths.bfs.bfs_spd_csr`, the flat-array-heap
+Dijkstra wave of :func:`repro.shortest_paths.dijkstra.dijkstra_spd_csr`
+and the Brandes back-propagations of
 :func:`repro.shortest_paths.dependencies.accumulate_dependencies_csr` —
-written against flat CSR ``indptr``/``indices`` arrays in the numba
-``@njit`` subset and compiled to machine code on first call
+written against flat CSR ``indptr``/``indices``/``weights`` arrays in
+the numba ``@njit`` subset and compiled to machine code on first call
 (``cache=True``: later processes load the compiled artifact from the
-on-disk cache instead of recompiling).
+on-disk cache instead of recompiling).  The batched kernels additionally
+come in ``prange`` thread-parallel variants (``threads > 1`` via the
+``kernel_threads`` execution knob): threads stride the independent
+per-source rows with private scratch, which parallelises the batch
+without touching any row's float summation order.
 
 Selection is owned by :func:`repro.graphs.csr.resolve_kernel` (the
 ``kernel=`` twin of ``resolve_backend``): ``"auto"`` resolves to
@@ -37,6 +42,12 @@ exact same order, so every result is **bit-identical** to the CSR rung:
   scalar ``delta[p] += sig[p] / sig[c] * (1.0 + delta[c])`` over the
   record's edges in order replays the bincount accumulation term for
   term, with the same division-first element order.
+* weighted: the interpreter rung keys its heap ``(distance, counter,
+  vertex)`` — a strict total order — so the flat-array heap here pops the
+  same unique minimum at every step and replays the identical relaxation
+  sequence (⇒ bit-identical ``dist``/``sig``); the weighted sweep
+  computes the same coefficient-first products per settled vertex, whose
+  per-parent updates touch disjoint cells.
 
 The sparse-matmul sweep of :mod:`repro.shortest_paths.batch` keeps
 precedence over these kernels in :func:`~repro.shortest_paths.batch.
@@ -63,11 +74,12 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 from repro.graphs.csr import np
 
 try:  # pragma: no cover - exercised implicitly on numba-less installs
-    from numba import njit as _njit
+    from numba import njit as _njit, prange
 
     NUMBA_AVAILABLE = True
 except ImportError:  # pragma: no cover
     _njit = None
+    prange = range
     NUMBA_AVAILABLE = False
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,10 +91,18 @@ __all__ = [
     "warm_up",
     "maybe_warm_up",
     "bfs_spd_compiled",
+    "dijkstra_spd_compiled",
     "accumulate_dependencies_compiled",
     "source_dependencies_compiled",
     "batch_dependencies_compiled",
+    "engage_threads",
 ]
+
+#: Tolerance for weighted path-length equality — must match
+#: ``repro.shortest_paths.dijkstra._EPSILON`` (asserted by the test-suite)
+#: so the compiled heap wave takes exactly the interpreter rung's
+#: tie/improve branches.
+_EPS = 1e-12
 
 
 def _jit(fn):
@@ -95,6 +115,38 @@ def _jit(fn):
     if _njit is None:
         return fn
     return _njit(cache=True)(fn)
+
+
+def _jit_parallel(fn):
+    """``@njit(parallel=True, cache=True)`` twin of :func:`_jit`.
+
+    Without numba, ``prange`` is plain ``range`` and the strided
+    thread-loop bodies run sequentially — same arithmetic, same results.
+    """
+    if _njit is None:
+        return fn
+    return _njit(parallel=True, cache=True)(fn)
+
+
+def engage_threads(threads) -> int:
+    """Clamp *threads* and point numba's thread pool at it; return the count.
+
+    ``kernel_threads`` is result-neutral by construction (the parallel
+    kernels stride independent per-source rows over threads), so the only
+    job here is capping at numba's launch-time maximum —
+    ``set_num_threads`` rejects anything above ``NUMBA_NUM_THREADS``.
+    Without numba any value collapses to the sequential fallback.
+    """
+    if threads is None:
+        return 1
+    count = max(1, int(threads))
+    if count == 1 or not NUMBA_AVAILABLE:
+        return count
+    import numba
+
+    count = max(1, min(count, int(numba.config.NUMBA_NUM_THREADS)))
+    numba.set_num_threads(count)
+    return count
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +280,404 @@ def _batch_delta_py(
 _batch_delta = _jit(_batch_delta_py)
 
 
+def _batch_delta_parallel_py(indptr, indices, sources, delta, n_threads):
+    """``prange``-over-threads twin of :func:`_batch_delta_py`.
+
+    Each thread owns a private scratch set and the strided source subset
+    ``k = t, t + T, t + 2T, ...``; every row ``delta[k]`` is the fused
+    per-source kernel's output, written by exactly one thread.  Rows are
+    mutually independent, so the partition (and hence the thread count)
+    cannot change any row's float summation order — ``kernel_threads`` is
+    result-neutral by construction, not by tolerance.
+    """
+    K = sources.shape[0]
+    n = indptr.shape[0] - 1
+    m = indices.shape[0]
+    for t in prange(n_threads):
+        dist = np.empty(n)
+        sig = np.empty(n)
+        order = np.empty(n, np.int64)
+        level_start = np.empty(n + 2, np.int64)
+        edge_p = np.empty(m, np.int64)
+        edge_c = np.empty(m, np.int64)
+        edge_start = np.empty(n + 2, np.int64)
+        for k in range(t, K, n_threads):
+            _source_delta(
+                indptr,
+                indices,
+                sources[k],
+                dist,
+                sig,
+                delta[k],
+                order,
+                level_start,
+                edge_p,
+                edge_c,
+                edge_start,
+            )
+
+
+_batch_delta_parallel = _jit_parallel(_batch_delta_parallel_py)
+
+
+def _dijkstra_wave_py(
+    indptr,
+    indices,
+    weights,
+    source,
+    dist,
+    tent,
+    sig,
+    order,
+    heap_key,
+    heap_cnt,
+    heap_vtx,
+    pred_head,
+    pred_parent,
+    pred_prev,
+):
+    """Flat-array heap twin of the ``dijkstra_spd_csr`` wave.
+
+    The priority queue is a hand-rolled binary heap over three parallel
+    arrays — key (tentative distance), push counter, vertex — with no
+    tuple allocation.  The interpreter rung keys its ``heapq`` entries
+    ``(distance, counter, vertex)``; the counter makes the key set
+    strictly totally ordered, so the unique minimum at every pop is the
+    same for any correct heap and both rungs settle vertices in the
+    identical order (⇒ identical relaxation sequence ⇒ bit-identical
+    ``dist``/``sig``).
+
+    Predecessor lists are recorded as a linked event log: ``pred_head[v]``
+    points at ``v``'s most recent event, ``pred_prev`` chains towards the
+    oldest, and a strict improvement starts a fresh chain (abandoning the
+    superseded parents exactly like the interpreter's list replacement).
+    Chains therefore read parents in *reverse* insertion order;
+    :func:`_collect_preds_py` restores insertion order when the DAG is
+    materialised.  Returns ``n_order``.
+    """
+    n = dist.shape[0]
+    inf = np.inf
+    for i in range(n):
+        dist[i] = inf
+        tent[i] = inf
+        sig[i] = 0.0
+        pred_head[i] = -1
+    sig[source] = 1.0
+    tent[source] = 0.0
+    heap_key[0] = 0.0
+    heap_cnt[0] = 0
+    heap_vtx[0] = source
+    size = 1
+    counter = 1
+    n_order = 0
+    n_events = 0
+    while size > 0:
+        dist_u = heap_key[0]
+        u = heap_vtx[0]
+        # Pop: move the last entry to the root and sift it down.  The
+        # arrangement may differ from heapq's internal layout, but the
+        # popped minimum is unique at every step, so the pop sequence
+        # cannot.
+        size -= 1
+        if size > 0:
+            key = heap_key[size]
+            cnt = heap_cnt[size]
+            vtx = heap_vtx[size]
+            pos = 0
+            while True:
+                child = 2 * pos + 1
+                if child >= size:
+                    break
+                right = child + 1
+                if right < size and (
+                    heap_key[right] < heap_key[child]
+                    or (heap_key[right] == heap_key[child] and heap_cnt[right] < heap_cnt[child])
+                ):
+                    child = right
+                if heap_key[child] < key or (heap_key[child] == key and heap_cnt[child] < cnt):
+                    heap_key[pos] = heap_key[child]
+                    heap_cnt[pos] = heap_cnt[child]
+                    heap_vtx[pos] = heap_vtx[child]
+                    pos = child
+                else:
+                    break
+            heap_key[pos] = key
+            heap_cnt[pos] = cnt
+            heap_vtx[pos] = vtx
+        if dist[u] != inf:
+            continue  # already settled via a shorter path
+        dist[u] = dist_u
+        order[n_order] = u
+        n_order += 1
+        sigma_u = sig[u]
+        for ei in range(indptr[u], indptr[u + 1]):
+            v = indices[ei]
+            candidate = dist_u + weights[ei]
+            if candidate > 1.0:
+                tolerance = _EPS * candidate
+            else:
+                tolerance = _EPS
+            settled = dist[v]
+            if settled != inf:
+                diff = candidate - settled
+                if -tolerance <= diff <= tolerance:
+                    sig[v] += sigma_u
+                    pred_parent[n_events] = u
+                    pred_prev[n_events] = pred_head[v]
+                    pred_head[v] = n_events
+                    n_events += 1
+                continue
+            previous = tent[v]
+            if candidate < previous - tolerance:
+                tent[v] = candidate
+                sig[v] = sigma_u
+                pred_parent[n_events] = u
+                pred_prev[n_events] = -1  # strict improvement: fresh chain
+                pred_head[v] = n_events
+                n_events += 1
+                # Push (sift up from the first free slot).
+                pos = size
+                size += 1
+                while pos > 0:
+                    parent = (pos - 1) >> 1
+                    if candidate < heap_key[parent] or (
+                        candidate == heap_key[parent] and counter < heap_cnt[parent]
+                    ):
+                        heap_key[pos] = heap_key[parent]
+                        heap_cnt[pos] = heap_cnt[parent]
+                        heap_vtx[pos] = heap_vtx[parent]
+                        pos = parent
+                    else:
+                        break
+                heap_key[pos] = candidate
+                heap_cnt[pos] = counter
+                heap_vtx[pos] = v
+                counter += 1
+            else:
+                diff = candidate - previous
+                if -tolerance <= diff <= tolerance:
+                    sig[v] += sigma_u
+                    pred_parent[n_events] = u
+                    pred_prev[n_events] = pred_head[v]
+                    pred_head[v] = n_events
+                    n_events += 1
+    return n_order
+
+
+_dijkstra_wave = _jit(_dijkstra_wave_py)
+
+
+def _waccumulate_py(sig, delta, order, n_order, pred_head, pred_parent, pred_prev, source):
+    """Weighted Brandes sweep over the wave's linked predecessor log.
+
+    Walks settled vertices deepest-first (reverse settle order — the
+    weighted replacement for BFS level order) computing the interpreter
+    rung's coefficient-first products: ``coeff = (1 + delta[w]) / sig[w]``
+    once per vertex, then ``delta[p] += sig[p] * coeff`` per parent.  A
+    vertex's parents are distinct, so the per-parent updates touch
+    disjoint cells and the chain's reverse insertion order cannot change
+    any value — bit-identical to the numpy sweep's fancy-indexed
+    accumulation.
+    """
+    n = delta.shape[0]
+    for i in range(n):
+        delta[i] = 0.0
+    for oi in range(n_order - 1, -1, -1):
+        w = order[oi]
+        e = pred_head[w]
+        if e >= 0:
+            coeff = (1.0 + delta[w]) / sig[w]
+            while e >= 0:
+                p = pred_parent[e]
+                delta[p] += sig[p] * coeff
+                e = pred_prev[e]
+    delta[source] = 0.0
+
+
+_waccumulate = _jit(_waccumulate_py)
+
+
+def _waccumulate_flat_py(sig, delta, order, n_order, pred_indptr, pred_indices, source):
+    """Weighted Brandes sweep over materialised CSR predecessor arrays.
+
+    The :func:`accumulate_dependencies_compiled` entry point for
+    Dijkstra-built DAGs — same arithmetic as :func:`_waccumulate_py`, fed
+    from ``pred_indptr``/``pred_indices`` instead of the event log.
+    """
+    n = delta.shape[0]
+    for i in range(n):
+        delta[i] = 0.0
+    for oi in range(n_order - 1, -1, -1):
+        w = order[oi]
+        lo = pred_indptr[w]
+        hi = pred_indptr[w + 1]
+        if hi > lo:
+            coeff = (1.0 + delta[w]) / sig[w]
+            for e in range(lo, hi):
+                p = pred_indices[e]
+                delta[p] += sig[p] * coeff
+    delta[source] = 0.0
+
+
+_waccumulate_flat = _jit(_waccumulate_flat_py)
+
+
+def _collect_preds_py(pred_head, pred_parent, pred_prev, pred_indptr, pred_indices):
+    """Flatten the linked predecessor log into CSR arrays, insertion-ordered.
+
+    Within-vertex parent order is observable — the samplers' backtracking
+    walks parents with a cumulative rng scan and the group-betweenness
+    sweep float-sums over them — so each chain (reverse insertion order)
+    is written back-to-front into its segment, restoring the interpreter
+    rung's append order exactly.  Returns the total predecessor count.
+    """
+    n = pred_head.shape[0]
+    pred_indptr[0] = 0
+    for v in range(n):
+        count = 0
+        e = pred_head[v]
+        while e >= 0:
+            count += 1
+            e = pred_prev[e]
+        pred_indptr[v + 1] = pred_indptr[v] + count
+    for v in range(n):
+        e = pred_head[v]
+        pos = pred_indptr[v + 1]
+        while e >= 0:
+            pos -= 1
+            pred_indices[pos] = pred_parent[e]
+            e = pred_prev[e]
+    return pred_indptr[n]
+
+
+_collect_preds = _jit(_collect_preds_py)
+
+
+def _wsource_delta_py(
+    indptr,
+    indices,
+    weights,
+    source,
+    dist,
+    tent,
+    sig,
+    delta,
+    order,
+    heap_key,
+    heap_cnt,
+    heap_vtx,
+    pred_head,
+    pred_parent,
+    pred_prev,
+):
+    """Fused weighted per-source pass: Dijkstra wave + accumulation."""
+    n_order = _dijkstra_wave(
+        indptr,
+        indices,
+        weights,
+        source,
+        dist,
+        tent,
+        sig,
+        order,
+        heap_key,
+        heap_cnt,
+        heap_vtx,
+        pred_head,
+        pred_parent,
+        pred_prev,
+    )
+    _waccumulate(sig, delta, order, n_order, pred_head, pred_parent, pred_prev, source)
+    return n_order
+
+
+_wsource_delta = _jit(_wsource_delta_py)
+
+
+def _wbatch_delta_py(
+    indptr,
+    indices,
+    weights,
+    sources,
+    delta,
+    dist,
+    tent,
+    sig,
+    order,
+    heap_key,
+    heap_cnt,
+    heap_vtx,
+    pred_head,
+    pred_parent,
+    pred_prev,
+):
+    """Batched ``(K, n)`` weighted twin: one fused pass per row."""
+    for k in range(sources.shape[0]):
+        _wsource_delta(
+            indptr,
+            indices,
+            weights,
+            sources[k],
+            dist,
+            tent,
+            sig,
+            delta[k],
+            order,
+            heap_key,
+            heap_cnt,
+            heap_vtx,
+            pred_head,
+            pred_parent,
+            pred_prev,
+        )
+
+
+_wbatch_delta = _jit(_wbatch_delta_py)
+
+
+def _wbatch_delta_parallel_py(indptr, indices, weights, sources, delta, n_threads):
+    """``prange``-over-threads twin of :func:`_wbatch_delta_py`.
+
+    Same private-scratch striding as :func:`_batch_delta_parallel_py`:
+    row independence makes the thread count result-neutral.
+    """
+    K = sources.shape[0]
+    n = indptr.shape[0] - 1
+    m = indices.shape[0]
+    for t in prange(n_threads):
+        dist = np.empty(n)
+        tent = np.empty(n)
+        sig = np.empty(n)
+        order = np.empty(n, np.int64)
+        heap_key = np.empty(m + 1)
+        heap_cnt = np.empty(m + 1, np.int64)
+        heap_vtx = np.empty(m + 1, np.int64)
+        pred_head = np.empty(n, np.int64)
+        pred_parent = np.empty(m, np.int64)
+        pred_prev = np.empty(m, np.int64)
+        for k in range(t, K, n_threads):
+            _wsource_delta(
+                indptr,
+                indices,
+                weights,
+                sources[k],
+                dist,
+                tent,
+                sig,
+                delta[k],
+                order,
+                heap_key,
+                heap_cnt,
+                heap_vtx,
+                pred_head,
+                pred_parent,
+                pred_prev,
+            )
+
+
+_wbatch_delta_parallel = _jit_parallel(_wbatch_delta_parallel_py)
+
+
 # ----------------------------------------------------------------------
 # Per-process scratch (one set of buffers per snapshot shape)
 # ----------------------------------------------------------------------
@@ -238,24 +688,46 @@ _SCRATCH_LIMIT = 4
 _SCRATCH: dict = {}
 
 
-def _scratch_for(n: int, m: int) -> dict:
-    key = (n, m)
+def _scratch_for(n: int, m: int, kind: str = "bfs") -> dict:
+    key = (kind, n, m)
     arrays = _SCRATCH.pop(key, None)
     if arrays is None:
         if len(_SCRATCH) >= _SCRATCH_LIMIT:
             _SCRATCH.pop(next(iter(_SCRATCH)))
-        arrays = {
-            "dist": np.empty(n),
-            "sig": np.empty(n),
-            "delta": np.empty(n),
-            "order": np.empty(n, dtype=np.int64),
-            # A BFS has at most n - 1 levels; +2 gives the kernels one slot
-            # of slack for the trailing offset they write per level.
-            "level_start": np.empty(n + 2, dtype=np.int64),
-            "edge_p": np.empty(m, dtype=np.int64),
-            "edge_c": np.empty(m, dtype=np.int64),
-            "edge_start": np.empty(n + 2, dtype=np.int64),
-        }
+        if kind == "bfs":
+            arrays = {
+                "dist": np.empty(n),
+                "sig": np.empty(n),
+                "delta": np.empty(n),
+                "order": np.empty(n, dtype=np.int64),
+                # A BFS has at most n - 1 levels; +2 gives the kernels one
+                # slot of slack for the trailing offset they write per level.
+                "level_start": np.empty(n + 2, dtype=np.int64),
+                "edge_p": np.empty(m, dtype=np.int64),
+                "edge_c": np.empty(m, dtype=np.int64),
+                "edge_start": np.empty(n + 2, dtype=np.int64),
+            }
+        else:  # dijkstra
+            arrays = {
+                "dist": np.empty(n),
+                "tent": np.empty(n),
+                "sig": np.empty(n),
+                "delta": np.empty(n),
+                "order": np.empty(n, dtype=np.int64),
+                # The heap holds at most one entry per push; pushes happen
+                # only on strict improvement — at most once per directed
+                # edge slot — plus the initial source entry.
+                "heap_key": np.empty(m + 1),
+                "heap_cnt": np.empty(m + 1, dtype=np.int64),
+                "heap_vtx": np.empty(m + 1, dtype=np.int64),
+                "pred_head": np.empty(n, dtype=np.int64),
+                # One predecessor event per relaxation, one relaxation per
+                # directed edge slot.
+                "pred_parent": np.empty(m, dtype=np.int64),
+                "pred_prev": np.empty(m, dtype=np.int64),
+                "pred_indptr": np.empty(n + 1, dtype=np.int64),
+                "pred_flat": np.empty(m, dtype=np.int64),
+            }
     _SCRATCH[key] = arrays  # re-insert: plain dict preserves LRU order
     return arrays
 
@@ -318,20 +790,80 @@ def bfs_spd_compiled(
     )
 
 
-def accumulate_dependencies_compiled(spd: "CSRShortestPathDAG"):
-    """Compiled twin of the level loop of ``accumulate_dependencies_csr``.
+def dijkstra_spd_compiled(csr: "CSRGraph", source: int) -> "CSRShortestPathDAG":
+    """Compiled twin of :func:`~repro.shortest_paths.dijkstra.dijkstra_spd_csr`.
 
-    Requires a BFS-built DAG (``level_edges`` recorded); the per-level edge
-    arrays are flattened once and the scalar kernel replays the bincount
-    accumulation bit for bit.  Prefer :func:`source_dependencies_compiled`
-    when the DAG itself is not needed — the fused kernel skips the
-    level-edge materialisation entirely.
+    Runs the flat-array heap wave and materialises the predecessor CSR
+    arrays in the interpreter rung's insertion order, so ``dist`` / ``sig``
+    / ``order_indices`` / ``pred_indptr`` / ``pred_indices`` are all
+    bit-identical — downstream accumulation, rng-driven path backtracking
+    and group sweeps behave exactly as on the CSR rung.
+    """
+    from repro.shortest_paths.dijkstra import validate_positive_weights
+    from repro.shortest_paths.spd import CSRShortestPathDAG
+
+    n = _check_source(csr, source)
+    validate_positive_weights(csr)
+    scratch = _scratch_for(n, int(csr.indices.shape[0]), "dijkstra")
+    n_order = _dijkstra_wave(
+        csr.indptr,
+        csr.indices,
+        csr.weights,
+        source,
+        scratch["dist"],
+        scratch["tent"],
+        scratch["sig"],
+        scratch["order"],
+        scratch["heap_key"],
+        scratch["heap_cnt"],
+        scratch["heap_vtx"],
+        scratch["pred_head"],
+        scratch["pred_parent"],
+        scratch["pred_prev"],
+    )
+    total = _collect_preds(
+        scratch["pred_head"],
+        scratch["pred_parent"],
+        scratch["pred_prev"],
+        scratch["pred_indptr"],
+        scratch["pred_flat"],
+    )
+    return CSRShortestPathDAG(
+        csr,
+        source,
+        scratch["dist"].copy(),
+        scratch["sig"].copy(),
+        scratch["order"][:n_order].copy(),
+        level_edges=None,
+        pred_indptr=scratch["pred_indptr"].copy(),
+        pred_indices=scratch["pred_flat"][: int(total)].copy(),
+    )
+
+
+def accumulate_dependencies_compiled(spd: "CSRShortestPathDAG"):
+    """Compiled twin of the sweep loops of ``accumulate_dependencies_csr``.
+
+    BFS-built DAGs (``level_edges`` recorded) flatten the per-level edge
+    arrays once and replay the bincount accumulation bit for bit;
+    Dijkstra-built DAGs run the reverse-settle-order sweep over their CSR
+    predecessor arrays.  Prefer :func:`source_dependencies_compiled` when
+    the DAG itself is not needed — the fused kernels skip the DAG
+    materialisation entirely.
     """
     if spd.level_edges is None:
-        raise ValueError(
-            "the compiled accumulation needs a BFS-built DAG with recorded "
-            "level_edges; Dijkstra-built DAGs take the numpy sweep"
+        n = spd.csr.number_of_vertices()
+        delta = np.empty(n)
+        order = spd.order_indices
+        _waccumulate_flat(
+            spd.sig,
+            delta,
+            order,
+            int(order.shape[0]),
+            spd.pred_indptr,
+            spd.pred_indices,
+            spd.source_index,
         )
+        return delta
     n = spd.csr.number_of_vertices()
     n_levels = len(spd.level_edges)
     edge_start = np.zeros(n_levels + 1, dtype=np.int64)
@@ -352,12 +884,36 @@ def source_dependencies_compiled(csr: "CSRGraph", source: int):
     """Fused compiled per-source pass: the dependency array of *source*.
 
     The compiled twin of
-    :func:`~repro.shortest_paths.dependencies.csr_source_dependencies` for
-    unweighted snapshots — one kernel call, no Python-level DAG.
+    :func:`~repro.shortest_paths.dependencies.csr_source_dependencies` —
+    one kernel call, no Python-level DAG.  Weighted snapshots take the
+    fused Dijkstra kernel, unweighted ones the fused BFS kernel.
     """
     n = _check_source(csr, source)
-    scratch = _scratch_for(n, int(csr.indices.shape[0]))
     delta = np.empty(n)
+    if csr.weighted:
+        from repro.shortest_paths.dijkstra import validate_positive_weights
+
+        validate_positive_weights(csr)
+        scratch = _scratch_for(n, int(csr.indices.shape[0]), "dijkstra")
+        _wsource_delta(
+            csr.indptr,
+            csr.indices,
+            csr.weights,
+            source,
+            scratch["dist"],
+            scratch["tent"],
+            scratch["sig"],
+            delta,
+            scratch["order"],
+            scratch["heap_key"],
+            scratch["heap_cnt"],
+            scratch["heap_vtx"],
+            scratch["pred_head"],
+            scratch["pred_parent"],
+            scratch["pred_prev"],
+        )
+        return delta
+    scratch = _scratch_for(n, int(csr.indices.shape[0]))
     _source_delta(
         csr.indptr,
         csr.indices,
@@ -374,13 +930,19 @@ def source_dependencies_compiled(csr: "CSRGraph", source: int):
     return delta
 
 
-def batch_dependencies_compiled(csr: "CSRGraph", sources: Sequence[int], out=None):
+def batch_dependencies_compiled(
+    csr: "CSRGraph", sources: Sequence[int], out=None, threads: int = 1
+):
     """Batched ``(K, n)`` compiled twin of ``batch_source_dependencies``.
 
     Validation, result shape and the *out* contract (sequential per-row
     accumulation in source order) mirror the numpy batch kernels; each row
     is the fused per-source kernel's output, so the matrix is bit-identical
-    to the wave kernels row for row.
+    to the wave kernels row for row — weighted snapshots included (fused
+    Dijkstra rows).  ``threads > 1`` runs the ``prange`` variant: threads
+    stride the rows with private scratch, so the count is result-neutral
+    (see :func:`_batch_delta_parallel_py`); the *out* accumulation always
+    happens afterwards in source order.
     """
     n = csr.number_of_vertices()
     src = np.asarray(sources, dtype=np.int64)
@@ -388,21 +950,51 @@ def batch_dependencies_compiled(csr: "CSRGraph", sources: Sequence[int], out=Non
         raise ValueError("sources must be a non-empty 1-D sequence of vertex indices")
     if src.min() < 0 or src.max() >= n:
         raise IndexError(f"source indices out of range for {n} vertices")
-    scratch = _scratch_for(n, int(csr.indices.shape[0]))
+    m = int(csr.indices.shape[0])
     delta = np.empty((int(src.size), n))
-    _batch_delta(
-        csr.indptr,
-        csr.indices,
-        src,
-        delta,
-        scratch["dist"],
-        scratch["sig"],
-        scratch["order"],
-        scratch["level_start"],
-        scratch["edge_p"],
-        scratch["edge_c"],
-        scratch["edge_start"],
-    )
+    threads = engage_threads(threads)
+    if csr.weighted:
+        from repro.shortest_paths.dijkstra import validate_positive_weights
+
+        validate_positive_weights(csr)
+        if threads > 1:
+            _wbatch_delta_parallel(csr.indptr, csr.indices, csr.weights, src, delta, threads)
+        else:
+            scratch = _scratch_for(n, m, "dijkstra")
+            _wbatch_delta(
+                csr.indptr,
+                csr.indices,
+                csr.weights,
+                src,
+                delta,
+                scratch["dist"],
+                scratch["tent"],
+                scratch["sig"],
+                scratch["order"],
+                scratch["heap_key"],
+                scratch["heap_cnt"],
+                scratch["heap_vtx"],
+                scratch["pred_head"],
+                scratch["pred_parent"],
+                scratch["pred_prev"],
+            )
+    elif threads > 1:
+        _batch_delta_parallel(csr.indptr, csr.indices, src, delta, threads)
+    else:
+        scratch = _scratch_for(n, m)
+        _batch_delta(
+            csr.indptr,
+            csr.indices,
+            src,
+            delta,
+            scratch["dist"],
+            scratch["sig"],
+            scratch["order"],
+            scratch["level_start"],
+            scratch["edge_p"],
+            scratch["edge_c"],
+            scratch["edge_start"],
+        )
     if out is not None:
         for row in delta:
             out += row
@@ -433,6 +1025,7 @@ def warm_up() -> bool:
     # child, a second level and a non-trivial back-propagation.
     indptr = np.array([0, 1, 3, 4], dtype=np.int64)
     indices = np.array([1, 0, 2, 1], dtype=np.int64)
+    weights = np.array([0.5, 0.5, 2.0, 2.0])
     n, m = 3, 4
     dist = np.empty(n)
     sig = np.empty(n)
@@ -447,6 +1040,30 @@ def warm_up() -> bool:
     _batch_delta(
         indptr, indices, src, delta, dist, sig, order, level_start, edge_p, edge_c, edge_start
     )
+    _batch_delta_parallel(indptr, indices, src, delta, 1)
+    # Weighted twins: the same path with non-unit weights compiles the
+    # heap wave, the linked-log sweep, the flat sweep and the collector.
+    tent = np.empty(n)
+    heap_key = np.empty(m + 1)
+    heap_cnt = np.empty(m + 1, dtype=np.int64)
+    heap_vtx = np.empty(m + 1, dtype=np.int64)
+    pred_head = np.empty(n, dtype=np.int64)
+    pred_parent = np.empty(m, dtype=np.int64)
+    pred_prev = np.empty(m, dtype=np.int64)
+    pred_indptr = np.empty(n + 1, dtype=np.int64)
+    pred_flat = np.empty(m, dtype=np.int64)
+    n_order = _dijkstra_wave(
+        indptr, indices, weights, 0, dist, tent, sig, order,
+        heap_key, heap_cnt, heap_vtx, pred_head, pred_parent, pred_prev,
+    )
+    _waccumulate(sig, delta[0], order, n_order, pred_head, pred_parent, pred_prev, 0)
+    _collect_preds(pred_head, pred_parent, pred_prev, pred_indptr, pred_flat)
+    _waccumulate_flat(sig, delta[0], order, n_order, pred_indptr, pred_flat, 0)
+    _wbatch_delta(
+        indptr, indices, weights, src, delta, dist, tent, sig, order,
+        heap_key, heap_cnt, heap_vtx, pred_head, pred_parent, pred_prev,
+    )
+    _wbatch_delta_parallel(indptr, indices, weights, src, delta, 1)
     _WARMED = True
     return True
 

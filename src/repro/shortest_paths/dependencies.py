@@ -24,7 +24,11 @@ from repro.execution.plan import ExecutionPlan, resolve_plan
 from repro.execution.runtime import interned_payload, plan_snapshot
 from repro.execution.scheduler import merge_ordered, run_sharded, split_shards
 from repro.shortest_paths.bfs import bfs_spd, bfs_spd_csr
-from repro.shortest_paths.dijkstra import dijkstra_spd, dijkstra_spd_csr
+from repro.shortest_paths.dijkstra import (
+    dijkstra_source_dependencies_csr,
+    dijkstra_spd,
+    dijkstra_spd_csr,
+)
 from repro.shortest_paths.spd import CSRShortestPathDAG, ShortestPathDAG
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -137,6 +141,7 @@ def all_dependencies_on_target(
     n_jobs: Optional[int] = None,
     plan: Optional[ExecutionPlan] = None,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> Dict[Vertex, float]:
     """Return ``{v: delta_{v.}(target)}`` for every vertex *v* of *graph*.
 
@@ -158,7 +163,12 @@ def all_dependencies_on_target(
     """
     graph.validate_vertex(target)
     plan = resolve_plan(
-        plan, backend=backend, batch_size=batch_size, n_jobs=n_jobs, kernel=kernel
+        plan,
+        backend=backend,
+        batch_size=batch_size,
+        n_jobs=n_jobs,
+        kernel=kernel,
+        kernel_threads=kernel_threads,
     )
     if plan is not None:
         return _all_dependencies_on_target_planned(graph, target, plan)
@@ -199,8 +209,9 @@ def _all_dependencies_on_target_planned(
                 shards,
                 n_jobs=plan.n_jobs,
                 plan=plan,
-                # One interned payload per (snapshot, batch, target, kernel):
-                # a persistent pool re-ships nothing for repeated targets.
+                # One interned payload per (snapshot, batch, target, kernel,
+                # threads): a persistent pool re-ships nothing for repeated
+                # targets.
                 shared=interned_payload(
                     plan,
                     (
@@ -209,8 +220,15 @@ def _all_dependencies_on_target_planned(
                         plan.batch_size,
                         target_index,
                         plan.kernel,
+                        plan.kernel_threads,
                     ),
-                    lambda: (csr, plan.batch_size, target_index, plan.kernel),
+                    lambda: (
+                        csr,
+                        plan.batch_size,
+                        target_index,
+                        plan.kernel,
+                        plan.kernel_threads,
+                    ),
                 ),
             )
         )
@@ -244,21 +262,25 @@ def iter_batches(items: Sequence, batch_size: int):
 def dependency_sum_shard_csr(shared, shard):
     """Shard worker: sum the dependency vectors of the shard's source indices.
 
-    ``shared`` is ``(csr, batch_size)`` or ``(csr, batch_size, kernel)`` —
-    the optional third element threads an :class:`~repro.execution.plan.
-    ExecutionPlan`'s kernel rung into the worker process (older two-element
-    payloads resolve ``"auto"``).  The sum follows the canonical
-    accumulation order (one vector addition per source, in shard order), so
-    the buffer is bit-identical however the sources are batched — and
-    whichever kernel rung runs the passes.
+    ``shared`` is ``(csr, batch_size)``, optionally extended with
+    ``kernel`` (third element) and ``kernel_threads`` (fourth) — the
+    positional tail threads an :class:`~repro.execution.plan.
+    ExecutionPlan`'s kernel rung and thread count into the worker process
+    (shorter payloads resolve ``"auto"`` / 1).  The sum follows the
+    canonical accumulation order (one vector addition per source, in shard
+    order), so the buffer is bit-identical however the sources are batched
+    — and whichever kernel rung, on however many threads, runs the passes.
     """
     csr, batch_size = shared[0], shared[1]
     kernel = shared[2] if len(shared) > 2 else "auto"
+    kernel_threads = shared[3] if len(shared) > 3 else 1
     from repro.shortest_paths.batch import batch_source_dependencies
 
     out = np.zeros(csr.number_of_vertices())
     for batch in iter_batches(shard, batch_size):
-        batch_source_dependencies(csr, batch, out=out, kernel=kernel)
+        batch_source_dependencies(
+            csr, batch, out=out, kernel=kernel, kernel_threads=kernel_threads
+        )
     return out
 
 
@@ -278,18 +300,22 @@ def dependency_at_target_shard_csr(shared, shard) -> List[float]:
     """Shard worker: per-source dependency on one target index.
 
     ``shared`` is ``(csr, batch_size, target_index)``, optionally extended
-    with a fourth ``kernel`` element (see :func:`dependency_sum_shard_csr`);
-    returns one float per shard source, in shard order.  A source equal to
-    the target reads its own delta entry, which is 0 by construction —
-    matching the dict backend's explicit skip.
+    with ``kernel`` (fourth element) and ``kernel_threads`` (fifth — see
+    :func:`dependency_sum_shard_csr`); returns one float per shard source,
+    in shard order.  A source equal to the target reads its own delta
+    entry, which is 0 by construction — matching the dict backend's
+    explicit skip.
     """
     csr, batch_size, target_index = shared[0], shared[1], shared[2]
     kernel = shared[3] if len(shared) > 3 else "auto"
+    kernel_threads = shared[4] if len(shared) > 4 else 1
     from repro.shortest_paths.batch import batch_source_dependencies
 
     values: List[float] = []
     for batch in iter_batches(shard, batch_size):
-        deltas = batch_source_dependencies(csr, batch, kernel=kernel)
+        deltas = batch_source_dependencies(
+            csr, batch, kernel=kernel, kernel_threads=kernel_threads
+        )
         values.extend(float(deltas[k, target_index]) for k in range(len(batch)))
     return values
 
@@ -321,12 +347,12 @@ def accumulate_dependencies_csr(spd: CSRShortestPathDAG, *, kernel: str = "auto"
     have no levels and fall back to a per-vertex sweep in reverse settle
     order over the CSR predecessor arrays.
 
-    ``kernel`` selects the rung for the level path
-    (:func:`~repro.graphs.csr.resolve_kernel`); the compiled twin replays
-    the exact per-level, edge-order summation, so the knob never changes a
-    result.  Dijkstra-built DAGs always use the numpy sweep.
+    ``kernel`` selects the rung (:func:`~repro.graphs.csr.resolve_kernel`);
+    the compiled twins replay the exact per-level edge-order summation
+    (BFS DAGs) and the reverse-settle-order coefficient products
+    (Dijkstra DAGs), so the knob never changes a result.
     """
-    if spd.level_edges is not None and resolve_kernel(kernel) == "compiled":
+    if resolve_kernel(kernel) == "compiled":
         from repro.shortest_paths.compiled import accumulate_dependencies_compiled
 
         return accumulate_dependencies_compiled(spd)
@@ -351,14 +377,18 @@ def accumulate_dependencies_csr(spd: CSRShortestPathDAG, *, kernel: str = "auto"
 def csr_source_dependencies(csr: "CSRGraph", source: int, *, kernel: str = "auto"):
     """Return the dependency array of vertex index *source* (build + accumulate).
 
-    On the compiled rung the whole pass runs as one fused kernel (BFS wave +
-    back-propagation without materialising the DAG); the result is bitwise
-    identical to the numpy rung's build-then-accumulate.
+    On the compiled rung the whole pass runs as one fused kernel (BFS or
+    Dijkstra wave + back-propagation without materialising the DAG), and
+    weighted snapshots on the numpy rung take the fused interpreter pass
+    (:func:`~repro.shortest_paths.dijkstra.dijkstra_source_dependencies_csr`);
+    every path is bitwise identical to build-then-accumulate.
     """
-    if not csr.weighted and resolve_kernel(kernel) == "compiled":
+    if resolve_kernel(kernel) == "compiled":
         from repro.shortest_paths.compiled import source_dependencies_compiled
 
         return source_dependencies_compiled(csr, source)
+    if csr.weighted:
+        return dijkstra_source_dependencies_csr(csr, source)
     return accumulate_dependencies_csr(csr_spd_builder(csr)(csr, source))
 
 

@@ -517,6 +517,115 @@ def test_compiled_batch_is_bitwise_identical_to_the_wave_pair(graph, seed):
     assert np.array_equal(out_compiled, out_numpy)
 
 
+weighted_cases = graph_cases.filter(lambda g: g.weighted)
+
+
+def test_compiled_tolerance_matches_the_interpreter_rung():
+    """The heap bit-identity promise needs both rungs to draw the relaxation
+    tie band at exactly the same width."""
+    from repro.shortest_paths import compiled, dijkstra
+
+    assert compiled._EPS == dijkstra._EPSILON
+
+
+@given(weighted_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_dijkstra_spd_is_bitwise_identical_to_numpy(graph, source_seed):
+    """The compiled heap wave reproduces dist/sig/settle-order and the CSR
+    predecessor arrays of the numpy rung exactly (array_equal, not isclose)."""
+    from repro.shortest_paths.compiled import dijkstra_spd_compiled
+
+    csr = graph.csr()
+    source = source_seed % csr.number_of_vertices()
+    numpy_spd = dijkstra_spd_csr(csr, source, kernel="csr")
+    compiled_spd = dijkstra_spd_compiled(csr, source)
+    assert np.array_equal(compiled_spd.dist, numpy_spd.dist)
+    assert np.array_equal(compiled_spd.sig, numpy_spd.sig)
+    assert np.array_equal(compiled_spd.order_indices, numpy_spd.order_indices)
+    assert np.array_equal(compiled_spd.pred_indptr, numpy_spd.pred_indptr)
+    assert np.array_equal(compiled_spd.pred_indices, numpy_spd.pred_indices)
+
+
+@given(weighted_cases, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_weighted_dependencies_are_bitwise_identical(graph, source_seed):
+    """Fused weighted kernel, accumulate-from-SPD and the interpreter's fused
+    pass all produce the same delta vector bit for bit."""
+    from repro.shortest_paths.compiled import dijkstra_spd_compiled
+    from repro.shortest_paths.dijkstra import dijkstra_source_dependencies_csr
+
+    csr = graph.csr()
+    source = source_seed % csr.number_of_vertices()
+    reference = dijkstra_source_dependencies_csr(csr, source)
+    via_sweep = accumulate_dependencies_csr(dijkstra_spd_csr(csr, source, kernel="csr"))
+    via_spd = accumulate_dependencies_compiled(dijkstra_spd_compiled(csr, source))
+    fused = source_dependencies_compiled(csr, source)
+    assert np.array_equal(via_sweep, reference)
+    assert np.array_equal(via_spd, reference)
+    assert np.array_equal(fused, reference)
+
+
+@given(
+    weighted_cases,
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_weighted_batch_is_bitwise_identical(graph, seed, threads):
+    """The weighted compiled batch — at every thread count — equals the numpy
+    per-row route, including the out-accumulation contract."""
+    from repro.shortest_paths.batch import batch_source_dependencies
+
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    rng = random.Random(seed)
+    sources = [rng.randrange(n) for _ in range(min(6, n))]
+    reference = batch_source_dependencies(csr, sources, kernel="csr")
+    compiled_matrix = batch_dependencies_compiled(csr, sources, threads=threads)
+    assert np.array_equal(compiled_matrix, reference)
+    out_numpy = np.ones(n)
+    batch_source_dependencies(csr, sources, out=out_numpy, kernel="csr")
+    out_compiled = np.ones(n)
+    batch_dependencies_compiled(csr, sources, out=out_compiled, threads=threads)
+    assert np.array_equal(out_compiled, out_numpy)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_weighted_batch_spd_rows_match_single_source(seed):
+    """dijkstra_spd_batch_csr rows are the single-source SPDs, per contract."""
+    from repro.shortest_paths.batch import dijkstra_spd_batch_csr
+
+    graph = _random_weighted_graph(seed % 100)
+    csr = graph.csr()
+    n = csr.number_of_vertices()
+    sources = list(range(min(4, n)))
+    for row, spd in zip(sources, dijkstra_spd_batch_csr(csr, sources)):
+        single = dijkstra_spd_csr(csr, row, kernel="csr")
+        assert np.array_equal(spd.dist, single.dist)
+        assert np.array_equal(spd.sig, single.sig)
+        assert np.array_equal(spd.order_indices, single.order_indices)
+
+
+def test_weighted_distances_csr_matches_spd_and_dict_backend():
+    """dijkstra_distances_csr: dist bit-equals the SPD's dist field, and the
+    settle-order dict rebuild equals the dict route's settle-order dict."""
+    from repro.shortest_paths.dijkstra import (
+        dijkstra_distances,
+        dijkstra_distances_csr,
+    )
+
+    graph = _random_weighted_graph(23)
+    csr = graph.csr()
+    for source in graph.vertices()[:4]:
+        i = csr.index_of(source)
+        dist, order = dijkstra_distances_csr(csr, i)
+        assert np.array_equal(dist, dijkstra_spd_csr(csr, i, kernel="csr").dist)
+        rebuilt = {csr.vertex_at(j): float(dist[j]) for j in order.tolist()}
+        assert rebuilt == dijkstra_distances(graph, source)
+        assert list(rebuilt) == list(dijkstra_distances(graph, source))
+
+
 def test_compiled_dispatch_is_result_neutral(monkeypatch):
     """With availability forced on, kernel='compiled' drives the whole stack
     through the compiled bodies and every public result stays bitwise equal."""
@@ -543,6 +652,33 @@ def test_compiled_dispatch_is_result_neutral(monkeypatch):
         csr_source_dependencies(csr, 0, kernel="compiled"),
         csr_source_dependencies(csr, 0, kernel="csr"),
     )
+
+
+def test_weighted_compiled_dispatch_and_threads_are_result_neutral(monkeypatch):
+    """With availability forced on, kernel='compiled' on a *weighted* graph
+    routes the whole stack through the fused Dijkstra bodies, and the
+    kernel_threads knob changes no result at any count."""
+    from repro.graphs import csr as csr_module
+
+    graph = _random_weighted_graph(41)
+    target = graph.vertices()[1]
+    reference_exact = betweenness_centrality(graph, backend="csr", kernel="csr")
+    reference_single = betweenness_single(
+        graph, target, method="uniform-source", samples=40, seed=5,
+        backend="csr", kernel="csr", batch_size=8, check_connected=False,
+    )
+    monkeypatch.setattr(csr_module, "_COMPILED_OK", True)
+    compiled_exact = betweenness_centrality(graph, backend="csr", kernel="compiled")
+    assert compiled_exact == reference_exact
+    for threads in (1, 2, 4):
+        result = betweenness_single(
+            graph, target, method="uniform-source", samples=40, seed=5,
+            backend="csr", kernel="compiled", batch_size=8,
+            kernel_threads=threads, check_connected=False,
+        )
+        assert result.estimate == reference_single.estimate, (
+            f"kernel_threads={threads} drifted from the numpy rung"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -862,6 +862,89 @@ def test_calibrated_jobs_never_change_the_estimate():
     assert len(set(estimates.values())) == 1
 
 
+def test_default_threads_candidates_shape():
+    import multiprocessing
+
+    from repro.execution import default_threads_candidates
+
+    candidates = default_threads_candidates()
+    assert candidates[0] == 1
+    assert all(a < b for a, b in zip(candidates, candidates[1:]))
+    assert all(isinstance(c, int) and c >= 1 for c in candidates)
+    # The thread budget composes with worker processes: claiming every
+    # core for processes leaves exactly one thread per worker.
+    cores = multiprocessing.cpu_count()
+    assert default_threads_candidates(n_jobs=cores) == (1,)
+    with pytest.raises(ConfigurationError):
+        default_threads_candidates(n_jobs=0)
+
+
+def test_probe_kernel_threads_fast_paths():
+    from repro.execution import probe_kernel_threads
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    # dict backend: the compiled batch kernels never run.
+    assert probe_kernel_threads(graph, backend="dict", candidates=(1, 2)) == [(1, 0.0)]
+    # numpy rung: the prange kernels are out of reach by construction.
+    assert probe_kernel_threads(graph, kernel="csr", candidates=(1, 2)) == [(1, 0.0)]
+    # nothing beyond one thread to sweep: no kernels timed.
+    assert probe_kernel_threads(graph, candidates=(1,)) == [(1, 0.0)]
+
+
+def test_probe_kernel_threads_validates_its_knobs():
+    from repro.execution import probe_kernel_threads
+
+    graph = barabasi_albert_graph(20, 2, seed=1)
+    with pytest.raises(ConfigurationError):
+        probe_kernel_threads(graph, candidates=(0,))
+    with pytest.raises(ConfigurationError):
+        probe_kernel_threads(graph, probe_sources=0)
+    with pytest.raises(ConfigurationError):
+        probe_kernel_threads(graph, repeats=0)
+    with pytest.raises(ConfigurationError):
+        probe_kernel_threads(graph, batch_size=0)
+    with pytest.raises(ConfigurationError):
+        probe_kernel_threads(graph, n_jobs=0)
+
+
+def test_calibrate_kernel_threads_returns_a_candidate_and_breaks_ties_down(monkeypatch):
+    from repro.execution import autotune, calibrate_kernel_threads
+
+    graph = barabasi_albert_graph(30, 2, seed=2)
+    assert calibrate_kernel_threads(graph, candidates=(1, 2), probe_sources=8) in (1, 2)
+    # Deterministic tie: the smaller thread count must win.
+    monkeypatch.setattr(
+        autotune, "probe_kernel_threads", lambda *a, **k: [(4, 1.0), (2, 1.0), (1, 2.0)]
+    )
+    assert calibrate_kernel_threads(graph) == 2
+
+
+def test_kernel_threads_auto_resolves_and_changes_no_result():
+    """kernel_threads='auto' at the API resolves to a concrete count and the
+    estimate equals every explicit count — the knob is result-neutral."""
+    graph = barabasi_albert_graph(30, 2, seed=5)
+    r = graph.vertices()[6]
+    reference = betweenness_single(
+        graph, r, method="uniform-source", samples=40, seed=99,
+        backend="csr", batch_size=8,
+    )
+    for threads in ("auto", 1, 2, 4):
+        result = betweenness_single(
+            graph, r, method="uniform-source", samples=40, seed=99,
+            backend="csr", batch_size=8, kernel_threads=threads,
+        )
+        assert result.estimate == reference.estimate, threads
+
+
+def test_kernel_threads_auto_on_dict_backend_skips_the_probe():
+    from repro.centrality.api import _resolve_kernel_threads
+
+    graph = barabasi_albert_graph(20, 2, seed=3)
+    assert _resolve_kernel_threads(graph, "auto", "dict", "auto", None) == 1
+    assert _resolve_kernel_threads(graph, 3, "csr", "auto", None) == 3
+    assert _resolve_kernel_threads(graph, None, "csr", "auto", None) is None
+
+
 def test_n_jobs_auto_resolves_and_engages_the_engine():
     """n_jobs='auto' at the API resolves to a concrete count (never None —
     the engine must engage so results stay n_jobs-invariant) and returns

@@ -224,7 +224,20 @@ class TestAffectedSources:
         assert region.everything
         assert region.reason == "vertex-change"
 
-    def test_weighted_falls_back(self):
+    def test_weighted_structural_falls_back(self):
+        # The tightness argument needs the mutated edge present in both
+        # snapshots, so structural records in a weighted window still
+        # force the full fallback.
+        g = Graph(weighted=True)
+        g.add_edge(0, 1, weight=2.0)
+        g.add_edge(1, 2, weight=3.0)
+        region = affected_sources(
+            g.csr(), (GraphDelta("edge-added", u=1, v=2, weight=3.0),)
+        )
+        assert region.everything
+        assert region.reason == "weighted"
+
+    def test_weight_record_missing_old_weight_falls_back(self):
         g = Graph(weighted=True)
         g.add_edge(0, 1, weight=2.0)
         g.add_edge(1, 2, weight=3.0)
@@ -232,7 +245,31 @@ class TestAffectedSources:
             g.csr(), (GraphDelta("weight-changed", u=0, v=1, weight=4.0),)
         )
         assert region.everything
-        assert region.reason == "weighted"
+        assert region.reason == "unknown-weight"
+
+    def test_weight_only_window_scopes_to_tight_sources(self):
+        # Weighted star (spokes weight 1, one long spoke 0-5 weight 10)
+        # plus a chord between leaves 1 and 2 bumped from 2.0 to 3.0.
+        # Only the chord endpoints are flagged: from either, the old
+        # weight 2.0 exactly ties the via-center path (d=2), so their
+        # pre-mutation DAGs contained the chord.  Every other source
+        # reaches both chord endpoints more cheaply than any chord
+        # crossing under either weight, so those rows are retained.
+        g = Graph(weighted=True)
+        for leaf in (1, 2, 3, 4):
+            g.add_edge(0, leaf, weight=1.0)
+        g.add_edge(0, 5, weight=10.0)
+        g.add_edge(1, 2, weight=2.0)
+        version = g.version
+        g.add_edge(1, 2, weight=3.0)  # weight-only upsert
+        csr = g.csr()
+        region = affected_sources(csr, g.journal_since(version))
+        assert not region.everything
+        assert sorted(region.endpoints) == sorted(
+            (csr.index_of(1), csr.index_of(2))
+        )
+        affected = {int(i) for i in region.indices()}
+        assert affected == {csr.index_of(1), csr.index_of(2)}
 
     def test_star_leaf_edge_affects_only_its_endpoints(self):
         # Every other source reaches both new endpoints through the
@@ -307,6 +344,59 @@ class TestSupersetProperty:
                 )
 
 
+#: Positive edge weights for the weighted twin of the superset property;
+#: bounded well away from zero so hypothesis cannot construct graphs whose
+#: path sums underflow the relaxation tolerance.
+_weights = st.floats(min_value=0.5, max_value=4.0, allow_nan=False, allow_infinity=False)
+
+
+class TestWeightedSupersetProperty:
+    @given(
+        base=st.lists(
+            st.tuples(_pairs, _weights), min_size=3, max_size=20, unique_by=lambda e: e[0]
+        ),
+        ops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=10**6), _weights),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_unflagged_weighted_rows_are_bit_identical(self, base, ops):
+        # The weighted twin of the toggle property above: every op is a
+        # weight change of an existing edge (picked by index), so the
+        # journal window is weight-only and routes through the
+        # edge-tightness rule rather than the full fallback.
+        g = Graph(weighted=True)
+        for i in range(10):
+            g.add_vertex(i)
+        for (u, v), w in base:
+            g.add_edge(u, v, weight=w)
+        edges = sorted((u, v) for u, v in g.edges())
+        csr_before = g.csr()
+        dep_before = batch_source_dependencies(csr_before, list(range(10)))
+        version = g.version
+        for pick, w in ops:
+            u, v = edges[pick % len(edges)]
+            g.add_edge(u, v, weight=w)
+        deltas = g.journal_since(version)
+        assert deltas is not None, "short windows never overflow the journal"
+        assert all(d.kind == "weight-changed" for d in deltas)
+        csr_after = CSRGraph.from_graph(g)
+        region = affected_sources(csr_after, deltas)
+        assert not region.everything, region.reason
+        dep_after = batch_source_dependencies(csr_after, list(range(10)))
+        mask = region.mask
+        for i in range(10):
+            if not mask[i]:
+                assert np.array_equal(dep_before[i], dep_after[i]), (
+                    f"source {i} outside the affected region changed: "
+                    f"ops={ops!r} base={base!r}"
+                )
+
+
 # ----------------------------------------------------------------------
 # Warm-vs-cold bit-identity across the execution grid
 # ----------------------------------------------------------------------
@@ -336,6 +426,29 @@ def _scripted_ops():
     return [tuple(rng.sample(range(19), 2)) for _ in range(6)]
 
 
+def _scripted_weighted_graph():
+    g = Graph(weighted=True)
+    rng = random.Random(7)
+    for i in range(18):
+        g.add_edge(i, i + 1, weight=0.5 + rng.random() * 2.5)
+    for _ in range(12):
+        u, v = rng.sample(range(19), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, weight=0.5 + rng.random() * 2.5)
+    return g
+
+
+def _scripted_weight_ops(graph):
+    """Deterministic weight-only mutations over the existing edge set."""
+    rng = random.Random(11)
+    edges = sorted((u, v) for u, v in graph.edges())
+    ops = []
+    for _ in range(6):
+        u, v = edges[rng.randrange(len(edges))]
+        ops.append((u, v, 0.5 + rng.random() * 2.5))
+    return ops
+
+
 @pytest.mark.skipif(
     not shared_memory_available(), reason="requires working shared memory"
 )
@@ -358,6 +471,45 @@ class TestWarmColdGrid:
                         graph.remove_edge(u, v)
                     else:
                         graph.add_edge(u, v)
+                warm = session.estimate(5, samples=24, seed=40 + step)
+                cold = betweenness_single(
+                    cold_graph,
+                    5,
+                    samples=24,
+                    seed=40 + step,
+                    backend=backend,
+                    batch_size=8 if n_jobs is not None else None,
+                    n_jobs=n_jobs,
+                    kernel=kernel,
+                    check_connected=False,
+                )
+                assert warm.estimate == cold.estimate, (
+                    f"step {step} diverged under (backend={backend}, "
+                    f"kernel={kernel}, n_jobs={n_jobs})"
+                )
+
+    @pytest.mark.parametrize("backend,kernel,n_jobs", _GRID)
+    def test_weighted_session_matches_cold_across_weight_mutations(
+        self, backend, kernel, n_jobs
+    ):
+        # The weighted twin of the scenario above: weight-only mutations
+        # route through the edge-tightness rule (delta mode), and the
+        # warm session must stay bit-identical to a cold recompute on a
+        # separately-mutated clone for every grid cell.
+        warm_graph = _scripted_weighted_graph()
+        cold_graph = _scripted_weighted_graph()
+        ops = _scripted_weight_ops(warm_graph)
+        plan = (
+            ExecutionPlan(backend=backend, batch_size=8, n_jobs=n_jobs, kernel=kernel)
+            if n_jobs is not None
+            else None
+        )
+        with BetweennessSession(
+            warm_graph, plan, backend=backend, check_connected=False
+        ) as session:
+            for step, (u, v, weight) in enumerate(ops):
+                for graph in (warm_graph, cold_graph):
+                    graph.add_edge(u, v, weight=weight)
                 warm = session.estimate(5, samples=24, seed=40 + step)
                 cold = betweenness_single(
                     cold_graph,
@@ -547,6 +699,23 @@ class TestSessionRetention:
             assert receipt.oracle_vectors_evicted <= 2
             assert receipt.oracle_vectors_retained > 0
             assert session.stats()["warm_oracles"] == warm_before
+
+    def test_weight_only_mutation_reports_delta_mode(self):
+        # The acceptance receipt of the weighted edge-tightness rule: a
+        # weight-only mutation of a weighted session graph must scope the
+        # invalidation (mode "delta"), not destroy everything.
+        g = _scripted_weighted_graph()
+        with BetweennessSession(
+            g, backend="csr", check_connected=False
+        ) as session:
+            session.estimate(5, samples=24, seed=9)
+            u, v, weight = _scripted_weight_ops(g)[0]
+            g.add_edge(u, v, weight=weight)
+            receipt = session.refresh_warm_state()
+            assert receipt.mode == "delta", receipt.reason
+            assert receipt.affected_sources is not None
+            assert receipt.affected_sources < g.number_of_vertices()
+            assert receipt.touched_endpoints == 2
 
     def test_full_fallback_clears_oracles(self):
         g = star_graph(10)

@@ -125,7 +125,9 @@ def stable(payload: dict) -> dict:
 def cold_answer(query: dict, op: str) -> dict:
     """The cold per-call API answer for one serve query (fresh session)."""
     with BetweennessSession(served_graph(), None, backend="csr") as session:
-        payload = execute_query(session, dict(query, op=op), kernel="csr")
+        payload = execute_query(
+            session, dict(query, op=op), kernel="csr", kernel_threads=1
+        )
     return stable(payload)
 
 
